@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+The global (section 4/5) benchmarks share one full-size study — an A12W
+analogue: a 12k-block world measured over 35 days with 5.5-hour prober
+restarts.  Each benchmark prints (and saves under ``benchmarks/results/``)
+the same rows/series the paper's table or figure reports, then asserts
+the qualitative shape.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import GlobalStudy
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Scaled from the paper's 3.7M blocks; fractions are scale-invariant.
+STUDY_BLOCKS = 12000
+STUDY_SEED = 12
+
+
+@pytest.fixture(scope="session")
+def global_study() -> GlobalStudy:
+    """The A12W-analogue measurement shared by the global benchmarks."""
+    return GlobalStudy.run(n_blocks=STUDY_BLOCKS, seed=STUDY_SEED)
+
+
+@pytest.fixture()
+def record_output():
+    """Save a benchmark's table/series text and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _record

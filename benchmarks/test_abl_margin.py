@@ -1,0 +1,65 @@
+"""Ablation: the operational margin (half the deviation EWMA).
+
+Â_o = max(Â_l − margin·d̂_l, 0.1).  The paper picks margin = 1/2 to keep
+Â_o under true A nearly always without collapsing to the floor.  This
+bench sweeps the margin and reports the under-estimation rate and the
+average headroom lost, exposing the trade-off the choice navigates.
+"""
+
+import numpy as np
+
+from repro.core import MeasurementConfig, measure_block
+from repro.core.estimator import EstimatorConfig
+from repro.probing import RoundSchedule
+from repro.simulation.scenarios import survey_population
+
+MARGINS = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+def run_sweep():
+    blocks = survey_population(30, seed=3)
+    schedule = RoundSchedule.for_days(7)
+    rows = []
+    for margin in MARGINS:
+        config = MeasurementConfig(
+            estimator=EstimatorConfig(deviation_margin=margin)
+        )
+        children = np.random.SeedSequence(55).spawn(len(blocks))
+        under = []
+        gap = []
+        for block, child in zip(blocks, children):
+            rng = np.random.default_rng(child)
+            result = measure_block(block, schedule, rng, config)
+            if result.skipped:
+                continue
+            under.append(result.underestimate_fraction())
+            comparable = result.true_availability >= 0.1
+            gap.append(
+                float(
+                    (
+                        result.true_availability[comparable]
+                        - result.a_operational[comparable]
+                    ).mean()
+                )
+            )
+        rows.append((margin, float(np.mean(under)), float(np.mean(gap))))
+    return rows
+
+
+def test_abl_margin(benchmark, record_output):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [f"{'margin':>8}{'P(A_o<=A)':>12}{'mean A-A_o':>12}"]
+    for margin, under, gap in rows:
+        lines.append(f"{margin:>8.2f}{under:>12.3f}{gap:>+12.3f}")
+    record_output("abl_margin", "\n".join(lines))
+
+    by_margin = {m: (u, g) for m, u, g in rows}
+    # No margin: the long-term estimate alone overestimates too often.
+    assert by_margin[0.0][0] < by_margin[0.5][0]
+    # The paper's 1/2 already achieves the ~94% goal...
+    assert by_margin[0.5][0] > 0.9
+    # ...and larger margins only burn headroom (larger positive gap).
+    assert by_margin[2.0][1] > by_margin[0.5][1]
+    # Under-estimation rate grows monotonically with the margin.
+    unders = [u for _, u, _ in rows]
+    assert all(b >= a - 0.02 for a, b in zip(unders, unders[1:]))

@@ -1,0 +1,29 @@
+"""Application: organization-level diurnal comparison (section 2.3.2).
+
+The paper builds the AS-to-organization mapping precisely so operators
+can be compared; this bench prints the per-organization table over the
+measured world and checks that organizations inherit (but can deviate
+from) their national baseline.
+"""
+
+import numpy as np
+
+from repro.analysis import run_org_table
+
+
+def test_app_orgs(benchmark, record_output, global_study):
+    table = benchmark.pedantic(
+        run_org_table,
+        kwargs=dict(study=global_study, min_blocks=60),
+        rounds=1,
+        iterations=1,
+    )
+    record_output("app_orgs", table.format_table(15))
+
+    assert len(table.rows) >= 10
+    # Organizations carry their country's character...
+    errs = [abs(r.deviates_from_country) for r in table.rows]
+    assert np.median(errs) < 0.1
+    # ...and the most diurnal organizations are in diurnal countries.
+    top = table.top(5)
+    assert all(r.country_fraction > 0.05 for r in top)

@@ -1,0 +1,37 @@
+"""Figure 4: correlation of actual (A) and estimated (Â_s) availability.
+
+Paper: density hugs the x=y line; per-0.1-bin quartiles confirm the
+estimator is unbiased; overall correlation coefficient 0.95685.
+"""
+
+import numpy as np
+
+from repro.analysis import run_availability_validation
+
+
+def test_fig04_avail_correlation(benchmark, record_output):
+    result = benchmark.pedantic(
+        run_availability_validation,
+        kwargs=dict(n_blocks=120, seed=4),
+        rounds=1,
+        iterations=1,
+    )
+    record_output("fig04_avail_correlation", result.format_table())
+
+    # Paper: 0.95685 overall.
+    assert result.correlation_short > 0.90
+    # Unbiased: per-bin medians sit on the diagonal.
+    bq = result.short_quartiles()
+    valid = bq.counts > 500
+    err = np.abs(bq.median[valid] - bq.bin_centers[valid])
+    assert np.nanmedian(err) < 0.06
+    assert abs(result.bias()) < 0.02
+    # The density mass concentrates near the diagonal.
+    grid = result.density(n_bins=20)
+    diagonal_band = sum(
+        grid[i, j]
+        for i in range(20)
+        for j in range(20)
+        if abs(i - j) <= 2
+    )
+    assert diagonal_band > 0.8

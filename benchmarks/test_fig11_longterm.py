@@ -1,0 +1,27 @@
+"""Figure 11: fraction of diurnal blocks across years of surveys.
+
+Paper (63 surveys from three sites, Dec 2009 - 2013): the diurnal
+fraction is relatively stable (~12-14%) but shows a marked decline after
+2012, consistent with dynamically addressed hosts shifting to always-on
+use; the level agrees with A_12w's 11%.
+"""
+
+from repro.analysis import run_longterm_trend
+
+
+def test_fig11_longterm(benchmark, record_output):
+    trend = benchmark.pedantic(
+        run_longterm_trend,
+        kwargs=dict(n_snapshots=14, blocks_per_snapshot=1200, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    record_output("fig11_longterm", trend.format_series())
+
+    # Stable pre-2012 level near the A_12w fraction.
+    assert 0.09 < trend.pre_2012_mean() < 0.18
+    # The post-2012 decline.
+    assert trend.declines_after_2012()
+    assert trend.fractions[-1] < trend.pre_2012_mean()
+    # Sites rotate like the paper's w/c/j series.
+    assert set(trend.sites) == {"w", "c", "j"}

@@ -1,0 +1,35 @@
+"""Figures 12 and 13: where blocks are, and where they sleep.
+
+Paper: block density concentrates in North America, Europe and East
+Asia, with country-centroid geolocation artifacts in Brazil/Russia/
+Australia; the diurnal-fraction map is near zero in the US, Western
+Europe and Japan and high across Asia, Eastern Europe and South America.
+"""
+
+import numpy as np
+
+from repro.analysis import run_world_maps
+
+
+def test_fig12_13_maps(benchmark, record_output, global_study):
+    maps = benchmark.pedantic(
+        run_world_maps, kwargs=dict(study=global_study), rounds=1, iterations=1
+    )
+    record_output("fig12_13_maps", maps.format_series())
+
+    # Figure 12: coverage and concentration.
+    assert 0.90 < maps.geolocated_fraction < 0.96  # paper: 93%
+    us_cell = maps.counts.value_at(40.0, -98.0)
+    ocean_cell = maps.counts.value_at(-40.0, -30.0)  # South Atlantic
+    assert us_cell > 0
+    assert ocean_cell == 0
+    # Centroid artifact: the Brazilian centroid cell holds blocks even
+    # though it sits away from the population.
+    assert maps.counts.value_at(-14.2, -51.9) > 0
+
+    # Figure 13: the US sleeps far less than China.
+    us = maps.diurnal_fraction.value_at(40.0, -98.0)
+    cn = maps.diurnal_fraction.value_at(35.9, 104.2)
+    assert not np.isnan(us) and not np.isnan(cn)
+    assert us < 0.05
+    assert cn > 0.3

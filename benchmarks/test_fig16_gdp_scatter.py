@@ -1,0 +1,26 @@
+"""Figure 16: country diurnal fraction versus per-capita GDP.
+
+Paper: a weak negative linear fit (confidence coefficient -0.526); every
+country with diurnal fraction above 0.15 has GDP below ~$15-18k, a third
+of the United States'.
+"""
+
+from repro.analysis import run_country_table, run_gdp_scatter
+
+
+def test_fig16_gdp_scatter(benchmark, record_output, global_study):
+    def run():
+        table = run_country_table(study=global_study, min_blocks=30)
+        return run_gdp_scatter(table=table)
+
+    scatter = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_output("fig16_gdp_scatter", scatter.format_series())
+
+    fit = scatter.fit()
+    # Negative relation (paper: -0.526; the synthetic covariates are less
+    # noisy than real CIA data, so a stronger fit is expected).
+    assert fit.r < -0.4
+    assert fit.slope < 0
+    assert fit.p_value < 0.01
+    # High-diurnal countries are poor.
+    assert scatter.high_diurnal_low_gdp()

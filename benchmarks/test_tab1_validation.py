@@ -1,0 +1,25 @@
+"""Table 1: diurnal detection validated against survey ground truth.
+
+Paper (29k survey blocks): 9.97% correctly diurnal, 81.02% correctly
+non-diurnal, 6.89% missed, 2.12% falsely flagged — precision 82.48%,
+accuracy 90.99%, deliberately biased toward false negatives.  Also the
+stationarity check: ~80.3% of blocks drift less than one address/day.
+"""
+
+from repro.analysis import run_diurnal_validation
+
+
+def test_tab1_validation(benchmark, record_output):
+    result = benchmark.pedantic(
+        run_diurnal_validation,
+        kwargs=dict(n_blocks=200, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    record_output("tab1_validation", result.format_table())
+
+    assert result.accuracy > 0.82          # paper: 90.99%
+    assert result.precision > 0.80         # paper: 82.48%
+    assert result.false_negative_biased    # misses >= false alarms
+    assert result.recall < 1.0             # the conservative bias is real
+    assert 0.70 < result.stationary_fraction < 0.95  # paper: 80.3%

@@ -1,0 +1,34 @@
+"""Table 3: fraction of diurnal blocks, top countries plus the US.
+
+Paper: Armenia/Georgia/Belarus/China lead (0.63/0.55/0.51/0.50); the
+top-20 all have per-capita GDP under ~$18.4k; the US sits at 0.002 with
+GDP $50.7k.
+"""
+
+from repro.analysis import run_country_table
+
+
+def test_tab3_countries(benchmark, record_output, global_study):
+    table = benchmark.pedantic(
+        run_country_table,
+        kwargs=dict(study=global_study, min_blocks=30),
+        rounds=1,
+        iterations=1,
+    )
+    record_output("tab3_countries", table.format_table(20))
+
+    # China: the paper's dominant diurnal population.
+    cn = table.row_of("CN")
+    assert abs(cn.fraction_diurnal - 0.498) < 0.08
+    # The US barely sleeps.
+    us = table.row_of("US")
+    assert us.fraction_diurnal < 0.02
+    # Top of the table is poor; the US is rich and at the bottom.
+    top = table.top(10)
+    assert all(row.gdp_pc < 20000 for row in top[:5])
+    assert us.fraction_diurnal < min(r.fraction_diurnal for r in top)
+    # Measured fractions track the paper's Table 3 for big countries.
+    big = [r for r in table.rows if r.blocks >= 300]
+    assert big, "expected well-populated countries"
+    for row in big:
+        assert abs(row.fraction_diurnal - row.paper_fraction) < 0.09, row.code

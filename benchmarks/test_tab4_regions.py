@@ -1,0 +1,56 @@
+"""Table 4: fraction of diurnal blocks grouped by region.
+
+Paper ordering (ascending): Northern America 0.002, Southern Africa /
+Western Europe / Northern Europe ~0.011-0.013, ..., South America 0.208,
+South-Eastern Asia 0.219, Eastern Asia 0.279, Central Asia 0.401.
+"""
+
+from repro.analysis import run_region_table
+
+# The paper's Table 4 values for comparison.
+PAPER = {
+    "Northern America": 0.002,
+    "Southern Africa": 0.0108,
+    "Western Europe": 0.0109,
+    "Northern Europe": 0.0131,
+    "Caribbean": 0.016,
+    "Oceania": 0.0349,
+    "Western Asia": 0.0765,
+    "Northern Africa": 0.0992,
+    "Southern Europe": 0.124,
+    "Central America": 0.133,
+    "Eastern Europe": 0.135,
+    "Southern Asia": 0.200,
+    "South America": 0.208,
+    "South-Eastern Asia": 0.219,
+    "Eastern Asia": 0.279,
+    "Central Asia": 0.401,
+}
+
+
+def test_tab4_regions(benchmark, record_output, global_study):
+    table = benchmark.pedantic(
+        run_region_table, kwargs=dict(study=global_study), rounds=1, iterations=1
+    )
+    lines = [table.format_table(), "", "paper comparison:"]
+    for row in table.sorted_rows():
+        lines.append(
+            f"  {row.region:<22} measured={row.fraction_diurnal:.4f} "
+            f"paper={PAPER[row.region]:.4f}"
+        )
+    record_output("tab4_regions", "\n".join(lines))
+
+    # The extremes must match the paper.
+    assert table.row_of("Northern America").fraction_diurnal < 0.02
+    assert table.row_of("Western Europe").fraction_diurnal < 0.04
+    assert table.row_of("Eastern Asia").fraction_diurnal > 0.2
+    # Well-populated regions track the paper's values.
+    for row in table.rows:
+        if row.blocks >= 400:
+            assert abs(row.fraction_diurnal - PAPER[row.region]) < 0.09, row.region
+    # Rank order: the top (most diurnal) regions are Asian/South American.
+    top3 = {r.region for r in table.sorted_rows()[-3:]}
+    assert top3 <= {
+        "Central Asia", "Eastern Asia", "South-Eastern Asia",
+        "South America", "Southern Asia",
+    }

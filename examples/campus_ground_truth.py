@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Campus ground-truth study: the paper's section 3.2.4, recreated.
+
+Builds a USC-like campus — 142 heavily overprovisioned wireless blocks,
+32 dynamic-pool blocks, general-use blocks (a quarter hiding 16-address
+dynamic pockets), and server blocks — measures every block with the full
+adaptive pipeline, and compares detections against the operator's truth.
+
+The run reproduces the paper's findings:
+
+* wireless blocks are *truly* diurnal but average ~10 live addresses, so
+  Trinocular's 15-address do-no-harm floor skips them — false negatives
+  caused by policy, not by the detector;
+* dynamic pockets make otherwise general-use blocks diurnal;
+* detected diurnal blocks are essentially never false positives.
+
+Run:  python examples/campus_ground_truth.py   (takes a minute or two)
+"""
+
+import numpy as np
+
+from repro.core import measure_block
+from repro.linktype import classify_block_names
+from repro.probing import RoundSchedule
+from repro.simulation import build_campus
+
+
+def main() -> None:
+    campus = build_campus(seed=7)
+    schedule = RoundSchedule.for_days(14)
+    children = np.random.SeedSequence(1234).spawn(len(campus))
+
+    stats = {}
+    false_positives = 0
+    detected_blocks = []
+    for cb, child in zip(campus, children):
+        rng = np.random.default_rng(child)
+        result = measure_block(cb.block, schedule, rng)
+        entry = stats.setdefault(
+            cb.usage, {"total": 0, "skipped": 0, "detected": 0, "truly": 0}
+        )
+        entry["total"] += 1
+        entry["truly"] += cb.truly_diurnal
+        if result.skipped:
+            entry["skipped"] += 1
+            continue
+        detected = result.report.is_diurnal
+        if detected:
+            entry["detected"] += 1
+            detected_blocks.append((cb, result))
+            if not cb.truly_diurnal:
+                false_positives += 1
+
+    print(f"{'usage':<10}{'blocks':>7}{'truly diurnal':>15}"
+          f"{'skipped (<15)':>15}{'detected':>10}")
+    for usage in ("wireless", "dynamic", "general", "server"):
+        e = stats[usage]
+        print(f"{usage:<10}{e['total']:>7}{e['truly']:>15}"
+              f"{e['skipped']:>15}{e['detected']:>10}")
+
+    wireless = stats["wireless"]
+    print(f"\nwireless blocks skipped by the 15-address probing floor: "
+          f"{wireless['skipped']}/{wireless['total']} "
+          f"(the paper's USC false negatives: 119/142)")
+    print(f"false positives among detections: {false_positives} "
+          f"(paper: at most 3% for USC)")
+
+    # The paper confirms detections against reverse DNS; do the same for
+    # a few detected blocks.
+    print("\nreverse-DNS check of detected blocks:")
+    for cb, result in detected_blocks[:6]:
+        labels = classify_block_names(cb.rdns_names, keep_discarded=True).labels
+        print(f"  {cb.block} usage={cb.usage:<9} "
+              f"labels={sorted(labels)} label={result.report.label.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Experiment drivers: one module per table or figure of the paper.
+
+Every module exposes a ``run_*`` function returning a result dataclass
+with the figure/table's data and a ``format_table`` / ``format_series``
+text rendering, so benchmarks can print the same rows the paper reports.
+
+``GlobalStudy`` bundles the shared substrate of the section 4/5 analyses:
+one generated world, its measurement, and the geolocation view.
+"""
+
+from repro.analysis.study import GlobalStudy
+from repro.analysis.availability import (
+    AvailabilityValidation,
+    run_availability_validation,
+)
+from repro.analysis.diurnal_validation import (
+    DiurnalValidation,
+    run_diurnal_validation,
+)
+from repro.analysis.sensitivity import SensitivitySweep, run_sensitivity_sweep
+from repro.analysis.cross_site import CrossSiteComparison, run_cross_site
+from repro.analysis.frequency import FrequencyCdf, run_frequency_cdf
+from repro.analysis.longterm import LongTermTrend, run_longterm_trend
+from repro.analysis.mapping import (
+    CountryTable,
+    RegionTable,
+    WorldMaps,
+    run_country_table,
+    run_region_table,
+    run_world_maps,
+)
+from repro.analysis.phase import PhaseLongitude, run_phase_longitude
+from repro.analysis.allocation import AllocationTrend, run_allocation_trend
+from repro.analysis.economics import (
+    EconomicsAnova,
+    GdpScatter,
+    run_economics_anova,
+    run_gdp_scatter,
+)
+from repro.analysis.linktech import LinkTypeStudy, run_linktype_study
+from repro.analysis.organizations import OrgTable, run_org_table
+from repro.analysis.outages import OutageValidation, run_outage_validation
+from repro.analysis.census import CensusEstimate, run_census
+
+__all__ = [
+    "AllocationTrend",
+    "AvailabilityValidation",
+    "CensusEstimate",
+    "OrgTable",
+    "OutageValidation",
+    "run_org_table",
+    "run_census",
+    "run_outage_validation",
+    "CountryTable",
+    "CrossSiteComparison",
+    "DiurnalValidation",
+    "EconomicsAnova",
+    "FrequencyCdf",
+    "GdpScatter",
+    "GlobalStudy",
+    "LinkTypeStudy",
+    "LongTermTrend",
+    "PhaseLongitude",
+    "RegionTable",
+    "SensitivitySweep",
+    "WorldMaps",
+    "run_allocation_trend",
+    "run_availability_validation",
+    "run_country_table",
+    "run_cross_site",
+    "run_diurnal_validation",
+    "run_economics_anova",
+    "run_frequency_cdf",
+    "run_gdp_scatter",
+    "run_linktype_study",
+    "run_longterm_trend",
+    "run_phase_longitude",
+    "run_region_table",
+    "run_sensitivity_sweep",
+    "run_world_maps",
+]

@@ -1,0 +1,102 @@
+"""Diurnalness versus address-allocation date: the paper's Figure 15.
+
+Blocks are grouped by the month their address space was allocated; the
+fraction used diurnally rises with allocation date (linear slope ≈
++0.08%/month, correlation ≈ 0.609), reflecting stricter address-use
+policies over time.  The paper also checks the effect is not a GDP proxy:
+country allocation ages correlate poorly with GDP (|ρ| < 0.27).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.study import GlobalStudy
+from repro.simulation.countries import COUNTRIES
+from repro.stats.descriptive import pearson
+from repro.stats.regression import LinearFit, fit_line
+
+__all__ = ["AllocationTrend", "run_allocation_trend"]
+
+
+@dataclass
+class AllocationTrend:
+    """Diurnal fraction per allocation month."""
+
+    months: np.ndarray          # months since 1983-01, bin centres
+    fractions: np.ndarray       # measured diurnal fraction per bin
+    counts: np.ndarray
+    gdp_vs_first_alloc: float   # country-level correlations (|rho| < 0.27)
+    gdp_vs_mean_alloc: float
+
+    def fit(self) -> LinearFit:
+        """Linear fit of fraction against month (paper: +0.08%/mo, r 0.609)."""
+        valid = self.counts >= 10
+        return fit_line(self.months[valid], self.fractions[valid])
+
+    def slope_percent_per_month(self) -> float:
+        return self.fit().slope * 100.0
+
+    def allocation_independent_of_gdp(self, threshold: float = 0.35) -> bool:
+        return (
+            abs(self.gdp_vs_first_alloc) < threshold
+            and abs(self.gdp_vs_mean_alloc) < threshold
+        )
+
+    def format_series(self) -> str:
+        fit = self.fit()
+        lines = [
+            f"slope: {self.slope_percent_per_month():+.3f}%/month "
+            f"(paper: +0.08%/month), r = {fit.r:.3f} (paper: 0.609)",
+            f"corr(GDP, first alloc) = {self.gdp_vs_first_alloc:+.2f}, "
+            f"corr(GDP, mean alloc) = {self.gdp_vs_mean_alloc:+.2f} "
+            f"(paper: |rho| < 0.27)",
+            "",
+            f"{'alloc year':>11}{'blocks':>8}{'frac diurnal':>14}",
+        ]
+        for month, frac, count in zip(self.months, self.fractions, self.counts):
+            if count < 10:
+                continue
+            lines.append(
+                f"{1983 + month / 12:>11.1f}{int(count):>8d}{frac:>14.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_allocation_trend(
+    study: GlobalStudy | None = None,
+    n_blocks: int = 8000,
+    seed: int = 0,
+    bin_months: int = 12,
+) -> AllocationTrend:
+    """Bin measured blocks by allocation month (yearly bins by default;
+    the paper plots monthly over a 3.7M-block population)."""
+    study = study or GlobalStudy.run(n_blocks=n_blocks, seed=seed, days=14.0)
+    months = study.world.alloc_month()
+    strict = study.measurement.strict_mask
+
+    lo, hi = months.min(), months.max() + 1
+    edges = np.arange(lo, hi + bin_months, bin_months)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    idx = np.clip(np.digitize(months, edges) - 1, 0, len(centers) - 1)
+    counts = np.zeros(len(centers))
+    hits = np.zeros(len(centers))
+    np.add.at(counts, idx, 1.0)
+    np.add.at(hits, idx, strict.astype(np.float64))
+    with np.errstate(invalid="ignore"):
+        fractions = hits / counts
+    fractions[counts == 0] = np.nan
+
+    age = 2013.0
+    gdp = np.array([c.gdp_pc for c in COUNTRIES])
+    first = age - np.array([c.first_alloc_year for c in COUNTRIES])
+    mean = age - np.array([c.mean_alloc_year for c in COUNTRIES])
+    return AllocationTrend(
+        months=centers,
+        fractions=fractions,
+        counts=counts,
+        gdp_vs_first_alloc=pearson(gdp, first),
+        gdp_vs_mean_alloc=pearson(gdp, mean),
+    )

@@ -1,0 +1,127 @@
+"""Diurnal-detection validation: the paper's Table 1 and stationarity check.
+
+Ground truth is the classification computed from *true* per-round
+availability (full survey data); the prediction is the classification from
+the lightweight estimate Â_s.  The paper reports the confusion matrix over
+29k survey blocks: precision 82.48%, accuracy 90.99%, with a deliberate
+bias toward false negatives.  It also verifies ~80.3% of survey blocks are
+stationary (linear trend under one address/day).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import MeasurementConfig, measure_block
+from repro.probing.rounds import RoundSchedule
+from repro.simulation.scenarios import schedule_for, survey_population
+
+__all__ = ["DiurnalValidation", "run_diurnal_validation"]
+
+
+@dataclass
+class DiurnalValidation:
+    """Confusion matrix of estimate-driven vs truth-driven diurnal labels.
+
+    Following Table 1's notation: ``d`` means diurnal under true A,
+    ``d_hat`` diurnal under Â_s (both use the strict test).
+    """
+
+    d_dhat: int      # correct: diurnal, predicted diurnal
+    n_nhat: int      # correct: non-diurnal, predicted non-diurnal
+    d_nhat: int      # error: diurnal missed (false negative)
+    n_dhat: int      # error: non-diurnal flagged (false positive)
+    stationary_fraction: float
+
+    @property
+    def total(self) -> int:
+        return self.d_dhat + self.n_nhat + self.d_nhat + self.n_dhat
+
+    @property
+    def precision(self) -> float:
+        """P(truly diurnal | predicted diurnal); paper: 82.48%."""
+        predicted = self.d_dhat + self.n_dhat
+        return self.d_dhat / predicted if predicted else 1.0
+
+    @property
+    def accuracy(self) -> float:
+        """Correct fraction overall; paper: 90.99%."""
+        return (self.d_dhat + self.n_nhat) / self.total if self.total else 1.0
+
+    @property
+    def recall(self) -> float:
+        """P(predicted diurnal | truly diurnal) — deliberately modest."""
+        actual = self.d_dhat + self.d_nhat
+        return self.d_dhat / actual if actual else 1.0
+
+    @property
+    def false_negative_biased(self) -> bool:
+        """The paper prefers misses over false alarms for section 5."""
+        return self.d_nhat >= self.n_dhat
+
+    def format_table(self) -> str:
+        total = self.total
+        rows = [
+            ("(correct) d", "d_hat", self.d_dhat),
+            ("          n", "n_hat", self.n_nhat),
+            ("(error)   d", "n_hat", self.d_nhat),
+            ("          n", "d_hat", self.n_dhat),
+        ]
+        lines = [f"{'with A':<14}{'with A_s':<10}{'blocks':>8}{'share':>9}"]
+        for truth, pred, count in rows:
+            lines.append(
+                f"{truth:<14}{pred:<10}{count:>8d}{count / total:>8.2%}"
+            )
+        lines.append(
+            f"precision: {self.precision:.2%}; accuracy: {self.accuracy:.2%}"
+            f" (paper: 82.48% / 90.99%)"
+        )
+        lines.append(
+            f"stationary blocks: {self.stationary_fraction:.1%} (paper: 80.3%)"
+        )
+        return "\n".join(lines)
+
+
+def run_diurnal_validation(
+    n_blocks: int = 150,
+    seed: int = 0,
+    schedule: RoundSchedule | None = None,
+    config: MeasurementConfig | None = None,
+) -> DiurnalValidation:
+    """Classify a survey population from truth and from estimates."""
+    schedule = schedule or schedule_for("S51W")
+    config = config or MeasurementConfig()
+    blocks = survey_population(n_blocks, seed=seed)
+    children = np.random.SeedSequence(seed + 31).spawn(len(blocks))
+
+    d_dhat = n_nhat = d_nhat = n_dhat = 0
+    stationary = 0
+    measured = 0
+    for block, child in zip(blocks, children):
+        rng = np.random.default_rng(child)
+        result = measure_block(block, schedule, rng, config)
+        if result.skipped:
+            continue
+        measured += 1
+        truth = result.true_report.is_strict
+        pred = result.report.is_strict
+        if truth and pred:
+            d_dhat += 1
+        elif truth:
+            d_nhat += 1
+        elif pred:
+            n_dhat += 1
+        else:
+            n_nhat += 1
+        if result.stationary:
+            stationary += 1
+
+    return DiurnalValidation(
+        d_dhat=d_dhat,
+        n_nhat=n_nhat,
+        d_nhat=d_nhat,
+        n_dhat=n_dhat,
+        stationary_fraction=stationary / measured if measured else 1.0,
+    )

@@ -1,0 +1,120 @@
+"""Access-link technology versus diurnalness: the paper's Figure 17.
+
+For every measured block, reverse names are synthesized from the
+operator's naming style and run through the *real* keyword classifier
+(section 2.3.3); blocks are then grouped by surviving keyword and the
+diurnal fraction per keyword reported.  The paper classifies 22.4% of
+blocks into the nine analyzable keywords (46.3% show some feature before
+the per-analysis cut), and finds dynamic ≈19%, dsl ≈11% and dialup <3%
+diurnal — "measuring beats assuming".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.study import GlobalStudy
+from repro.linktype.keywords import ACTIVE_KEYWORDS, classify_block_names
+from repro.linktype.rdns import synthesize_block_names
+
+__all__ = ["LinkTypeStudy", "run_linktype_study"]
+
+
+@dataclass
+class KeywordRow:
+    keyword: str
+    blocks: int
+    fraction_diurnal: float
+
+
+@dataclass
+class LinkTypeStudy:
+    """Per-keyword block counts and diurnal fractions."""
+
+    rows: list
+    n_blocks: int
+    feature_fraction: float       # blocks with >= 1 surviving feature
+    multi_feature_fraction: float
+
+    def row_of(self, keyword: str) -> KeywordRow:
+        for row in self.rows:
+            if row.keyword == keyword:
+                return row
+        raise KeyError(f"keyword {keyword!r} not measured")
+
+    def fraction_of(self, keyword: str) -> float:
+        return self.row_of(keyword).fraction_diurnal
+
+    def format_table(self) -> str:
+        lines = [
+            f"blocks: {self.n_blocks}; with feature: {self.feature_fraction:.1%}"
+            f" (paper 46.3%); multi-feature: {self.multi_feature_fraction:.1%}"
+            f" (paper 11.4%)",
+            f"{'keyword':<10}{'blocks':>8}{'frac diurnal':>14}",
+        ]
+        for row in sorted(self.rows, key=lambda r: -r.fraction_diurnal):
+            lines.append(
+                f"{row.keyword:<10}{row.blocks:>8d}{row.fraction_diurnal:>14.3f}"
+            )
+        lines.append("(paper: dyn ~0.19, dsl ~0.11, dial < 0.03)")
+        return "\n".join(lines)
+
+
+def run_linktype_study(
+    study: GlobalStudy | None = None,
+    n_blocks: int = 8000,
+    seed: int = 0,
+    max_classified: int | None = None,
+) -> LinkTypeStudy:
+    """Synthesize rDNS for the study's blocks and classify link types.
+
+    ``max_classified`` caps how many blocks get full 256-name synthesis
+    (it is the slow step); None processes the whole world.
+    """
+    study = study or GlobalStudy.run(n_blocks=n_blocks, seed=seed, days=14.0)
+    world = study.world
+    strict = study.measurement.strict_mask
+    rng = np.random.default_rng(seed + 515)
+    if max_classified is None or max_classified >= world.n_blocks:
+        indices = np.arange(world.n_blocks)
+    else:
+        # Blocks are stored grouped by country, so a subsample must be
+        # drawn randomly — a prefix would cover only the first countries.
+        indices = rng.choice(world.n_blocks, size=max_classified, replace=False)
+    n = len(indices)
+
+    counts = {k: 0 for k in ACTIVE_KEYWORDS}
+    diurnal = {k: 0 for k in ACTIVE_KEYWORDS}
+    with_feature = 0
+    multi_feature = 0
+    for i in indices:
+        names = synthesize_block_names(
+            world.link_features(i), world.rdns_style[i], rng
+        )
+        result = classify_block_names(names)
+        if result.has_feature:
+            with_feature += 1
+        if result.multi_feature:
+            multi_feature += 1
+        for keyword in result.labels:
+            counts[keyword] += 1
+            if strict[i]:
+                diurnal[keyword] += 1
+
+    rows = [
+        KeywordRow(
+            keyword=k,
+            blocks=counts[k],
+            fraction_diurnal=diurnal[k] / counts[k] if counts[k] else float("nan"),
+        )
+        for k in ACTIVE_KEYWORDS
+        if counts[k] > 0
+    ]
+    return LinkTypeStudy(
+        rows=rows,
+        n_blocks=n,
+        feature_fraction=with_feature / n if n else 0.0,
+        multi_feature_fraction=multi_feature / n if n else 0.0,
+    )

@@ -1,0 +1,205 @@
+"""Geographic views: Figures 12/13 and Tables 3/4.
+
+Figure 12 counts observable (geolocatable) blocks per 2°x2° cell; Figure
+13 shows the per-cell fraction of strictly diurnal blocks.  Table 3 ranks
+countries by diurnal fraction (with GDP); Table 4 aggregates by region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.study import GlobalStudy
+from repro.geo.grid import WorldGrid, grid_counts, grid_fraction
+from repro.geo.regions import REGIONS, region_of
+from repro.simulation.countries import country_by_code
+
+__all__ = [
+    "CountryTable",
+    "RegionTable",
+    "WorldMaps",
+    "run_country_table",
+    "run_region_table",
+    "run_world_maps",
+]
+
+
+@dataclass
+class WorldMaps:
+    """The two world grids of Figures 12 and 13."""
+
+    counts: WorldGrid
+    diurnal_fraction: WorldGrid
+    geolocated_fraction: float
+
+    def format_series(self) -> str:
+        dense = int((self.counts.values > 0).sum())
+        valid = ~np.isnan(self.diurnal_fraction.values)
+        lines = [
+            f"geolocated: {self.geolocated_fraction:.1%} of blocks (paper 93%)",
+            f"occupied {self.counts.cell_deg:.0f}-degree cells: {dense}",
+            f"cells with diurnal fraction: {int(valid.sum())}",
+        ]
+        for name, lat, lon in (
+            ("US east", 40.0, -75.0),
+            ("W Europe", 50.0, 8.0),
+            ("E China", 31.0, 117.0),
+            ("Brazil", -23.0, -47.0),
+        ):
+            lines.append(
+                f"{name:>9}: blocks={self.counts.value_at(lat, lon):>7.0f} "
+                f"diurnal={self.diurnal_fraction.value_at(lat, lon):.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_world_maps(
+    study: GlobalStudy | None = None,
+    n_blocks: int = 8000,
+    seed: int = 0,
+    cell_deg: float = 2.0,
+) -> WorldMaps:
+    study = study or GlobalStudy.run(n_blocks=n_blocks, seed=seed, days=14.0)
+    lats, lons, located = study.located()
+    strict = study.measurement.strict_mask
+    return WorldMaps(
+        counts=grid_counts(lats, lons, cell_deg),
+        diurnal_fraction=grid_fraction(lats, lons, strict, cell_deg, min_count=3),
+        geolocated_fraction=float(located.mean()),
+    )
+
+
+@dataclass
+class CountryRow:
+    code: str
+    region: str
+    blocks: int
+    fraction_diurnal: float
+    gdp_pc: float
+    paper_fraction: float
+
+
+@dataclass
+class CountryTable:
+    """Measured per-country diurnal fractions (Table 3)."""
+
+    rows: list
+    min_blocks: int
+
+    def top(self, n: int = 20) -> list:
+        return sorted(
+            self.rows, key=lambda r: r.fraction_diurnal, reverse=True
+        )[:n]
+
+    def row_of(self, code: str) -> CountryRow:
+        for row in self.rows:
+            if row.code == code:
+                return row
+        raise KeyError(f"country {code!r} below threshold or unmeasured")
+
+    def format_table(self, n: int = 20) -> str:
+        lines = [
+            f"{'code':<6}{'region':<20}{'blocks':>8}{'frac':>8}"
+            f"{'paper':>8}{'GDP':>8}"
+        ]
+        shown = self.top(n)
+        us = next((r for r in self.rows if r.code == "US"), None)
+        if us is not None and us not in shown:
+            shown = shown + [us]
+        for row in shown:
+            lines.append(
+                f"{row.code:<6}{row.region:<20}{row.blocks:>8d}"
+                f"{row.fraction_diurnal:>8.3f}{row.paper_fraction:>8.3f}"
+                f"{row.gdp_pc:>8.0f}"
+            )
+        return "\n".join(lines)
+
+
+def run_country_table(
+    study: GlobalStudy | None = None,
+    n_blocks: int = 8000,
+    seed: int = 0,
+    min_blocks: int = 20,
+) -> CountryTable:
+    """Per-country measured diurnal fraction, MaxMind-located blocks only.
+
+    ``min_blocks`` mirrors the paper's ≥1000-block cutoff, scaled to the
+    world size.
+    """
+    study = study or GlobalStudy.run(n_blocks=n_blocks, seed=seed, days=14.0)
+    codes = study.geodb.countries(study.world.block_id)
+    strict = study.measurement.strict_mask
+    rows = []
+    for code in sorted(set(codes.tolist()) - {""}):
+        mask = codes == code
+        if mask.sum() < min_blocks:
+            continue
+        country = country_by_code(code)
+        rows.append(
+            CountryRow(
+                code=code,
+                region=region_of(code),
+                blocks=int(mask.sum()),
+                fraction_diurnal=float(strict[mask].mean()),
+                gdp_pc=country.gdp_pc,
+                paper_fraction=country.diurnal_frac,
+            )
+        )
+    return CountryTable(rows=rows, min_blocks=min_blocks)
+
+
+@dataclass
+class RegionRow:
+    region: str
+    blocks: int
+    fraction_diurnal: float
+
+
+@dataclass
+class RegionTable:
+    """Measured per-region diurnal fractions (Table 4)."""
+
+    rows: list
+
+    def row_of(self, region: str) -> RegionRow:
+        for row in self.rows:
+            if row.region == region:
+                return row
+        raise KeyError(f"region {region!r} unmeasured")
+
+    def sorted_rows(self) -> list:
+        return sorted(self.rows, key=lambda r: r.fraction_diurnal)
+
+    def format_table(self) -> str:
+        lines = [f"{'region':<22}{'blocks':>9}{'frac diurnal':>14}"]
+        for row in self.sorted_rows():
+            lines.append(
+                f"{row.region:<22}{row.blocks:>9d}{row.fraction_diurnal:>14.4f}"
+            )
+        return "\n".join(lines)
+
+
+def run_region_table(
+    study: GlobalStudy | None = None, n_blocks: int = 8000, seed: int = 0
+) -> RegionTable:
+    study = study or GlobalStudy.run(n_blocks=n_blocks, seed=seed, days=14.0)
+    codes = study.geodb.countries(study.world.block_id)
+    strict = study.measurement.strict_mask
+    regions = np.array(
+        [region_of(c) if c else "" for c in codes.tolist()], dtype=object
+    )
+    rows = []
+    for region in REGIONS:
+        mask = regions == region
+        if not mask.any():
+            continue
+        rows.append(
+            RegionRow(
+                region=region,
+                blocks=int(mask.sum()),
+                fraction_diurnal=float(strict[mask].mean()),
+            )
+        )
+    return RegionTable(rows=rows)

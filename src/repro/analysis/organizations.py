@@ -1,0 +1,130 @@
+"""Organization-level diurnal behaviour (section 2.3.2's program).
+
+The paper builds the AS→organization mapping so that "how the policies of
+different organizations affect how they use IP addresses" can be studied,
+and leaves comparing ASes within one organization as future work.  This
+analysis does both over the measured world: per-organization diurnal
+fractions (with the country baseline for contrast) and the within-org
+spread across an organization's AS numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.study import GlobalStudy
+from repro.asn.orgs import OrgMapper
+
+__all__ = ["OrgRow", "OrgTable", "run_org_table"]
+
+
+@dataclass
+class OrgRow:
+    """One organization's measured behaviour."""
+
+    name: str
+    country: str
+    n_asns: int
+    blocks: int
+    fraction_diurnal: float
+    country_fraction: float
+    per_asn_fractions: list
+
+    @property
+    def within_org_spread(self) -> float:
+        """Max - min diurnal fraction across the org's ASes."""
+        if len(self.per_asn_fractions) < 2:
+            return 0.0
+        return max(self.per_asn_fractions) - min(self.per_asn_fractions)
+
+    @property
+    def deviates_from_country(self) -> float:
+        return self.fraction_diurnal - self.country_fraction
+
+
+@dataclass
+class OrgTable:
+    """Per-organization diurnal fractions over a measured world."""
+
+    rows: list
+    min_blocks: int
+
+    def top(self, n: int = 10) -> list:
+        return sorted(self.rows, key=lambda r: -r.fraction_diurnal)[:n]
+
+    def row_of(self, keyword: str) -> OrgRow:
+        needle = keyword.lower()
+        for row in self.rows:
+            if needle in row.name.lower():
+                return row
+        raise KeyError(f"no organization matching {keyword!r}")
+
+    def format_table(self, n: int = 15) -> str:
+        lines = [
+            f"{'organization':<34}{'cc':>3}{'ASes':>5}{'blocks':>8}"
+            f"{'frac':>7}{'country':>9}{'spread':>8}"
+        ]
+        for row in self.top(n):
+            lines.append(
+                f"{row.name[:33]:<34}{row.country:>3}{row.n_asns:>5}"
+                f"{row.blocks:>8}{row.fraction_diurnal:>7.3f}"
+                f"{row.country_fraction:>9.3f}{row.within_org_spread:>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_org_table(
+    study: GlobalStudy | None = None,
+    n_blocks: int = 8000,
+    seed: int = 0,
+    min_blocks: int = 50,
+) -> OrgTable:
+    """Cluster the world's AS registry and measure each organization."""
+    study = study or GlobalStudy.run(n_blocks=n_blocks, seed=seed, days=14.0)
+    world = study.world
+    strict = study.measurement.strict_mask
+    mapper = OrgMapper(world.as_records)
+    ipasn = world.build_ipasn()
+
+    # Country baselines from the same measurement.
+    codes = world.country_codes()
+    country_frac = {}
+    for code in set(codes.tolist()):
+        mask = codes == code
+        country_frac[code] = float(strict[mask].mean())
+
+    block_pos = {int(b): i for i, b in enumerate(world.block_id)}
+    rows = []
+    for cluster in mapper.clusters():
+        org_blocks = []
+        per_asn = []
+        for asn in cluster.asns:
+            asn_blocks = [
+                block_pos[int(b)]
+                for b in ipasn.blocks_of_asn(asn)
+                if int(b) in block_pos
+            ]
+            org_blocks.extend(asn_blocks)
+            if len(asn_blocks) >= 10:
+                per_asn.append(float(strict[asn_blocks].mean()))
+        if len(org_blocks) < min_blocks:
+            continue
+        idx = np.array(org_blocks, dtype=np.intp)
+        country = world.as_records[0].country
+        record = next(
+            r for r in world.as_records if r.asn == cluster.asns[0]
+        )
+        rows.append(
+            OrgRow(
+                name=cluster.display_name,
+                country=record.country,
+                n_asns=len(cluster.asns),
+                blocks=len(org_blocks),
+                fraction_diurnal=float(strict[idx].mean()),
+                country_fraction=country_frac.get(record.country, float("nan")),
+                per_asn_fractions=per_asn,
+            )
+        )
+    return OrgTable(rows=rows, min_blocks=min_blocks)

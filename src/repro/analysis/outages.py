@@ -1,0 +1,154 @@
+"""Outage-detection validation: why the operational estimate must be low.
+
+Section 2.1.1's core argument: Trinocular turns negative probes into
+"down" evidence with strength set by the assumed availability, so feeding
+it an estimate that *over*-states A manufactures false outages.  This
+analysis injects real outages into simulated blocks, runs the full
+prober, and measures detection rate, detection latency, and false-outage
+rate — once with the conservative Â_o driving the belief (the paper's
+design) and once with the unbiased short-term Â_s (the ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimator import AvailabilityEstimator, EstimatorConfig
+from repro.net.addrmodel import make_always_on, make_dead, merge_behaviors
+from repro.net.blocks import Block24
+from repro.net.events import Outage
+from repro.probing.prober import AdaptiveProber, ProberConfig
+from repro.probing.rounds import RoundSchedule
+
+__all__ = ["OutageValidation", "run_outage_validation"]
+
+
+class _FeedSelector:
+    """Feedback adapter choosing which estimate drives belief updates."""
+
+    def __init__(self, estimator: AvailabilityEstimator, feed: str) -> None:
+        if feed not in ("operational", "short", "long"):
+            raise ValueError(f"unknown feed {feed!r}")
+        self.estimator = estimator
+        self.feed = feed
+
+    def current(self) -> float:
+        if self.feed == "operational":
+            return self.estimator.a_operational
+        if self.feed == "short":
+            return self.estimator.a_short
+        return self.estimator.a_long
+
+    def observe(self, positives: int, total: int) -> None:
+        self.estimator.observe(positives, total)
+
+    def restart(self) -> None:
+        self.estimator.restart()
+
+
+@dataclass
+class OutageValidation:
+    """Aggregate outage-detection quality for one feed choice."""
+
+    feed: str
+    n_blocks: int
+    n_injected: int
+    n_detected: int
+    false_outage_rounds: int
+    clean_rounds: int
+    latencies: np.ndarray
+
+    @property
+    def detection_rate(self) -> float:
+        return self.n_detected / self.n_injected if self.n_injected else 1.0
+
+    @property
+    def median_latency_rounds(self) -> float:
+        return float(np.median(self.latencies)) if len(self.latencies) else float("nan")
+
+    @property
+    def false_outage_rate(self) -> float:
+        """Fraction of healthy rounds wrongly concluded down."""
+        return (
+            self.false_outage_rounds / self.clean_rounds if self.clean_rounds else 0.0
+        )
+
+    def format_table(self) -> str:
+        return (
+            f"feed={self.feed:<12} blocks={self.n_blocks} "
+            f"detected {self.n_detected}/{self.n_injected} "
+            f"({self.detection_rate:.0%}), median latency "
+            f"{self.median_latency_rounds:.0f} rounds, false-outage rate "
+            f"{self.false_outage_rate:.4%} of healthy rounds"
+        )
+
+
+def run_outage_validation(
+    feed: str = "operational",
+    n_blocks: int = 40,
+    availability: float = 0.35,
+    outage_rounds: tuple = (400, 460),
+    days: float = 7.0,
+    seed: int = 0,
+    estimator_config: EstimatorConfig | None = None,
+) -> OutageValidation:
+    """Inject one outage per block and score detection under a feed choice.
+
+    Blocks are moderately low-availability (default per-address 0.35) —
+    the regime where the gap between Â_o and Â_s matters most, because an
+    up block frequently answers a single probe negatively.
+    """
+    estimator_config = estimator_config or EstimatorConfig()
+    schedule = RoundSchedule.for_days(days)
+    start, end = outage_rounds
+    outage = Outage(start * schedule.round_s, end * schedule.round_s)
+    children = np.random.SeedSequence(seed).spawn(n_blocks)
+
+    n_detected = 0
+    false_rounds = 0
+    clean_rounds = 0
+    latencies = []
+    for i, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        n_active = int(rng.integers(60, 200))
+        block = Block24(
+            i,
+            merge_behaviors(
+                make_always_on(n_active, p_response=availability),
+                make_dead(256 - n_active),
+            ),
+            [outage],
+        )
+        oracle = block.realize(schedule.times(), rng)
+        prober = AdaptiveProber(
+            oracle.ever_active, ProberConfig(walk_seed=int(rng.integers(2**31)))
+        )
+        feedback = _FeedSelector(AvailabilityEstimator(estimator_config), feed)
+        log = prober.run(oracle, schedule, feedback)
+
+        down = log.states == -1
+        # Detection: any down conclusion inside the injected window.
+        inside = down[start:end]
+        if inside.any():
+            n_detected += 1
+            latencies.append(int(np.argmax(inside)))
+        # False outages: down conclusions while the block was healthy
+        # (excluding a short post-outage recovery margin and warm-up).
+        warmup = 100
+        healthy = np.ones(schedule.n_rounds, dtype=bool)
+        healthy[:warmup] = False
+        healthy[start : end + 10] = False
+        false_rounds += int(down[healthy].sum())
+        clean_rounds += int(healthy.sum())
+
+    return OutageValidation(
+        feed=feed,
+        n_blocks=n_blocks,
+        n_injected=n_blocks,
+        n_detected=n_detected,
+        false_outage_rounds=false_rounds,
+        clean_rounds=clean_rounds,
+        latencies=np.array(latencies),
+    )

@@ -1,0 +1,112 @@
+"""Phase-versus-longitude analysis: the paper's Figure 14.
+
+Diurnal blocks wake with the local morning, so the FFT phase of the
+1-cycle/day component tracks longitude.  The paper unrolls phase into the
+window centred on each block's longitude (both wrap the circle), finds
+correlation 0.835 for strict and 0.763 for relaxed diurnal blocks, notes
+the 100-140°E anomaly (China's single timezone), and builds a phase →
+longitude predictor good to ±20° over most of the range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.study import GlobalStudy
+from repro.stats.descriptive import pearson, unroll_phase
+
+__all__ = ["PhaseLongitude", "run_phase_longitude"]
+
+
+@dataclass
+class PhaseLongitude:
+    """Phase/longitude pairs for one diurnal population."""
+
+    phases: np.ndarray      # raw FFT phase, radians
+    longitudes: np.ndarray  # degrees
+    population: str         # "strict" or "relaxed"
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.phases)
+
+    def unrolled(self) -> np.ndarray:
+        """Phase unrolled around each block's longitude (radians)."""
+        return unroll_phase(self.phases, np.radians(self.longitudes))
+
+    def correlation(self) -> float:
+        """Figure 14's headline (paper: 0.835 strict / 0.763 relaxed)."""
+        return pearson(self.unrolled(), np.radians(self.longitudes))
+
+    def correlation_excluding(self, lon_lo: float, lon_hi: float) -> float:
+        """Correlation with a longitude band removed (the China anomaly)."""
+        keep = (self.longitudes < lon_lo) | (self.longitudes > lon_hi)
+        return pearson(
+            self.unrolled()[keep], np.radians(self.longitudes[keep])
+        )
+
+    def predictor(self, n_bins: int = 36) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Phase→longitude predictor: per-phase-bin mean and std (Fig 14c).
+
+        Returns (bin centres in radians, mean longitude, std in degrees).
+        """
+        edges = np.linspace(-np.pi, np.pi, n_bins + 1)
+        centers = (edges[:-1] + edges[1:]) / 2
+        mean = np.full(n_bins, np.nan)
+        std = np.full(n_bins, np.nan)
+        idx = np.clip(
+            np.digitize(self.phases, edges) - 1, 0, n_bins - 1
+        )
+        for b in range(n_bins):
+            members = self.longitudes[idx == b]
+            if len(members) >= 5:
+                # Circular mean over longitude, then dispersion around it.
+                angles = np.radians(members)
+                center = np.angle(np.exp(1j * angles).mean())
+                spread = np.degrees(
+                    np.abs(np.angle(np.exp(1j * (angles - center))))
+                )
+                mean[b] = np.degrees(center)
+                std[b] = np.sqrt((spread**2).mean())
+        return centers, mean, std
+
+    def predictor_precision(self) -> float:
+        """Median predictor std over populated bins (paper: ±20° typical)."""
+        _, _, std = self.predictor()
+        valid = ~np.isnan(std)
+        return float(np.median(std[valid])) if valid.any() else float("nan")
+
+    def format_series(self) -> str:
+        lines = [
+            f"population: {self.population} ({self.n_blocks} blocks)",
+            f"corr(unrolled phase, longitude) = {self.correlation():.3f}"
+            f" (paper: {'0.835' if self.population == 'strict' else '0.763'})",
+            f"corr excluding 100-140E       = "
+            f"{self.correlation_excluding(100, 140):.3f}",
+            f"phase->longitude precision     = ±{self.predictor_precision():.0f}°",
+        ]
+        return "\n".join(lines)
+
+
+def run_phase_longitude(
+    study: GlobalStudy | None = None,
+    n_blocks: int = 8000,
+    seed: int = 0,
+    population: str = "strict",
+) -> PhaseLongitude:
+    """Collect phase/longitude pairs for geolocated diurnal blocks."""
+    if population not in ("strict", "relaxed"):
+        raise ValueError("population must be 'strict' or 'relaxed'")
+    study = study or GlobalStudy.run(n_blocks=n_blocks, seed=seed)
+    lats, lons, located = study.located()
+    if population == "strict":
+        mask = study.measurement.strict_mask & located
+    else:
+        mask = study.measurement.diurnal_mask & located
+    return PhaseLongitude(
+        phases=study.measurement.phases[mask],
+        longitudes=lons[mask],
+        population=population,
+    )

@@ -1,0 +1,83 @@
+"""Sensitivity sweeps: the paper's Figures 7, 8 and 9.
+
+Thin driver over :mod:`repro.simulation.blocksim` giving each figure its
+sweep axis, with the paper's default values available but scaled-down
+defaults for routine runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.blocksim import (
+    ControlledBlockConfig,
+    SweepPoint,
+    accuracy_sweep,
+)
+
+__all__ = ["SensitivitySweep", "run_sensitivity_sweep", "SWEEPS"]
+
+# Sweep axes per figure: parameter name and the paper's value grid.
+SWEEPS = {
+    "fig7_nd": ("n_diurnal", [1, 2, 5, 10, 20, 40, 60, 80, 100]),
+    "fig8_phase": (
+        "phi_max_s",
+        [h * 3600.0 for h in (0, 2, 4, 6, 8, 10, 12, 14, 16, 20, 24)],
+    ),
+    "fig9_duration": (
+        "sigma_duration_s",
+        [h * 3600.0 for h in (0, 2, 4, 6, 8, 10, 12, 16, 20, 24)],
+    ),
+}
+
+
+@dataclass
+class SensitivitySweep:
+    """One figure's sweep: parameter values and batch accuracy stats."""
+
+    name: str
+    param: str
+    points: list
+
+    def medians(self) -> list:
+        return [p.median for p in self.points]
+
+    def format_series(self) -> str:
+        unit = "addresses" if self.param == "n_diurnal" else "hours"
+        lines = [f"{self.name}: accuracy vs {self.param}"]
+        lines.append(f"{'value':>10} {'q1':>7}{'median':>8}{'q3':>7}")
+        for point in self.points:
+            value = point.value if self.param == "n_diurnal" else point.value / 3600
+            lines.append(
+                f"{value:>8.1f} {unit[:2]}{point.q1:>7.2f}{point.median:>8.2f}"
+                f"{point.q3:>7.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_sensitivity_sweep(
+    name: str,
+    n_batches: int = 3,
+    experiments_per_batch: int = 12,
+    days: float = 14.0,
+    seed: int = 0,
+    base: ControlledBlockConfig | None = None,
+) -> SensitivitySweep:
+    """Run one of the paper's three sweeps.
+
+    The paper uses 10 batches x 100 experiments over 4 weeks; defaults
+    here are scaled for minutes-not-hours runtimes and can be raised.
+    """
+    if name not in SWEEPS:
+        raise KeyError(f"unknown sweep {name!r}; choose from {sorted(SWEEPS)}")
+    param, values = SWEEPS[name]
+    base = base or ControlledBlockConfig(days=days)
+    points: list[SweepPoint] = accuracy_sweep(
+        base,
+        param,
+        values,
+        n_batches=n_batches,
+        experiments_per_batch=experiments_per_batch,
+        seed=seed,
+    )
+    return SensitivitySweep(name=name, param=param, points=points)

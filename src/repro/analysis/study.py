@@ -1,0 +1,66 @@
+"""Shared substrate for the global (section 4/5) analyses.
+
+Generating a world and measuring it is the expensive step every global
+figure shares; :class:`GlobalStudy` does it once and hands out views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.geodb import GeoDatabase
+from repro.probing.rounds import RoundSchedule
+from repro.simulation.fastsim import FastMeasurement, measure_world
+from repro.simulation.internet import InternetWorld, WorldConfig, generate_world
+from repro.simulation.scenarios import SCENARIO_SCHEDULES
+
+__all__ = ["GlobalStudy"]
+
+
+@dataclass
+class GlobalStudy:
+    """One generated world, measured, with its registry views."""
+
+    world: InternetWorld
+    schedule: RoundSchedule
+    measurement: FastMeasurement
+    geodb: GeoDatabase
+
+    @classmethod
+    def run(
+        cls,
+        n_blocks: int = 20000,
+        seed: int = 0,
+        days: float | None = None,
+        restart_interval_s: float | None = None,
+    ) -> "GlobalStudy":
+        """Generate and measure an A12W-style study.
+
+        Defaults follow the A_12w dataset: 35 days with 5.5-hour prober
+        restarts and a 17:18 UTC start; pass ``days`` to shorten runs.
+        """
+        params = SCENARIO_SCHEDULES["A12W"]
+        schedule = RoundSchedule.for_days(
+            params["days"] if days is None else days,
+            start_s=params["start_s"],
+            restart_interval_s=(
+                params["restart_interval_s"]
+                if restart_interval_s is None
+                else restart_interval_s
+            ),
+        )
+        world = generate_world(WorldConfig(n_blocks=n_blocks, seed=seed))
+        measurement = measure_world(world, schedule)
+        geodb = world.build_geodb()
+        return cls(
+            world=world, schedule=schedule, measurement=measurement, geodb=geodb
+        )
+
+    def located(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(lats, lons, located-mask) from the MaxMind-like view."""
+        return self.geodb.locate_many(self.world.block_id)
+
+    def geolocation_coverage(self) -> float:
+        return self.geodb.coverage(self.world.block_id)

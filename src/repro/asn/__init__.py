@@ -1,0 +1,19 @@
+"""Organization substrate: IP→ASN mapping and AS→organization clustering.
+
+The paper joins three mappings to reason about operators: Team Cymru's
+IP-to-ASN table (looked up at each block's .0 address), WHOIS records, and
+a string-clustering AS-to-organization mapper from prior work (Cai et al.,
+IMC 2010).  This package reimplements the mapping layer over synthetic AS
+registries produced by the world model.
+"""
+
+from repro.asn.ipasn import AsRecord, IpAsnTable
+from repro.asn.orgs import OrgCluster, OrgMapper, normalize_org_name
+
+__all__ = [
+    "AsRecord",
+    "IpAsnTable",
+    "OrgCluster",
+    "OrgMapper",
+    "normalize_org_name",
+]

@@ -1,0 +1,103 @@
+"""IP-to-ASN mapping (the Team Cymru service, reimplemented over the sim).
+
+The paper maps each /24 to an AS by looking up its .0 address, noting that
+ASes virtually never split inside a /24 (0.005% of blocks differ between
+.0 and .128) and that the data covers 99.41% of blocks.  The table here is
+prefix-based: ASes own ranges of consecutive /24 block ids, so the .0/.128
+convention is exact by construction, and coverage gaps are explicit.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.ipaddr import block_of, ip_in_block
+
+__all__ = ["AsRecord", "IpAsnTable"]
+
+
+@dataclass(frozen=True)
+class AsRecord:
+    """One autonomous system: number, registered name, country."""
+
+    asn: int
+    name: str
+    country: str
+
+
+class IpAsnTable:
+    """Longest-prefix style lookup from /24 block ranges to AS numbers."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        self._asns: list[int] = []
+        self._records: dict[int, AsRecord] = {}
+
+    def add_range(self, first_block: int, n_blocks: int, record: AsRecord) -> None:
+        """Register ``n_blocks`` consecutive /24s as belonging to an AS.
+
+        Ranges must be added in ascending, non-overlapping order (the way
+        a registry allocates them); violations raise ValueError.
+        """
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        if self._starts and first_block < self._ends[-1]:
+            raise ValueError(
+                f"range starting at {first_block} overlaps or precedes "
+                f"existing range ending at {self._ends[-1]}"
+            )
+        self._starts.append(first_block)
+        self._ends.append(first_block + n_blocks)
+        self._asns.append(record.asn)
+        self._records.setdefault(record.asn, record)
+
+    def asn_of_block(self, block_id: int) -> int | None:
+        """AS number owning a /24, or None when unmapped."""
+        i = bisect_right(self._starts, block_id) - 1
+        if i >= 0 and block_id < self._ends[i]:
+            return self._asns[i]
+        return None
+
+    def asn_of_ip(self, ip: int) -> int | None:
+        """AS number for a full address (via its covering /24)."""
+        return self.asn_of_block(block_of(ip))
+
+    def asn_of_block_dot0(self, block_id: int) -> int | None:
+        """The paper's convention: map the block by its .0 address."""
+        return self.asn_of_ip(ip_in_block(block_id, 0))
+
+    def record_of(self, asn: int) -> AsRecord | None:
+        return self._records.get(asn)
+
+    def all_records(self) -> list[AsRecord]:
+        return list(self._records.values())
+
+    def blocks_of_asn(self, asn: int) -> np.ndarray:
+        """Every /24 block id registered to an AS."""
+        pieces = [
+            np.arange(start, end, dtype=np.int64)
+            for start, end, owner in zip(self._starts, self._ends, self._asns)
+            if owner == asn
+        ]
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def map_blocks(self, block_ids: np.ndarray) -> np.ndarray:
+        """Vectorized block→ASN lookup; -1 where unmapped."""
+        out = np.full(len(block_ids), -1, dtype=np.int64)
+        for i, block_id in enumerate(np.asarray(block_ids).tolist()):
+            asn = self.asn_of_block(int(block_id))
+            if asn is not None:
+                out[i] = asn
+        return out
+
+    def coverage(self, block_ids: np.ndarray) -> float:
+        """Fraction of blocks with an AS mapping (paper: 99.41%)."""
+        if len(block_ids) == 0:
+            return 0.0
+        return float((self.map_blocks(block_ids) >= 0).mean())

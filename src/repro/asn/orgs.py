@@ -1,0 +1,106 @@
+"""AS-to-organization mapping via WHOIS-style string clustering.
+
+Follows the paper's recipe (section 2.3.2, building on Cai et al.):
+
+1. normalize every AS's registered WHOIS name (case, punctuation, and
+   corporate boilerplate like "Inc."/"LLC" stripped);
+2. cluster ASes whose normalized names match;
+3. to find an organization P, keyword-match against cluster names, take
+   every AS in the matching cluster(s), and join with the IP/AS table to
+   recover all of P's /24 blocks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.asn.ipasn import AsRecord, IpAsnTable
+
+__all__ = ["OrgCluster", "OrgMapper", "normalize_org_name"]
+
+# Corporate boilerplate that WHOIS names carry but organizations don't.
+_BOILERPLATE = {
+    "inc", "incorporated", "llc", "ltd", "limited", "corp", "corporation",
+    "co", "company", "sa", "gmbh", "ag", "plc", "holdings", "group",
+    "communications", "telecommunications", "telecom", "telecomunicacoes",
+    "network", "networks", "internet", "services", "broadband", "isp",
+    "cable", "backbone", "online",
+}
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize_org_name(name: str) -> str:
+    """Normalized clustering key for a WHOIS organization name.
+
+    Lowercases, splits to alphanumeric tokens, drops corporate boilerplate,
+    and rejoins — so "Time Warner Cable Inc." and "TIME-WARNER-CABLE"
+    cluster together.  Falls back to the full token string when everything
+    was boilerplate (e.g. an ISP literally named "The Internet Company").
+    """
+    tokens = _TOKEN_RE.findall(name.lower())
+    kept = [t for t in tokens if t not in _BOILERPLATE]
+    if not kept:
+        kept = tokens
+    return " ".join(kept)
+
+
+@dataclass
+class OrgCluster:
+    """One organization: a normalized name key and its member ASes."""
+
+    key: str
+    display_name: str
+    asns: list[int] = field(default_factory=list)
+
+    def matches_keyword(self, keyword: str) -> bool:
+        return keyword.lower() in self.key
+
+
+class OrgMapper:
+    """Cluster AS records by organization and answer keyword queries."""
+
+    def __init__(self, records: list[AsRecord]) -> None:
+        self._clusters: dict[str, OrgCluster] = {}
+        for record in records:
+            key = normalize_org_name(record.name)
+            cluster = self._clusters.get(key)
+            if cluster is None:
+                cluster = OrgCluster(key=key, display_name=record.name)
+                self._clusters[key] = cluster
+            cluster.asns.append(record.asn)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self._clusters)
+
+    def clusters(self) -> list[OrgCluster]:
+        return list(self._clusters.values())
+
+    def cluster_of_asn(self, asn: int) -> OrgCluster | None:
+        for cluster in self._clusters.values():
+            if asn in cluster.asns:
+                return cluster
+        return None
+
+    def find_clusters(self, keyword: str) -> list[OrgCluster]:
+        """All clusters whose normalized name contains the keyword."""
+        return [c for c in self._clusters.values() if c.matches_keyword(keyword)]
+
+    def asns_of_org(self, keyword: str) -> list[int]:
+        """Every AS in every cluster matching the keyword."""
+        asns: list[int] = []
+        for cluster in self.find_clusters(keyword):
+            asns.extend(cluster.asns)
+        return sorted(set(asns))
+
+    def blocks_of_org(self, keyword: str, table: IpAsnTable) -> np.ndarray:
+        """All /24 blocks of an organization: the paper's final join."""
+        pieces = [table.blocks_of_asn(asn) for asn in self.asns_of_org(keyword)]
+        pieces = [p for p in pieces if len(p)]
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(pieces))

@@ -1,0 +1,297 @@
+"""Strict/relaxed diurnal classification of availability spectra (section 2.2).
+
+A block is **strictly diurnal** when the strongest non-DC frequency is the
+1-cycle-per-day bin (``N_d`` or ``N_d+1``), its amplitude is at least twice
+the next strongest *non-harmonic* frequency, and it exceeds every harmonic.
+It is **relaxed diurnal** when the strongest frequency is at 1 cycle/day or
+the first harmonic, with no ratio requirement.  Phase is read from the
+winning diurnal bin and is only meaningful for (strictly or relaxed)
+diurnal blocks — for anything else it is effectively random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.spectral import (
+    Spectrum,
+    compute_spectra,
+    compute_spectrum,
+    diurnal_bin,
+    diurnal_candidates,
+    harmonic_bins,
+)
+
+__all__ = [
+    "ClassifierConfig",
+    "DiurnalBatch",
+    "DiurnalClass",
+    "DiurnalReport",
+    "classify_many",
+    "classify_series",
+    "classify_spectrum",
+]
+
+
+class DiurnalClass(Enum):
+    """Diurnal label of one block."""
+
+    NON_DIURNAL = "non-diurnal"
+    RELAXED = "relaxed"
+    STRICT = "strict"
+
+    @property
+    def is_strict(self) -> bool:
+        return self is DiurnalClass.STRICT
+
+    @property
+    def is_diurnal(self) -> bool:
+        """True for the paper's "either" set: strict or relaxed."""
+        return self is not DiurnalClass.NON_DIURNAL
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Classification thresholds.
+
+    Attributes:
+        strict_ratio: the diurnal amplitude must be at least this multiple
+            of the strongest non-harmonic competitor (paper: 2.0).
+        max_harmonic: highest harmonic multiple treated as harmonic energy.
+        harmonic_tolerance: ± bins of slack around each harmonic.
+    """
+
+    strict_ratio: float = 2.0
+    max_harmonic: int = 8
+    harmonic_tolerance: int = 1
+
+    def __post_init__(self) -> None:
+        if self.strict_ratio < 1.0:
+            raise ValueError("strict_ratio must be at least 1")
+
+
+@dataclass
+class DiurnalReport:
+    """Classification outcome for one block.
+
+    Attributes:
+        label: strict / relaxed / non-diurnal.
+        diurnal_k: the winning diurnal candidate bin.
+        diurnal_amplitude: amplitude at that bin.
+        dominant_k: the strongest non-DC bin overall.
+        dominant_cycles_per_day: its frequency in cycles/day.
+        strongest_other: strongest non-diurnal, non-harmonic amplitude.
+        strongest_harmonic: strongest harmonic amplitude.
+        phase: FFT phase (radians) at the winning diurnal bin; meaningful
+            only when the block is diurnal.
+    """
+
+    label: DiurnalClass
+    diurnal_k: int
+    diurnal_amplitude: float
+    dominant_k: int
+    dominant_cycles_per_day: float
+    strongest_other: float
+    strongest_harmonic: float
+    phase: float
+
+    @property
+    def is_strict(self) -> bool:
+        return self.label.is_strict
+
+    @property
+    def is_diurnal(self) -> bool:
+        return self.label.is_diurnal
+
+    @property
+    def phase_valid(self) -> bool:
+        return self.label.is_diurnal
+
+
+def _bin_sets(
+    n_samples: int, round_s: float, config: ClassifierConfig
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Index sets shared by scalar and batch classification.
+
+    Returns (diurnal candidate bins, first-harmonic bins, all harmonic bins,
+    "other" bins: everything non-DC that is neither diurnal nor harmonic).
+    """
+    n_bins = n_samples // 2 + 1
+    k_d = diurnal_bin(n_samples, round_s)
+    cand = np.array(diurnal_candidates(n_samples, round_s), dtype=np.int64)
+    harmonics = harmonic_bins(
+        k_d, n_bins, max_harmonic=config.max_harmonic,
+        tolerance=config.harmonic_tolerance,
+    )
+    first = harmonic_bins(
+        k_d, n_bins, max_harmonic=2, tolerance=config.harmonic_tolerance
+    )
+    mask = np.ones(n_bins, dtype=bool)
+    mask[0] = False
+    mask[cand] = False
+    mask[harmonics] = False
+    others = np.flatnonzero(mask)
+    return cand, first, harmonics, others
+
+
+def classify_spectrum(
+    spectrum: Spectrum, config: ClassifierConfig | None = None
+) -> DiurnalReport:
+    """Classify one block from its spectrum."""
+    config = config or ClassifierConfig()
+    if spectrum.coefficients.ndim != 1:
+        raise ValueError("classify_spectrum takes a single-block spectrum")
+    if spectrum.n_samples < 4:
+        raise ValueError("series too short to classify")
+    amps = spectrum.amplitudes
+    cand, first, harmonics, others = _bin_sets(
+        spectrum.n_samples, spectrum.round_s, config
+    )
+    if len(cand) == 0:
+        raise ValueError("observation shorter than one day; no diurnal bin")
+
+    k_best = int(cand[np.argmax(amps[cand])])
+    diurnal_amp = float(amps[k_best])
+    strongest_other = float(amps[others].max()) if len(others) else 0.0
+    strongest_harmonic = float(amps[harmonics].max()) if len(harmonics) else 0.0
+    dominant_k = spectrum.dominant_bin()
+
+    dominant_is_diurnal = dominant_k in cand
+    strict = (
+        dominant_is_diurnal
+        and diurnal_amp >= config.strict_ratio * strongest_other
+        and diurnal_amp > strongest_harmonic
+    )
+    relaxed = dominant_is_diurnal or dominant_k in first
+
+    if strict:
+        label = DiurnalClass.STRICT
+    elif relaxed:
+        label = DiurnalClass.RELAXED
+    else:
+        label = DiurnalClass.NON_DIURNAL
+
+    return DiurnalReport(
+        label=label,
+        diurnal_k=k_best,
+        diurnal_amplitude=diurnal_amp,
+        dominant_k=dominant_k,
+        dominant_cycles_per_day=spectrum.cycles_per_day(dominant_k),
+        strongest_other=strongest_other,
+        strongest_harmonic=strongest_harmonic,
+        phase=spectrum.phase(k_best),
+    )
+
+
+def classify_series(
+    values: np.ndarray, round_s: float, config: ClassifierConfig | None = None
+) -> DiurnalReport:
+    """Classify one block straight from its cleaned availability series."""
+    return classify_spectrum(compute_spectrum(values, round_s), config)
+
+
+@dataclass
+class DiurnalBatch:
+    """Vectorized classification results for many blocks.
+
+    ``labels`` uses integer codes 0 (non-diurnal), 1 (relaxed), 2 (strict);
+    the masks and :meth:`label_of` give the friendlier view.
+    """
+
+    labels: np.ndarray
+    phases: np.ndarray
+    diurnal_k: np.ndarray
+    diurnal_amplitude: np.ndarray
+    dominant_k: np.ndarray
+    dominant_cycles_per_day: np.ndarray
+
+    LABEL_CODES = {
+        DiurnalClass.NON_DIURNAL: 0,
+        DiurnalClass.RELAXED: 1,
+        DiurnalClass.STRICT: 2,
+    }
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.labels)
+
+    @property
+    def strict_mask(self) -> np.ndarray:
+        return self.labels == 2
+
+    @property
+    def diurnal_mask(self) -> np.ndarray:
+        """Strict or relaxed — the paper's "either" set."""
+        return self.labels >= 1
+
+    def label_of(self, i: int) -> DiurnalClass:
+        for label, code in self.LABEL_CODES.items():
+            if code == self.labels[i]:
+                return label
+        raise ValueError(f"bad label code {self.labels[i]}")
+
+    def fraction_strict(self) -> float:
+        return float(self.strict_mask.mean()) if self.n_blocks else 0.0
+
+    def fraction_diurnal(self) -> float:
+        return float(self.diurnal_mask.mean()) if self.n_blocks else 0.0
+
+
+def classify_many(
+    matrix: np.ndarray, round_s: float, config: ClassifierConfig | None = None
+) -> DiurnalBatch:
+    """Classify many blocks at once; rows of ``matrix`` are cleaned series.
+
+    Bit-for-bit equivalent to calling :func:`classify_series` per row
+    (tested), but runs one batched FFT and vectorized bin reductions.
+    """
+    config = config or ClassifierConfig()
+    matrix = np.asarray(matrix, dtype=np.float64)
+    spectra = compute_spectra(matrix, round_s)
+    coeff = spectra.coefficients
+    amps = np.abs(coeff)
+    n_blocks, n_bins = amps.shape
+    cand, first, harmonics, others = _bin_sets(
+        spectra.n_samples, round_s, config
+    )
+    if len(cand) == 0:
+        raise ValueError("observation shorter than one day; no diurnal bin")
+
+    cand_amps = amps[:, cand]
+    best_idx = np.argmax(cand_amps, axis=1)
+    k_best = cand[best_idx]
+    diurnal_amp = cand_amps[np.arange(n_blocks), best_idx]
+    strongest_other = (
+        amps[:, others].max(axis=1) if len(others) else np.zeros(n_blocks)
+    )
+    strongest_harmonic = (
+        amps[:, harmonics].max(axis=1) if len(harmonics) else np.zeros(n_blocks)
+    )
+    dominant_k = np.argmax(amps[:, 1:], axis=1) + 1
+
+    dominant_is_diurnal = np.isin(dominant_k, cand)
+    strict = (
+        dominant_is_diurnal
+        & (diurnal_amp >= config.strict_ratio * strongest_other)
+        & (diurnal_amp > strongest_harmonic)
+    )
+    relaxed = dominant_is_diurnal | np.isin(dominant_k, first)
+
+    labels = np.zeros(n_blocks, dtype=np.int8)
+    labels[relaxed] = 1
+    labels[strict] = 2
+
+    phases = np.angle(coeff[np.arange(n_blocks), k_best])
+    day_cycles = dominant_k / (round_s * spectra.n_samples) * 86400.0
+
+    return DiurnalBatch(
+        labels=labels,
+        phases=phases,
+        diurnal_k=k_best.astype(np.int64),
+        diurnal_amplitude=diurnal_amp,
+        dominant_k=dominant_k.astype(np.int64),
+        dominant_cycles_per_day=day_cycles,
+    )

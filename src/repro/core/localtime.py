@@ -1,0 +1,90 @@
+"""Phase to time-of-day conversion (the paper's section 5.2 future work).
+
+The paper uses FFT phase only *relatively* (against longitude); it leaves
+"calibrating phase with local time of day" to future work.  The
+calibration is straightforward once the series is trimmed to start at
+midnight UTC: for the 1-cycle/day component, the coefficient's angle φ
+puts the daily availability *peak* at UTC hour ``-φ/(2π)·24``.  A block
+that is up for ``u`` hours a day peaks mid-window, so it wakes ``u/2``
+hours earlier; longitude then converts UTC to local solar time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "circular_hour_difference",
+    "ewma_lag_hours",
+    "local_hour",
+    "peak_utc_hour",
+    "wake_utc_hour",
+    "wake_local_hour",
+]
+
+
+def ewma_lag_hours(alpha: float = 0.1, round_s: float = 660.0) -> float:
+    """Group delay of the short-term EWMA at diurnal frequencies.
+
+    An EWMA with gain α lags a slow signal by ``(1-α)/α`` samples; with
+    the paper's α_s = 0.1 and 11-minute rounds that is ~1.65 hours.  Any
+    absolute time-of-day read from an *estimated* series' phase should be
+    advanced by this much (phases from ground-truth A need no correction).
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    return (1.0 - alpha) / alpha * round_s / 3600.0
+
+
+def peak_utc_hour(phase: np.ndarray) -> np.ndarray:
+    """UTC hour of the daily availability peak from the FFT phase.
+
+    ``phase`` is the angle (radians) of the 1-cycle/day coefficient of a
+    series whose first sample lies at midnight UTC.
+    """
+    phase = np.asarray(phase, dtype=np.float64)
+    return (-phase / (2 * np.pi) * 24.0) % 24.0
+
+
+def wake_utc_hour(
+    phase: np.ndarray,
+    uptime_hours: float = 13.5,
+    lag_hours: float = 0.0,
+) -> np.ndarray:
+    """UTC hour the block wakes, assuming it peaks mid-uptime.
+
+    ``uptime_hours`` defaults to a typical human-use window; pass the
+    measured duty cycle when known.  When the phase came from an
+    *estimated* Â_s series, pass ``lag_hours=ewma_lag_hours(...)`` to
+    remove the estimator's group delay.
+    """
+    return (peak_utc_hour(phase) - uptime_hours / 2.0 - lag_hours) % 24.0
+
+
+def local_hour(utc_hour: np.ndarray, lon_deg: np.ndarray) -> np.ndarray:
+    """Convert UTC hours to local solar hours at a longitude (15°/hour)."""
+    utc_hour = np.asarray(utc_hour, dtype=np.float64)
+    lon_deg = np.asarray(lon_deg, dtype=np.float64)
+    return (utc_hour + lon_deg / 15.0) % 24.0
+
+
+def wake_local_hour(
+    phase: np.ndarray,
+    lon_deg: np.ndarray,
+    uptime_hours: float = 13.5,
+    lag_hours: float = 0.0,
+) -> np.ndarray:
+    """Local solar hour a diurnal block wakes, from phase + longitude.
+
+    This is the section 5.2 calibration: with it, "when does the Internet
+    sleep" becomes an absolute clock-time statement per block.
+    """
+    return local_hour(wake_utc_hour(phase, uptime_hours, lag_hours), lon_deg)
+
+
+def circular_hour_difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Absolute difference between clock hours on the 24-hour circle."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    delta = np.abs(a - b) % 24.0
+    return np.minimum(delta, 24.0 - delta)

@@ -1,0 +1,189 @@
+"""Timeseries cleaning for spectral analysis (section 2.2, "Data cleaning").
+
+Spectral analysis needs an evenly sampled series, but real probing output is
+not perfectly aligned to 11-minute rounds: about 5% of rounds arrive with a
+missing or duplicate observation.  Following the paper (and the Trinocular
+technical report it cites), we
+
+* snap observations to the round grid, trusting the most recent value when
+  two land in the same round;
+* extrapolate single missing rounds from the previous value;
+* trim the series to start and end near midnight UTC, which anchors FFT
+  phase to physical time and reduces spectral leakage at diurnal
+  frequencies;
+* verify stationarity with a linear fit — the paper found ~80.3% of survey
+  blocks change by less than one address per day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CleanStats",
+    "fill_missing",
+    "is_stationary",
+    "linear_slope",
+    "observations_to_grid",
+    "trim_to_midnight",
+]
+
+DAY_SECONDS = 86400.0
+
+
+@dataclass
+class CleanStats:
+    """Bookkeeping from one cleaning pass."""
+
+    n_rounds: int
+    n_missing: int
+    n_duplicates: int
+    n_filled: int
+
+    @property
+    def missing_fraction(self) -> float:
+        return self.n_missing / self.n_rounds if self.n_rounds else 0.0
+
+
+def observations_to_grid(
+    obs_times: np.ndarray,
+    obs_values: np.ndarray,
+    round_s: float,
+    start_s: float,
+    n_rounds: int,
+) -> tuple[np.ndarray, CleanStats]:
+    """Snap raw observations onto an even round grid.
+
+    Each observation is assigned to the nearest round of the grid
+    ``start_s + i * round_s``; when several observations land in the same
+    round the most recent wins (the paper's rule for duplicates).  Rounds
+    with no observation become NaN.  Returns the gridded values and stats.
+    """
+    obs_times = np.asarray(obs_times, dtype=np.float64)
+    obs_values = np.asarray(obs_values, dtype=np.float64)
+    if obs_times.shape != obs_values.shape:
+        raise ValueError("times and values must have the same shape")
+    grid = np.full(n_rounds, np.nan)
+    idx = np.round((obs_times - start_s) / round_s).astype(np.int64)
+    in_range = (idx >= 0) & (idx < n_rounds)
+    idx, values, times = idx[in_range], obs_values[in_range], obs_times[in_range]
+    # Process in time order so "most recent observation wins" holds.
+    order = np.argsort(times, kind="stable")
+    seen = np.zeros(n_rounds, dtype=bool)
+    n_duplicates = 0
+    for i in order:
+        r = idx[i]
+        if seen[r]:
+            n_duplicates += 1
+        seen[r] = True
+        grid[r] = values[i]
+    n_missing = int(n_rounds - seen.sum())
+    stats = CleanStats(
+        n_rounds=n_rounds,
+        n_missing=n_missing,
+        n_duplicates=n_duplicates,
+        n_filled=0,
+    )
+    return grid, stats
+
+
+def fill_missing(values: np.ndarray, max_gap: int = 1) -> tuple[np.ndarray, int]:
+    """Extrapolate missing (NaN) rounds from the previous observation.
+
+    Gaps of up to ``max_gap`` consecutive rounds are filled by carrying the
+    last value forward, the paper's rule for single missing estimates; pass
+    ``max_gap=0`` to disable, or a large value to fill everything (needed
+    before an FFT, which tolerates no NaNs).  Leading NaNs are back-filled
+    from the first observation.  Returns the filled series and fill count.
+    """
+    values = np.asarray(values, dtype=np.float64).copy()
+    isnan = np.isnan(values)
+    if not isnan.any():
+        return values, 0
+    if isnan.all():
+        raise ValueError("series has no observations at all")
+
+    n_filled = 0
+    first_valid = int(np.flatnonzero(~isnan)[0])
+    if first_valid > 0 and first_valid <= max_gap:
+        values[:first_valid] = values[first_valid]
+        n_filled += first_valid
+    gap = 0
+    last = values[first_valid]
+    for i in range(first_valid, len(values)):
+        if np.isnan(values[i]):
+            gap += 1
+            if gap <= max_gap:
+                values[i] = last
+                n_filled += 1
+        else:
+            last = values[i]
+            gap = 0
+    return values, n_filled
+
+
+def trim_to_midnight(
+    times: np.ndarray, round_s: float, day_s: float = DAY_SECONDS
+) -> slice:
+    """Slice selecting the sub-series starting/ending nearest midnight UTC.
+
+    ``times`` are absolute round times whose origin is midnight UTC.  The
+    returned slice begins at the round closest to the first midnight at or
+    after the series start and ends at the round closest to the last
+    midnight at or before the series end, so the retained window spans a
+    whole number of days (which concentrates diurnal energy into a single
+    FFT bin and ties phase to physical time).
+    """
+    times = np.asarray(times, dtype=np.float64)
+    if len(times) < 2:
+        return slice(0, len(times))
+    first_midnight = np.ceil((times[0] - round_s / 2) / day_s) * day_s
+    last_midnight = np.floor((times[-1] + round_s / 2) / day_s) * day_s
+    if last_midnight <= first_midnight:
+        return slice(0, len(times))
+    start = int(np.argmin(np.abs(times - first_midnight)))
+    stop = int(np.argmin(np.abs(times - last_midnight))) + 1
+    if stop - start < 2:
+        return slice(0, len(times))
+    return slice(start, stop)
+
+
+def linear_slope(times: np.ndarray, values: np.ndarray) -> float:
+    """Least-squares slope of ``values`` against ``times`` (units: per second).
+
+    NaN values are ignored.  Used by the stationarity check.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    valid = ~np.isnan(values)
+    if valid.sum() < 2:
+        return 0.0
+    t = times[valid]
+    v = values[valid]
+    t = t - t.mean()
+    denom = float(np.dot(t, t))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(t, v - v.mean()) / denom)
+
+
+def is_stationary(
+    times: np.ndarray,
+    availability: np.ndarray,
+    n_ever_active: int,
+    max_addresses_per_day: float = 1.0,
+) -> bool:
+    """Paper's stationarity test: linear trend below ~1 address per day.
+
+    The availability slope (per second) is converted to addresses per day
+    through the size of the ever-active set; blocks drifting more than
+    ``max_addresses_per_day`` are considered non-stationary and their FFT
+    interpretation suspect.
+    """
+    if n_ever_active <= 0:
+        return True
+    slope = linear_slope(times, availability)
+    addresses_per_day = abs(slope) * DAY_SECONDS * n_ever_active
+    return addresses_per_day < max_addresses_per_day

@@ -1,0 +1,30 @@
+"""Dataset persistence and the named-scenario registry.
+
+``io`` saves and loads worlds and measurements as ``.npz`` archives and
+exports analysis tables as CSV, so expensive global runs can be reused
+across analyses (the paper likewise publishes its derived datasets).
+``registry`` names the reproducible dataset configurations.
+"""
+
+from repro.datasets.io import (
+    ensure_measurement,
+    load_measurement,
+    load_world_arrays,
+    save_measurement,
+    save_world_arrays,
+    write_csv,
+)
+from repro.datasets.registry import DATASETS, DatasetSpec, dataset, list_datasets
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset",
+    "ensure_measurement",
+    "list_datasets",
+    "load_measurement",
+    "load_world_arrays",
+    "save_measurement",
+    "save_world_arrays",
+    "write_csv",
+]

@@ -1,0 +1,147 @@
+"""On-disk persistence for worlds, measurements, and tables."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.probing.rounds import RoundSchedule
+from repro.simulation.fastsim import FastMeasurement
+from repro.simulation.internet import InternetWorld
+
+__all__ = [
+    "ensure_measurement",
+    "load_measurement",
+    "load_world_arrays",
+    "save_measurement",
+    "save_world_arrays",
+    "write_csv",
+]
+
+
+def save_measurement(path: str | Path, measurement: FastMeasurement) -> Path:
+    """Save a world measurement as a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    schedule = measurement.schedule
+    np.savez_compressed(
+        path,
+        labels=measurement.labels,
+        phases=measurement.phases,
+        dominant_cycles_per_day=measurement.dominant_cycles_per_day,
+        diurnal_amplitude=measurement.diurnal_amplitude,
+        mean_availability=measurement.mean_availability,
+        schedule=np.array(
+            [
+                schedule.n_rounds,
+                schedule.round_s,
+                schedule.start_s,
+                schedule.restart_interval_s,
+            ]
+        ),
+    )
+    return path
+
+
+def load_measurement(path: str | Path) -> FastMeasurement:
+    """Load a measurement previously stored by :func:`save_measurement`."""
+    with np.load(Path(path)) as data:
+        n_rounds, round_s, start_s, restart = data["schedule"]
+        return FastMeasurement(
+            labels=data["labels"],
+            phases=data["phases"],
+            dominant_cycles_per_day=data["dominant_cycles_per_day"],
+            diurnal_amplitude=data["diurnal_amplitude"],
+            mean_availability=data["mean_availability"],
+            schedule=RoundSchedule(
+                n_rounds=int(n_rounds),
+                round_s=float(round_s),
+                start_s=float(start_s),
+                restart_interval_s=float(restart),
+            ),
+        )
+
+
+# World fields that round-trip as plain numeric arrays.
+_WORLD_NUMERIC = (
+    "block_id",
+    "country_idx",
+    "lat",
+    "lon",
+    "asn",
+    "alloc_year",
+    "is_diurnal",
+    "n_active",
+    "a_high",
+    "a_low",
+    "onset_frac",
+    "uptime_frac",
+    "noise_sigma",
+    "lease_cpd",
+    "lease_amp",
+    "lease_phase",
+)
+
+
+def save_world_arrays(path: str | Path, world: InternetWorld) -> Path:
+    """Save a world's per-block arrays (not its registry views).
+
+    The generator is deterministic, so ``(n_blocks, seed)`` plus these
+    arrays fully describe the dataset; registry views are rebuilt on load
+    via :func:`repro.simulation.internet.generate_world`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: getattr(world, name) for name in _WORLD_NUMERIC}
+    arrays["config"] = np.array([world.config.n_blocks, world.config.seed])
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_world_arrays(path: str | Path) -> dict:
+    """Load world arrays saved by :func:`save_world_arrays`.
+
+    Returns a dict of arrays plus ``n_blocks``/``seed`` under ``config``.
+    """
+    with np.load(Path(path)) as data:
+        return {name: data[name] for name in data.files}
+
+
+def ensure_measurement(
+    dataset_name: str,
+    cache_dir: str | Path,
+    n_blocks: int | None = None,
+) -> FastMeasurement:
+    """Load a named dataset's measurement from cache, or compute and save.
+
+    The expensive step of every global analysis is measuring a world;
+    caching it under ``cache_dir/<name>-<blocks>.npz`` lets analyses and
+    notebooks share one run, the way the paper's derived datasets are
+    shared.  Only "adaptive" datasets (A12W and friends) are world-based.
+    """
+    from repro.datasets.registry import dataset
+    from repro.simulation.fastsim import measure_world
+    from repro.simulation.internet import generate_world
+
+    spec = dataset(dataset_name)
+    config = spec.world_config(n_blocks)
+    path = Path(cache_dir) / f"{spec.name}-{config.n_blocks}.npz"
+    if path.exists():
+        return load_measurement(path)
+    world = generate_world(config)
+    measurement = measure_world(world, spec.schedule())
+    save_measurement(path, measurement)
+    return measurement
+
+
+def write_csv(path: str | Path, header: list, rows: list) -> Path:
+    """Write an analysis table as CSV (one figure/table per file)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path

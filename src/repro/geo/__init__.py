@@ -1,0 +1,22 @@
+"""Geolocation substrate: a MaxMind-like block database and world gridding.
+
+The paper maps each /24 to a city-level location with MaxMind's GeoIP
+database (claimed accuracy 40 km, ~93% coverage, country-centroid fallbacks
+when only the country is known).  :class:`~repro.geo.geodb.GeoDatabase`
+reproduces that interface over the simulated world, including the coverage
+gaps and centroid anomalies visible in the paper's Figure 12.
+"""
+
+from repro.geo.geodb import GeoDatabase, GeoRecord
+from repro.geo.grid import WorldGrid, grid_counts, grid_fraction
+from repro.geo.regions import REGIONS, region_of
+
+__all__ = [
+    "GeoDatabase",
+    "GeoRecord",
+    "REGIONS",
+    "WorldGrid",
+    "grid_counts",
+    "grid_fraction",
+    "region_of",
+]

@@ -1,0 +1,92 @@
+"""A MaxMind-like geolocation database over /24 blocks.
+
+The real database resolves ~93% of blocks, claims ~40 km accuracy, and —
+when it knows only the country — places blocks at the country's geographic
+centroid, producing the artifacts the paper points out in Brazil, Russia
+and Australia (Figure 12).  The synthetic database carries the same
+structure: per-block records flagged ``city_precision`` or centroid-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GeoDatabase", "GeoRecord"]
+
+
+@dataclass(frozen=True)
+class GeoRecord:
+    """Location of one /24 block.
+
+    Attributes:
+        lat, lon: degrees; city-jittered or country centroid.
+        country: two-letter ISO code.
+        city_precision: False when only the country was known and the
+            coordinates are the country centroid.
+    """
+
+    lat: float
+    lon: float
+    country: str
+    city_precision: bool = True
+
+
+class GeoDatabase:
+    """Block-id → :class:`GeoRecord` lookup with MaxMind-style coverage."""
+
+    def __init__(self, records: dict[int, GeoRecord]) -> None:
+        self._records = dict(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._records
+
+    def lookup(self, block_id: int) -> GeoRecord | None:
+        """Locate one block; None when the database has no record."""
+        return self._records.get(block_id)
+
+    def coverage(self, block_ids: np.ndarray) -> float:
+        """Fraction of the given blocks that geolocate (paper: ~93%)."""
+        if len(block_ids) == 0:
+            return 0.0
+        hits = sum(1 for b in np.asarray(block_ids).tolist() if b in self._records)
+        return hits / len(block_ids)
+
+    def centroid_fraction(self) -> float:
+        """Fraction of records that are country-centroid fallbacks."""
+        if not self._records:
+            return 0.0
+        centroid = sum(1 for r in self._records.values() if not r.city_precision)
+        return centroid / len(self._records)
+
+    def locate_many(
+        self, block_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized lookup: (lats, lons, located-mask).
+
+        Unlocatable blocks get NaN coordinates and a False mask entry.
+        """
+        block_ids = np.asarray(block_ids)
+        n = len(block_ids)
+        lats = np.full(n, np.nan)
+        lons = np.full(n, np.nan)
+        located = np.zeros(n, dtype=bool)
+        for i, block_id in enumerate(block_ids.tolist()):
+            record = self._records.get(block_id)
+            if record is not None:
+                lats[i] = record.lat
+                lons[i] = record.lon
+                located[i] = True
+        return lats, lons, located
+
+    def countries(self, block_ids: np.ndarray) -> np.ndarray:
+        """Country code per block ('' where unlocatable)."""
+        out = np.empty(len(block_ids), dtype=object)
+        for i, block_id in enumerate(np.asarray(block_ids).tolist()):
+            record = self._records.get(block_id)
+            out[i] = record.country if record is not None else ""
+        return out

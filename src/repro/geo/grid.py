@@ -1,0 +1,88 @@
+"""2°x2° world gridding for the paper's Figures 12 and 13."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WorldGrid", "grid_counts", "grid_fraction"]
+
+
+@dataclass
+class WorldGrid:
+    """A lat/lon grid of cells covering the world.
+
+    ``values`` is indexed [lat_cell, lon_cell], latitude rows running from
+    -90 (index 0) northward.
+    """
+
+    values: np.ndarray
+    cell_deg: float
+
+    @property
+    def n_lat(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_lon(self) -> int:
+        return self.values.shape[1]
+
+    def cell_of(self, lat: float, lon: float) -> tuple[int, int]:
+        """Grid cell containing a coordinate."""
+        i = int(np.clip((lat + 90.0) / self.cell_deg, 0, self.n_lat - 1))
+        j = int(np.clip((lon + 180.0) / self.cell_deg, 0, self.n_lon - 1))
+        return i, j
+
+    def value_at(self, lat: float, lon: float) -> float:
+        i, j = self.cell_of(lat, lon)
+        return float(self.values[i, j])
+
+
+def _cell_indices(
+    lats: np.ndarray, lons: np.ndarray, cell_deg: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    valid = ~(np.isnan(lats) | np.isnan(lons))
+    n_lat = int(np.ceil(180.0 / cell_deg))
+    n_lon = int(np.ceil(360.0 / cell_deg))
+    i = np.clip(((lats[valid] + 90.0) / cell_deg).astype(np.int64), 0, n_lat - 1)
+    j = np.clip(((lons[valid] + 180.0) / cell_deg).astype(np.int64), 0, n_lon - 1)
+    return i, j, valid, n_lat, n_lon
+
+
+def grid_counts(
+    lats: np.ndarray, lons: np.ndarray, cell_deg: float = 2.0
+) -> WorldGrid:
+    """Count points per grid cell (Figure 12: observable blocks per cell)."""
+    i, j, _, n_lat, n_lon = _cell_indices(lats, lons, cell_deg)
+    counts = np.zeros((n_lat, n_lon))
+    np.add.at(counts, (i, j), 1.0)
+    return WorldGrid(values=counts, cell_deg=cell_deg)
+
+
+def grid_fraction(
+    lats: np.ndarray,
+    lons: np.ndarray,
+    mask: np.ndarray,
+    cell_deg: float = 2.0,
+    min_count: int = 1,
+) -> WorldGrid:
+    """Per-cell fraction of points with ``mask`` set (Figure 13).
+
+    Cells holding fewer than ``min_count`` points report NaN, so sparsely
+    observed cells do not show as spuriously extreme.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != np.asarray(lats).shape:
+        raise ValueError("mask must match coordinate arrays")
+    i, j, valid, n_lat, n_lon = _cell_indices(lats, lons, cell_deg)
+    totals = np.zeros((n_lat, n_lon))
+    hits = np.zeros((n_lat, n_lon))
+    np.add.at(totals, (i, j), 1.0)
+    np.add.at(hits, (i, j), mask[valid].astype(np.float64))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        frac = hits / totals
+    frac[totals < min_count] = np.nan
+    return WorldGrid(values=frac, cell_deg=cell_deg)

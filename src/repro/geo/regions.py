@@ -1,0 +1,141 @@
+"""Country-to-region mapping, following the paper's Table 4 region names.
+
+The paper groups countries into UN-style statistical regions ("Northern
+America", "Eastern Asia", ...).  The mapping here covers every country in
+the synthetic world model plus the rest of the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+__all__ = ["REGIONS", "COUNTRY_REGION", "region_of"]
+
+# The sixteen regions of the paper's Table 4, in the paper's (ascending
+# diurnal-fraction) order.
+REGIONS = (
+    "Northern America",
+    "Southern Africa",
+    "Western Europe",
+    "Northern Europe",
+    "Caribbean",
+    "Oceania",
+    "Western Asia",
+    "Northern Africa",
+    "Southern Europe",
+    "Central America",
+    "Eastern Europe",
+    "Southern Asia",
+    "South America",
+    "South-Eastern Asia",
+    "Eastern Asia",
+    "Central Asia",
+)
+
+COUNTRY_REGION: dict[str, str] = {
+    # Northern America
+    "US": "Northern America",
+    "CA": "Northern America",
+    # Western Europe
+    "DE": "Western Europe",
+    "FR": "Western Europe",
+    "NL": "Western Europe",
+    "BE": "Western Europe",
+    "CH": "Western Europe",
+    "AT": "Western Europe",
+    # Northern Europe
+    "GB": "Northern Europe",
+    "SE": "Northern Europe",
+    "NO": "Northern Europe",
+    "FI": "Northern Europe",
+    "DK": "Northern Europe",
+    # Southern Europe
+    "IT": "Southern Europe",
+    "ES": "Southern Europe",
+    "PT": "Southern Europe",
+    "GR": "Southern Europe",
+    "RS": "Southern Europe",
+    "HR": "Southern Europe",
+    # Eastern Europe
+    "RU": "Eastern Europe",
+    "UA": "Eastern Europe",
+    "BY": "Eastern Europe",
+    "PL": "Eastern Europe",
+    "RO": "Eastern Europe",
+    "CZ": "Eastern Europe",
+    "HU": "Eastern Europe",
+    "BG": "Eastern Europe",
+    # Western Asia
+    "AM": "Western Asia",
+    "GE": "Western Asia",
+    "TR": "Western Asia",
+    "IL": "Western Asia",
+    "SA": "Western Asia",
+    "AE": "Western Asia",
+    # Central Asia
+    "KZ": "Central Asia",
+    "UZ": "Central Asia",
+    # Southern Asia
+    "IN": "Southern Asia",
+    "PK": "Southern Asia",
+    "BD": "Southern Asia",
+    "IR": "Southern Asia",
+    "LK": "Southern Asia",
+    # Eastern Asia
+    "CN": "Eastern Asia",
+    "JP": "Eastern Asia",
+    "KR": "Eastern Asia",
+    "TW": "Eastern Asia",
+    "HK": "Eastern Asia",
+    "MN": "Eastern Asia",
+    # South-Eastern Asia
+    "TH": "South-Eastern Asia",
+    "MY": "South-Eastern Asia",
+    "PH": "South-Eastern Asia",
+    "VN": "South-Eastern Asia",
+    "ID": "South-Eastern Asia",
+    "SG": "South-Eastern Asia",
+    # South America
+    "BR": "South America",
+    "AR": "South America",
+    "CO": "South America",
+    "PE": "South America",
+    "CL": "South America",
+    "VE": "South America",
+    "EC": "South America",
+    # Central America
+    "MX": "Central America",
+    "SV": "Central America",
+    "GT": "Central America",
+    "CR": "Central America",
+    "PA": "Central America",
+    # Caribbean
+    "CU": "Caribbean",
+    "DO": "Caribbean",
+    "JM": "Caribbean",
+    "PR": "Caribbean",
+    "TT": "Caribbean",
+    # Northern Africa
+    "MA": "Northern Africa",
+    "EG": "Northern Africa",
+    "DZ": "Northern Africa",
+    "TN": "Northern Africa",
+    # Southern Africa
+    "ZA": "Southern Africa",
+    "NA": "Southern Africa",
+    "BW": "Southern Africa",
+    # Oceania
+    "AU": "Oceania",
+    "NZ": "Oceania",
+    "FJ": "Oceania",
+}
+
+
+def region_of(country_code: str) -> str:
+    """Region of a two-letter ISO country code.
+
+    Raises KeyError for unknown codes, which in this library always
+    indicates a world-model bug rather than missing data.
+    """
+    try:
+        return COUNTRY_REGION[country_code.upper()]
+    except KeyError:
+        raise KeyError(f"no region mapping for country {country_code!r}") from None

@@ -1,0 +1,31 @@
+"""Link-technology substrate: reverse-DNS synthesis and keyword inference.
+
+The paper infers each block's last-mile technology from reverse DNS names
+(section 2.3.3): substring-match 16 keywords against every address's name,
+drop the 7 keywords dominant in fewer than 1000 blocks, suppress minor
+features below 1/15th of the block's most frequent feature, and label the
+block with what remains.  ``keywords`` reimplements that classifier;
+``rdns`` synthesizes ISP-style reverse names for simulated blocks so the
+classifier has realistic input.
+"""
+
+from repro.linktype.keywords import (
+    ACTIVE_KEYWORDS,
+    ALL_KEYWORDS,
+    DISCARDED_KEYWORDS,
+    BlockLinkType,
+    classify_block_names,
+    match_features,
+)
+from repro.linktype.rdns import RdnsStyle, synthesize_block_names
+
+__all__ = [
+    "ACTIVE_KEYWORDS",
+    "ALL_KEYWORDS",
+    "BlockLinkType",
+    "DISCARDED_KEYWORDS",
+    "RdnsStyle",
+    "classify_block_names",
+    "match_features",
+    "synthesize_block_names",
+]

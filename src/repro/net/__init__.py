@@ -1,0 +1,49 @@
+"""Addressing substrate: IPv4 arithmetic, /24 blocks, and address behaviour models.
+
+This package replaces the live Internet the paper probes.  A
+:class:`~repro.net.blocks.Block24` owns 256 simulated addresses, each driven
+by a response model from :mod:`repro.net.addrmodel` (always-on, diurnal,
+dynamic pool, or dead).  Probers in :mod:`repro.probing` observe blocks only
+through :class:`~repro.net.blocks.ResponseOracle`, mirroring the fact that
+Trinocular sees nothing but ICMP responses.
+"""
+
+from repro.net.ipaddr import (
+    format_block,
+    format_ip,
+    ip_to_int,
+    block_of,
+    parse_block,
+)
+from repro.net.blocks import Block24, ResponseOracle
+from repro.net.addrmodel import (
+    AddressKind,
+    BlockBehavior,
+    make_always_on,
+    make_dead,
+    make_diurnal,
+    make_dynamic_pool,
+    make_trending,
+    merge_behaviors,
+)
+from repro.net.events import Outage, apply_outages
+
+__all__ = [
+    "AddressKind",
+    "Block24",
+    "BlockBehavior",
+    "Outage",
+    "ResponseOracle",
+    "apply_outages",
+    "block_of",
+    "format_block",
+    "format_ip",
+    "ip_to_int",
+    "make_always_on",
+    "make_dead",
+    "make_diurnal",
+    "make_dynamic_pool",
+    "make_trending",
+    "merge_behaviors",
+    "parse_block",
+]

@@ -1,0 +1,362 @@
+"""Per-address response models for simulated /24 blocks.
+
+The paper's estimators only ever see probe outcomes, so the simulation's job
+is to produce realistic *response processes* per address.  Four kinds cover
+the behaviours the paper discusses:
+
+``ALWAYS_ON``
+    The address is up around the clock and answers each probe with a fixed
+    response probability (losses, briefly sleeping hosts).
+``DIURNAL``
+    The address is up for a fixed window each day (phase = when the window
+    starts, uptime = how long it lasts), optionally with per-day Gaussian
+    noise on the window start (sigma_start) and duration (sigma_duration).
+    This matches the controlled model of section 3.2.2 exactly.
+``DYNAMIC``
+    The address belongs to a dynamically assigned pool and alternates
+    between assigned (responsive) and unassigned periods with exponential
+    holding times — the churn of DHCP/PPP pools.
+``DEAD``
+    Never responds.  Dead addresses are outside the ever-active set E(b).
+
+A :class:`BlockBehavior` stores the per-address parameters as flat numpy
+arrays and can realize the whole block's response matrix for a span of
+observation times in one vectorized pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+__all__ = [
+    "AddressKind",
+    "BlockBehavior",
+    "DAY_SECONDS",
+    "make_always_on",
+    "make_dead",
+    "make_diurnal",
+    "make_dynamic_pool",
+    "make_trending",
+    "merge_behaviors",
+]
+
+DAY_SECONDS = 86400.0
+
+BLOCK_SIZE = 256
+
+
+class AddressKind(IntEnum):
+    """Response-process type of one simulated address."""
+
+    DEAD = 0
+    ALWAYS_ON = 1
+    DIURNAL = 2
+    DYNAMIC = 3
+    ARRIVING = 4   # permanently up from phase_s onward (new host)
+    DEPARTING = 5  # up until phase_s, then gone (decommissioned host)
+
+
+@dataclass
+class BlockBehavior:
+    """Vectorized response model for up to 256 addresses of one /24.
+
+    All arrays have one entry per address.  Parameters that do not apply to
+    an address's kind are ignored for that address.
+    """
+
+    kinds: np.ndarray
+    p_response: np.ndarray
+    phase_s: np.ndarray
+    uptime_s: np.ndarray
+    sigma_start_s: np.ndarray
+    sigma_duration_s: np.ndarray
+    mean_up_s: np.ndarray
+    mean_down_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.kinds)
+        if n > BLOCK_SIZE:
+            raise ValueError(f"a /24 holds at most {BLOCK_SIZE} addresses, got {n}")
+        for name in (
+            "p_response",
+            "phase_s",
+            "uptime_s",
+            "sigma_start_s",
+            "sigma_duration_s",
+            "mean_up_s",
+            "mean_down_s",
+        ):
+            arr = getattr(self, name)
+            if len(arr) != n:
+                raise ValueError(f"{name} has length {len(arr)}, expected {n}")
+        self.kinds = np.asarray(self.kinds, dtype=np.uint8)
+
+    @property
+    def n_addresses(self) -> int:
+        return len(self.kinds)
+
+    def ever_active(self) -> np.ndarray:
+        """Host indices of the ever-active set E(b): every non-dead address."""
+        return np.flatnonzero(self.kinds != AddressKind.DEAD)
+
+    def up_matrix(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Boolean (n_addresses, n_times) matrix: is each address *up*?
+
+        "Up" means the host is powered/assigned; whether a probe is answered
+        additionally depends on ``p_response`` (see :meth:`response_matrix`).
+        """
+        times = np.asarray(times, dtype=np.float64)
+        n_addr = self.n_addresses
+        up = np.zeros((n_addr, len(times)), dtype=bool)
+
+        always = self.kinds == AddressKind.ALWAYS_ON
+        up[always, :] = True
+
+        diurnal = np.flatnonzero(self.kinds == AddressKind.DIURNAL)
+        if diurnal.size:
+            up[diurnal, :] = self._diurnal_up(diurnal, times, rng)
+
+        dynamic = np.flatnonzero(self.kinds == AddressKind.DYNAMIC)
+        for idx in dynamic:
+            up[idx, :] = _renewal_up(
+                times, self.mean_up_s[idx], self.mean_down_s[idx], rng
+            )
+
+        arriving = self.kinds == AddressKind.ARRIVING
+        if arriving.any():
+            up[arriving, :] = times[None, :] >= self.phase_s[arriving][:, None]
+        departing = self.kinds == AddressKind.DEPARTING
+        if departing.any():
+            up[departing, :] = times[None, :] < self.phase_s[departing][:, None]
+        return up
+
+    def _diurnal_up(
+        self, idx: np.ndarray, times: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Up-matrix rows for the diurnal addresses listed in ``idx``.
+
+        Each address is up when ``(time_of_day - start_d) mod DAY < dur_d``
+        where ``start_d`` and ``dur_d`` carry fresh per-day noise, drawn each
+        day for each address as in section 3.2.2 of the paper.
+        """
+        day = np.floor(times / DAY_SECONDS).astype(np.int64)
+        tod = times - day * DAY_SECONDS
+        day -= day.min()
+        n_days = int(day.max()) + 1 if len(times) else 0
+        n = idx.size
+
+        start = self.phase_s[idx][:, None] + rng.normal(
+            0.0, 1.0, size=(n, n_days)
+        ) * self.sigma_start_s[idx][:, None]
+        dur = self.uptime_s[idx][:, None] + rng.normal(
+            0.0, 1.0, size=(n, n_days)
+        ) * self.sigma_duration_s[idx][:, None]
+        dur = np.clip(dur, 0.0, DAY_SECONDS)
+
+        start_at = start[:, day]
+        dur_at = dur[:, day]
+        offset = np.mod(tod[None, :] - start_at, DAY_SECONDS)
+        return offset < dur_at
+
+    def response_matrix(
+        self, times: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Boolean (n_addresses, n_times) matrix of probe outcomes.
+
+        An address answers a probe iff it is up *and* an independent
+        Bernoulli(``p_response``) draw succeeds.
+        """
+        up = self.up_matrix(times, rng)
+        draws = rng.random(up.shape) < self.p_response[:, None]
+        return up & draws
+
+
+def _renewal_up(
+    times: np.ndarray, mean_up: float, mean_down: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Alternating exponential up/down renewal process evaluated at ``times``.
+
+    The process starts in a random phase of its stationary cycle so that the
+    beginning of the observation is not biased toward "up".
+    """
+    if len(times) == 0:
+        return np.zeros(0, dtype=bool)
+    if mean_up <= 0:
+        return np.zeros(len(times), dtype=bool)
+    if mean_down <= 0:
+        return np.ones(len(times), dtype=bool)
+
+    horizon = float(times.max() - times.min())
+    cycle = mean_up + mean_down
+    # Enough cycles to cover the horizon with generous slack.
+    n_cycles = max(8, int(horizon / cycle * 3) + 8)
+    ups = rng.exponential(mean_up, size=n_cycles)
+    downs = rng.exponential(mean_down, size=n_cycles)
+    # Start up with stationary probability, at a random point in the interval.
+    start_up = rng.random() < mean_up / cycle
+    first = ups[0] if start_up else downs[0]
+    segments = np.empty(2 * n_cycles, dtype=np.float64)
+    if start_up:
+        segments[0::2] = ups
+        segments[1::2] = downs
+        up_parity = 0
+    else:
+        segments[0::2] = downs
+        segments[1::2] = ups
+        up_parity = 1
+    segments[0] = first * rng.random()
+    edges = np.cumsum(segments) + float(times.min())
+    while edges[-1] < times.max():
+        # Horizon slack was insufficient (rare heavy-tail draw): extend.
+        extra_up = rng.exponential(mean_up, size=n_cycles)
+        extra_down = rng.exponential(mean_down, size=n_cycles)
+        extra = np.empty(2 * n_cycles, dtype=np.float64)
+        if (len(segments) + up_parity) % 2 == 0:
+            extra[0::2] = extra_up
+            extra[1::2] = extra_down
+        else:
+            extra[0::2] = extra_down
+            extra[1::2] = extra_up
+        segments = np.concatenate([segments, extra])
+        edges = np.cumsum(segments) + float(times.min())
+    seg_idx = np.searchsorted(edges, times, side="right")
+    return (seg_idx % 2) == up_parity
+
+
+def _full(n: int, value: float) -> np.ndarray:
+    return np.full(n, float(value))
+
+
+def make_dead(n: int = BLOCK_SIZE) -> BlockBehavior:
+    """A block (or partial block) of ``n`` never-responding addresses."""
+    z = _full(n, 0.0)
+    return BlockBehavior(
+        kinds=np.full(n, AddressKind.DEAD, dtype=np.uint8),
+        p_response=z.copy(),
+        phase_s=z.copy(),
+        uptime_s=z.copy(),
+        sigma_start_s=z.copy(),
+        sigma_duration_s=z.copy(),
+        mean_up_s=z.copy(),
+        mean_down_s=z.copy(),
+    )
+
+
+def make_always_on(n: int, p_response: float = 0.95) -> BlockBehavior:
+    """``n`` always-on addresses answering probes with ``p_response``."""
+    z = _full(n, 0.0)
+    return BlockBehavior(
+        kinds=np.full(n, AddressKind.ALWAYS_ON, dtype=np.uint8),
+        p_response=_full(n, p_response),
+        phase_s=z.copy(),
+        uptime_s=z.copy(),
+        sigma_start_s=z.copy(),
+        sigma_duration_s=z.copy(),
+        mean_up_s=z.copy(),
+        mean_down_s=z.copy(),
+    )
+
+
+def make_diurnal(
+    n: int,
+    phase_s: float | np.ndarray,
+    uptime_s: float | np.ndarray = 8 * 3600.0,
+    p_response: float = 0.95,
+    sigma_start_s: float = 0.0,
+    sigma_duration_s: float = 0.0,
+) -> BlockBehavior:
+    """``n`` diurnal addresses, up ``uptime_s`` per day starting at ``phase_s``.
+
+    ``phase_s`` may be a scalar (all addresses synchronized) or an array of
+    per-address start times, as used when sweeping the phase spread Φ.
+    """
+    z = _full(n, 0.0)
+    phase = np.broadcast_to(np.asarray(phase_s, dtype=np.float64), (n,)).copy()
+    uptime = np.broadcast_to(np.asarray(uptime_s, dtype=np.float64), (n,)).copy()
+    return BlockBehavior(
+        kinds=np.full(n, AddressKind.DIURNAL, dtype=np.uint8),
+        p_response=_full(n, p_response),
+        phase_s=phase,
+        uptime_s=uptime,
+        sigma_start_s=_full(n, sigma_start_s),
+        sigma_duration_s=_full(n, sigma_duration_s),
+        mean_up_s=z.copy(),
+        mean_down_s=z.copy(),
+    )
+
+
+def make_dynamic_pool(
+    n: int,
+    mean_up_s: float = 6 * 3600.0,
+    mean_down_s: float = 18 * 3600.0,
+    p_response: float = 0.95,
+) -> BlockBehavior:
+    """``n`` dynamically assigned addresses with exponential churn."""
+    z = _full(n, 0.0)
+    return BlockBehavior(
+        kinds=np.full(n, AddressKind.DYNAMIC, dtype=np.uint8),
+        p_response=_full(n, p_response),
+        phase_s=z.copy(),
+        uptime_s=z.copy(),
+        sigma_start_s=z.copy(),
+        sigma_duration_s=z.copy(),
+        mean_up_s=_full(n, mean_up_s),
+        mean_down_s=_full(n, mean_down_s),
+    )
+
+
+def make_trending(
+    n: int,
+    event_times_s: float | np.ndarray,
+    departing: bool = False,
+    p_response: float = 0.95,
+) -> BlockBehavior:
+    """``n`` addresses that permanently appear (or vanish) at given times.
+
+    Models the non-stationary blocks of real surveys — hosts being
+    deployed or decommissioned during the observation — which the paper's
+    stationarity check (section 2.2) exists to flag.
+    """
+    z = _full(n, 0.0)
+    kind = AddressKind.DEPARTING if departing else AddressKind.ARRIVING
+    events = np.broadcast_to(
+        np.asarray(event_times_s, dtype=np.float64), (n,)
+    ).copy()
+    return BlockBehavior(
+        kinds=np.full(n, kind, dtype=np.uint8),
+        p_response=_full(n, p_response),
+        phase_s=events,
+        uptime_s=z.copy(),
+        sigma_start_s=z.copy(),
+        sigma_duration_s=z.copy(),
+        mean_up_s=z.copy(),
+        mean_down_s=z.copy(),
+    )
+
+
+def merge_behaviors(*parts: BlockBehavior) -> BlockBehavior:
+    """Concatenate partial behaviours into one block (at most 256 addresses).
+
+    This is the idiom for composing the paper's controlled block of
+    section 3.2.2: 50 always-on + 100 diurnal + 106 dead.
+    """
+    total = sum(p.n_addresses for p in parts)
+    if total > BLOCK_SIZE:
+        raise ValueError(f"merged block would hold {total} > {BLOCK_SIZE} addresses")
+
+    def cat(name: str) -> np.ndarray:
+        return np.concatenate([getattr(p, name) for p in parts])
+
+    return BlockBehavior(
+        kinds=cat("kinds"),
+        p_response=cat("p_response"),
+        phase_s=cat("phase_s"),
+        uptime_s=cat("uptime_s"),
+        sigma_start_s=cat("sigma_start_s"),
+        sigma_duration_s=cat("sigma_duration_s"),
+        mean_up_s=cat("mean_up_s"),
+        mean_down_s=cat("mean_down_s"),
+    )

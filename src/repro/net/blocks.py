@@ -1,0 +1,106 @@
+"""/24 blocks and the probe-level view of them.
+
+:class:`Block24` ties a block id to a behaviour model and optional outages.
+Calling :meth:`Block24.realize` rolls the dice once for an observation
+window, producing a :class:`ResponseOracle` — the *only* interface probers
+may use.  The oracle also exposes the true availability series ``A`` (the
+fraction of ever-active addresses answering in each round), which plays the
+role of the paper's survey-derived ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.addrmodel import BlockBehavior
+from repro.net.events import Outage, apply_outages
+from repro.net.ipaddr import format_block
+
+__all__ = ["Block24", "ResponseOracle"]
+
+
+@dataclass
+class ResponseOracle:
+    """A realized observation window for one block.
+
+    Attributes:
+        block_id: the /24 prefix id.
+        times: observation times in seconds, one per round.
+        responses: (n_addresses, n_rounds) boolean probe outcomes.
+        ever_active: host indices of E(b), the historically responsive set.
+    """
+
+    block_id: int
+    times: np.ndarray
+    responses: np.ndarray
+    ever_active: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.responses.shape[1] != len(self.times):
+            raise ValueError(
+                f"responses has {self.responses.shape[1]} rounds, "
+                f"times has {len(self.times)}"
+            )
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.times)
+
+    @property
+    def n_ever_active(self) -> int:
+        """|E(b)|, the size of the ever-active set."""
+        return len(self.ever_active)
+
+    def probe(self, host: int, round_idx: int) -> bool:
+        """Outcome of probing address ``host`` during round ``round_idx``."""
+        return bool(self.responses[host, round_idx])
+
+    def probe_many(self, hosts: np.ndarray, round_idx: int) -> np.ndarray:
+        """Outcomes of probing several addresses in one round."""
+        return self.responses[np.asarray(hosts, dtype=np.intp), round_idx]
+
+    def true_availability(self) -> np.ndarray:
+        """Ground-truth A per round: responsive fraction of E(b).
+
+        This is what a full survey measures — the black line in the paper's
+        Figures 1–3.  Blocks with an empty ever-active set report zeros.
+        """
+        if self.n_ever_active == 0:
+            return np.zeros(self.n_rounds)
+        return self.responses[self.ever_active, :].mean(axis=0)
+
+    def mean_availability(self) -> float:
+        """Window-average ground-truth availability (the paper's block A)."""
+        series = self.true_availability()
+        return float(series.mean()) if len(series) else 0.0
+
+
+@dataclass
+class Block24:
+    """A simulated /24: identity, behaviour, and injected outages."""
+
+    block_id: int
+    behavior: BlockBehavior
+    outages: list[Outage] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return format_block(self.block_id)
+
+    def ever_active(self) -> np.ndarray:
+        return self.behavior.ever_active()
+
+    def realize(
+        self, times: np.ndarray, rng: np.random.Generator
+    ) -> ResponseOracle:
+        """Draw one realization of the block over the given round times."""
+        times = np.asarray(times, dtype=np.float64)
+        responses = self.behavior.response_matrix(times, rng)
+        responses = apply_outages(responses, times, self.outages)
+        return ResponseOracle(
+            block_id=self.block_id,
+            times=times,
+            responses=responses,
+            ever_active=self.behavior.ever_active(),
+        )

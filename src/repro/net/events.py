@@ -1,0 +1,58 @@
+"""Block-level events: outages and availability shifts.
+
+Trinocular's purpose is outage detection; the availability estimator rides
+along on its probes.  To exercise that path we inject outages — intervals
+where the whole block stops responding (a routing failure or power event),
+like the round-957 outage visible in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Outage", "apply_outages", "outage_mask"]
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A whole-block outage over ``[start_s, end_s)`` in observation time."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError(f"empty outage interval [{self.start_s}, {self.end_s})")
+
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def covers(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+def outage_mask(times: np.ndarray, outages: list[Outage]) -> np.ndarray:
+    """Boolean mask, True where ``times`` falls inside any outage."""
+    times = np.asarray(times, dtype=np.float64)
+    mask = np.zeros(len(times), dtype=bool)
+    for outage in outages:
+        mask |= (times >= outage.start_s) & (times < outage.end_s)
+    return mask
+
+
+def apply_outages(
+    responses: np.ndarray, times: np.ndarray, outages: list[Outage]
+) -> np.ndarray:
+    """Zero out response-matrix columns that fall inside an outage.
+
+    ``responses`` is the (n_addresses, n_times) boolean matrix from
+    :meth:`repro.net.addrmodel.BlockBehavior.response_matrix`.  Returns a new
+    matrix; the input is not modified.
+    """
+    if not outages:
+        return responses
+    masked = responses.copy()
+    masked[:, outage_mask(times, outages)] = False
+    return masked

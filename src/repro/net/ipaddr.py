@@ -1,0 +1,111 @@
+"""IPv4 address and /24-prefix arithmetic.
+
+All hot paths in the library work on plain integers: a full address is a
+32-bit int, and a /24 block is identified by its upper 24 bits
+(``address >> 8``).  These helpers convert between integers and the dotted
+forms used in logs, tables, and the paper's figures (e.g. ``"27.186.9/24"``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "block_of",
+    "format_block",
+    "format_ip",
+    "host_of",
+    "ip_in_block",
+    "ip_to_int",
+    "parse_block",
+]
+
+_MAX_IP = 0xFFFFFFFF
+_MAX_BLOCK = 0xFFFFFF
+
+
+def ip_to_int(dotted: str) -> int:
+    """Parse a dotted-quad IPv4 address into a 32-bit integer.
+
+    >>> ip_to_int("1.9.21.5")
+    17700101
+    """
+    parts = dotted.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted-quad IPv4 address: {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad address.
+
+    >>> format_ip(17700101)
+    '1.9.21.5'
+    """
+    if not 0 <= value <= _MAX_IP:
+        raise ValueError(f"IPv4 address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def block_of(ip: int) -> int:
+    """Return the /24 block id (upper 24 bits) that contains ``ip``."""
+    if not 0 <= ip <= _MAX_IP:
+        raise ValueError(f"IPv4 address out of range: {ip}")
+    return ip >> 8
+
+
+def host_of(ip: int) -> int:
+    """Return the host part (last octet) of ``ip`` within its /24."""
+    if not 0 <= ip <= _MAX_IP:
+        raise ValueError(f"IPv4 address out of range: {ip}")
+    return ip & 0xFF
+
+
+def ip_in_block(block_id: int, host: int) -> int:
+    """Compose a full address from a /24 block id and a host octet."""
+    if not 0 <= block_id <= _MAX_BLOCK:
+        raise ValueError(f"/24 block id out of range: {block_id}")
+    if not 0 <= host <= 255:
+        raise ValueError(f"host octet out of range: {host}")
+    return (block_id << 8) | host
+
+
+def parse_block(text: str) -> int:
+    """Parse the paper's block notation, e.g. ``"27.186.9/24"`` or ``"27.186.9"``.
+
+    Full dotted-quads with a trailing ``/24`` (``"27.186.9.0/24"``) are also
+    accepted.
+    """
+    body = text.strip()
+    if body.endswith("/24"):
+        body = body[: -len("/24")]
+    parts = body.split(".")
+    if len(parts) == 4:
+        if parts[3] != "0":
+            raise ValueError(f"/24 must end in .0, got {text!r}")
+        parts = parts[:3]
+    if len(parts) != 3:
+        raise ValueError(f"not a /24 block: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_block(block_id: int) -> str:
+    """Format a /24 block id in the paper's ``a.b.c/24`` notation.
+
+    >>> format_block(parse_block("27.186.9/24"))
+    '27.186.9/24'
+    """
+    if not 0 <= block_id <= _MAX_BLOCK:
+        raise ValueError(f"/24 block id out of range: {block_id}")
+    dotted = ".".join(str((block_id >> shift) & 0xFF) for shift in (16, 8, 0))
+    return f"{dotted}/24"

@@ -1,0 +1,36 @@
+"""Trinocular-style probing substrate.
+
+Reimplements the data-collection side of Quan et al.'s Trinocular (SIGCOMM
+2013) as the paper uses it: 11-minute rounds, a pseudorandom walk over the
+ever-active addresses of each /24, stop-on-first-positive adaptive probing
+capped at 15 probes per round, and a Bayesian up/down belief whose update
+depends on the current availability estimate — the coupling that makes the
+paper's conservative operational estimate necessary.
+
+The availability estimator itself lives in :mod:`repro.core`; the prober
+receives it through a narrow callable interface so the substrate stays
+independent of the contribution built on top of it.
+"""
+
+from repro.probing.rounds import (
+    ROUND_SECONDS,
+    RoundSchedule,
+    probes_per_hour,
+)
+from repro.probing.belief import BlockBelief, BeliefConfig, BlockState
+from repro.probing.prober import AdaptiveProber, ProbeLog, ProberConfig
+from repro.probing.survey import SurveyResult, run_survey
+
+__all__ = [
+    "ROUND_SECONDS",
+    "AdaptiveProber",
+    "BeliefConfig",
+    "BlockBelief",
+    "BlockState",
+    "ProbeLog",
+    "ProberConfig",
+    "RoundSchedule",
+    "SurveyResult",
+    "probes_per_hour",
+    "run_survey",
+]

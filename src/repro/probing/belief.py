@@ -1,0 +1,115 @@
+"""Bayesian up/down belief for one /24 block (Trinocular's state model).
+
+Trinocular maintains the probability that a block is up and updates it with
+each probe outcome via Bayes' rule:
+
+* a positive reply is (nearly) impossible from a down block, so it drives
+  belief to ~1 immediately — which is why probing stops on first positive;
+* a negative reply is only weak evidence, since an up block answers a random
+  ever-active address with probability ``A`` (the block availability).  The
+  strength of negative evidence therefore depends on the availability
+  estimate — the dependency that forces the paper's operational estimate
+  ``Â_o`` to avoid *over*-estimating A (section 2.1.1).
+
+A small "lie" probability keeps the belief away from the absorbing values so
+the block can always be re-concluded after transient noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["BeliefConfig", "BlockBelief", "BlockState"]
+
+
+class BlockState(Enum):
+    """Concluded reachability state of a block after a probing round."""
+
+    UP = "up"
+    DOWN = "down"
+    UNCERTAIN = "uncertain"
+
+
+@dataclass(frozen=True)
+class BeliefConfig:
+    """Thresholds and priors of the belief machine.
+
+    Attributes:
+        prior_up: initial P(block up) at cold start.
+        up_threshold: belief above this concludes the block is up.
+        down_threshold: belief below this concludes the block is down.
+        p_lie: floor/ceiling clamp on the availability used in updates, so
+            a single probe is never infinitely informative.
+        p_false_positive: probability a *down* block still answers
+            (spoofing, middleboxes).  Kept very small: a positive reply is
+            near-proof the block is up, which is what lets one positive
+            conclude "up" and end the round.
+        belief_floor: clamp keeping the belief away from the absorbing
+            states so a recovered block can be re-concluded up after a long
+            outage (and vice versa).
+    """
+
+    prior_up: float = 0.9
+    up_threshold: float = 0.9
+    down_threshold: float = 0.1
+    p_lie: float = 0.01
+    p_false_positive: float = 0.001
+    belief_floor: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.down_threshold < self.up_threshold < 1.0:
+            raise ValueError("need 0 < down_threshold < up_threshold < 1")
+        if not 0.0 < self.p_lie < 0.5:
+            raise ValueError("p_lie must be in (0, 0.5)")
+        if not 0.0 < self.p_false_positive < 0.5:
+            raise ValueError("p_false_positive must be in (0, 0.5)")
+        if not 0.0 < self.prior_up < 1.0:
+            raise ValueError("prior_up must be in (0, 1)")
+        if not 0.0 < self.belief_floor <= self.down_threshold:
+            raise ValueError("belief_floor must be in (0, down_threshold]")
+
+
+class BlockBelief:
+    """Evolving P(up) for one block."""
+
+    def __init__(self, config: BeliefConfig | None = None) -> None:
+        self.config = config or BeliefConfig()
+        self.belief = self.config.prior_up
+
+    def reset(self) -> None:
+        """Return to the prior, as after a prober restart."""
+        self.belief = self.config.prior_up
+
+    def update(self, positive: bool, availability: float) -> float:
+        """Apply one probe outcome; returns the posterior P(up).
+
+        ``availability`` is the current operational estimate ``Â_o`` of the
+        probability that a random ever-active address of an *up* block
+        answers.  It is clamped away from 0 and 1 so a single probe can
+        never be infinitely informative.
+        """
+        cfg = self.config
+        a = min(max(availability, cfg.p_lie), 1.0 - cfg.p_lie)
+        if positive:
+            p_obs_up = a
+            p_obs_down = cfg.p_false_positive
+        else:
+            p_obs_up = 1.0 - a
+            p_obs_down = 1.0 - cfg.p_false_positive
+        up = self.belief * p_obs_up
+        down = (1.0 - self.belief) * p_obs_down
+        posterior = up / (up + down)
+        self.belief = min(max(posterior, cfg.belief_floor), 1.0 - cfg.belief_floor)
+        return self.belief
+
+    def state(self) -> BlockState:
+        """Conclusion implied by the current belief."""
+        if self.belief >= self.config.up_threshold:
+            return BlockState.UP
+        if self.belief <= self.config.down_threshold:
+            return BlockState.DOWN
+        return BlockState.UNCERTAIN
+
+    def is_decided(self) -> bool:
+        return self.state() is not BlockState.UNCERTAIN

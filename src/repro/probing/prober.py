@@ -1,0 +1,224 @@
+"""Adaptive per-block probing: Trinocular's sampling policy.
+
+Each round the prober walks the block's ever-active addresses in a fixed
+pseudorandom order (the walk position persists across rounds, so over time
+every address is sampled — the property the paper calls "ideal for analysis
+of diurnal blocks").  Probing stops on the first positive response or when
+the Bayesian belief concludes the block is down, with at most 15 probes per
+round.  The result is the per-round ``(p, t)`` counts that the paper's
+availability estimators consume — *biased toward positive responses* by
+construction, which is exactly the bias the estimators must live with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.net.blocks import ResponseOracle
+from repro.probing.belief import BeliefConfig, BlockBelief, BlockState
+from repro.probing.rounds import RoundSchedule, probes_per_hour
+
+__all__ = [
+    "AdaptiveProber",
+    "AvailabilityFeedback",
+    "FixedAvailability",
+    "ProbeLog",
+    "ProberConfig",
+]
+
+_STATE_CODE = {BlockState.DOWN: -1, BlockState.UNCERTAIN: 0, BlockState.UP: 1}
+
+
+class AvailabilityFeedback(Protocol):
+    """What the prober needs from an availability estimator.
+
+    The coupling matches section 2.1.1: belief updates use the *operational*
+    availability, and each round's raw counts feed back into the estimator.
+    """
+
+    def current(self) -> float:
+        """Operational availability estimate Â_o used in belief updates."""
+        ...
+
+    def observe(self, positives: int, total: int) -> None:
+        """Record one round's raw probe counts."""
+        ...
+
+    def restart(self) -> None:
+        """Handle a prober restart (state reload from coarse history)."""
+        ...
+
+
+class FixedAvailability:
+    """Trivial feedback with a constant availability; useful standalone."""
+
+    def __init__(self, availability: float = 0.5) -> None:
+        self.availability = availability
+
+    def current(self) -> float:
+        return self.availability
+
+    def observe(self, positives: int, total: int) -> None:  # noqa: ARG002
+        return None
+
+    def restart(self) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class ProberConfig:
+    """Probing policy knobs (defaults match Trinocular as the paper uses it)."""
+
+    max_probes_per_round: int = 15
+    belief: BeliefConfig = field(default_factory=BeliefConfig)
+    walk_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_probes_per_round < 1:
+            raise ValueError("max_probes_per_round must be at least 1")
+
+
+@dataclass
+class ProbeLog:
+    """Per-round record of one block's adaptive probing.
+
+    Attributes:
+        positives: positive responses per round (the paper's ``p``).
+        totals: probes sent per round (the paper's ``t``).
+        states: concluded block state per round (+1 up, 0 uncertain, -1 down).
+        beliefs: posterior P(up) at the end of each round.
+    """
+
+    positives: np.ndarray
+    totals: np.ndarray
+    states: np.ndarray
+    beliefs: np.ndarray
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.totals)
+
+    @property
+    def total_probes(self) -> int:
+        return int(self.totals.sum())
+
+    def mean_probes_per_round(self) -> float:
+        return float(self.totals.mean()) if self.n_rounds else 0.0
+
+    def probe_rate_per_hour(self, schedule: RoundSchedule) -> float:
+        return probes_per_hour(self.total_probes, schedule)
+
+    def detected_outages(self) -> list[tuple[int, int]]:
+        """Maximal runs of DOWN rounds as (start_round, end_round_exclusive)."""
+        down = self.states == _STATE_CODE[BlockState.DOWN]
+        if not down.any():
+            return []
+        edges = np.flatnonzero(np.diff(down.astype(np.int8)))
+        starts = list(edges[down[edges + 1]] + 1)
+        ends = list(edges[~down[edges + 1]] + 1)
+        if down[0]:
+            starts.insert(0, 0)
+        if down[-1]:
+            ends.append(len(down))
+        return list(zip(starts, ends))
+
+
+class AdaptiveProber:
+    """Stateful adaptive prober for one block.
+
+    The prober keeps a pseudorandom permutation of the ever-active addresses
+    and a walk cursor that advances with every probe and persists across
+    rounds.  Restarts reset the belief and the cursor, modelling the state
+    lost when the probing software is relaunched.
+    """
+
+    def __init__(
+        self, ever_active: np.ndarray, config: ProberConfig | None = None
+    ) -> None:
+        self.config = config or ProberConfig()
+        rng = np.random.default_rng(self.config.walk_seed)
+        self._walk = rng.permutation(np.asarray(ever_active, dtype=np.intp))
+        self._cursor = 0
+        self.belief = BlockBelief(self.config.belief)
+
+    @property
+    def n_targets(self) -> int:
+        return len(self._walk)
+
+    def _next_host(self) -> int:
+        host = int(self._walk[self._cursor])
+        self._cursor = (self._cursor + 1) % len(self._walk)
+        return host
+
+    def restart(self) -> None:
+        """Simulate a prober software restart: lose belief and walk position."""
+        self.belief.reset()
+        self._cursor = 0
+
+    def probe_round(
+        self, oracle: ResponseOracle, round_idx: int, availability: float
+    ) -> tuple[int, int]:
+        """Run one adaptive round; returns ``(positives, total_probes)``.
+
+        Probes until the first positive response (which concludes "up"), the
+        belief concludes "down", or the 15-probe cap — Trinocular's
+        do-no-harm policy.
+        """
+        if len(self._walk) == 0:
+            return 0, 0
+        positives = 0
+        total = 0
+        for _ in range(self.config.max_probes_per_round):
+            host = self._next_host()
+            positive = oracle.probe(host, round_idx)
+            self.belief.update(positive, availability)
+            total += 1
+            if positive:
+                positives += 1
+                break
+            if self.belief.state() is BlockState.DOWN:
+                break
+        return positives, total
+
+    def run(
+        self,
+        oracle: ResponseOracle,
+        schedule: RoundSchedule,
+        feedback: AvailabilityFeedback | None = None,
+    ) -> ProbeLog:
+        """Probe a block over a whole schedule, coupling to an estimator.
+
+        ``feedback`` supplies the operational availability before each round
+        and absorbs the raw counts afterwards; when omitted, a fixed 0.5 is
+        used (pure outage detection with no estimation).
+        """
+        if schedule.n_rounds != oracle.n_rounds:
+            raise ValueError(
+                f"schedule has {schedule.n_rounds} rounds, "
+                f"oracle has {oracle.n_rounds}"
+            )
+        feedback = feedback if feedback is not None else FixedAvailability()
+        n = schedule.n_rounds
+        positives = np.zeros(n, dtype=np.int16)
+        totals = np.zeros(n, dtype=np.int16)
+        states = np.zeros(n, dtype=np.int8)
+        beliefs = np.zeros(n, dtype=np.float64)
+        restarts = set(schedule.restart_rounds().tolist())
+
+        for r in range(n):
+            if r in restarts:
+                self.restart()
+                feedback.restart()
+            p, t = self.probe_round(oracle, r, feedback.current())
+            feedback.observe(p, t)
+            positives[r] = p
+            totals[r] = t
+            states[r] = _STATE_CODE[self.belief.state()]
+            beliefs[r] = self.belief.belief
+
+        return ProbeLog(
+            positives=positives, totals=totals, states=states, beliefs=beliefs
+        )

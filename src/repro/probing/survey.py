@@ -1,0 +1,81 @@
+"""Exhaustive surveys: the ground-truth side of the methodology.
+
+The paper's Internet surveys (S_51w and friends) probe *every* address of
+about 2% of /24 blocks every 11 minutes for two weeks.  With complete data,
+block availability needs no estimation: ``A`` is simply the responsive
+fraction of the ever-active set each round.  Surveys therefore provide the
+ground truth against which the Trinocular-based estimates are validated
+(sections 3.1–3.2), at a probing cost ~256x the adaptive prober's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.blocks import ResponseOracle
+from repro.probing.rounds import RoundSchedule
+
+__all__ = ["SurveyResult", "run_survey"]
+
+
+@dataclass
+class SurveyResult:
+    """Complete per-round observation of one block.
+
+    Attributes:
+        block_id: the surveyed /24.
+        availability: ground-truth A per round (responsive fraction of E(b)).
+        positives: positive responses per round over the whole block.
+        totals: probes per round (always the full block size).
+        responses: the raw (n_addresses, n_rounds) outcome matrix.
+        ever_active: host indices of E(b).
+    """
+
+    block_id: int
+    availability: np.ndarray
+    positives: np.ndarray
+    totals: np.ndarray
+    responses: np.ndarray
+    ever_active: np.ndarray
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.availability)
+
+    @property
+    def n_ever_active(self) -> int:
+        return len(self.ever_active)
+
+    @property
+    def mean_availability(self) -> float:
+        return float(self.availability.mean()) if self.n_rounds else 0.0
+
+    @property
+    def total_probes(self) -> int:
+        return int(self.totals.sum())
+
+
+def run_survey(oracle: ResponseOracle, schedule: RoundSchedule) -> SurveyResult:
+    """Probe every address of the block in every round.
+
+    Unlike the adaptive prober this sends ``n_addresses`` probes per round
+    regardless of outcome; the result's ``availability`` series is the black
+    ground-truth line of the paper's Figures 1–3.
+    """
+    if schedule.n_rounds != oracle.n_rounds:
+        raise ValueError(
+            f"schedule has {schedule.n_rounds} rounds, oracle has {oracle.n_rounds}"
+        )
+    n_addresses = oracle.responses.shape[0]
+    positives = oracle.responses.sum(axis=0).astype(np.int32)
+    totals = np.full(oracle.n_rounds, n_addresses, dtype=np.int32)
+    return SurveyResult(
+        block_id=oracle.block_id,
+        availability=oracle.true_availability(),
+        positives=positives,
+        totals=totals,
+        responses=oracle.responses,
+        ever_active=oracle.ever_active,
+    )

@@ -1,0 +1,156 @@
+"""Command-line report generator: every paper table from one world.
+
+Usage::
+
+    python -m repro.report --blocks 8000 --days 14 --out report/
+
+Generates and measures one world, runs every global analysis plus the
+survey validations, writes each artifact's text table under ``--out``,
+and prints a one-line summary per artifact.  This is the "regenerate the
+paper" entry point for people who do not want to drive pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["build_parser", "main", "run_report"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="Regenerate the paper's tables and figures as text.",
+    )
+    parser.add_argument(
+        "--blocks", type=int, default=8000,
+        help="world size in /24 blocks (default 8000; paper: 3.7M)",
+    )
+    parser.add_argument(
+        "--days", type=float, default=14.0,
+        help="observation length in days (default 14; A12W used 35)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="world / probing seed"
+    )
+    parser.add_argument(
+        "--survey-blocks", type=int, default=80,
+        help="survey population for the section 3 validations",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("report"),
+        help="directory for the generated text tables",
+    )
+    parser.add_argument(
+        "--skip-validation", action="store_true",
+        help="skip the (slower) address-level section 3 validations",
+    )
+    return parser
+
+
+def run_report(args: argparse.Namespace, out=sys.stdout) -> Path:
+    """Run all analyses; returns the output directory."""
+    from repro import analysis
+
+    def emit(line: str) -> None:
+        print(line, file=out, flush=True)
+
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    def save(name: str, text: str, headline: str) -> None:
+        (args.out / f"{name}.txt").write_text(text + "\n")
+        emit(f"  {name:<24} {headline}")
+
+    emit(
+        f"measuring a {args.blocks}-block world over {args.days:g} days "
+        f"(seed {args.seed})…"
+    )
+    started = time.time()
+    study = analysis.GlobalStudy.run(
+        n_blocks=args.blocks, seed=args.seed, days=args.days
+    )
+    m = study.measurement
+    emit(
+        f"done in {time.time() - started:.0f}s: "
+        f"{m.fraction_strict():.1%} strict, "
+        f"{m.fraction_diurnal():.1%} either (paper: 11% / 25%)"
+    )
+
+    # Scale the paper's >=1000-block country cutoff to the world size.
+    min_blocks = max(10, args.blocks // 200)
+    table = analysis.run_country_table(study=study, min_blocks=min_blocks)
+    save("tab3_countries", table.format_table(20),
+         f"CN {table.row_of('CN').fraction_diurnal:.3f} "
+         f"US {table.row_of('US').fraction_diurnal:.3f}")
+    regions = analysis.run_region_table(study=study)
+    save("tab4_regions", regions.format_table(),
+         f"{len(regions.rows)} regions")
+    scatter = analysis.run_gdp_scatter(table=table)
+    save("fig16_gdp_scatter", scatter.format_series(),
+         f"r = {scatter.correlation():+.3f}")
+    try:
+        anova = analysis.run_economics_anova(table=table)
+        save("tab5_anova", anova.format_table(),
+             f"gdp p = {anova.p_of('gdp'):.2g}")
+    except ValueError as error:
+        save("tab5_anova",
+             f"ANOVA not identifiable at this world size: {error}\n"
+             f"(rerun with more blocks; {len(table.rows)} countries "
+             f"cleared the {min_blocks}-block floor)",
+             "skipped (too few countries)")
+    maps = analysis.run_world_maps(study=study)
+    save("fig12_13_maps", maps.format_series(),
+         f"{maps.geolocated_fraction:.0%} geolocated")
+    phase = analysis.run_phase_longitude(study=study)
+    save("fig14_phase_longitude", phase.format_series(),
+         f"corr = {phase.correlation():.3f}")
+    alloc = analysis.run_allocation_trend(study=study)
+    save("fig15_allocation", alloc.format_series(),
+         f"slope = {alloc.slope_percent_per_month():+.3f}%/mo")
+    freq = analysis.run_frequency_cdf(study=study)
+    save("fig10_freq_cdf", freq.format_series(),
+         f"{freq.fraction_daily():.1%} at 1 c/d")
+    links = analysis.run_linktype_study(
+        study=study, max_classified=min(args.blocks, 6000)
+    )
+    save("fig17_linktype", links.format_table(),
+         f"dyn {links.fraction_of('dyn'):.2f}")
+    cross = analysis.run_cross_site(study=study)
+    save("tab2_cross_site", cross.format_table(),
+         f"{cross.strict_overlap_fraction():.0%} strict overlap")
+    census = analysis.run_census(study=study)
+    save("app_census", census.format_series(),
+         f"worst error {census.worst_snapshot_error():.2%} -> "
+         f"{census.worst_corrected_error():.2%}")
+
+    if not args.skip_validation:
+        emit("running address-level section 3 validations…")
+        avail = analysis.run_availability_validation(
+            n_blocks=args.survey_blocks, seed=args.seed
+        )
+        save("fig04_05_availability", avail.format_table(),
+             f"corr = {avail.correlation_short:.3f}")
+        diurnal = analysis.run_diurnal_validation(
+            n_blocks=args.survey_blocks, seed=args.seed
+        )
+        save("tab1_validation", diurnal.format_table(),
+             f"accuracy = {diurnal.accuracy:.1%}")
+        outages = analysis.run_outage_validation(n_blocks=20, days=5.0)
+        save("outage_validation", outages.format_table(),
+             f"{outages.detection_rate:.0%} detected")
+
+    emit(f"report written to {args.out}/")
+    return args.out
+
+
+def main(argv: list | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    run_report(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

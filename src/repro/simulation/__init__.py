@@ -1,0 +1,64 @@
+"""World generation: controlled blocks, the synthetic Internet, scenarios.
+
+``blocksim``
+    The controlled single-block experiments of section 3.2.2 (detection
+    accuracy versus number of diurnal addresses, phase spread, and uptime
+    variance) over the *full* address-level pipeline.
+``countries``
+    The embedded country covariate table (GDP, electricity, allocation
+    era, geography, Table 3/4 diurnal fractions).
+``internet``
+    The whole-Internet world generator: blocks with country, geography,
+    AS, link technology, allocation date, and behaviour parameters.
+``fastsim``
+    Scale path: vectorized synthesis of per-round availability and
+    adaptive-probe counts, feeding the *real* estimator and classifier.
+``scenarios``
+    Named dataset analogues (S51W, A12W, A12J/A12C, the USC-like campus).
+"""
+
+from repro.simulation.countries import COUNTRIES, Country, country_by_code
+from repro.simulation.blocksim import (
+    ControlledBlockConfig,
+    accuracy_sweep,
+    detection_accuracy,
+    run_controlled_block,
+)
+from repro.simulation.internet import InternetWorld, WorldConfig, generate_world
+from repro.simulation.fastsim import (
+    FastMeasurement,
+    adaptive_counts,
+    apply_restart_bias,
+    designed_mean_availability,
+    measure_world,
+    synthesize_availability,
+)
+from repro.simulation.scenarios import (
+    CampusBlock,
+    build_campus,
+    schedule_for,
+    survey_population,
+)
+
+__all__ = [
+    "COUNTRIES",
+    "CampusBlock",
+    "ControlledBlockConfig",
+    "Country",
+    "FastMeasurement",
+    "InternetWorld",
+    "WorldConfig",
+    "accuracy_sweep",
+    "adaptive_counts",
+    "apply_restart_bias",
+    "build_campus",
+    "country_by_code",
+    "designed_mean_availability",
+    "detection_accuracy",
+    "generate_world",
+    "measure_world",
+    "run_controlled_block",
+    "schedule_for",
+    "survey_population",
+    "synthesize_availability",
+]

@@ -1,0 +1,163 @@
+"""Country covariate table for the synthetic Internet world.
+
+We do not have the CIA World Factbook, IANA registry, or MaxMind snapshots
+the paper joins against, so this module embeds a country-level table
+modelled on published 2013 values:
+
+* ``blocks`` — /24 block counts follow the paper's Table 3 exactly for the
+  21 countries it lists; other countries are apportioned so each region's
+  total matches Table 4.
+* ``diurnal_frac`` — the strict-diurnal fraction, again Table 3 where
+  given; other countries get values consistent with their region's Table 4
+  aggregate (e.g. Eastern Asia is 0.279 overall only because China's 0.498
+  is diluted by Japan/Korea near 0.03).
+* ``gdp_pc`` / ``elec_kwh_pc`` / ``users_per_host`` — per-capita GDP (PPP),
+  per-capita electricity consumption, and the users-per-host ratio, rounded
+  from 2012–2013 CIA Factbook values.
+* ``first_alloc_year`` / ``mean_alloc_year`` — when the country's address
+  space was first/typically allocated by IANA, modelled on registry
+  history (legacy US/EU space in the 80s–90s, APNIC/LACNIC growth later).
+* ``lat`` / ``lon`` — geographic centroid used by the geolocation model.
+
+The joint distribution of these covariates with diurnalness is what the
+Table 5 ANOVA and Figures 15/16 measure; embedding realistic marginals is
+the substitution that preserves those results' shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.regions import region_of
+
+__all__ = ["Country", "COUNTRIES", "country_by_code", "total_blocks"]
+
+
+@dataclass(frozen=True)
+class Country:
+    """Static covariates of one country in the world model."""
+
+    code: str
+    name: str
+    lat: float
+    lon: float
+    blocks: int
+    diurnal_frac: float
+    gdp_pc: float
+    elec_kwh_pc: float
+    users_per_host: float
+    first_alloc_year: int
+    mean_alloc_year: float
+
+    @property
+    def region(self) -> str:
+        return region_of(self.code)
+
+    @property
+    def lon_radians(self) -> float:
+        import math
+
+        return math.radians(self.lon)
+
+
+# fmt: off
+_ROWS = [
+    # code  name                    lat     lon    blocks  diurn   gdp    elec   u/h  first mean
+    ("US", "United States",        39.8,  -98.6, 672104, 0.002, 50700, 12950, 0.5, 1984, 2004.1),
+    ("CA", "Canada",               56.1, -106.3,  49612, 0.003, 43100, 15500, 0.9, 1985, 2000.4),
+    ("DE", "Germany",              51.2,   10.4, 100000, 0.010, 39500,  7100, 4.0, 1991, 2000.2),
+    ("FR", "France",               46.2,    2.2,  75000, 0.011, 35700,  7400, 4.8, 1989, 2000.3),
+    ("NL", "Netherlands",          52.1,    5.3,  40000, 0.009, 43300,  6700, 0.5, 1992, 2000.7),
+    ("BE", "Belgium",              50.5,    4.5,  20000, 0.012, 37800,  7700, 4.7, 1992, 2000.4),
+    ("CH", "Switzerland",          46.8,    8.2,  25000, 0.008, 54800,  7800, 0.5, 1991, 1998.0),
+    ("AT", "Austria",              47.5,   14.6,  15000, 0.013, 42600,  8400, 1.1, 1988, 2000.7),
+    ("GB", "United Kingdom",       55.4,   -3.4,  80000, 0.012, 37300,  5500, 1.5, 1989, 2003.8),
+    ("SE", "Sweden",               62.2,   17.6,  25000, 0.011, 40900, 13500, 5.7, 1986, 2002.9),
+    ("NO", "Norway",               64.6,   11.5,  12000, 0.012, 55400, 23000, 0.5, 1989, 2003.8),
+    ("FI", "Finland",              64.0,   26.0,  10000, 0.014, 35900, 15500, 0.5, 1988, 2001.5),
+    ("DK", "Denmark",              56.0,    9.5,   7000, 0.015, 37800,  6000, 0.5, 1988, 2002.4),
+    ("IT", "Italy",                42.8,   12.8,  60000, 0.110, 29600,  5200, 0.5, 1989, 2002.7),
+    ("ES", "Spain",                40.2,   -3.6,  45000, 0.120, 30100,  5600, 0.5, 1986, 2000.0),
+    ("PT", "Portugal",             39.6,   -8.0,  10000, 0.130, 22900,  4700, 2.3, 1989, 2003.9),
+    ("GR", "Greece",               39.1,   22.0,  10000, 0.140, 23600,  5200, 0.5, 1992, 2004.1),
+    ("RS", "Serbia",               44.2,   20.8,   4429, 0.393, 10600,  4300, 1.0, 1988, 2003.2),
+    ("HR", "Croatia",              45.2,   15.4,   5500, 0.160, 17800,  3800, 13.3, 1987, 2004.9),
+    ("RU", "Russia",               61.5,  105.3,  53048, 0.159, 18000,  6600, 2.7, 1991, 2003.0),
+    ("UA", "Ukraine",              48.4,   31.2,  16575, 0.289,  7500,  3600, 1.2, 1992, 2004.5),
+    ("BY", "Belarus",              53.7,   28.0,   1748, 0.512, 15900,  3500, 3.0, 1988, 2003.9),
+    ("PL", "Poland",               51.9,   19.1,  40000, 0.090, 21100,  3900, 3.0, 1990, 1998.9),
+    ("RO", "Romania",              45.9,   25.0,  15000, 0.120, 14400,  2500, 5.9, 1988, 2003.4),
+    ("CZ", "Czech Republic",       49.8,   15.5,  12000, 0.070, 26300,  6300, 0.7, 1989, 2004.6),
+    ("HU", "Hungary",              47.2,   19.5,   5000, 0.080, 19800,  3900, 2.1, 1991, 2004.2),
+    ("BG", "Bulgaria",             42.7,   25.5,   3000, 0.150, 14400,  4600, 1.8, 1990, 2001.4),
+    ("AM", "Armenia",              40.1,   45.0,   1075, 0.630,  5900,  1800, 2.1, 1993, 2005.3),
+    ("GE", "Georgia",              42.3,   43.4,   1395, 0.546,  6000,  2300, 1.5, 1990, 2004.5),
+    ("TR", "Turkey",               39.0,   35.2,  12000, 0.060, 15300,  2700, 4.1, 1987, 1999.2),
+    ("IL", "Israel",               31.0,   34.9,   6000, 0.020, 32800,  6600, 2.9, 1991, 2002.8),
+    ("SA", "Saudi Arabia",         24.0,   45.0,   3000, 0.080, 31300,  8700, 0.5, 1988, 2006.3),
+    ("AE", "United Arab Emirates", 24.0,   54.0,   2100, 0.060, 49000, 11000, 0.6, 1990, 2002.1),
+    ("KZ", "Kazakhstan",           48.0,   66.9,   3832, 0.400, 14100,  4900, 1.6, 1991, 2002.1),
+    ("UZ", "Uzbekistan",           41.4,   64.6,    500, 0.410,  3800,  1600, 5.6, 1993, 2003.9),
+    ("IN", "India",                20.6,   79.0,  36470, 0.225,  3900,   700, 3.2, 1989, 2004.0),
+    ("PK", "Pakistan",             30.4,   69.3,   4000, 0.240,  3100,   450, 6.3, 1992, 2003.6),
+    ("BD", "Bangladesh",           23.7,   90.4,   2000, 0.260,  2100,   300, 2.3, 1992, 2004.5),
+    ("IR", "Iran",                 32.4,   53.7,   1500, 0.220, 12800,  2900, 1.1, 1990, 2000.7),
+    ("LK", "Sri Lanka",             7.9,   80.8,    554, 0.210,  6500,   500, 2.7, 1989, 2001.1),
+    ("CN", "China",                35.9,  104.2, 394244, 0.498,  9300,  3500, 7.9, 1991, 2003.7),
+    ("JP", "Japan",                36.2,  138.3, 250000, 0.030, 37100,  7800, 0.7, 1988, 2002.5),
+    ("KR", "South Korea",          35.9,  127.8,  80000, 0.050, 33200, 10200, 0.9, 1987, 2002.0),
+    ("TW", "Taiwan",               23.7,  121.0,  28000, 0.060, 39600, 10300, 0.6, 1984, 2004.5),
+    ("HK", "Hong Kong",            22.3,  114.2,   4000, 0.030, 52700,  6000, 1.0, 1990, 2001.9),
+    ("MN", "Mongolia",             46.9,  103.8,   1108, 0.450,  5900,  1600, 6.1, 1987, 2005.7),
+    ("TH", "Thailand",             15.9,  101.0,  10986, 0.336, 10300,  2400, 2.0, 1989, 2004.6),
+    ("MY", "Malaysia",              4.2,  102.0,   9747, 0.247, 17200,  4300, 1.4, 1989, 2001.9),
+    ("PH", "Philippines",          12.9,  121.8,   5721, 0.239,  4500,   650, 1.7, 1987, 2001.2),
+    ("VN", "Vietnam",              14.1,  108.3,   8197, 0.183,  3600,  1300, 0.8, 1994, 2003.3),
+    ("ID", "Indonesia",            -0.8,  113.9,   7617, 0.166,  5100,   750, 1.8, 1986, 2002.8),
+    ("SG", "Singapore",             1.35, 103.8,   6617, 0.030, 62400,  8400, 0.5, 1990, 2002.7),
+    ("BR", "Brazil",              -14.2,  -51.9,  79095, 0.185, 12100,  2500, 2.4, 1988, 2004.2),
+    ("AR", "Argentina",           -38.4,  -63.6,  20382, 0.339, 18400,  3000, 0.9, 1992, 2005.3),
+    ("CO", "Colombia",              4.6,  -74.3,   9379, 0.261, 11000,  1200, 3.3, 1991, 2000.7),
+    ("PE", "Peru",                 -9.2,  -75.0,   4600, 0.401, 10900,  1200, 2.0, 1995, 2003.9),
+    ("CL", "Chile",               -35.7,  -71.5,  12000, 0.180, 19100,  3900, 1.6, 1990, 2002.9),
+    ("VE", "Venezuela",             6.4,  -66.6,   5000, 0.230, 13600,  3300, 0.8, 1988, 2004.5),
+    ("EC", "Ecuador",              -1.8,  -78.2,   3037, 0.250, 10600,  1300, 5.1, 1993, 2004.0),
+    ("MX", "Mexico",               23.6, -102.6,  40000, 0.120, 15600,  2100, 4.3, 1990, 2002.8),
+    ("SV", "El Salvador",          13.8,  -88.9,   1145, 0.311,  7600,   900, 0.6, 1987, 2001.9),
+    ("GT", "Guatemala",            15.8,  -90.2,   1500, 0.200,  5300,   550, 2.7, 1993, 1999.1),
+    ("CR", "Costa Rica",            9.7,  -83.8,   1200, 0.110, 12900,  1900, 8.7, 1993, 2003.0),
+    ("PA", "Panama",                8.5,  -80.8,    799, 0.120, 16500,  1900, 2.1, 1988, 2004.3),
+    ("CU", "Cuba",                 21.5,  -77.8,    300, 0.050, 10200,  1300, 0.8, 1993, 2000.8),
+    ("DO", "Dominican Republic",   18.7,  -70.2,    700, 0.020,  9700,  1500, 0.5, 1987, 1998.3),
+    ("JM", "Jamaica",              18.1,  -77.3,    400, 0.015,  9000,  2800, 8.2, 1989, 1997.5),
+    ("PR", "Puerto Rico",          18.2,  -66.4,    600, 0.008, 16300,  5000, 0.5, 1987, 2003.1),
+    ("TT", "Trinidad and Tobago",  10.7,  -61.2,    174, 0.010, 20400,  6400, 0.5, 1989, 1999.6),
+    ("MA", "Morocco",              31.8,   -7.1,   2115, 0.185,  5400,   900, 6.7, 1994, 2002.3),
+    ("EG", "Egypt",                26.8,   30.8,   5000, 0.090,  6600,  1700, 4.0, 1989, 2002.2),
+    ("DZ", "Algeria",              28.0,    1.7,   2000, 0.100,  7500,  1100, 2.3, 1993, 2003.8),
+    ("TN", "Tunisia",              33.9,    9.6,    869, 0.080,  9900,  1400, 3.0, 1994, 2000.5),
+    ("ZA", "South Africa",        -30.6,   22.9,  10000, 0.010, 11500,  4400, 1.8, 1992, 1998.6),
+    ("NA", "Namibia",             -22.9,   18.5,    700, 0.012,  8200,  1700, 3.5, 1989, 2001.7),
+    ("BW", "Botswana",            -22.3,   24.7,    555, 0.014, 16400,  1600, 1.9, 1989, 1999.7),
+    ("AU", "Australia",           -25.3,  133.8,  22000, 0.035, 43000, 10700, 1.5, 1992, 1999.3),
+    ("NZ", "New Zealand",         -40.9,  174.9,   5000, 0.030, 30400,  9400, 1.5, 1987, 2003.0),
+    ("FJ", "Fiji",                -17.7,  178.1,    206, 0.060,  4900,   900, 4.1, 1987, 1999.1),
+]
+# fmt: on
+
+COUNTRIES: tuple = tuple(Country(*row) for row in _ROWS)
+
+_BY_CODE = {c.code: c for c in COUNTRIES}
+
+
+def country_by_code(code: str) -> Country:
+    """Look up a country by ISO code; raises KeyError when unknown."""
+    try:
+        return _BY_CODE[code.upper()]
+    except KeyError:
+        raise KeyError(f"no country {code!r} in the world model") from None
+
+
+def total_blocks() -> int:
+    """World total of modelled /24 blocks (paper scale: ~2.5M geolocated)."""
+    return sum(c.blocks for c in COUNTRIES)

@@ -1,0 +1,478 @@
+"""Synthetic whole-Internet world generation.
+
+Builds a population of /24 blocks whose joint distribution over country,
+geography, AS, link technology, allocation date, and diurnal behaviour
+follows the country covariate table (:mod:`repro.simulation.countries`),
+which in turn follows the paper's Tables 3 and 4.  The world is what the
+global analyses (Figures 10–17, Tables 3–5) measure.
+
+Design notes on how each paper effect arises:
+
+* **country fractions** — each block's probability of being diurnal is its
+  country's Table 3/4 fraction, modulated by relative risks for its link
+  technology and allocation date and renormalized within the country, so
+  country marginals are preserved while Figures 15 and 17 get their
+  within-country structure;
+* **phase vs longitude (Fig 14)** — a block wakes around 08:00 *local*
+  time; local time comes from the block's own longitude in multi-timezone
+  countries but from the national timezone elsewhere.  China spans ~30
+  degrees on one timezone, which is exactly the paper's 100–140°E anomaly;
+* **geolocation artifacts (Fig 12)** — the generated GeoDatabase resolves
+  ~93% of blocks and places a few percent at the country centroid,
+  reproducing MaxMind's Brazil/Russia/Australia centroid clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.asn.ipasn import AsRecord, IpAsnTable
+from repro.geo.geodb import GeoDatabase, GeoRecord
+from repro.linktype.rdns import RdnsStyle
+from repro.simulation.countries import COUNTRIES, Country
+
+__all__ = ["InternetWorld", "WorldConfig", "generate_world"]
+
+# Geographic spread of blocks inside a country (degrees of lat, lon); large
+# countries get wide spreads, everyone else the default.
+_COUNTRY_SPREAD = {
+    "US": (6.0, 22.0),
+    "CA": (4.0, 18.0),
+    "RU": (6.0, 30.0),
+    "CN": (7.0, 15.0),
+    "BR": (7.0, 10.0),
+    "AU": (5.0, 12.0),
+    "IN": (5.0, 7.0),
+    "MX": (3.0, 6.0),
+    "ID": (2.5, 10.0),
+    "KZ": (2.5, 7.0),
+    "AR": (7.0, 4.0),
+}
+_DEFAULT_SPREAD = (1.2, 2.0)
+
+# Countries whose clocks follow local longitude; everyone else runs on a
+# single national timezone.  China's absence here is deliberate (Fig 14).
+_MULTI_TZ = frozenset({"US", "CA", "RU", "BR", "AU", "MX", "ID", "KZ"})
+
+# Relative risk of diurnal use per addressing scheme and access technology.
+# Dynamic addressing strongly favours diurnal blocks; dial-up, servers and
+# always-on fiber strongly disfavour them (Figure 17's ordering).
+_ADDRESSING_RISK = {"dyn": 1.8, "dhcp": 1.35, "ppp": 1.5, "sta": 0.35, "none": 0.8}
+_ACCESS_RISK = {
+    "dsl": 1.0,
+    "cable": 0.7,
+    "dial": 0.08,   # the paper's surprise: dial-up is *not* diurnal (<3%)
+    "fiber": 0.45,
+    "wireless": 1.2,
+    "srv": 0.15,
+    "res": 0.85,
+}
+
+# Access-technology mixes at the development extremes; country mixes are
+# interpolated by per-capita GDP.
+_ACCESS_TECHS = ("dsl", "cable", "fiber", "dial", "wireless", "srv", "res")
+_MIX_DEVELOPED = np.array([0.30, 0.30, 0.18, 0.01, 0.03, 0.08, 0.10])
+_MIX_DEVELOPING = np.array([0.38, 0.12, 0.03, 0.10, 0.07, 0.05, 0.25])
+
+_RDNS_STYLES = (RdnsStyle.DESCRIPTIVE, RdnsStyle.GENERIC, RdnsStyle.NONE)
+_RDNS_WEIGHTS = np.array([0.50, 0.28, 0.22])
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """World-generation knobs.
+
+    ``n_blocks`` scales the world down from the paper's 3.7M; country
+    shares, not absolute counts, drive every reproduced statistic.
+    """
+
+    n_blocks: int = 20000
+    seed: int = 0
+    geo_coverage: float = 0.93
+    centroid_fraction: float = 0.05
+    geo_jitter_deg: float = 0.36  # MaxMind's claimed ~40 km accuracy
+    max_diurnal_prob: float = 0.92
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 1:
+            raise ValueError("n_blocks must be positive")
+        if not 0.0 <= self.geo_coverage <= 1.0:
+            raise ValueError("geo_coverage must be a fraction")
+
+
+@dataclass
+class InternetWorld:
+    """A generated block population and its registry views.
+
+    All per-block attributes are parallel arrays of length ``n_blocks``.
+    """
+
+    config: WorldConfig
+    countries: tuple
+    block_id: np.ndarray
+    country_idx: np.ndarray
+    lat: np.ndarray
+    lon: np.ndarray
+    asn: np.ndarray
+    as_records: list
+    alloc_year: np.ndarray
+    access_tech: np.ndarray
+    addressing: np.ndarray
+    rdns_style: np.ndarray
+    encode_mask: np.ndarray
+    is_diurnal: np.ndarray
+    n_active: np.ndarray
+    a_high: np.ndarray
+    a_low: np.ndarray
+    onset_frac: np.ndarray
+    uptime_frac: np.ndarray
+    noise_sigma: np.ndarray
+    lease_cpd: np.ndarray
+    lease_amp: np.ndarray
+    lease_phase: np.ndarray
+    _geodb: GeoDatabase | None = field(default=None, repr=False)
+    _ipasn: IpAsnTable | None = field(default=None, repr=False)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.block_id)
+
+    def country_of(self, i: int) -> Country:
+        return self.countries[self.country_idx[i]]
+
+    def country_codes(self) -> np.ndarray:
+        codes = np.array([c.code for c in self.countries], dtype=object)
+        return codes[self.country_idx]
+
+    def link_features(self, i: int) -> tuple:
+        """Keyword features the operator of block ``i`` encodes in rDNS.
+
+        Operators differ in verbosity: ``encode_mask`` selects whether the
+        naming scheme carries both the addressing and access keywords
+        (0), the addressing keyword only (1), or the access keyword only
+        (2) — which is why only ~11% of the paper's blocks show multiple
+        features.
+        """
+        addressing = (
+            str(self.addressing[i])
+            if self.addressing[i] in ("dyn", "dhcp", "ppp", "sta")
+            else None
+        )
+        access = str(self.access_tech[i])
+        if access not in ("dsl", "cable", "dial", "srv", "res", "wireless"):
+            access = None
+        mode = int(self.encode_mask[i])
+        features = []
+        if addressing and mode in (0, 1):
+            features.append(addressing)
+        if access and (mode in (0, 2) or not features):
+            features.append(access)
+        return tuple(features)
+
+    def alloc_month(self) -> np.ndarray:
+        """Allocation date in whole months since 1983-01 (Figure 15 axis)."""
+        return ((self.alloc_year - 1983.0) * 12).astype(np.int64)
+
+    def designed_diurnal_fraction(self, code: str) -> float:
+        """The generated (truth) diurnal fraction of one country."""
+        codes = self.country_codes()
+        mask = codes == code
+        if not mask.any():
+            return float("nan")
+        return float(self.is_diurnal[mask].mean())
+
+    def build_geodb(self, rng: np.random.Generator | None = None) -> GeoDatabase:
+        """MaxMind-like view: coverage gaps, jitter, centroid fallbacks."""
+        if self._geodb is not None:
+            return self._geodb
+        rng = rng or np.random.default_rng(self.config.seed + 101)
+        cfg = self.config
+        records = {}
+        for i in range(self.n_blocks):
+            if rng.random() >= cfg.geo_coverage:
+                continue
+            country = self.country_of(i)
+            if rng.random() < cfg.centroid_fraction:
+                records[int(self.block_id[i])] = GeoRecord(
+                    lat=country.lat,
+                    lon=country.lon,
+                    country=country.code,
+                    city_precision=False,
+                )
+            else:
+                records[int(self.block_id[i])] = GeoRecord(
+                    lat=float(
+                        np.clip(
+                            self.lat[i] + rng.normal(0, cfg.geo_jitter_deg),
+                            -89.9,
+                            89.9,
+                        )
+                    ),
+                    lon=float(
+                        (self.lon[i] + rng.normal(0, cfg.geo_jitter_deg) + 180.0)
+                        % 360.0
+                        - 180.0
+                    ),
+                    country=country.code,
+                    city_precision=True,
+                )
+        self._geodb = GeoDatabase(records)
+        return self._geodb
+
+    def build_ipasn(self) -> IpAsnTable:
+        """Team-Cymru-like view: contiguous block ranges per AS."""
+        if self._ipasn is not None:
+            return self._ipasn
+        table = IpAsnTable()
+        if self.n_blocks:
+            records_by_asn = {r.asn: r for r in self.as_records}
+            start = 0
+            for i in range(1, self.n_blocks + 1):
+                if i == self.n_blocks or self.asn[i] != self.asn[start]:
+                    asn = int(self.asn[start])
+                    table.add_range(
+                        int(self.block_id[start]),
+                        i - start,
+                        records_by_asn[asn],
+                    )
+                    start = i
+        self._ipasn = table
+        return self._ipasn
+
+
+def _sample_lease_cpd(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Lease-cycle frequencies in cycles/day, away from 1 and 2 c/d.
+
+    Mixture of slow (multi-day), intermediate and fast cycles; the bands
+    around the diurnal fundamental and first harmonic are excluded so the
+    competitor is never itself a diurnal signal.
+    """
+    choice = rng.random(n)
+    slow = rng.uniform(0.3, 0.85, n)
+    mid = rng.uniform(1.2, 1.8, n)
+    fast = rng.uniform(2.3, 2.85, n)
+    return np.where(choice < 0.3, slow, np.where(choice < 0.65, mid, fast))
+
+
+def _isp_names(country: Country, n_isps: int) -> list[list[str]]:
+    """WHOIS name variants per ISP; first ISP gets two AS name spellings."""
+    stem = country.name.split(",")[0]
+    templates = [
+        [f"{stem} Telecom", f"{stem.upper().replace(' ', '-')}-TELECOM Backbone"],
+        [f"{stem} CableVision Corp"],
+        [f"Uni{country.code} Networks"],
+        [f"{stem} Datacom Ltd."],
+        [f"NetAccess {country.code} Inc."],
+        [f"{stem} Regional ISP"],
+    ]
+    return templates[:n_isps]
+
+
+def generate_world(config: WorldConfig | None = None) -> InternetWorld:
+    """Generate a world; deterministic given the config seed."""
+    config = config or WorldConfig()
+    rng = np.random.default_rng(config.seed)
+
+    total = sum(c.blocks for c in COUNTRIES)
+    counts = np.array(
+        [int(round(c.blocks / total * config.n_blocks)) for c in COUNTRIES]
+    )
+    # Rounding can drop or add a few blocks; patch the largest country.
+    counts[int(np.argmax(counts))] += config.n_blocks - counts.sum()
+
+    country_idx_parts = []
+    asn_parts = []
+    as_records: list[AsRecord] = []
+    next_asn = 64500
+
+    for ci, (country, n_c) in enumerate(zip(COUNTRIES, counts)):
+        if n_c <= 0:
+            continue
+        country_idx_parts.append(np.full(n_c, ci, dtype=np.int64))
+        n_isps = max(1, min(6, n_c // 800 + 1))
+        name_sets = _isp_names(country, n_isps)
+        weights = rng.dirichlet(np.full(n_isps, 2.0))
+        isp_sizes = np.maximum((weights * n_c).astype(np.int64), 0)
+        isp_sizes[0] += n_c - isp_sizes.sum()
+        for names, size in zip(name_sets, isp_sizes):
+            if size <= 0:
+                continue
+            isp_asns = []
+            for name in names:
+                as_records.append(AsRecord(next_asn, name, country.code))
+                isp_asns.append(next_asn)
+                next_asn += 1
+            # Split the ISP's blocks across its AS numbers (usually 1-2).
+            per_asn = np.array_split(np.arange(size), len(isp_asns))
+            block_asns = np.concatenate(
+                [
+                    np.full(len(part), isp_asn, dtype=np.int64)
+                    for part, isp_asn in zip(per_asn, isp_asns)
+                ]
+            )
+            asn_parts.append(block_asns)
+
+    country_idx = np.concatenate(country_idx_parts)
+    asn = np.concatenate(asn_parts)
+    n = len(country_idx)
+    block_id = np.arange(0x01_00_00, 0x01_00_00 + n, dtype=np.int64)
+
+    countries = tuple(COUNTRIES)
+    gdp = np.array([countries[i].gdp_pc for i in country_idx])
+    frac = np.array([countries[i].diurnal_frac for i in country_idx])
+    mean_alloc = np.array([countries[i].mean_alloc_year for i in country_idx])
+    first_alloc = np.array([countries[i].first_alloc_year for i in country_idx])
+    c_lat = np.array([countries[i].lat for i in country_idx])
+    c_lon = np.array([countries[i].lon for i in country_idx])
+    spread = np.array(
+        [
+            _COUNTRY_SPREAD.get(countries[i].code, _DEFAULT_SPREAD)
+            for i in country_idx
+        ]
+    )
+    multi_tz = np.array(
+        [countries[i].code in _MULTI_TZ for i in country_idx], dtype=bool
+    )
+
+    lat = np.clip(c_lat + rng.normal(0, 1, n) * spread[:, 0] / 2, -85.0, 85.0)
+    lon = (c_lon + rng.normal(0, 1, n) * spread[:, 1] / 2 + 180.0) % 360.0 - 180.0
+
+    alloc_year = np.clip(
+        rng.normal(mean_alloc, 3.0, n), first_alloc, 2013.0
+    )
+
+    # Access technology: interpolate the mixes by development level.
+    w = np.clip((gdp - 8000.0) / 22000.0, 0.0, 1.0)
+    mixes = w[:, None] * _MIX_DEVELOPED + (1 - w[:, None]) * _MIX_DEVELOPING
+    cum = np.cumsum(mixes, axis=1)
+    draw = rng.random(n)[:, None]
+    access_idx = (draw >= cum).sum(axis=1)
+    access_tech = np.array(_ACCESS_TECHS, dtype=object)[access_idx]
+
+    # Addressing: dynamic share rises with the country's diurnal fraction
+    # and with allocation recency (post-exhaustion reuse pressure).
+    p_dynamic = np.clip(
+        0.30 + 0.55 * frac + 0.012 * (alloc_year - 2000.0), 0.05, 0.92
+    )
+    is_dynamic = rng.random(n) < p_dynamic
+    addressing = np.full(n, "none", dtype=object)
+    dyn_choice = rng.random(n)
+    # Dynamic flavour follows access tech: PPP with DSL/dial, DHCP on cable.
+    ppp_biased = np.isin(access_tech.astype(str), ("dsl", "dial"))
+    cable = access_tech.astype(str) == "cable"
+    addressing[is_dynamic & (dyn_choice < 0.5)] = "dyn"
+    addressing[is_dynamic & (dyn_choice >= 0.5) & ppp_biased] = "ppp"
+    addressing[is_dynamic & (dyn_choice >= 0.5) & cable] = "dhcp"
+    addressing[is_dynamic & (addressing == "none")] = "dyn"
+    static_named = ~is_dynamic & (rng.random(n) < 0.5)
+    addressing[static_named] = "sta"
+
+    # Diurnal assignment: country fraction x relative risks, renormalized
+    # per country so the Table 3/4 marginals survive.
+    r_addr = np.array([_ADDRESSING_RISK[a] for a in addressing])
+    r_access = np.array([_ACCESS_RISK[a] for a in access_tech])
+    r_alloc = np.clip(1.0 + 0.055 * (alloc_year - mean_alloc), 0.5, 1.7)
+    risk = r_addr * r_access * r_alloc
+    mean_risk = np.ones(n)
+    for ci in np.unique(country_idx):
+        mask = country_idx == ci
+        mean_risk[mask] = risk[mask].mean()
+    p_diurnal = np.clip(frac * risk / mean_risk, 0.0, config.max_diurnal_prob)
+    is_diurnal = rng.random(n) < p_diurnal
+
+    rdns_style = rng.choice(
+        np.array(_RDNS_STYLES, dtype=object), size=n, p=_RDNS_WEIGHTS
+    )
+    # 0: encode both keywords, 1: addressing only, 2: access only.
+    encode_mask = rng.choice(
+        np.array([0, 1, 2], dtype=np.int8), size=n, p=[0.25, 0.35, 0.40]
+    )
+
+    # Behavioural parameters.
+    n_active = np.clip(
+        np.exp(rng.normal(4.2, 0.7, n)).astype(np.int64), 15, 250
+    )
+    a_high = rng.uniform(0.55, 0.90, n)
+    # Infrastructure blocks (servers, static pools on always-on access)
+    # run dense and quiet: availability near 1 with very little churn.
+    # These are the blocks whose spectra are flat enough for the prober
+    # restart artifact to dominate (Figure 10's ~4.3 cycles/day bump).
+    infra = np.isin(access_tech.astype(str), ("srv", "fiber")) & ~is_diurnal
+    a_high = np.where(infra, rng.uniform(0.93, 0.995, n), a_high)
+    depth = rng.uniform(0.35, 0.80, n)
+    a_low = np.where(is_diurnal, a_high * (1 - depth), a_high)
+    # Non-diurnal blocks split into "weakly diurnal" ones — enough daily
+    # ripple to top the spectrum at 1 cycle/day without the 2x strict
+    # dominance (the paper's 25% relaxed vs 11% strict gap) — and flat
+    # ones with only faint usage ripple.  Weak diurnality is more common
+    # where strict diurnality is.
+    p_weak = np.clip(0.12 + 0.62 * frac, 0.0, 0.65)
+    weak = ~is_diurnal & ~infra & (rng.random(n) < p_weak)
+    ripple = np.where(weak, rng.uniform(0.08, 0.22, n), rng.uniform(0.0, 0.03, n))
+    # Infrastructure blocks barely breathe: their flat spectra are where
+    # the prober-restart artifact can surface (Figure 10).
+    ripple = np.where(infra, rng.uniform(0.0, 0.008, n), ripple)
+    a_low = np.where(is_diurnal, a_low, a_high * (1 - ripple))
+
+    # Competing periodicities: DHCP-lease-style cycles at frequencies away
+    # from 1 and 2 cycles/day (the paper's section 4 "other periodicity"
+    # discussion).  Weak blocks get a competitor comparable to their daily
+    # signal, which is exactly what denies them the strict 2x dominance.
+    daily_amp = (a_high - a_low) / 2.0
+    lease_cpd = _sample_lease_cpd(rng, n)
+    # Weak blocks keep their competitor below ~1.8 c/d: the short-term
+    # EWMA attenuates faster cycles enough to hand dominance back to the
+    # daily signal, which would wrongly re-qualify them as strict.
+    lease_cpd[weak] = np.where(
+        rng.random(n)[weak] < 0.45,
+        rng.uniform(0.3, 0.85, n)[weak],
+        rng.uniform(1.2, 1.8, n)[weak],
+    )
+    lease_amp = np.zeros(n)
+    lease_amp[weak] = daily_amp[weak] * rng.uniform(0.8, 1.4, weak.sum())
+    strict_mask_design = is_diurnal
+    lease_amp[strict_mask_design] = daily_amp[strict_mask_design] * rng.uniform(
+        0.0, 0.25, strict_mask_design.sum()
+    )
+    flat = ~is_diurnal & ~weak & ~infra
+    has_flat_lease = flat & (rng.random(n) < 0.3)
+    lease_amp[has_flat_lease] = a_high[has_flat_lease] * rng.uniform(
+        0.01, 0.05, has_flat_lease.sum()
+    )
+    lease_phase = rng.uniform(-np.pi, np.pi, n)
+
+    tz_lon = np.where(multi_tz, lon, c_lon)
+    wake_local_h = rng.normal(8.0, 1.0, n)
+    onset_frac = ((wake_local_h - tz_lon / 15.0) % 24.0) / 24.0
+    uptime_frac = np.clip(rng.normal(13.5, 1.5, n), 6.0, 18.0) / 24.0
+    noise_sigma = np.where(
+        infra, rng.uniform(0.003, 0.012, n), rng.uniform(0.01, 0.04, n)
+    )
+
+    return InternetWorld(
+        config=config,
+        countries=countries,
+        block_id=block_id,
+        country_idx=country_idx,
+        lat=lat,
+        lon=lon,
+        asn=asn,
+        as_records=as_records,
+        alloc_year=alloc_year,
+        access_tech=access_tech,
+        addressing=addressing,
+        rdns_style=rdns_style,
+        encode_mask=encode_mask,
+        is_diurnal=is_diurnal,
+        n_active=n_active,
+        a_high=a_high,
+        a_low=a_low,
+        onset_frac=onset_frac,
+        uptime_frac=uptime_frac,
+        noise_sigma=noise_sigma,
+        lease_cpd=lease_cpd,
+        lease_amp=lease_amp,
+        lease_phase=lease_phase,
+    )

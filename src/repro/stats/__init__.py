@@ -1,0 +1,30 @@
+"""Statistics substrate: descriptive tools, OLS regression, and ANOVA.
+
+The paper leans on three statistical instruments: Pearson correlation (for
+the Figure 4/14 validations), linear regression (Figures 15/16), and R's
+``aov`` for the Table 5 factor analysis.  All three are implemented here
+from first principles; only the F-distribution tail probability is taken
+from scipy.
+"""
+
+from repro.stats.descriptive import (
+    binned_quartiles,
+    density_grid,
+    pearson,
+    unroll_phase,
+)
+from repro.stats.regression import LinearFit, fit_line
+from repro.stats.anova import AnovaRow, AnovaTable, anova_lm, pairwise_anova
+
+__all__ = [
+    "AnovaRow",
+    "AnovaTable",
+    "LinearFit",
+    "anova_lm",
+    "binned_quartiles",
+    "density_grid",
+    "fit_line",
+    "pairwise_anova",
+    "pearson",
+    "unroll_phase",
+]

@@ -1,0 +1,110 @@
+"""Descriptive statistics used throughout the analysis layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["binned_quartiles", "density_grid", "pearson", "unroll_phase"]
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    NaN pairs are dropped.  Degenerate inputs (fewer than two valid pairs,
+    or zero variance) return 0.0 rather than raising, since sweeps routinely
+    produce empty cells.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    valid = ~(np.isnan(x) | np.isnan(y))
+    x, y = x[valid], y[valid]
+    if len(x) < 2:
+        return 0.0
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt(np.dot(xc, xc) * np.dot(yc, yc))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(xc, yc) / denom)
+
+
+@dataclass
+class BinnedQuartiles:
+    """Quartiles of ``y`` within equal-width bins of ``x`` (Figure 4/5 boxes)."""
+
+    bin_edges: np.ndarray
+    bin_centers: np.ndarray
+    counts: np.ndarray
+    q1: np.ndarray
+    median: np.ndarray
+    q3: np.ndarray
+
+
+def binned_quartiles(
+    x: np.ndarray, y: np.ndarray, bin_width: float = 0.1,
+    lo: float = 0.0, hi: float = 1.0,
+) -> BinnedQuartiles:
+    """Quartiles of ``y`` grouped by ``bin_width``-wide bins of ``x``.
+
+    Empty bins report NaN quartiles and zero counts.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    n_bins = int(round((hi - lo) / bin_width))
+    edges = lo + np.arange(n_bins + 1) * bin_width
+    centers = (edges[:-1] + edges[1:]) / 2
+    idx = np.clip(((x - lo) / bin_width).astype(np.int64), 0, n_bins - 1)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    q1 = np.full(n_bins, np.nan)
+    med = np.full(n_bins, np.nan)
+    q3 = np.full(n_bins, np.nan)
+    for b in range(n_bins):
+        members = y[idx == b]
+        counts[b] = len(members)
+        if len(members):
+            q1[b], med[b], q3[b] = np.percentile(members, [25, 50, 75])
+    return BinnedQuartiles(
+        bin_edges=edges, bin_centers=centers, counts=counts, q1=q1, median=med, q3=q3
+    )
+
+
+def density_grid(
+    x: np.ndarray,
+    y: np.ndarray,
+    n_bins: int = 100,
+    x_range: tuple[float, float] = (0.0, 1.0),
+    y_range: tuple[float, float] = (0.0, 1.0),
+    normalize: bool = True,
+) -> np.ndarray:
+    """2-D density histogram, as drawn in the paper's Figures 4, 5 and 14.
+
+    When ``normalize`` is set, counts are divided by the total number of
+    points — the paper normalizes by (number of blocks × rounds).
+    """
+    hist, _, _ = np.histogram2d(
+        np.asarray(x, dtype=np.float64).ravel(),
+        np.asarray(y, dtype=np.float64).ravel(),
+        bins=n_bins,
+        range=[list(x_range), list(y_range)],
+    )
+    if normalize and hist.sum() > 0:
+        hist = hist / hist.sum()
+    return hist
+
+
+def unroll_phase(phase: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Unwrap circular ``phase`` (radians) around a per-point ``reference``.
+
+    Both phase and longitude wrap around the circle; the paper "unrolls"
+    phase into the window ``[reference - pi, reference + pi)`` so a linear
+    correlation against longitude (also in radians) makes sense.
+    """
+    phase = np.asarray(phase, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    return reference + np.angle(np.exp(1j * (phase - reference)))

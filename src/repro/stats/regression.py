@@ -1,0 +1,72 @@
+"""Ordinary least squares line fitting (Figures 15 and 16)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["LinearFit", "fit_line"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted line ``y = slope * x + intercept`` with fit quality.
+
+    Attributes:
+        slope, intercept: OLS coefficients.
+        r: Pearson correlation coefficient of x and y.
+        p_value: two-sided p-value for the null hypothesis slope == 0.
+        stderr: standard error of the slope.
+        n: number of points used.
+    """
+
+    slope: float
+    intercept: float
+    r: float
+    p_value: float
+    stderr: float
+    n: int
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def fit_line(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """OLS fit of y on x, dropping NaN pairs.
+
+    Raises ValueError with fewer than three valid points (no residual
+    degrees of freedom for the significance test).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    valid = ~(np.isnan(x) | np.isnan(y))
+    x, y = x[valid], y[valid]
+    n = len(x)
+    if n < 3:
+        raise ValueError(f"need at least 3 points to fit a line, got {n}")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    sxx = float(np.dot(xc, xc))
+    if sxx == 0.0:
+        raise ValueError("x has zero variance; line is undefined")
+    slope = float(np.dot(xc, yc) / sxx)
+    intercept = float(y.mean() - slope * x.mean())
+    syy = float(np.dot(yc, yc))
+    r = 0.0 if syy == 0.0 else slope * np.sqrt(sxx / syy)
+    residuals = y - (slope * x + intercept)
+    rss = float(np.dot(residuals, residuals))
+    df = n - 2
+    stderr = np.sqrt(rss / df / sxx) if df > 0 else float("nan")
+    if stderr > 0 and df > 0:
+        t_stat = slope / stderr
+        p_value = float(2 * sps.t.sf(abs(t_stat), df))
+    else:
+        p_value = 0.0 if slope != 0 else 1.0
+    return LinearFit(
+        slope=slope, intercept=intercept, r=float(r),
+        p_value=p_value, stderr=float(stderr), n=n,
+    )

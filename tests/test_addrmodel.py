@@ -1,0 +1,158 @@
+"""Unit and property tests for address behaviour models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addrmodel import (
+    DAY_SECONDS,
+    AddressKind,
+    make_always_on,
+    make_dead,
+    make_diurnal,
+    make_dynamic_pool,
+    merge_behaviors,
+)
+
+
+def times_for_days(days, round_s=660.0):
+    n = int(days * DAY_SECONDS / round_s)
+    return np.arange(n) * round_s
+
+
+class TestMakeHelpers:
+    def test_dead_never_responds(self):
+        b = make_dead(256)
+        resp = b.response_matrix(times_for_days(1), np.random.default_rng(0))
+        assert not resp.any()
+
+    def test_dead_not_ever_active(self):
+        assert len(make_dead(10).ever_active()) == 0
+
+    def test_always_on_ever_active(self):
+        assert len(make_always_on(42).ever_active()) == 42
+
+    def test_always_on_response_rate_matches_p(self):
+        b = make_always_on(100, p_response=0.7)
+        resp = b.response_matrix(times_for_days(2), np.random.default_rng(0))
+        assert resp.mean() == pytest.approx(0.7, abs=0.02)
+
+    def test_perfect_responder_always_answers(self):
+        b = make_always_on(10, p_response=1.0)
+        resp = b.response_matrix(times_for_days(1), np.random.default_rng(0))
+        assert resp.all()
+
+    def test_merge_respects_block_size(self):
+        with pytest.raises(ValueError):
+            merge_behaviors(make_always_on(200), make_always_on(200))
+
+    def test_merge_concatenates_kinds(self):
+        merged = merge_behaviors(make_always_on(50), make_diurnal(100, 0.0), make_dead(106))
+        assert merged.n_addresses == 256
+        assert (merged.kinds == AddressKind.ALWAYS_ON).sum() == 50
+        assert (merged.kinds == AddressKind.DIURNAL).sum() == 100
+        assert (merged.kinds == AddressKind.DEAD).sum() == 106
+
+    def test_mismatched_array_length_rejected(self):
+        b = make_always_on(10)
+        b_bad = dict(
+            kinds=b.kinds,
+            p_response=b.p_response[:5],
+            phase_s=b.phase_s,
+            uptime_s=b.uptime_s,
+            sigma_start_s=b.sigma_start_s,
+            sigma_duration_s=b.sigma_duration_s,
+            mean_up_s=b.mean_up_s,
+            mean_down_s=b.mean_down_s,
+        )
+        from repro.net.addrmodel import BlockBehavior
+
+        with pytest.raises(ValueError):
+            BlockBehavior(**b_bad)
+
+
+class TestDiurnal:
+    def test_up_during_window_only(self):
+        b = make_diurnal(1, phase_s=6 * 3600, uptime_s=8 * 3600, p_response=1.0)
+        times = times_for_days(1)
+        up = b.up_matrix(times, np.random.default_rng(0))[0]
+        tod = times % DAY_SECONDS
+        expected = (tod >= 6 * 3600) & (tod < 14 * 3600)
+        assert (up == expected).all()
+
+    def test_uptime_fraction_eight_hours(self):
+        b = make_diurnal(20, phase_s=0.0, uptime_s=8 * 3600, p_response=1.0)
+        up = b.up_matrix(times_for_days(7), np.random.default_rng(0))
+        assert up.mean() == pytest.approx(8 / 24, abs=0.01)
+
+    def test_window_wraps_midnight(self):
+        b = make_diurnal(1, phase_s=22 * 3600, uptime_s=4 * 3600, p_response=1.0)
+        times = times_for_days(1)
+        up = b.up_matrix(times, np.random.default_rng(0))[0]
+        tod = times % DAY_SECONDS
+        expected = (tod >= 22 * 3600) | (tod < 2 * 3600)
+        assert (up == expected).all()
+
+    def test_duration_noise_changes_daily_uptime(self):
+        b = make_diurnal(1, phase_s=0.0, uptime_s=8 * 3600, sigma_duration_s=2 * 3600)
+        times = times_for_days(10)
+        up = b.up_matrix(times, np.random.default_rng(1))[0]
+        day = (times // DAY_SECONDS).astype(int)
+        daily = np.array([up[day == d].mean() for d in range(10)])
+        assert daily.std() > 0.01
+
+    def test_zero_uptime_never_up(self):
+        b = make_diurnal(5, phase_s=0.0, uptime_s=0.0)
+        up = b.up_matrix(times_for_days(2), np.random.default_rng(0))
+        assert not up.any()
+
+    def test_per_address_phase_array(self):
+        phases = np.array([0.0, 12 * 3600.0])
+        b = make_diurnal(2, phase_s=phases, uptime_s=6 * 3600, p_response=1.0)
+        times = times_for_days(1)
+        up = b.up_matrix(times, np.random.default_rng(0))
+        tod = times % DAY_SECONDS
+        assert (up[0] == (tod < 6 * 3600)).all()
+        assert (up[1] == ((tod >= 12 * 3600) & (tod < 18 * 3600))).all()
+
+
+class TestDynamicPool:
+    def test_long_run_occupancy_matches_stationary(self):
+        b = make_dynamic_pool(60, mean_up_s=4 * 3600, mean_down_s=12 * 3600, p_response=1.0)
+        up = b.up_matrix(times_for_days(28), np.random.default_rng(3))
+        assert up.mean() == pytest.approx(0.25, abs=0.04)
+
+    def test_alternates_states(self):
+        b = make_dynamic_pool(1, mean_up_s=3600, mean_down_s=3600, p_response=1.0)
+        up = b.up_matrix(times_for_days(14), np.random.default_rng(4))[0]
+        transitions = np.abs(np.diff(up.astype(int))).sum()
+        assert transitions > 10
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_response_rate_never_exceeds_up_rate(n, p, seed):
+    """Responses require the address to be up: response => up, always."""
+    b = make_diurnal(n, phase_s=3 * 3600, uptime_s=9 * 3600, p_response=p,
+                     sigma_start_s=1800.0)
+    times = times_for_days(2)
+    rng = np.random.default_rng(seed)
+    up = b.up_matrix(times, np.random.default_rng(seed))
+    resp = b.response_matrix(times, np.random.default_rng(seed))
+    # Same seed gives the same up matrix; responses must be a subset.
+    assert not (resp & ~up).any()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_response_matrix_deterministic_given_rng(seed):
+    b = merge_behaviors(make_always_on(30, 0.8), make_diurnal(30, 7 * 3600))
+    times = times_for_days(1)
+    first = b.response_matrix(times, np.random.default_rng(seed))
+    second = b.response_matrix(times, np.random.default_rng(seed))
+    assert (first == second).all()

@@ -1,0 +1,82 @@
+"""Integration tests for the survey-based validation analyses
+(Figures 4/5, Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    run_availability_validation,
+    run_diurnal_validation,
+)
+
+
+@pytest.fixture(scope="module")
+def availability():
+    return run_availability_validation(n_blocks=40, seed=7)
+
+
+@pytest.fixture(scope="module")
+def validation():
+    return run_diurnal_validation(n_blocks=60, seed=7)
+
+
+class TestAvailabilityValidation:
+    def test_correlation_strong(self, availability):
+        """Figure 4: corr(A, Â_s) near the paper's 0.957."""
+        assert availability.correlation_short > 0.85
+
+    def test_estimator_unbiased(self, availability):
+        assert abs(availability.bias()) < 0.03
+
+    def test_operational_underestimates(self, availability):
+        """Figure 5: Â_o under true A in ~94% of comparable rounds."""
+        assert availability.underestimate_fraction() > 0.85
+
+    def test_quartiles_track_diagonal(self, availability):
+        bq = availability.short_quartiles()
+        valid = bq.counts > 100
+        err = np.abs(bq.median[valid] - bq.bin_centers[valid])
+        assert np.nanmedian(err) < 0.08
+
+    def test_operational_quartiles_below_diagonal(self, availability):
+        bq = availability.operational_quartiles()
+        valid = (bq.counts > 100) & (bq.bin_centers > 0.3)
+        assert (bq.median[valid] < bq.bin_centers[valid]).mean() > 0.8
+
+    def test_density_normalized(self, availability):
+        grid = availability.density()
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_format_table(self, availability):
+        text = availability.format_table()
+        assert "corr(A, A_s)" in text
+        assert "paper" in text
+
+
+class TestDiurnalValidation:
+    def test_confusion_matrix_totals(self, validation):
+        assert validation.total > 0
+        assert (
+            validation.d_dhat + validation.n_nhat
+            + validation.d_nhat + validation.n_dhat
+        ) == validation.total
+
+    def test_accuracy_near_paper(self, validation):
+        """Paper: 90.99% accuracy."""
+        assert validation.accuracy > 0.8
+
+    def test_precision_high(self, validation):
+        """Paper: 82.48% precision — false diurnal calls are rare."""
+        assert validation.precision > 0.8
+
+    def test_false_negative_biased(self, validation):
+        """The paper's deliberate bias: misses outnumber false alarms."""
+        assert validation.false_negative_biased
+
+    def test_stationary_fraction_near_paper(self, validation):
+        """Paper: 80.3% of survey blocks stationary."""
+        assert 0.7 < validation.stationary_fraction < 0.97
+
+    def test_format_table(self, validation):
+        text = validation.format_table()
+        assert "precision" in text and "d_hat" in text

@@ -1,0 +1,138 @@
+"""Tests for the linear-model ANOVA (paper section 2.4, Table 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.anova import anova_lm, pairwise_anova
+
+
+def make_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    gdp = rng.uniform(1, 50, n)
+    elec = rng.uniform(0.1, 15, n)
+    noise = rng.normal(0, 1.0, n)
+    return gdp, elec, noise
+
+
+class TestAnovaLm:
+    def test_strong_single_factor_significant(self):
+        gdp, elec, noise = make_data()
+        y = -0.05 * gdp + 0.1 * noise
+        table = anova_lm(y, {"gdp": gdp}, ["gdp"])
+        assert table.p_of("gdp") < 1e-10
+
+    def test_unrelated_factor_not_significant(self):
+        gdp, elec, noise = make_data(seed=1)
+        y = noise
+        table = anova_lm(y, {"gdp": gdp}, ["gdp"])
+        assert table.p_of("gdp") > 0.01
+
+    def test_interaction_detected(self):
+        gdp, elec, noise = make_data(seed=2)
+        y = 0.02 * gdp * elec + 0.5 * noise
+        table = anova_lm(
+            y, {"gdp": gdp, "elec": elec}, ["gdp", "elec", "gdp:elec"]
+        )
+        assert table.p_of("gdp:elec") < 1e-6
+
+    def test_sequential_ss_sum_to_total(self):
+        gdp, elec, noise = make_data(seed=3)
+        y = 0.1 * gdp - 0.2 * elec + noise
+        table = anova_lm(y, {"gdp": gdp, "elec": elec}, ["gdp", "elec"])
+        total_ss = float(((y - y.mean()) ** 2).sum())
+        explained = sum(row.sum_sq for row in table.rows)
+        assert explained + table.residual_ss == pytest.approx(total_ss)
+
+    def test_term_order_changes_type1_ss(self):
+        """Type I SS is sequential: correlated factors split differently."""
+        rng = np.random.default_rng(4)
+        a = rng.normal(0, 1, 300)
+        b = a + rng.normal(0, 0.3, 300)  # strongly correlated with a
+        y = a + rng.normal(0, 0.5, 300)
+        ab = anova_lm(y, {"a": a, "b": b}, ["a", "b"])
+        ba = anova_lm(y, {"a": a, "b": b}, ["b", "a"])
+        ss_a_first = next(r.sum_sq for r in ab.rows if r.term == "a")
+        ss_a_second = next(r.sum_sq for r in ba.rows if r.term == "a")
+        assert ss_a_first > ss_a_second
+
+    def test_categorical_factor(self):
+        rng = np.random.default_rng(5)
+        region = np.array(["asia", "europe", "america"] * 60)
+        effect = {"asia": 0.4, "europe": 0.1, "america": 0.0}
+        y = np.array([effect[r] for r in region]) + rng.normal(0, 0.1, 180)
+        table = anova_lm(y, {"region": region}, ["region"])
+        row = table.rows[0]
+        assert row.df == 2  # three levels, treatment coding
+        assert row.p_value < 1e-10
+
+    def test_categorical_single_level_contributes_nothing(self):
+        rng = np.random.default_rng(6)
+        region = np.array(["asia"] * 30)
+        y = rng.normal(0, 1, 30)
+        table = anova_lm(y, {"region": region}, ["region"])
+        assert table.rows[0].df == 0
+        assert table.rows[0].p_value == 1.0
+
+    def test_unknown_factor_rejected(self):
+        with pytest.raises(KeyError):
+            anova_lm(np.zeros(10), {"a": np.arange(10)}, ["b"])
+
+    def test_wrong_length_factor_rejected(self):
+        with pytest.raises(ValueError):
+            anova_lm(np.zeros(10), {"a": np.arange(9)}, ["a"])
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError):
+            anova_lm(np.zeros(10), {"a": np.arange(10)}, [])
+
+    def test_saturated_model_rejected(self):
+        with pytest.raises(ValueError):
+            anova_lm(
+                np.array([1.0, 2.0, 3.0]),
+                {"a": np.array([1.0, 2.0, 4.0]), "b": np.array([2.0, 1.0, 5.0])},
+                ["a", "b"],
+            )
+
+    def test_table_formatting(self):
+        gdp, _, noise = make_data(seed=7)
+        table = anova_lm(noise + 0.1 * gdp, {"gdp": gdp}, ["gdp"])
+        text = str(table)
+        assert "gdp" in text and "residuals" in text
+
+    def test_matches_scipy_f_oneway_for_groups(self):
+        """One-way ANOVA on a categorical factor must agree with scipy."""
+        from scipy.stats import f_oneway
+
+        rng = np.random.default_rng(8)
+        groups = [rng.normal(mu, 1.0, 40) for mu in (0.0, 0.3, 0.8)]
+        y = np.concatenate(groups)
+        labels = np.array(["g0"] * 40 + ["g1"] * 40 + ["g2"] * 40)
+        table = anova_lm(y, {"g": labels}, ["g"])
+        ref_f, ref_p = f_oneway(*groups)
+        assert table.rows[0].f_value == pytest.approx(ref_f)
+        assert table.rows[0].p_value == pytest.approx(ref_p, rel=1e-9)
+
+
+class TestPairwiseAnova:
+    def test_table5_layout(self):
+        gdp, elec, noise = make_data(seed=9)
+        alloc = np.random.default_rng(10).uniform(0, 20, len(gdp))
+        y = -0.04 * gdp + 0.2 * noise
+        table = pairwise_anova(
+            y, {"gdp": gdp, "elec": elec, "alloc": alloc}
+        )
+        assert ("gdp", "gdp") in table
+        assert ("gdp", "elec") in table
+        assert ("elec", "alloc") in table
+        assert ("elec", "gdp") not in table  # unordered pairs stored once
+        assert table[("gdp", "gdp")] < 1e-8
+        assert table[("elec", "elec")] > 0.01
+
+    def test_interaction_only_effect(self):
+        rng = np.random.default_rng(11)
+        a = rng.normal(0, 1, 400)
+        b = rng.normal(0, 1, 400)
+        y = a * b + rng.normal(0, 0.5, 400)
+        table = pairwise_anova(y, {"a": a, "b": b})
+        assert table[("a", "b")] < 1e-10
+        assert table[("a", "a")] > 0.001

@@ -1,0 +1,127 @@
+"""Tests for the IP→ASN table and organization clustering."""
+
+import numpy as np
+import pytest
+
+from repro.asn import AsRecord, IpAsnTable, OrgMapper, normalize_org_name
+from repro.net.ipaddr import ip_to_int, parse_block
+
+
+def make_table():
+    table = IpAsnTable()
+    table.add_range(parse_block("10.0.0/24"), 256, AsRecord(100, "Time Warner Cable Inc.", "US"))
+    table.add_range(parse_block("10.1.0/24"), 128, AsRecord(200, "China Telecom", "CN"))
+    table.add_range(parse_block("10.2.0/24"), 64, AsRecord(201, "CHINA-TELECOM Backbone", "CN"))
+    return table
+
+
+class TestIpAsnTable:
+    def test_lookup_inside_range(self):
+        table = make_table()
+        assert table.asn_of_block(parse_block("10.0.5/24")) == 100
+        assert table.asn_of_block(parse_block("10.1.0/24")) == 200
+
+    def test_lookup_outside_ranges(self):
+        table = make_table()
+        assert table.asn_of_block(parse_block("9.255.255/24")) is None
+        assert table.asn_of_block(parse_block("10.3.0/24")) is None
+
+    def test_dot0_convention_matches_block_lookup(self):
+        """The paper maps blocks by their .0 address; both views agree."""
+        table = make_table()
+        block = parse_block("10.0.77/24")
+        assert table.asn_of_block_dot0(block) == table.asn_of_block(block)
+
+    def test_asn_of_ip(self):
+        table = make_table()
+        assert table.asn_of_ip(ip_to_int("10.1.0.55")) == 200
+
+    def test_overlapping_range_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.add_range(parse_block("10.2.10/24"), 10, AsRecord(9, "X", "US"))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            IpAsnTable().add_range(0, 0, AsRecord(1, "X", "US"))
+
+    def test_blocks_of_asn(self):
+        table = make_table()
+        blocks = table.blocks_of_asn(100)
+        assert len(blocks) == 256
+        assert blocks[0] == parse_block("10.0.0/24")
+
+    def test_blocks_of_unknown_asn_empty(self):
+        assert len(make_table().blocks_of_asn(999)) == 0
+
+    def test_map_blocks_vectorized(self):
+        table = make_table()
+        ids = np.array([parse_block("10.0.0/24"), parse_block("10.3.0/24")])
+        assert table.map_blocks(ids).tolist() == [100, -1]
+
+    def test_coverage(self):
+        table = make_table()
+        ids = np.array([parse_block("10.0.0/24"), parse_block("10.1.1/24"),
+                        parse_block("10.3.0/24"), parse_block("10.4.0/24")])
+        assert table.coverage(ids) == 0.5
+
+    def test_record_of(self):
+        table = make_table()
+        assert table.record_of(100).country == "US"
+        assert table.record_of(999) is None
+
+
+class TestNormalization:
+    def test_strips_boilerplate(self):
+        assert normalize_org_name("Time Warner Cable Inc.") == "time warner"
+
+    def test_hyphen_and_case_insensitive(self):
+        assert normalize_org_name("TIME-WARNER-CABLE") == "time warner"
+
+    def test_all_boilerplate_falls_back(self):
+        assert normalize_org_name("The Internet Company") != ""
+
+    def test_distinct_orgs_stay_distinct(self):
+        assert normalize_org_name("Comcast Cable") != normalize_org_name(
+            "Charter Communications"
+        )
+
+
+class TestOrgMapper:
+    def test_variants_cluster_together(self):
+        mapper = OrgMapper(
+            [
+                AsRecord(1, "Time Warner Cable Inc.", "US"),
+                AsRecord(2, "TIME-WARNER-CABLE", "US"),
+                AsRecord(3, "Comcast Cable Communications", "US"),
+            ]
+        )
+        clusters = mapper.find_clusters("time warner")
+        assert len(clusters) == 1
+        assert sorted(clusters[0].asns) == [1, 2]
+
+    def test_keyword_query_returns_all_asns(self):
+        table = make_table()
+        mapper = OrgMapper(table.all_records())
+        assert mapper.asns_of_org("china") == [200, 201]
+
+    def test_blocks_of_org_joins_with_table(self):
+        """The paper's final join: keyword → clusters → ASes → /24 blocks."""
+        table = make_table()
+        mapper = OrgMapper(table.all_records())
+        blocks = mapper.blocks_of_org("china", table)
+        assert len(blocks) == 128 + 64
+
+    def test_unknown_org_empty(self):
+        table = make_table()
+        mapper = OrgMapper(table.all_records())
+        assert len(mapper.blocks_of_org("nonexistent", table)) == 0
+
+    def test_cluster_of_asn(self):
+        mapper = OrgMapper([AsRecord(5, "Example Networks", "DE")])
+        assert mapper.cluster_of_asn(5) is not None
+        assert mapper.cluster_of_asn(6) is None
+
+    def test_n_clusters(self):
+        mapper = OrgMapper(make_table().all_records())
+        assert mapper.n_clusters == 2  # Time Warner + China Telecom

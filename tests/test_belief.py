@@ -1,0 +1,116 @@
+"""Tests for the Bayesian block-state belief."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.probing.belief import BeliefConfig, BlockBelief, BlockState
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        BeliefConfig()
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            BeliefConfig(up_threshold=0.1, down_threshold=0.9)
+
+    def test_rejects_bad_p_lie(self):
+        with pytest.raises(ValueError):
+            BeliefConfig(p_lie=0.0)
+        with pytest.raises(ValueError):
+            BeliefConfig(p_lie=0.6)
+
+    def test_rejects_degenerate_prior(self):
+        with pytest.raises(ValueError):
+            BeliefConfig(prior_up=1.0)
+
+
+class TestUpdates:
+    def test_positive_concludes_up(self):
+        b = BlockBelief()
+        b.update(True, availability=0.5)
+        assert b.state() is BlockState.UP
+
+    def test_positive_recovers_from_down(self):
+        b = BlockBelief()
+        for _ in range(30):
+            b.update(False, availability=0.9)
+        assert b.state() is BlockState.DOWN
+        b.update(True, availability=0.9)
+        assert b.state() is BlockState.UP
+
+    def test_negatives_conclude_down_eventually(self):
+        b = BlockBelief()
+        for _ in range(50):
+            b.update(False, availability=0.9)
+        assert b.state() is BlockState.DOWN
+
+    def test_high_availability_negatives_stronger_evidence(self):
+        """With a higher assumed availability, fewer negatives conclude down."""
+
+        def negatives_to_down(avail):
+            b = BlockBelief()
+            n = 0
+            while b.state() is not BlockState.DOWN:
+                b.update(False, avail)
+                n += 1
+                assert n < 1000
+            return n
+
+        assert negatives_to_down(0.9) < negatives_to_down(0.3)
+
+    def test_overestimated_availability_causes_false_outages(self):
+        """The section 2.1.1 failure mode: Â_o > A makes negatives too damning.
+
+        A block with true per-address availability 0.3 produces ~70%
+        negatives even when up; with an (over)assumed availability of 0.9
+        the belief machine concludes "down" after very few of them.
+        """
+        b = BlockBelief()
+        for _ in range(3):
+            b.update(False, availability=0.9)
+        assert b.belief < 0.5  # already half-convinced of an outage
+
+    def test_belief_stays_in_unit_interval(self):
+        b = BlockBelief()
+        for _ in range(1000):
+            b.update(False, availability=0.99)
+        assert 0.0 < b.belief < 1.0
+        for _ in range(5):
+            b.update(True, availability=0.01)
+        assert 0.0 < b.belief < 1.0
+
+    def test_reset_restores_prior(self):
+        b = BlockBelief()
+        for _ in range(20):
+            b.update(False, 0.9)
+        b.reset()
+        assert b.belief == b.config.prior_up
+        assert b.state() is BlockState.UP
+
+    def test_is_decided(self):
+        cfg = BeliefConfig(prior_up=0.5)
+        b = BlockBelief(cfg)
+        assert b.state() is BlockState.UNCERTAIN
+        assert not b.is_decided()
+        b.update(True, 0.5)
+        assert b.is_decided()
+
+
+@given(
+    avail=st.floats(min_value=0.0, max_value=1.0),
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=50),
+)
+def test_belief_always_a_probability(avail, outcomes):
+    b = BlockBelief()
+    for outcome in outcomes:
+        value = b.update(outcome, avail)
+        assert 0.0 < value < 1.0
+
+
+@given(avail=st.floats(min_value=0.1, max_value=0.9))
+def test_positive_always_increases_belief_from_uncertain(avail):
+    b = BlockBelief(BeliefConfig(prior_up=0.5))
+    before = b.belief
+    assert b.update(True, avail) > before

@@ -1,0 +1,80 @@
+"""Tests for Block24 and ResponseOracle."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    Block24,
+    Outage,
+    make_always_on,
+    make_dead,
+    make_diurnal,
+    merge_behaviors,
+    parse_block,
+)
+
+
+def simple_block(block="10.0.0/24"):
+    behavior = merge_behaviors(make_always_on(40, p_response=0.8), make_dead(216))
+    return Block24(parse_block(block), behavior)
+
+
+class TestRealize:
+    def test_oracle_shape(self):
+        times = np.arange(100) * 660.0
+        oracle = simple_block().realize(times, np.random.default_rng(0))
+        assert oracle.responses.shape == (256, 100)
+        assert oracle.n_rounds == 100
+
+    def test_ever_active_excludes_dead(self):
+        times = np.arange(10) * 660.0
+        oracle = simple_block().realize(times, np.random.default_rng(0))
+        assert oracle.n_ever_active == 40
+        assert (oracle.ever_active < 40).all()
+
+    def test_true_availability_matches_p_response(self):
+        times = np.arange(2000) * 660.0
+        oracle = simple_block().realize(times, np.random.default_rng(1))
+        assert oracle.mean_availability() == pytest.approx(0.8, abs=0.01)
+
+    def test_probe_agrees_with_matrix(self):
+        times = np.arange(50) * 660.0
+        oracle = simple_block().realize(times, np.random.default_rng(2))
+        for host, r in [(0, 0), (39, 49), (200, 25)]:
+            assert oracle.probe(host, r) == bool(oracle.responses[host, r])
+
+    def test_probe_many(self):
+        times = np.arange(5) * 660.0
+        oracle = simple_block().realize(times, np.random.default_rng(3))
+        hosts = np.array([0, 1, 2])
+        assert (oracle.probe_many(hosts, 0) == oracle.responses[:3, 0]).all()
+
+    def test_outage_drops_availability_to_zero(self):
+        block = simple_block()
+        block.outages.append(Outage(660.0 * 10, 660.0 * 20))
+        times = np.arange(30) * 660.0
+        oracle = block.realize(times, np.random.default_rng(4))
+        a = oracle.true_availability()
+        assert (a[10:20] == 0).all()
+        assert a[:10].mean() > 0.5
+
+    def test_empty_block_availability_zero(self):
+        block = Block24(1, make_dead(256))
+        oracle = block.realize(np.arange(5) * 660.0, np.random.default_rng(0))
+        assert (oracle.true_availability() == 0).all()
+
+    def test_mismatched_times_rejected(self):
+        times = np.arange(10) * 660.0
+        oracle = simple_block().realize(times, np.random.default_rng(0))
+        from repro.net.blocks import ResponseOracle
+
+        with pytest.raises(ValueError):
+            ResponseOracle(
+                block_id=1,
+                times=times[:5],
+                responses=oracle.responses,
+                ever_active=oracle.ever_active,
+            )
+
+    def test_str_uses_paper_notation(self):
+        assert str(simple_block("27.186.9/24")) == "27.186.9/24"

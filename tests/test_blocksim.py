@@ -1,0 +1,120 @@
+"""Tests for the controlled block simulations (paper section 3.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.blocksim import (
+    ControlledBlockConfig,
+    accuracy_sweep,
+    build_controlled_block,
+    detection_accuracy,
+    run_controlled_block,
+)
+
+# Short observations keep the test suite fast; the benchmarks run the
+# paper's full four weeks.
+FAST = dict(days=7.0)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = ControlledBlockConfig()
+        assert cfg.n_stable == 50
+        assert cfg.n_diurnal == 100
+        assert cfg.uptime_s == 8 * 3600
+        assert cfg.days == 28.0
+
+    def test_rejects_overfull_block(self):
+        with pytest.raises(ValueError):
+            ControlledBlockConfig(n_stable=200, n_diurnal=100)
+
+    def test_rejects_no_diurnal(self):
+        with pytest.raises(ValueError):
+            ControlledBlockConfig(n_diurnal=0)
+
+
+class TestBuild:
+    def test_address_composition(self):
+        cfg = ControlledBlockConfig()
+        block = build_controlled_block(cfg, np.random.default_rng(0))
+        from repro.net.addrmodel import AddressKind
+
+        kinds = block.behavior.kinds
+        assert (kinds == AddressKind.ALWAYS_ON).sum() == 50
+        assert (kinds == AddressKind.DIURNAL).sum() == 100
+        assert (kinds == AddressKind.DEAD).sum() == 106
+
+    def test_phases_within_phi(self):
+        cfg = ControlledBlockConfig(phi_max_s=4 * 3600)
+        block = build_controlled_block(cfg, np.random.default_rng(1))
+        from repro.net.addrmodel import AddressKind
+
+        diurnal = block.behavior.kinds == AddressKind.DIURNAL
+        phases = block.behavior.phase_s[diurnal]
+        assert (phases >= cfg.base_phase_s - 1e-6).all()
+        assert (phases <= cfg.base_phase_s + 4 * 3600 + 1e-6).all()
+
+
+class TestDetection:
+    def test_noise_free_case_always_detected(self):
+        """Paper: 100% detection with Φ = σ_s = σ_d = 0."""
+        cfg = ControlledBlockConfig(**FAST)
+        assert detection_accuracy(cfg, n_experiments=10, seed=0) == 1.0
+
+    def test_single_diurnal_address_usually_missed(self):
+        """Paper Figure 7: n_d = 1 in front of 50 stable addresses is
+        essentially invisible to stop-on-first-positive probing."""
+        cfg = ControlledBlockConfig(n_diurnal=1, **FAST)
+        assert detection_accuracy(cfg, n_experiments=10, seed=1) <= 0.2
+
+    def test_accuracy_increases_with_nd(self):
+        lo = detection_accuracy(
+            ControlledBlockConfig(n_diurnal=4, **FAST), 12, seed=2
+        )
+        hi = detection_accuracy(
+            ControlledBlockConfig(n_diurnal=80, **FAST), 12, seed=2
+        )
+        assert hi >= lo
+        assert hi >= 0.9
+
+    def test_large_phase_spread_defeats_strict(self):
+        """Paper Figure 8: spreading phases over ~20+ hours blurs the
+        block-level signal."""
+        cfg = ControlledBlockConfig(phi_max_s=22 * 3600, **FAST)
+        assert detection_accuracy(cfg, n_experiments=10, seed=3) <= 0.5
+
+    def test_duration_noise_tolerated(self):
+        """Paper Figure 9: several hours of σ_d barely matter."""
+        cfg = ControlledBlockConfig(sigma_duration_s=3 * 3600, **FAST)
+        assert detection_accuracy(cfg, n_experiments=10, seed=4) >= 0.8
+
+    def test_run_returns_bool(self):
+        cfg = ControlledBlockConfig(**FAST)
+        assert run_controlled_block(cfg, np.random.default_rng(5)) in (True, False)
+
+    def test_relaxed_mode_easier(self):
+        strict_cfg = ControlledBlockConfig(phi_max_s=16 * 3600, **FAST)
+        relaxed_cfg = ControlledBlockConfig(
+            phi_max_s=16 * 3600, strict_only=False, **FAST
+        )
+        a_strict = detection_accuracy(strict_cfg, 10, seed=6)
+        a_relaxed = detection_accuracy(relaxed_cfg, 10, seed=6)
+        assert a_relaxed >= a_strict
+
+
+class TestSweep:
+    def test_sweep_structure(self):
+        cfg = ControlledBlockConfig(**FAST)
+        points = accuracy_sweep(
+            cfg, "n_diurnal", [5, 100], n_batches=2, experiments_per_batch=5
+        )
+        assert len(points) == 2
+        assert points[0].value == 5.0
+        for point in points:
+            assert 0.0 <= point.q1 <= point.median <= point.q3 <= 1.0
+
+    def test_sweep_deterministic(self):
+        cfg = ControlledBlockConfig(**FAST)
+        a = accuracy_sweep(cfg, "n_diurnal", [50], 2, 4, seed=3)
+        b = accuracy_sweep(cfg, "n_diurnal", [50], 2, 4, seed=3)
+        assert np.array_equal(a[0].batch_accuracies, b[0].batch_accuracies)

@@ -1,0 +1,114 @@
+"""Tests for the embedded country covariate table."""
+
+import pytest
+
+from repro.geo.regions import REGIONS
+from repro.simulation.countries import COUNTRIES, country_by_code, total_blocks
+
+# The paper's Table 3 (top-20 diurnal countries plus the US).
+TABLE3 = {
+    "AM": (1075, 0.630, 5900),
+    "GE": (1395, 0.546, 6000),
+    "BY": (1748, 0.512, 15900),
+    "CN": (394244, 0.498, 9300),
+    "PE": (4600, 0.401, 10900),
+    "KZ": (3832, 0.400, 14100),
+    "RS": (4429, 0.393, 10600),
+    "AR": (20382, 0.339, 18400),
+    "TH": (10986, 0.336, 10300),
+    "SV": (1145, 0.311, 7600),
+    "UA": (16575, 0.289, 7500),
+    "CO": (9379, 0.261, 11000),
+    "MY": (9747, 0.247, 17200),
+    "PH": (5721, 0.239, 4500),
+    "IN": (36470, 0.225, 3900),
+    "MA": (2115, 0.185, 5400),
+    "BR": (79095, 0.185, 12100),
+    "VN": (8197, 0.183, 3600),
+    "ID": (7617, 0.166, 5100),
+    "RU": (53048, 0.159, 18000),
+    "US": (672104, 0.002, 50700),
+}
+
+
+class TestTable3Fidelity:
+    def test_all_table3_countries_present(self):
+        for code in TABLE3:
+            country_by_code(code)
+
+    def test_block_counts_match_paper(self):
+        for code, (blocks, _, _) in TABLE3.items():
+            assert country_by_code(code).blocks == blocks, code
+
+    def test_diurnal_fractions_match_paper(self):
+        for code, (_, frac, _) in TABLE3.items():
+            assert country_by_code(code).diurnal_frac == pytest.approx(frac), code
+
+    def test_gdp_matches_paper(self):
+        for code, (_, _, gdp) in TABLE3.items():
+            assert country_by_code(code).gdp_pc == gdp, code
+
+
+class TestTableConsistency:
+    def test_every_country_has_region(self):
+        for country in COUNTRIES:
+            assert country.region in REGIONS
+
+    def test_no_duplicate_codes(self):
+        codes = [c.code for c in COUNTRIES]
+        assert len(codes) == len(set(codes))
+
+    def test_fractions_are_probabilities(self):
+        for country in COUNTRIES:
+            assert 0.0 <= country.diurnal_frac <= 1.0
+
+    def test_positive_covariates(self):
+        for country in COUNTRIES:
+            assert country.blocks > 0
+            assert country.gdp_pc > 0
+            assert country.elec_kwh_pc > 0
+            assert country.users_per_host > 0
+
+    def test_allocation_chronology(self):
+        for country in COUNTRIES:
+            assert 1983 <= country.first_alloc_year <= 2013
+            assert country.first_alloc_year <= country.mean_alloc_year <= 2013
+
+    def test_coordinates_in_range(self):
+        for country in COUNTRIES:
+            assert -90 <= country.lat <= 90
+            assert -180 <= country.lon <= 180
+
+    def test_total_blocks_near_paper_geolocated_count(self):
+        # The paper geolocates ~3.45M blocks over ~2.8M in the regional
+        # table; our world total must be the same order of magnitude.
+        assert 2_000_000 <= total_blocks() <= 4_000_000
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            country_by_code("XX")
+
+    def test_gdp_diurnal_negative_relation(self):
+        """The Figure 16 premise must hold in the table itself."""
+        from repro.stats import pearson
+        import numpy as np
+
+        gdp = np.array([c.gdp_pc for c in COUNTRIES])
+        frac = np.array([c.diurnal_frac for c in COUNTRIES])
+        assert pearson(gdp, frac) < -0.4
+
+    def test_region_table4_ordering_roughly_preserved(self):
+        """Regions at the extremes of Table 4 must stay at the extremes."""
+        import numpy as np
+
+        def region_frac(region):
+            members = [c for c in COUNTRIES if c.region == region]
+            blocks = np.array([c.blocks for c in members], dtype=float)
+            frac = np.array([c.diurnal_frac for c in members])
+            return float((frac * blocks).sum() / blocks.sum())
+
+        assert region_frac("Northern America") < 0.01
+        assert region_frac("Western Europe") < 0.02
+        assert region_frac("Central Asia") > 0.35
+        assert region_frac("Eastern Asia") == pytest.approx(0.279, abs=0.05)
+        assert region_frac("South America") == pytest.approx(0.208, abs=0.05)

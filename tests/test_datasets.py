@@ -1,0 +1,107 @@
+"""Tests for dataset persistence and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    dataset,
+    ensure_measurement,
+    list_datasets,
+    load_measurement,
+    load_world_arrays,
+    save_measurement,
+    save_world_arrays,
+    write_csv,
+)
+from repro.probing import RoundSchedule
+from repro.simulation import WorldConfig, generate_world, measure_world
+
+
+class TestRegistry:
+    def test_paper_datasets_present(self):
+        assert set(list_datasets()) == {"S51W", "A12W", "A12J", "A12C", "A16ALL"}
+
+    def test_a16all_weekly_restarts(self):
+        schedule = dataset("A16ALL").schedule()
+        assert schedule.restart_interval_s == 7 * 86400.0
+        assert len(schedule.restart_rounds()) == 4  # 35 days / 1 week
+
+    def test_a12w_schedule(self):
+        spec = dataset("A12W")
+        schedule = spec.schedule()
+        assert schedule.n_days == pytest.approx(35, abs=0.01)
+        assert spec.kind == "adaptive"
+
+    def test_vantages_share_world_seed(self):
+        assert dataset("A12W").seed == dataset("A12J").seed
+
+    def test_survey_has_no_world_config(self):
+        with pytest.raises(ValueError):
+            dataset("S51W").world_config()
+
+    def test_adaptive_world_config(self):
+        cfg = dataset("A12W").world_config(n_blocks=100)
+        assert cfg.n_blocks == 100
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset("B99Q")
+
+
+class TestMeasurementRoundTrip:
+    def test_save_load(self, tmp_path):
+        world = generate_world(WorldConfig(n_blocks=300, seed=5))
+        schedule = RoundSchedule.for_days(3, restart_interval_s=5.5 * 3600)
+        m = measure_world(world, schedule)
+        path = save_measurement(tmp_path / "m.npz", m)
+        loaded = load_measurement(path)
+        assert np.array_equal(loaded.labels, m.labels)
+        assert np.allclose(loaded.phases, m.phases)
+        assert loaded.schedule.n_rounds == schedule.n_rounds
+        assert loaded.schedule.restart_interval_s == schedule.restart_interval_s
+        assert loaded.fraction_strict() == m.fraction_strict()
+
+
+class TestWorldRoundTrip:
+    def test_save_load_arrays(self, tmp_path):
+        world = generate_world(WorldConfig(n_blocks=200, seed=6))
+        path = save_world_arrays(tmp_path / "w.npz", world)
+        data = load_world_arrays(path)
+        assert np.array_equal(data["is_diurnal"], world.is_diurnal)
+        assert np.allclose(data["lon"], world.lon)
+        assert data["config"].tolist() == [200, 6]
+
+    def test_regenerate_from_config(self, tmp_path):
+        """The saved config is enough to rebuild the identical world."""
+        world = generate_world(WorldConfig(n_blocks=200, seed=6))
+        path = save_world_arrays(tmp_path / "w.npz", world)
+        data = load_world_arrays(path)
+        n_blocks, seed = data["config"].tolist()
+        rebuilt = generate_world(WorldConfig(n_blocks=n_blocks, seed=seed))
+        assert np.array_equal(rebuilt.is_diurnal, data["is_diurnal"])
+
+
+class TestEnsureMeasurement:
+    def test_computes_then_caches(self, tmp_path):
+        first = ensure_measurement("A16ALL", tmp_path, n_blocks=150)
+        cached_files = list(tmp_path.glob("A16ALL-150.npz"))
+        assert len(cached_files) == 1
+        mtime = cached_files[0].stat().st_mtime_ns
+        second = ensure_measurement("A16ALL", tmp_path, n_blocks=150)
+        assert cached_files[0].stat().st_mtime_ns == mtime  # not recomputed
+        assert np.array_equal(first.labels, second.labels)
+
+    def test_survey_dataset_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ensure_measurement("S51W", tmp_path, n_blocks=10)
+
+
+class TestCsv:
+    def test_write_csv(self, tmp_path):
+        path = write_csv(
+            tmp_path / "t.csv", ["code", "frac"], [["US", 0.002], ["CN", 0.498]]
+        )
+        text = path.read_text().strip().splitlines()
+        assert text[0] == "code,frac"
+        assert text[1] == "US,0.002"
+        assert len(text) == 3

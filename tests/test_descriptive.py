@@ -1,0 +1,122 @@
+"""Tests for descriptive statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.descriptive import (
+    binned_quartiles,
+    density_grid,
+    pearson,
+    unroll_phase,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(50.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(50.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        assert abs(pearson(rng.random(5000), rng.random(5000))) < 0.05
+
+    def test_nan_pairs_dropped(self):
+        x = np.array([1.0, 2.0, np.nan, 4.0])
+        y = np.array([2.0, 4.0, 100.0, 8.0])
+        assert pearson(x, y) == pytest.approx(1.0)
+
+    def test_degenerate_returns_zero(self):
+        assert pearson(np.ones(10), np.arange(10.0)) == 0.0
+        assert pearson(np.array([1.0]), np.array([2.0])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.zeros(3), np.zeros(4))
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.random(100), rng.random(100)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+
+class TestBinnedQuartiles:
+    def test_medians_track_identity(self):
+        rng = np.random.default_rng(2)
+        x = rng.random(20000)
+        y = x + rng.normal(0, 0.01, 20000)
+        bq = binned_quartiles(x, y, bin_width=0.1)
+        assert len(bq.median) == 10
+        valid = ~np.isnan(bq.median)
+        assert np.allclose(bq.median[valid], bq.bin_centers[valid], atol=0.02)
+
+    def test_empty_bins_are_nan(self):
+        x = np.full(100, 0.05)
+        y = np.linspace(0, 1, 100)
+        bq = binned_quartiles(x, y, bin_width=0.1)
+        assert bq.counts[0] == 100
+        assert np.isnan(bq.median[5])
+
+    def test_quartile_ordering(self):
+        rng = np.random.default_rng(3)
+        bq = binned_quartiles(rng.random(1000), rng.random(1000))
+        valid = bq.counts > 0
+        assert (bq.q1[valid] <= bq.median[valid]).all()
+        assert (bq.median[valid] <= bq.q3[valid]).all()
+
+    def test_values_at_hi_edge_kept(self):
+        bq = binned_quartiles(np.array([1.0, 1.0, 1.0]), np.array([1.0, 2.0, 3.0]))
+        assert bq.counts[-1] == 3
+        assert bq.median[-1] == 2.0
+
+
+class TestDensityGrid:
+    def test_normalized_sums_to_one(self):
+        rng = np.random.default_rng(4)
+        grid = density_grid(rng.random(1000), rng.random(1000))
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_unnormalized_counts(self):
+        grid = density_grid(
+            np.array([0.5]), np.array([0.5]), n_bins=10, normalize=False
+        )
+        assert grid.sum() == 1.0
+
+    def test_diagonal_concentration(self):
+        x = np.linspace(0.01, 0.99, 500)
+        grid = density_grid(x, x, n_bins=10)
+        assert np.trace(grid) == pytest.approx(1.0)
+
+
+class TestUnrollPhase:
+    def test_identity_when_close(self):
+        phase = np.array([0.1, -0.2])
+        ref = np.array([0.0, 0.0])
+        assert np.allclose(unroll_phase(phase, ref), phase)
+
+    def test_wraps_into_reference_window(self):
+        # Phase -3.0 near reference +3.0 should unroll to ~3.28, not -3.0.
+        out = unroll_phase(np.array([-3.0]), np.array([3.0]))
+        assert out[0] == pytest.approx(2 * np.pi - 3.0)
+
+    def test_result_within_pi_of_reference(self):
+        rng = np.random.default_rng(5)
+        phase = rng.uniform(-np.pi, np.pi, 1000)
+        ref = rng.uniform(-np.pi, np.pi, 1000)
+        out = unroll_phase(phase, ref)
+        assert (np.abs(out - ref) <= np.pi + 1e-9).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    phase=st.floats(min_value=-np.pi, max_value=np.pi),
+    ref=st.floats(min_value=-np.pi, max_value=np.pi),
+)
+def test_unroll_preserves_angle_mod_2pi(phase, ref):
+    out = float(unroll_phase(np.array([phase]), np.array([ref]))[0])
+    assert abs(np.angle(np.exp(1j * (out - phase)))) < 1e-9

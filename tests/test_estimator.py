@@ -1,0 +1,238 @@
+"""Tests for the EWMA availability estimators (paper section 2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import (
+    AvailabilityEstimator,
+    DirectEwmaEstimator,
+    EstimatorConfig,
+    RestartPolicy,
+    estimate_series,
+)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = EstimatorConfig()
+        assert cfg.alpha_short == 0.1
+        assert cfg.alpha_long == 0.01
+        assert cfg.operational_floor == 0.1
+        assert cfg.deviation_margin == 0.5
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(alpha_short=0.0)
+        with pytest.raises(ValueError):
+            EstimatorConfig(alpha_long=1.5)
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(initial_availability=1.2)
+        with pytest.raises(ValueError):
+            EstimatorConfig(initial_weight=0.0)
+
+
+class TestStreaming:
+    def test_initial_estimate(self):
+        est = AvailabilityEstimator(EstimatorConfig(initial_availability=0.4))
+        assert est.a_short == pytest.approx(0.4)
+        assert est.a_long == pytest.approx(0.4)
+
+    def test_converges_to_true_ratio(self):
+        est = AvailabilityEstimator()
+        rng = np.random.default_rng(0)
+        for _ in range(3000):
+            t = 4
+            p = rng.binomial(t, 0.3)
+            est.observe(p, t)
+        assert est.a_short == pytest.approx(0.3, abs=0.1)
+        assert est.a_long == pytest.approx(0.3, abs=0.03)
+
+    def test_short_term_adapts_faster(self):
+        est = AvailabilityEstimator(EstimatorConfig(initial_availability=0.9))
+        for _ in range(30):
+            est.observe(0, 3)
+        assert est.a_short < est.a_long
+
+    def test_operational_below_long_term(self):
+        est = AvailabilityEstimator()
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            est.observe(int(rng.random() < 0.6), 1)
+        assert est.a_operational < est.a_long
+
+    def test_operational_floor(self):
+        est = AvailabilityEstimator()
+        for _ in range(2000):
+            est.observe(0, 15)
+        assert est.a_operational == 0.1
+
+    def test_zero_total_is_noop(self):
+        est = AvailabilityEstimator()
+        state = (est.p_short, est.t_short, est.p_long, est.t_long, est.deviation)
+        est.observe(0, 0)
+        assert state == (est.p_short, est.t_short, est.p_long, est.t_long, est.deviation)
+        assert est.n_observed == 0
+
+    def test_rejects_bad_counts(self):
+        est = AvailabilityEstimator()
+        with pytest.raises(ValueError):
+            est.observe(5, 3)
+        with pytest.raises(ValueError):
+            est.observe(-1, 3)
+
+    def test_single_round_update_matches_paper_equations(self):
+        cfg = EstimatorConfig(initial_availability=0.5, initial_weight=2.0)
+        est = AvailabilityEstimator(cfg)
+        est.observe(2, 5)
+        # p̂_s = 0.1·2 + 0.9·(0.5·2) = 1.1 ; t̂_s = 0.1·5 + 0.9·2 = 2.3
+        assert est.p_short == pytest.approx(1.1)
+        assert est.t_short == pytest.approx(2.3)
+        assert est.a_short == pytest.approx(1.1 / 2.3)
+
+    def test_restart_is_noop_by_default(self):
+        """Checkpointed state survives a prober restart (default policy)."""
+        est = AvailabilityEstimator()
+        for _ in range(200):
+            est.observe(1, 1)
+        before = (est.a_short, est.a_long, est.deviation)
+        est.restart()
+        assert (est.a_short, est.a_long, est.deviation) == before
+
+    def test_restart_reset_short_policy(self):
+        cfg = EstimatorConfig(restart=RestartPolicy(reset_short=True))
+        est = AvailabilityEstimator(cfg)
+        for _ in range(200):
+            est.observe(1, 1)
+        long_before = est.a_long
+        est.restart()
+        assert est.a_short == pytest.approx(cfg.initial_availability)
+        assert est.a_long == pytest.approx(long_before)
+
+    def test_restart_policy_all(self):
+        cfg = EstimatorConfig(
+            restart=RestartPolicy(reset_short=True, reset_long=True, reset_deviation=True)
+        )
+        est = AvailabilityEstimator(cfg)
+        for _ in range(200):
+            est.observe(1, 1)
+        est.restart()
+        assert est.a_long == pytest.approx(cfg.initial_availability)
+        assert est.deviation == pytest.approx(cfg.initial_deviation)
+
+
+class TestDirectEwmaBias:
+    def test_direct_variant_overestimates(self):
+        """The A_12w legacy estimator over-estimates A (paper section 2.1.2).
+
+        Feed both estimators counts from stop-on-first-positive probing of a
+        block with true availability 0.3: most rounds end with (1, small t),
+        and ratio-smoothing weights those 1.0 samples far too heavily.
+        """
+        true_a = 0.3
+        rng = np.random.default_rng(2)
+        ratio_est = DirectEwmaEstimator()
+        count_est = AvailabilityEstimator()
+        ratio_values = []
+        count_values = []
+        for _ in range(4000):
+            t = 0
+            p = 0
+            while t < 15:
+                t += 1
+                if rng.random() < true_a:
+                    p = 1
+                    break
+            ratio_est.observe(p, t)
+            count_est.observe(p, t)
+            ratio_values.append(ratio_est.a_short)
+            count_values.append(count_est.a_short)
+        count_mean = np.mean(count_values[500:])
+        ratio_mean = np.mean(ratio_values[500:])
+        assert count_mean == pytest.approx(true_a, abs=0.05)
+        assert ratio_mean > count_mean + 0.2
+
+    def test_direct_restart(self):
+        cfg = EstimatorConfig(restart=RestartPolicy(reset_short=True))
+        est = DirectEwmaEstimator(cfg)
+        for _ in range(100):
+            est.observe(0, 1)
+        est.restart()
+        assert est.a_short == est.config.initial_availability
+
+
+class TestVectorized:
+    def test_matches_streaming_exactly(self):
+        rng = np.random.default_rng(3)
+        totals = rng.integers(0, 16, size=(4, 300))
+        positives = np.minimum(rng.integers(0, 2, size=(4, 300)), totals)
+        batch = estimate_series(positives, totals)
+        for b in range(4):
+            est = AvailabilityEstimator()
+            for r in range(300):
+                est.observe(int(positives[b, r]), int(totals[b, r]))
+                assert batch.a_short[b, r] == pytest.approx(est.a_short, rel=1e-12)
+                assert batch.a_long[b, r] == pytest.approx(est.a_long, rel=1e-12)
+                assert batch.a_operational[b, r] == pytest.approx(
+                    est.a_operational, rel=1e-12
+                )
+
+    def test_matches_streaming_with_restarts(self):
+        cfg = EstimatorConfig(
+            restart=RestartPolicy(reset_short=True, reset_deviation=True)
+        )
+        rng = np.random.default_rng(4)
+        totals = rng.integers(1, 16, size=(2, 100))
+        positives = (rng.random((2, 100)) < 0.5).astype(int)
+        restarts = np.array([30, 60])
+        batch = estimate_series(positives, totals, cfg, restart_rounds=restarts)
+        for b in range(2):
+            est = AvailabilityEstimator(cfg)
+            for r in range(100):
+                if r in restarts:
+                    est.restart()
+                est.observe(int(positives[b, r]), int(totals[b, r]))
+                assert batch.a_short[b, r] == pytest.approx(est.a_short, rel=1e-12)
+                assert batch.a_operational[b, r] == pytest.approx(
+                    est.a_operational, rel=1e-12
+                )
+
+    def test_1d_input_gives_1d_output(self):
+        series = estimate_series(np.array([1, 0, 1]), np.array([1, 1, 2]))
+        assert series.a_short.shape == (3,)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_series(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=1, max_size=200
+    )
+)
+def test_estimates_always_in_unit_interval(data):
+    est = AvailabilityEstimator()
+    for t, p_raw in data:
+        p = min(p_raw, t)
+        est.observe(p, t)
+        assert 0.0 <= est.a_short <= 1.0
+        assert 0.0 <= est.a_long <= 1.0
+        assert 0.1 <= est.a_operational <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.floats(min_value=0.05, max_value=0.95),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_long_term_tracks_any_availability(a, seed):
+    est = AvailabilityEstimator()
+    rng = np.random.default_rng(seed)
+    for _ in range(2000):
+        est.observe(int(rng.binomial(5, a)), 5)
+    assert est.a_long == pytest.approx(a, abs=0.08)

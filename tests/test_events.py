@@ -1,0 +1,64 @@
+"""Tests for outage injection."""
+
+import numpy as np
+import pytest
+
+from repro.net.events import Outage, apply_outages, outage_mask
+
+
+class TestOutage:
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            Outage(100.0, 100.0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            Outage(200.0, 100.0)
+
+    def test_duration(self):
+        assert Outage(100.0, 400.0).duration_s() == 300.0
+
+    def test_covers_half_open(self):
+        o = Outage(100.0, 200.0)
+        assert o.covers(100.0)
+        assert o.covers(199.9)
+        assert not o.covers(200.0)
+        assert not o.covers(99.9)
+
+
+class TestOutageMask:
+    def test_empty_outage_list(self):
+        times = np.arange(10.0)
+        assert not outage_mask(times, []).any()
+
+    def test_single_outage(self):
+        times = np.arange(0.0, 100.0, 10.0)
+        mask = outage_mask(times, [Outage(25.0, 55.0)])
+        assert mask.tolist() == [False, False, False, True, True, True] + [False] * 4
+
+    def test_overlapping_outages_union(self):
+        times = np.arange(0.0, 50.0, 10.0)
+        mask = outage_mask(times, [Outage(5.0, 25.0), Outage(20.0, 35.0)])
+        assert mask.tolist() == [False, True, True, True, False]
+
+
+class TestApplyOutages:
+    def test_zeroes_covered_columns_only(self):
+        responses = np.ones((4, 6), dtype=bool)
+        times = np.arange(6) * 660.0
+        out = apply_outages(responses, times, [Outage(660.0, 1900.0)])
+        assert not out[:, 1].any()
+        assert not out[:, 2].any()
+        assert out[:, 0].all()
+        assert out[:, 3:].all()
+
+    def test_input_not_modified(self):
+        responses = np.ones((2, 3), dtype=bool)
+        times = np.arange(3) * 660.0
+        apply_outages(responses, times, [Outage(0.0, 5000.0)])
+        assert responses.all()
+
+    def test_no_outages_returns_same_object(self):
+        responses = np.ones((2, 3), dtype=bool)
+        times = np.arange(3) * 660.0
+        assert apply_outages(responses, times, []) is responses

@@ -1,0 +1,58 @@
+"""Smoke tests for the runnable examples.
+
+The quickstart runs end to end (it is fast); the heavier examples are
+checked for compilability and a callable main, so a syntax error or API
+drift in any example fails CI without paying their full runtime.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+class TestQuickstart:
+    def test_runs_and_detects_diurnal(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "strict" in proc.stdout
+        assert "probes per hour" in proc.stdout
+
+
+class TestAllExamplesCompile:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "campus_ground_truth.py",
+            "policy_study.py",
+            "phase_geolocation.py",
+        ],
+    )
+    def test_compiles(self, name, tmp_path):
+        py_compile.compile(
+            str(EXAMPLES / name), cfile=str(tmp_path / "c.pyc"), doraise=True
+        )
+
+    @pytest.mark.parametrize(
+        "name",
+        ["campus_ground_truth", "policy_study", "phase_geolocation"],
+    )
+    def test_has_main(self, name):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            name, EXAMPLES / f"{name}.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(module.main)

@@ -1,0 +1,121 @@
+"""End-to-end fidelity of the scale path against the address-level pipeline.
+
+The global analyses trust `simulation.fastsim` to stand in for the full
+address-level prober.  These tests measure the *same behavioural
+archetypes* through both paths and require the classification outcomes to
+agree — the substitution contract of DESIGN.md, checked in code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import classify_many, measure_block
+from repro.core.estimator import estimate_series
+from repro.core.timeseries import trim_to_midnight
+from repro.net import (
+    Block24,
+    make_always_on,
+    make_dead,
+    make_diurnal,
+    merge_behaviors,
+)
+from repro.probing import RoundSchedule
+from repro.simulation.fastsim import adaptive_counts
+
+SCHEDULE = RoundSchedule.for_days(14)
+
+
+def fastsim_label(a_high, a_low, onset_frac, uptime_frac, seed):
+    """Classify a synthetic availability profile through the fast path."""
+    times = SCHEDULE.times()
+    day_frac = (times / 86400.0) % 1.0
+    x = (day_frac - onset_frac) % 1.0
+    tau = 0.0625
+    window = np.clip(x / tau, 0, 1) - np.clip((x - uptime_frac) / tau, 0, 1)
+    a = a_low + (a_high - a_low) * window
+    rng = np.random.default_rng(seed)
+    a = np.clip(a + rng.normal(0, 0.02, len(a)), 0.01, 0.99)
+    p, t = adaptive_counts(a[None, :], rng)
+    series = estimate_series(p, t, initial_availability=np.array([a.mean()]))
+    trim = trim_to_midnight(times, SCHEDULE.round_s)
+    batch = classify_many(series.a_short[:, trim], SCHEDULE.round_s)
+    return int(batch.labels[0]), float(batch.phases[0])
+
+
+def fullsim_label(n_stable, n_diurnal, phase_s, seed):
+    parts = [make_always_on(n_stable, p_response=0.9)]
+    if n_diurnal:
+        parts.append(
+            make_diurnal(
+                n_diurnal, phase_s=phase_s, uptime_s=13 * 3600,
+                sigma_start_s=1800.0,
+            )
+        )
+    parts.append(make_dead(256 - n_stable - n_diurnal))
+    block = Block24(1, merge_behaviors(*parts))
+    result = measure_block(block, SCHEDULE, np.random.default_rng(seed))
+    code = {"non-diurnal": 0, "relaxed": 1, "strict": 2}[result.report.label.value]
+    return code, result.report.phase
+
+
+class TestClassificationAgreement:
+    def test_strong_diurnal_agrees(self):
+        """Both paths call a deep daily swing strictly diurnal."""
+        fast, _ = fastsim_label(0.8, 0.25, 8 / 24, 13 / 24, seed=1)
+        full, _ = fullsim_label(n_stable=40, n_diurnal=140, phase_s=8 * 3600, seed=1)
+        assert fast == 2
+        assert full == 2
+
+    def test_flat_block_agrees(self):
+        fast, _ = fastsim_label(0.8, 0.8, 0.3, 0.5, seed=2)
+        full, _ = fullsim_label(n_stable=150, n_diurnal=0, phase_s=0, seed=2)
+        assert fast == 0
+        assert full == 0
+
+    def test_phase_agreement_for_same_onset(self):
+        """Both paths put the FFT phase at the same clock position for a
+        block waking at the same hour (within EWMA-lag tolerance)."""
+        onset_h = 8.0
+        _, fast_phase = fastsim_label(0.8, 0.25, onset_h / 24, 13 / 24, seed=3)
+        _, full_phase = fullsim_label(
+            n_stable=40, n_diurnal=140, phase_s=onset_h * 3600, seed=3
+        )
+        delta = np.angle(np.exp(1j * (fast_phase - full_phase)))
+        # One hour of phase at 1 c/d is 2π/24 ≈ 0.26 rad; allow ~1.5 h for
+        # the different duty shapes (square wave vs trapezoid).
+        assert abs(delta) < 0.45
+
+    @pytest.mark.parametrize("onset_h", [0.0, 5.0, 11.0, 17.0, 23.0])
+    def test_agreement_across_onsets(self, onset_h):
+        fast, _ = fastsim_label(0.8, 0.25, onset_h / 24, 13 / 24, seed=int(onset_h))
+        full, _ = fullsim_label(
+            n_stable=40, n_diurnal=140, phase_s=onset_h * 3600, seed=int(onset_h)
+        )
+        assert fast == 2 and full == 2
+
+
+class TestCountDistributionAgreement:
+    @pytest.mark.parametrize("a_true", [0.2, 0.5, 0.8])
+    def test_probe_cost_matches(self, a_true):
+        """Fast-path probe counts match the real prober's (per round)."""
+        from repro.probing import AdaptiveProber
+        from repro.probing.prober import FixedAvailability
+
+        n_rounds = 1500
+        block = Block24(
+            1,
+            merge_behaviors(
+                make_always_on(120, p_response=a_true), make_dead(136)
+            ),
+        )
+        schedule = RoundSchedule(n_rounds)
+        oracle = block.realize(schedule.times(), np.random.default_rng(4))
+        log = AdaptiveProber(oracle.ever_active).run(
+            oracle, schedule, FixedAvailability(a_true)
+        )
+        rng = np.random.default_rng(5)
+        p, t = adaptive_counts(
+            np.full((1, n_rounds), a_true), rng, missing_fraction=0.0
+        )
+        assert t.mean() == pytest.approx(log.totals.mean(), rel=0.12)
+        assert p.mean() == pytest.approx(log.positives.mean(), rel=0.05)

@@ -1,0 +1,131 @@
+"""Tests for the geolocation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.geo import (
+    GeoDatabase,
+    GeoRecord,
+    REGIONS,
+    grid_counts,
+    grid_fraction,
+    region_of,
+)
+from repro.geo.regions import COUNTRY_REGION
+
+
+class TestRegions:
+    def test_sixteen_regions(self):
+        assert len(REGIONS) == 16
+
+    def test_paper_examples(self):
+        assert region_of("US") == "Northern America"
+        assert region_of("CN") == "Eastern Asia"
+        assert region_of("KZ") == "Central Asia"
+        assert region_of("BR") == "South America"
+        assert region_of("BY") == "Eastern Europe"
+
+    def test_case_insensitive(self):
+        assert region_of("us") == "Northern America"
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(KeyError):
+            region_of("XX")
+
+    def test_every_mapping_targets_a_known_region(self):
+        assert set(COUNTRY_REGION.values()) <= set(REGIONS)
+
+    def test_table3_countries_covered(self):
+        table3 = [
+            "AM", "GE", "BY", "CN", "PE", "KZ", "RS", "AR", "TH", "SV",
+            "UA", "CO", "MY", "PH", "IN", "MA", "BR", "VN", "ID", "RU", "US",
+        ]
+        for code in table3:
+            region_of(code)
+
+
+class TestGeoDatabase:
+    def make_db(self):
+        return GeoDatabase(
+            {
+                1: GeoRecord(34.05, -118.24, "US"),
+                2: GeoRecord(39.90, 116.40, "CN"),
+                3: GeoRecord(-14.24, -51.92, "BR", city_precision=False),
+            }
+        )
+
+    def test_lookup_hit_and_miss(self):
+        db = self.make_db()
+        assert db.lookup(1).country == "US"
+        assert db.lookup(99) is None
+
+    def test_contains_and_len(self):
+        db = self.make_db()
+        assert 2 in db and 99 not in db
+        assert len(db) == 3
+
+    def test_coverage(self):
+        db = self.make_db()
+        assert db.coverage(np.array([1, 2, 99, 98])) == 0.5
+        assert db.coverage(np.array([], dtype=np.int64)) == 0.0
+
+    def test_centroid_fraction(self):
+        assert self.make_db().centroid_fraction() == pytest.approx(1 / 3)
+
+    def test_locate_many(self):
+        db = self.make_db()
+        lats, lons, located = db.locate_many(np.array([1, 99, 3]))
+        assert located.tolist() == [True, False, True]
+        assert lats[0] == pytest.approx(34.05)
+        assert np.isnan(lats[1])
+
+    def test_countries(self):
+        db = self.make_db()
+        out = db.countries(np.array([2, 99]))
+        assert out.tolist() == ["CN", ""]
+
+
+class TestGrid:
+    def test_counts_shape_2deg(self):
+        grid = grid_counts(np.array([0.0]), np.array([0.0]))
+        assert grid.values.shape == (90, 180)
+
+    def test_single_point_lands_in_one_cell(self):
+        grid = grid_counts(np.array([34.0]), np.array([-118.0]))
+        assert grid.values.sum() == 1.0
+        assert grid.value_at(34.0, -118.0) == 1.0
+
+    def test_nan_coordinates_ignored(self):
+        grid = grid_counts(np.array([np.nan, 10.0]), np.array([0.0, 10.0]))
+        assert grid.values.sum() == 1.0
+
+    def test_poles_and_dateline_clipped(self):
+        grid = grid_counts(np.array([90.0, -90.0]), np.array([180.0, -180.0]))
+        assert grid.values.sum() == 2.0
+
+    def test_fraction(self):
+        lats = np.array([10.0, 10.0, 10.0, 50.0])
+        lons = np.array([20.0, 20.0, 20.0, 60.0])
+        mask = np.array([True, True, False, True])
+        grid = grid_fraction(lats, lons, mask)
+        assert grid.value_at(10.0, 20.0) == pytest.approx(2 / 3)
+        assert grid.value_at(50.0, 60.0) == 1.0
+
+    def test_fraction_min_count(self):
+        lats = np.array([10.0])
+        lons = np.array([20.0])
+        grid = grid_fraction(lats, lons, np.array([True]), min_count=5)
+        assert np.isnan(grid.value_at(10.0, 20.0))
+
+    def test_fraction_empty_cells_nan(self):
+        grid = grid_fraction(np.array([0.0]), np.array([0.0]), np.array([True]))
+        assert np.isnan(grid.value_at(60.0, 60.0))
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            grid_fraction(np.zeros(3), np.zeros(3), np.zeros(2, dtype=bool))
+
+    def test_cell_of_inverse(self):
+        grid = grid_counts(np.array([35.5]), np.array([-117.3]))
+        i, j = grid.cell_of(35.5, -117.3)
+        assert grid.values[i, j] == 1.0

@@ -1,0 +1,178 @@
+"""Tests for the synthetic Internet world generator."""
+
+import numpy as np
+import pytest
+
+from repro.linktype import classify_block_names, synthesize_block_names
+from repro.simulation import WorldConfig, generate_world
+from repro.simulation.countries import country_by_code
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(n_blocks=5000, seed=42))
+
+
+class TestGeneration:
+    def test_block_count(self, world):
+        assert world.n_blocks == 5000
+
+    def test_deterministic(self):
+        a = generate_world(WorldConfig(n_blocks=500, seed=7))
+        b = generate_world(WorldConfig(n_blocks=500, seed=7))
+        assert np.array_equal(a.is_diurnal, b.is_diurnal)
+        assert np.array_equal(a.lon, b.lon)
+        assert np.array_equal(a.asn, b.asn)
+
+    def test_seed_changes_world(self):
+        a = generate_world(WorldConfig(n_blocks=500, seed=7))
+        b = generate_world(WorldConfig(n_blocks=500, seed=8))
+        assert not np.array_equal(a.is_diurnal, b.is_diurnal)
+
+    def test_country_shares_proportional(self, world):
+        codes = world.country_codes()
+        us = (codes == "US").mean()
+        cn = (codes == "CN").mean()
+        # US ≈ 24%, CN ≈ 14% of the paper's block population.
+        assert us == pytest.approx(0.24, abs=0.03)
+        assert cn == pytest.approx(0.14, abs=0.03)
+
+    def test_diurnal_marginals_track_country_table(self, world):
+        for code in ("US", "CN", "BR"):
+            expected = country_by_code(code).diurnal_frac
+            got = world.designed_diurnal_fraction(code)
+            assert got == pytest.approx(expected, abs=0.08), code
+
+    def test_availability_params_sane(self, world):
+        assert (world.a_low <= world.a_high + 1e-12).all()
+        assert (world.a_high <= 1.0).all()
+        assert (world.a_low >= 0.0).all()
+        assert (world.n_active >= 15).all()
+
+    def test_diurnal_blocks_have_depth(self, world):
+        depth = 1 - world.a_low[world.is_diurnal] / world.a_high[world.is_diurnal]
+        assert (depth > 0.3).all()
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_blocks=0)
+        with pytest.raises(ValueError):
+            WorldConfig(geo_coverage=1.5)
+
+
+class TestPhaseGeography:
+    @staticmethod
+    def _circular_hours(onset_frac):
+        """Mean and std of clock times, handling the midnight wrap."""
+        angles = onset_frac * 2 * np.pi
+        z = np.exp(1j * angles)
+        mean = (np.angle(z.mean()) % (2 * np.pi)) / (2 * np.pi) * 24
+        r = np.abs(z.mean())
+        std = np.sqrt(-2 * np.log(max(r, 1e-12))) / (2 * np.pi) * 24
+        return mean, std
+
+    def test_onset_tracks_longitude(self, world):
+        """Blocks east of Greenwich wake earlier in UTC terms."""
+        codes = world.country_codes()
+        jp_mean, _ = self._circular_hours(world.onset_frac[codes == "JP"])
+        # Japan wakes ~08:00 local = ~22:50 UTC (previous day).
+        assert jp_mean > 21.0 or jp_mean < 0.5
+
+    def test_china_single_timezone(self, world):
+        """Chinese blocks share a national clock despite wide longitude."""
+        codes = world.country_codes()
+        cn = codes == "CN"
+        lon = world.lon[cn]
+        assert lon.std() > 4.0  # geographically wide...
+        # ...but onset variation reflects only the wake-hour noise (~1h).
+        _, std = self._circular_hours(world.onset_frac[cn])
+        assert std < 1.5
+
+    def test_us_multiple_timezones(self, world):
+        codes = world.country_codes()
+        _, std = self._circular_hours(world.onset_frac[codes == "US"])
+        # Wake noise (1h) plus ~3 timezones of spread.
+        assert std > 1.2
+
+
+class TestRegistryViews:
+    def test_geodb_coverage(self, world):
+        db = world.build_geodb()
+        assert db.coverage(world.block_id) == pytest.approx(0.93, abs=0.02)
+
+    def test_geodb_centroid_artifacts(self, world):
+        db = world.build_geodb()
+        assert db.centroid_fraction() == pytest.approx(0.05, abs=0.02)
+
+    def test_geodb_countries_match_world(self, world):
+        db = world.build_geodb()
+        codes = world.country_codes()
+        got = db.countries(world.block_id[:200])
+        located = got != ""
+        assert (got[located] == codes[:200][located]).all()
+
+    def test_ipasn_full_coverage(self, world):
+        table = world.build_ipasn()
+        assert table.coverage(world.block_id[:500]) == 1.0
+
+    def test_ipasn_matches_world_asn(self, world):
+        table = world.build_ipasn()
+        got = table.map_blocks(world.block_id[:300])
+        assert (got == world.asn[:300]).all()
+
+    def test_as_records_have_countries(self, world):
+        for record in world.as_records[:20]:
+            assert len(record.country) == 2
+
+    def test_org_clustering_on_world_asns(self, world):
+        """The first ISP of each country has two AS name spellings that
+        must cluster into one organization."""
+        from repro.asn import OrgMapper
+
+        mapper = OrgMapper(world.as_records)
+        cluster = mapper.cluster_of_asn(64500)
+        assert cluster is not None
+        assert len(cluster.asns) == 2  # "X Telecom" + "X-TELECOM Backbone"
+
+
+class TestLinkTypes:
+    def test_feature_round_trip(self, world):
+        """World features survive rDNS synthesis + keyword classification."""
+        from repro.linktype import RdnsStyle
+
+        rng = np.random.default_rng(0)
+        checked = 0
+        for i in range(world.n_blocks):
+            if world.rdns_style[i] is not RdnsStyle.DESCRIPTIVE:
+                continue
+            features = world.link_features(i)
+            if not features:
+                continue
+            names = synthesize_block_names(features, world.rdns_style[i], rng)
+            got = classify_block_names(names, keep_discarded=True)
+            # keep_discarded retains "wireless"; infrastructure noise
+            # (rtr/gw) is suppressed by the 1/15 rule, so the surviving
+            # labels are exactly the designed features.
+            assert got.labels == frozenset(features)
+            checked += 1
+            if checked >= 50:
+                break
+        assert checked == 50
+
+    def test_dynamic_more_diurnal_than_dialup(self, world):
+        addressing = world.addressing.astype(str)
+        access = world.access_tech.astype(str)
+        dyn_frac = world.is_diurnal[addressing == "dyn"].mean()
+        dial_frac = world.is_diurnal[access == "dial"].mean()
+        assert dyn_frac > 2 * dial_frac
+
+    def test_alloc_years_in_range(self, world):
+        assert (world.alloc_year >= 1983).all()
+        assert (world.alloc_year <= 2013).all()
+
+    def test_newer_allocations_more_diurnal(self, world):
+        """The Figure 15 premise holds in the generated world."""
+        month = world.alloc_month()
+        old = world.is_diurnal[month < np.percentile(month, 30)].mean()
+        new = world.is_diurnal[month > np.percentile(month, 70)].mean()
+        assert new > old

@@ -1,0 +1,93 @@
+"""Unit tests for IPv4 address/prefix arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ipaddr import (
+    block_of,
+    format_block,
+    format_ip,
+    host_of,
+    ip_in_block,
+    ip_to_int,
+    parse_block,
+)
+
+
+class TestIpToInt:
+    def test_zero(self):
+        assert ip_to_int("0.0.0.0") == 0
+
+    def test_max(self):
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    def test_known_value(self):
+        assert ip_to_int("1.9.21.5") == (1 << 24) | (9 << 16) | (21 << 8) | 5
+
+    def test_rejects_too_few_octets(self):
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3")
+
+    def test_rejects_octet_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3.256")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ip_to_int("not.an.ip.addr")
+
+
+class TestFormatIp:
+    def test_roundtrip_examples(self):
+        for text in ("0.0.0.0", "10.0.0.1", "192.168.1.255", "255.255.255.255"):
+            assert format_ip(ip_to_int(text)) == text
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_ip(-1)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            format_ip(2**32)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_ip_roundtrip_property(value):
+    assert ip_to_int(format_ip(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_block_host_decomposition(ip):
+    assert ip_in_block(block_of(ip), host_of(ip)) == ip
+
+
+class TestBlocks:
+    def test_block_of_strips_host(self):
+        assert block_of(ip_to_int("27.186.9.200")) == parse_block("27.186.9/24")
+
+    def test_parse_block_paper_notation(self):
+        assert format_block(parse_block("27.186.9/24")) == "27.186.9/24"
+
+    def test_parse_block_bare_prefix(self):
+        assert parse_block("27.186.9") == parse_block("27.186.9/24")
+
+    def test_parse_block_full_quad(self):
+        assert parse_block("27.186.9.0/24") == parse_block("27.186.9/24")
+
+    def test_parse_block_rejects_nonzero_host(self):
+        with pytest.raises(ValueError):
+            parse_block("27.186.9.5/24")
+
+    def test_parse_block_rejects_two_octets(self):
+        with pytest.raises(ValueError):
+            parse_block("27.186/24")
+
+    def test_format_block_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_block(1 << 24)
+
+
+@given(st.integers(min_value=0, max_value=2**24 - 1))
+def test_block_roundtrip_property(block_id):
+    assert parse_block(format_block(block_id)) == block_id

@@ -1,0 +1,152 @@
+"""Tests for link-type inference from reverse DNS."""
+
+import numpy as np
+import pytest
+
+from repro.linktype import (
+    ACTIVE_KEYWORDS,
+    ALL_KEYWORDS,
+    DISCARDED_KEYWORDS,
+    RdnsStyle,
+    classify_block_names,
+    match_features,
+    synthesize_block_names,
+)
+
+
+class TestKeywordSets:
+    def test_sixteen_keywords(self):
+        assert len(ALL_KEYWORDS) == 16
+
+    def test_seven_discarded(self):
+        assert len(DISCARDED_KEYWORDS) == 7
+
+    def test_nine_active(self):
+        assert len(ACTIVE_KEYWORDS) == 9
+        assert set(ACTIVE_KEYWORDS) == {
+            "sta", "dyn", "srv", "dhcp", "ppp", "dsl", "dial", "cable", "res"
+        }
+
+
+class TestMatchFeatures:
+    def test_paper_example(self):
+        """'dhcp-dialup-001.example.com' is both DHCP and dial-up."""
+        features = match_features("dhcp-dialup-001.example.com")
+        assert "dhcp" in features
+        assert "dial" in features
+
+    def test_case_insensitive(self):
+        assert "dsl" in match_features("DSL-POOL-7.ISP.NET")
+
+    def test_substring_semantics(self):
+        assert "dyn" in match_features("dynamic-12.isp.net")
+        assert "sta" in match_features("static-3.isp.net")
+
+    def test_none_and_empty(self):
+        assert match_features(None) == frozenset()
+        assert match_features("") == frozenset()
+
+    def test_no_keywords(self):
+        assert match_features("host-001.example.com") == frozenset()
+
+    def test_wireless_does_not_trigger_res(self):
+        assert "res" not in match_features("wireless-001.example.com")
+        assert "wireless" in match_features("wireless-001.example.com")
+
+
+class TestClassifyBlock:
+    def test_uniform_block_single_label(self):
+        names = [f"dsl-{i:03d}.isp.net" for i in range(256)]
+        result = classify_block_names(names)
+        assert result.labels == frozenset({"dsl"})
+        assert result.has_feature
+        assert not result.multi_feature
+
+    def test_minor_feature_suppressed(self):
+        """One router name among 200 DSL names is noise (1/15 rule)."""
+        names = [f"dsl-{i:03d}.isp.net" for i in range(200)]
+        names.append("sta-gateway.isp.net")
+        result = classify_block_names(names)
+        assert result.labels == frozenset({"dsl"})
+        assert result.counts["sta"] == 1
+
+    def test_major_secondary_feature_kept(self):
+        names = [f"dsl-{i:03d}.isp.net" for i in range(150)] + [
+            f"cable-{i:03d}.isp.net" for i in range(100)
+        ]
+        result = classify_block_names(names)
+        assert result.labels == frozenset({"dsl", "cable"})
+        assert result.multi_feature
+
+    def test_boundary_exactly_one_fifteenth_kept(self):
+        names = [f"dyn-{i:03d}.isp.net" for i in range(150)] + [
+            f"srv-{i:03d}.isp.net" for i in range(10)
+        ]
+        result = classify_block_names(names)
+        assert "srv" in result.labels  # 10 >= 150/15
+
+    def test_discarded_keywords_removed_from_labels(self):
+        names = [f"wireless-{i:03d}.isp.net" for i in range(256)]
+        result = classify_block_names(names)
+        assert result.labels == frozenset()
+        assert result.counts["wireless"] == 256
+
+    def test_keep_discarded_option(self):
+        names = [f"rtr-{i:03d}.isp.net" for i in range(20)]
+        result = classify_block_names(names, keep_discarded=True)
+        assert "rtr" in result.labels
+
+    def test_empty_block(self):
+        result = classify_block_names([None] * 256)
+        assert not result.has_feature
+        assert result.n_named == 0
+
+    def test_n_named_counts_ptr_records(self):
+        names = ["host-1.isp.net", None, "dsl-2.isp.net"]
+        assert classify_block_names(names).n_named == 2
+
+    def test_combined_name_counts_both(self):
+        names = [f"dyn-dsl-{i:03d}.isp.net" for i in range(100)]
+        result = classify_block_names(names)
+        assert result.labels == frozenset({"dyn", "dsl"})
+
+
+class TestRdnsSynthesis:
+    def test_none_style_no_names(self):
+        names = synthesize_block_names(("dsl",), RdnsStyle.NONE, np.random.default_rng(0))
+        assert names == [None] * 256
+
+    def test_descriptive_style_classifies_back(self):
+        """Round-trip: synthesized names recover the intended features."""
+        rng = np.random.default_rng(1)
+        names = synthesize_block_names(("dyn", "dsl"), RdnsStyle.DESCRIPTIVE, rng)
+        result = classify_block_names(names)
+        assert result.labels == frozenset({"dyn", "dsl"})
+
+    def test_generic_style_has_no_features(self):
+        rng = np.random.default_rng(2)
+        names = synthesize_block_names(("dsl",), RdnsStyle.GENERIC, rng)
+        result = classify_block_names(names)
+        assert not result.has_feature
+        assert result.n_named > 200
+
+    def test_ptr_coverage_respected(self):
+        rng = np.random.default_rng(3)
+        names = synthesize_block_names(
+            ("cable",), RdnsStyle.DESCRIPTIVE, rng, ptr_coverage=0.5
+        )
+        named = sum(1 for n in names if n)
+        assert 90 < named < 165
+
+    def test_infrastructure_noise_suppressed(self):
+        """The rtr/gw noise the synthesizer injects must not survive the
+        1/15 suppression rule in a normal block."""
+        rng = np.random.default_rng(4)
+        names = synthesize_block_names(("ppp",), RdnsStyle.DESCRIPTIVE, rng)
+        result = classify_block_names(names, keep_discarded=True)
+        assert "rtr" not in result.labels or result.counts.get("rtr", 0) >= result.counts["ppp"] / 15
+
+    def test_custom_block_size(self):
+        rng = np.random.default_rng(5)
+        names = synthesize_block_names(("dsl",), RdnsStyle.DESCRIPTIVE, rng, n=64)
+        assert len(names) == 64

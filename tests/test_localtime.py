@@ -1,0 +1,114 @@
+"""Tests for the phase → time-of-day calibration (section 5.2 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.localtime import (
+    circular_hour_difference,
+    ewma_lag_hours,
+    local_hour,
+    peak_utc_hour,
+    wake_local_hour,
+    wake_utc_hour,
+)
+from repro.core.spectral import compute_spectrum, diurnal_bin
+
+ROUND = 660.0
+DAY = 86400.0
+
+
+class TestPeakHour:
+    def test_cosine_peak_recovered(self):
+        """A cosine peaking at hour H has phase -2πH/24; invert it."""
+        for peak_h in (0.0, 6.0, 13.5, 22.0):
+            n = int(14 * DAY / ROUND)
+            t = np.arange(n) * ROUND
+            values = 0.5 + 0.3 * np.cos(2 * np.pi * (t / 3600 - peak_h) / 24)
+            spec = compute_spectrum(values, ROUND)
+            phase = spec.phase(diurnal_bin(n, ROUND))
+            got = float(peak_utc_hour(np.array([phase]))[0])
+            assert circular_hour_difference(got, peak_h) < 0.2, peak_h
+
+    def test_vectorized(self):
+        phases = np.array([0.0, -np.pi / 2, np.pi])
+        hours = peak_utc_hour(phases)
+        assert hours.shape == (3,)
+        assert hours[0] == pytest.approx(0.0)
+        assert hours[1] == pytest.approx(6.0)
+        assert hours[2] == pytest.approx(12.0)
+
+
+class TestWakeHour:
+    def test_mid_uptime_offset(self):
+        # Peak at 14:00 with a 12-hour window wakes at 08:00.
+        phase = np.array([-2 * np.pi * 14 / 24])
+        assert wake_utc_hour(phase, uptime_hours=12.0)[0] == pytest.approx(8.0)
+
+    def test_lag_correction_shifts_earlier(self):
+        phase = np.array([-2 * np.pi * 14 / 24])
+        plain = wake_utc_hour(phase, uptime_hours=12.0)[0]
+        lagged = wake_utc_hour(phase, uptime_hours=12.0, lag_hours=1.65)[0]
+        assert circular_hour_difference(lagged, plain - 1.65) < 1e-9
+
+
+class TestLocalHour:
+    def test_longitude_conversion(self):
+        # 23:00 UTC at 135°E is 08:00 local solar time.
+        assert local_hour(np.array([23.0]), np.array([135.0]))[0] == pytest.approx(8.0)
+
+    def test_western_hemisphere(self):
+        assert local_hour(np.array([14.0]), np.array([-90.0]))[0] == pytest.approx(8.0)
+
+
+class TestEwmaLag:
+    def test_paper_parameters(self):
+        """α_s = 0.1 at 11-minute rounds lags by (0.9/0.1)·11 min = 1.65 h."""
+        assert ewma_lag_hours() == pytest.approx(1.65)
+
+    def test_faster_gain_less_lag(self):
+        assert ewma_lag_hours(alpha=0.5) < ewma_lag_hours(alpha=0.1)
+
+    def test_alpha_one_no_lag(self):
+        assert ewma_lag_hours(alpha=1.0) == 0.0
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ewma_lag_hours(alpha=0.0)
+
+
+class TestCircularDifference:
+    def test_wraparound(self):
+        assert circular_hour_difference(23.5, 0.5) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        assert circular_hour_difference(3.0, 21.0) == circular_hour_difference(
+            21.0, 3.0
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.floats(min_value=0, max_value=24),
+    b=st.floats(min_value=0, max_value=24),
+)
+def test_circular_difference_bounded(a, b):
+    d = float(circular_hour_difference(a, b))
+    assert 0.0 <= d <= 12.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    peak=st.floats(min_value=0, max_value=24),
+    uptime=st.floats(min_value=4, max_value=18),
+    lon=st.floats(min_value=-180, max_value=180),
+)
+def test_wake_local_hour_consistency(peak, uptime, lon):
+    """wake_local = local(wake_utc) for every parameter combination."""
+    phase = np.array([-2 * np.pi * peak / 24])
+    via_two_steps = local_hour(
+        wake_utc_hour(phase, uptime), np.array([lon])
+    )[0]
+    direct = wake_local_hour(phase, np.array([lon]), uptime)[0]
+    assert circular_hour_difference(direct, via_two_steps) < 1e-9

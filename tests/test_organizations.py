@@ -1,0 +1,59 @@
+"""Tests for organization-level diurnal analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import GlobalStudy, run_org_table
+
+
+@pytest.fixture(scope="module")
+def study():
+    return GlobalStudy.run(n_blocks=3000, seed=21, days=14.0)
+
+
+@pytest.fixture(scope="module")
+def table(study):
+    return run_org_table(study=study, min_blocks=40)
+
+
+class TestOrgTable:
+    def test_rows_exist(self, table):
+        assert len(table.rows) >= 5
+
+    def test_fractions_are_probabilities(self, table):
+        for row in table.rows:
+            assert 0.0 <= row.fraction_diurnal <= 1.0
+
+    def test_org_blocks_meet_floor(self, table):
+        assert all(row.blocks >= table.min_blocks for row in table.rows)
+
+    def test_orgs_track_their_country(self, table):
+        """An ISP's diurnal fraction should sit near its national
+        baseline: policy differences exist but do not flip the country."""
+        errs = [abs(row.deviates_from_country) for row in table.rows]
+        assert np.median(errs) < 0.1
+
+    def test_chinese_orgs_more_diurnal_than_us(self, table):
+        cn = [r.fraction_diurnal for r in table.rows if r.country == "CN"]
+        us = [r.fraction_diurnal for r in table.rows if r.country == "US"]
+        if cn and us:
+            assert np.mean(cn) > np.mean(us)
+
+    def test_multi_as_orgs_report_spread(self, table):
+        multi = [r for r in table.rows if len(r.per_asn_fractions) >= 2]
+        for row in multi:
+            assert row.within_org_spread >= 0.0
+            assert row.within_org_spread <= 1.0
+
+    def test_row_lookup_by_keyword(self, table):
+        name = table.rows[0].name.split()[0]
+        assert table.row_of(name).name == table.rows[0].name
+
+    def test_unknown_org_raises(self, table):
+        with pytest.raises(KeyError):
+            table.row_of("definitely-not-an-isp")
+
+    def test_format_table(self, table):
+        text = table.format_table(5)
+        assert "organization" in text
+        assert len(text.splitlines()) <= 6

@@ -1,0 +1,70 @@
+"""Tests for the outage-detection validation and the census application."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import GlobalStudy, run_census, run_outage_validation
+
+
+class TestOutageValidation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        kwargs = dict(n_blocks=16, days=5.0, seed=3)
+        return {
+            feed: run_outage_validation(feed=feed, **kwargs)
+            for feed in ("operational", "short")
+        }
+
+    def test_outages_detected(self, results):
+        for feed, result in results.items():
+            assert result.detection_rate > 0.9, feed
+
+    def test_detection_latency_small(self, results):
+        assert results["operational"].median_latency_rounds < 10
+
+    def test_conservative_feed_avoids_false_outages(self, results):
+        """Section 2.1.1: belief fed with an estimate that can exceed A
+        (Â_s) produces false outages; the conservative Â_o does not."""
+        assert results["operational"].false_outage_rate <= 0.001
+        assert (
+            results["short"].false_outage_rate
+            > results["operational"].false_outage_rate
+        )
+
+    def test_format_table(self, results):
+        text = results["operational"].format_table()
+        assert "false-outage" in text
+
+    def test_unknown_feed_rejected(self):
+        with pytest.raises(ValueError):
+            run_outage_validation(feed="psychic", n_blocks=2, days=2.0)
+
+
+class TestCensus:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return GlobalStudy.run(n_blocks=1500, seed=9, days=14.0)
+
+    @pytest.fixture(scope="class")
+    def census(self, study):
+        return run_census(study=study)
+
+    def test_snapshot_errors_vary_with_hour(self, census):
+        """A single snapshot over/under-counts depending on time of day."""
+        assert census.snapshot.max() > census.snapshot.min()
+        assert census.worst_snapshot_error() > 0.005
+
+    def test_correction_reduces_worst_error(self, census):
+        assert census.worst_corrected_error() < census.worst_snapshot_error()
+
+    def test_truth_positive(self, census):
+        assert census.truth > 0
+
+    def test_corrected_estimates_stable_across_hours(self, census):
+        spread = census.corrected.max() - census.corrected.min()
+        naive_spread = census.snapshot.max() - census.snapshot.min()
+        assert spread < naive_spread
+
+    def test_format_series(self, census):
+        text = census.format_series()
+        assert "worst error" in text

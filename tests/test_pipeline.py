@@ -1,0 +1,161 @@
+"""Integration tests for the end-to-end measurement pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiurnalClass, MeasurementConfig, measure_block, measure_blocks
+from repro.core.pipeline import classify_ground_truth
+from repro.net import (
+    Block24,
+    Outage,
+    make_always_on,
+    make_dead,
+    make_diurnal,
+    merge_behaviors,
+)
+from repro.probing import RoundSchedule
+
+
+def diurnal_block(block_id=1, n_diurnal=100, n_stable=50):
+    behavior = merge_behaviors(
+        make_always_on(n_stable),
+        make_diurnal(n_diurnal, phase_s=8 * 3600),
+        make_dead(256 - n_stable - n_diurnal),
+    )
+    return Block24(block_id, behavior)
+
+
+def stable_block(block_id=2, n_active=42, p=0.735):
+    behavior = merge_behaviors(
+        make_always_on(n_active, p_response=p), make_dead(256 - n_active)
+    )
+    return Block24(block_id, behavior)
+
+
+class TestMeasureBlock:
+    def test_diurnal_block_detected_from_estimates(self):
+        m = measure_block(
+            diurnal_block(), RoundSchedule.for_days(14), np.random.default_rng(0)
+        )
+        assert m.report.label is DiurnalClass.STRICT
+        assert m.true_report.label is DiurnalClass.STRICT
+
+    def test_stable_block_not_diurnal(self):
+        m = measure_block(
+            stable_block(), RoundSchedule.for_days(14), np.random.default_rng(1)
+        )
+        assert m.report.label is DiurnalClass.NON_DIURNAL
+
+    def test_estimate_tracks_truth(self):
+        m = measure_block(
+            stable_block(), RoundSchedule.for_days(14), np.random.default_rng(2)
+        )
+        # After warm-up, Â_s should hover near true A = 0.735.
+        tail = slice(200, None)
+        assert abs(m.a_short[tail].mean() - m.true_availability[tail].mean()) < 0.05
+
+    def test_operational_underestimates(self):
+        m = measure_block(
+            stable_block(), RoundSchedule.for_days(14), np.random.default_rng(3)
+        )
+        assert m.underestimate_fraction() > 0.9
+
+    def test_probe_budget_under_20_per_hour(self):
+        m = measure_block(
+            stable_block(), RoundSchedule.for_days(14), np.random.default_rng(4)
+        )
+        assert m.probe_rate_per_hour() < 20
+
+    def test_sparse_block_skipped(self):
+        """Trinocular's policy drops blocks with fewer than 15 active
+        addresses — the cause of the paper's USC wireless false negatives."""
+        block = Block24(
+            9, merge_behaviors(make_always_on(10), make_dead(246))
+        )
+        m = measure_block(block, RoundSchedule.for_days(14), np.random.default_rng(5))
+        assert m.skipped
+        assert m.report is None
+        assert m.total_probes == 0
+
+    def test_min_ever_active_configurable(self):
+        block = Block24(9, merge_behaviors(make_always_on(10), make_dead(246)))
+        config = MeasurementConfig(min_ever_active=5)
+        m = measure_block(
+            block, RoundSchedule.for_days(14), np.random.default_rng(6), config
+        )
+        assert not m.skipped
+        assert m.report is not None
+
+    def test_outage_visible_in_states(self):
+        block = stable_block()
+        block.outages.append(Outage(660.0 * 957, 660.0 * 1000))
+        m = measure_block(block, RoundSchedule.for_days(14), np.random.default_rng(7))
+        assert (m.states[960:1000] == -1).any()
+
+    def test_stationary_flag(self):
+        m = measure_block(
+            stable_block(), RoundSchedule.for_days(14), np.random.default_rng(8)
+        )
+        assert m.stationary
+
+    def test_trim_applied_for_offset_start(self):
+        schedule = RoundSchedule.for_days(14, start_s=5 * 3600.0)
+        m = measure_block(stable_block(), schedule, np.random.default_rng(9))
+        assert m.trim.start > 0
+
+    def test_walk_seed_reproducible(self):
+        schedule = RoundSchedule.for_days(3)
+        a = measure_block(
+            stable_block(), schedule, np.random.default_rng(10), walk_seed=42
+        )
+        b = measure_block(
+            stable_block(), schedule, np.random.default_rng(10), walk_seed=42
+        )
+        assert np.array_equal(a.totals, b.totals)
+        assert np.array_equal(a.a_short, b.a_short)
+
+
+class TestMeasureBlocks:
+    def test_batch_runs_all(self):
+        blocks = [diurnal_block(1), stable_block(2)]
+        results = measure_blocks(blocks, RoundSchedule.for_days(7), seed=0)
+        assert len(results) == 2
+        assert results[0].report.is_diurnal
+        # A short 7-day window leaves the diurnal bin deep in the EWMA's
+        # red-noise region, so a stable block can land "relaxed" by chance;
+        # the strict test is the reliable discriminator (paper section 2.2).
+        assert not results[1].report.is_strict
+
+    def test_batch_reproducible(self):
+        blocks = [stable_block(2)]
+        first = measure_blocks(blocks, RoundSchedule.for_days(3), seed=5)
+        second = measure_blocks(blocks, RoundSchedule.for_days(3), seed=5)
+        assert np.array_equal(first[0].a_short, second[0].a_short)
+
+
+class TestGroundTruthClassification:
+    def test_matches_direct_series_classification(self):
+        block = diurnal_block()
+        schedule = RoundSchedule.for_days(14)
+        oracle = block.realize(schedule.times(), np.random.default_rng(11))
+        report = classify_ground_truth(oracle, schedule)
+        assert report.label is DiurnalClass.STRICT
+
+    def test_restart_artifact_creates_periodicity(self):
+        """Ablation: a prober whose restarts lose estimator state puts
+        energy at ~4.36 cycles/day into Â_s (paper Figure 10 artifact)."""
+        from repro.core.estimator import EstimatorConfig, RestartPolicy
+
+        schedule = RoundSchedule.for_days(14, restart_interval_s=5.5 * 3600)
+        block = stable_block(3, n_active=100, p=0.3)
+        config = MeasurementConfig(
+            estimator=EstimatorConfig(restart=RestartPolicy(reset_short=True))
+        )
+        m = measure_block(block, schedule, np.random.default_rng(12), config)
+        from repro.core.spectral import compute_spectrum
+
+        spec = compute_spectrum(m.a_short[m.trim], schedule.round_s)
+        cpd = np.array([spec.cycles_per_day(k) for k in range(spec.n_bins)])
+        artifact = (cpd > 4.0) & (cpd < 4.8)
+        background = (cpd > 2.0) & (cpd < 3.5)
+        assert spec.amplitudes[artifact].max() > 2 * spec.amplitudes[background].max()

@@ -1,0 +1,160 @@
+"""Tests for the adaptive prober."""
+
+import numpy as np
+import pytest
+
+from repro.net import Block24, Outage, make_always_on, make_dead, merge_behaviors
+from repro.probing import AdaptiveProber, ProberConfig, RoundSchedule
+from repro.probing.prober import FixedAvailability
+
+
+def make_oracle(p_response=0.9, n_active=50, n_rounds=200, outages=(), seed=0):
+    behavior = merge_behaviors(
+        make_always_on(n_active, p_response=p_response), make_dead(256 - n_active)
+    )
+    block = Block24(1, behavior, list(outages))
+    times = np.arange(n_rounds) * 660.0
+    return block.realize(times, np.random.default_rng(seed))
+
+
+class TestProbeRound:
+    def test_stops_on_first_positive(self):
+        oracle = make_oracle(p_response=1.0)
+        prober = AdaptiveProber(oracle.ever_active)
+        p, t = prober.probe_round(oracle, 0, availability=0.9)
+        assert (p, t) == (1, 1)
+
+    def test_respects_max_probes(self):
+        oracle = make_oracle(p_response=0.0)
+        prober = AdaptiveProber(oracle.ever_active, ProberConfig(max_probes_per_round=7))
+        p, t = prober.probe_round(oracle, 0, availability=0.2)
+        assert p == 0
+        assert t <= 7
+
+    def test_empty_target_list_sends_nothing(self):
+        oracle = make_oracle()
+        prober = AdaptiveProber(np.array([], dtype=np.intp))
+        assert prober.probe_round(oracle, 0, 0.5) == (0, 0)
+
+    def test_low_availability_needs_more_probes(self):
+        """Paper Figure 2: A≈0.19 block averages ~5 probes/round."""
+        oracle = make_oracle(p_response=0.19, n_active=245, n_rounds=500, seed=3)
+        prober = AdaptiveProber(oracle.ever_active)
+        log = prober.run(oracle, RoundSchedule(500), FixedAvailability(0.19))
+        assert 3.5 < log.mean_probes_per_round() < 7.0
+
+    def test_high_availability_is_cheap(self):
+        oracle = make_oracle(p_response=0.9, n_rounds=500)
+        prober = AdaptiveProber(oracle.ever_active)
+        log = prober.run(oracle, RoundSchedule(500), FixedAvailability(0.9))
+        assert log.mean_probes_per_round() < 1.5
+
+
+class TestWalk:
+    def test_walk_covers_all_targets(self):
+        """The pseudorandom walk eventually samples every ever-active address."""
+        oracle = make_oracle(p_response=0.0, n_active=30, n_rounds=100)
+        prober = AdaptiveProber(oracle.ever_active, ProberConfig(max_probes_per_round=1))
+        seen = set()
+        for r in range(100):
+            before = prober._cursor
+            prober.probe_round(oracle, r, availability=0.5)
+            seen.add(int(prober._walk[before]))
+        assert seen == set(oracle.ever_active.tolist())
+
+    def test_walk_is_seeded(self):
+        oracle = make_oracle()
+        a = AdaptiveProber(oracle.ever_active, ProberConfig(walk_seed=7))
+        b = AdaptiveProber(oracle.ever_active, ProberConfig(walk_seed=7))
+        assert (a._walk == b._walk).all()
+
+    def test_restart_resets_cursor_and_belief(self):
+        oracle = make_oracle(p_response=0.0)
+        prober = AdaptiveProber(oracle.ever_active)
+        for r in range(5):
+            prober.probe_round(oracle, r, 0.9)
+        assert prober._cursor != 0
+        prober.restart()
+        assert prober._cursor == 0
+        assert prober.belief.belief == prober.belief.config.prior_up
+
+
+class TestRun:
+    def test_log_shapes(self):
+        oracle = make_oracle(n_rounds=120)
+        prober = AdaptiveProber(oracle.ever_active)
+        log = prober.run(oracle, RoundSchedule(120))
+        assert log.n_rounds == 120
+        assert log.total_probes == log.totals.sum()
+
+    def test_schedule_mismatch_rejected(self):
+        oracle = make_oracle(n_rounds=10)
+        prober = AdaptiveProber(oracle.ever_active)
+        with pytest.raises(ValueError):
+            prober.run(oracle, RoundSchedule(11))
+
+    def test_outage_detected(self):
+        outage = Outage(660.0 * 50, 660.0 * 80)
+        oracle = make_oracle(p_response=0.9, n_rounds=150, outages=[outage])
+        prober = AdaptiveProber(oracle.ever_active)
+        log = prober.run(oracle, RoundSchedule(150), FixedAvailability(0.9))
+        detected = log.detected_outages()
+        assert len(detected) >= 1
+        start, end = detected[0]
+        assert 50 <= start <= 55  # a few rounds of detection lag
+        assert 80 <= end <= 85
+
+    def test_healthy_block_no_outages(self):
+        oracle = make_oracle(p_response=0.95, n_rounds=300)
+        prober = AdaptiveProber(oracle.ever_active)
+        log = prober.run(oracle, RoundSchedule(300), FixedAvailability(0.9))
+        assert log.detected_outages() == []
+
+    def test_probe_budget_under_paper_bound(self):
+        """Outage detection costs < 20 probes/hour/block (paper section 1)."""
+        oracle = make_oracle(p_response=0.7, n_rounds=1000, seed=9)
+        prober = AdaptiveProber(oracle.ever_active)
+        schedule = RoundSchedule(1000)
+        log = prober.run(oracle, schedule, FixedAvailability(0.7))
+        assert log.probe_rate_per_hour(schedule) < 20
+
+    def test_restart_rounds_reset_feedback(self):
+        oracle = make_oracle(n_rounds=100)
+        schedule = RoundSchedule(100, restart_interval_s=660.0 * 25)
+
+        class CountingFeedback(FixedAvailability):
+            def __init__(self):
+                super().__init__(0.9)
+                self.restarts = 0
+
+            def restart(self):
+                self.restarts += 1
+
+        feedback = CountingFeedback()
+        AdaptiveProber(oracle.ever_active).run(oracle, schedule, feedback)
+        assert feedback.restarts == len(schedule.restart_rounds())
+
+
+class TestProbeLogOutages:
+    def test_outage_runs_at_edges(self):
+        from repro.probing.prober import ProbeLog
+
+        states = np.array([-1, -1, 1, 1, -1], dtype=np.int8)
+        log = ProbeLog(
+            positives=np.zeros(5, dtype=np.int16),
+            totals=np.ones(5, dtype=np.int16),
+            states=states,
+            beliefs=np.zeros(5),
+        )
+        assert log.detected_outages() == [(0, 2), (4, 5)]
+
+    def test_no_outages(self):
+        from repro.probing.prober import ProbeLog
+
+        log = ProbeLog(
+            positives=np.ones(4, dtype=np.int16),
+            totals=np.ones(4, dtype=np.int16),
+            states=np.ones(4, dtype=np.int8),
+            beliefs=np.ones(4),
+        )
+        assert log.detected_outages() == []

@@ -1,0 +1,71 @@
+"""Tests for OLS line fitting."""
+
+import numpy as np
+import pytest
+
+from repro.stats.regression import fit_line
+
+
+class TestFitLine:
+    def test_exact_line(self):
+        x = np.arange(20.0)
+        fit = fit_line(x, 3.0 * x - 2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(-2.0)
+        assert fit.r == pytest.approx(1.0)
+        assert fit.p_value < 1e-20
+
+    def test_negative_relation(self):
+        x = np.arange(20.0)
+        fit = fit_line(x, -0.5 * x + 4.0)
+        assert fit.slope == pytest.approx(-0.5)
+        assert fit.r == pytest.approx(-1.0)
+
+    def test_noisy_fit_recovers_slope(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(500) * 10
+        y = 2.0 * x + 1.0 + rng.normal(0, 0.5, 500)
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(2.0, abs=0.05)
+        assert fit.p_value < 1e-10
+
+    def test_no_relation_high_p(self):
+        rng = np.random.default_rng(1)
+        fit = fit_line(rng.random(100), rng.random(100))
+        assert fit.p_value > 0.001
+        assert abs(fit.r) < 0.4
+
+    def test_nan_pairs_dropped(self):
+        x = np.array([0.0, 1.0, 2.0, np.nan, 4.0])
+        y = np.array([0.0, 2.0, 4.0, 100.0, 8.0])
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.n == 4
+
+    def test_matches_scipy_linregress(self):
+        rng = np.random.default_rng(2)
+        x = rng.random(200)
+        y = 0.7 * x + rng.normal(0, 0.1, 200)
+        fit = fit_line(x, y)
+        ref = __import__("scipy.stats", fromlist=["linregress"]).linregress(x, y)
+        assert fit.slope == pytest.approx(ref.slope)
+        assert fit.intercept == pytest.approx(ref.intercept)
+        assert fit.r == pytest.approx(ref.rvalue)
+        assert fit.p_value == pytest.approx(ref.pvalue, rel=1e-6)
+        assert fit.stderr == pytest.approx(ref.stderr, rel=1e-6)
+
+    def test_predict(self):
+        fit = fit_line(np.arange(10.0), 2 * np.arange(10.0))
+        assert np.allclose(fit.predict(np.array([5.0, 6.0])), [10.0, 12.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_line(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_zero_variance_x(self):
+        with pytest.raises(ValueError):
+            fit_line(np.ones(10), np.arange(10.0))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_line(np.zeros(3), np.zeros(4))

@@ -1,0 +1,63 @@
+"""Tests for the command-line report generator."""
+
+import io
+
+import pytest
+
+from repro.report import build_parser, run_report
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.blocks == 8000
+        assert args.days == 14.0
+        assert not args.skip_validation
+
+    def test_custom_args(self):
+        args = build_parser().parse_args(
+            ["--blocks", "500", "--days", "7", "--seed", "3",
+             "--out", "x", "--skip-validation"]
+        )
+        assert args.blocks == 500
+        assert args.days == 7.0
+        assert args.skip_validation
+
+
+class TestRunReport:
+    @pytest.fixture(scope="class")
+    def report_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("report")
+        args = build_parser().parse_args(
+            ["--blocks", "1200", "--days", "7", "--out", str(out),
+             "--survey-blocks", "15"]
+        )
+        run_report(args, out=io.StringIO())
+        return out
+
+    def test_all_artifacts_written(self, report_dir):
+        expected = {
+            "tab3_countries", "tab4_regions", "fig16_gdp_scatter",
+            "tab5_anova", "fig12_13_maps", "fig14_phase_longitude",
+            "fig15_allocation", "fig10_freq_cdf", "fig17_linktype",
+            "tab2_cross_site", "app_census", "fig04_05_availability",
+            "tab1_validation", "outage_validation",
+        }
+        written = {p.stem for p in report_dir.glob("*.txt")}
+        assert expected <= written
+
+    def test_tables_not_empty(self, report_dir):
+        for path in report_dir.glob("*.txt"):
+            assert path.read_text().strip(), path.name
+
+    def test_country_table_has_us(self, report_dir):
+        assert "US" in (report_dir / "tab3_countries.txt").read_text()
+
+    def test_skip_validation(self, tmp_path):
+        args = build_parser().parse_args(
+            ["--blocks", "600", "--days", "7", "--out", str(tmp_path),
+             "--skip-validation"]
+        )
+        run_report(args, out=io.StringIO())
+        assert not (tmp_path / "tab1_validation.txt").exists()
+        assert (tmp_path / "tab3_countries.txt").exists()

@@ -1,0 +1,77 @@
+"""Tests for the round clock and restart schedule."""
+
+import numpy as np
+import pytest
+
+from repro.probing.rounds import ROUND_SECONDS, RoundSchedule, probes_per_hour
+
+
+class TestSchedule:
+    def test_for_days_round_count(self):
+        s = RoundSchedule.for_days(14)
+        assert s.n_rounds == round(14 * 86400 / 660)
+
+    def test_paper_35_day_dataset(self):
+        s = RoundSchedule.for_days(35)
+        assert s.n_rounds == round(35 * 86400 / 660) == 4582
+
+    def test_times_spacing(self):
+        s = RoundSchedule(n_rounds=5, round_s=660.0, start_s=100.0)
+        assert np.allclose(np.diff(s.times()), 660.0)
+        assert s.times()[0] == 100.0
+
+    def test_duration(self):
+        s = RoundSchedule(n_rounds=10)
+        assert s.duration_s == 6600.0
+
+    def test_n_days(self):
+        s = RoundSchedule.for_days(7)
+        assert s.n_days == pytest.approx(7.0, abs=0.01)
+
+    def test_rounds_per_day(self):
+        assert RoundSchedule(10).rounds_per_day() == pytest.approx(86400 / 660)
+
+    def test_rejects_negative_rounds(self):
+        with pytest.raises(ValueError):
+            RoundSchedule(n_rounds=-1)
+
+    def test_rejects_nonpositive_round_s(self):
+        with pytest.raises(ValueError):
+            RoundSchedule(n_rounds=1, round_s=0.0)
+
+
+class TestRestarts:
+    def test_no_restarts_by_default(self):
+        assert len(RoundSchedule(100).restart_rounds()) == 0
+
+    def test_restart_every_5_5_hours(self):
+        # The A_12w policy: restart every 5.5 h = every 30 rounds.
+        s = RoundSchedule.for_days(1, restart_interval_s=5.5 * 3600)
+        restarts = s.restart_rounds()
+        assert restarts.tolist() == [30, 60, 90, 120]
+
+    def test_round_zero_never_a_restart(self):
+        s = RoundSchedule(100, restart_interval_s=660.0)
+        assert 0 not in s.restart_rounds()
+
+    def test_restarts_within_bounds(self):
+        s = RoundSchedule.for_days(35, restart_interval_s=5.5 * 3600)
+        restarts = s.restart_rounds()
+        assert (restarts < s.n_rounds).all()
+        # 35 days / 5.5 h ≈ 152 restarts.
+        assert 150 <= len(restarts) <= 153
+
+
+class TestProbeBudget:
+    def test_probes_per_hour(self):
+        s = RoundSchedule.for_days(1)
+        # One probe per round is ~5.45 probes/hour.
+        assert probes_per_hour(s.n_rounds, s) == pytest.approx(3600 / 660, abs=0.01)
+
+    def test_zero_duration(self):
+        assert probes_per_hour(100, RoundSchedule(0)) == 0.0
+
+    def test_paper_budget_holds_for_adaptive_probing(self):
+        # Even 3 probes/round stays under the paper's 20 probes/hour bound.
+        s = RoundSchedule.for_days(35)
+        assert probes_per_hour(3 * s.n_rounds, s) < 20

@@ -1,0 +1,114 @@
+"""Tests for named scenarios (datasets and the campus)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.scenarios import (
+    build_campus,
+    schedule_for,
+    survey_population,
+)
+
+
+class TestSchedules:
+    def test_s51w_two_weeks(self):
+        s = schedule_for("S51W")
+        assert s.n_days == pytest.approx(14, abs=0.01)
+        assert len(s.restart_rounds()) == 0
+
+    def test_a12w_35_days_with_restarts(self):
+        s = schedule_for("A12W")
+        assert s.n_days == pytest.approx(35, abs=0.01)
+        assert len(s.restart_rounds()) > 100
+        assert s.start_s > 0  # 17:18 UTC start, exercises midnight trim
+
+    def test_vantage_points_share_schedule(self):
+        w, j, c = schedule_for("A12W"), schedule_for("A12J"), schedule_for("A12C")
+        assert w.n_rounds == j.n_rounds == c.n_rounds
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            schedule_for("A99X")
+
+
+class TestSurveyPopulation:
+    def test_population_size_and_ids_unique(self):
+        blocks = survey_population(40, seed=0)
+        assert len(blocks) == 40
+        ids = [b.block_id for b in blocks]
+        assert len(set(ids)) == 40
+
+    def test_deterministic(self):
+        a = survey_population(10, seed=1)
+        b = survey_population(10, seed=1)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.behavior.kinds, y.behavior.kinds)
+
+    def test_mixture_includes_diurnal_and_stable(self):
+        from repro.net.addrmodel import AddressKind
+
+        blocks = survey_population(60, seed=2)
+        has_diurnal = any(
+            (b.behavior.kinds == AddressKind.DIURNAL).sum() >= 50 for b in blocks
+        )
+        has_stable_only = any(
+            (b.behavior.kinds == AddressKind.DIURNAL).sum() == 0
+            and (b.behavior.kinds == AddressKind.ALWAYS_ON).sum() > 0
+            for b in blocks
+        )
+        assert has_diurnal and has_stable_only
+
+
+class TestCampus:
+    @pytest.fixture(scope="class")
+    def campus(self):
+        # Scaled-down campus for test speed; benches use paper counts.
+        return build_campus(
+            seed=0, n_wireless=20, n_dynamic=8, n_general=12,
+            n_general_with_pocket=4, n_server=4,
+        )
+
+    def test_counts(self, campus):
+        by_usage = {}
+        for cb in campus:
+            by_usage[cb.usage] = by_usage.get(cb.usage, 0) + 1
+        assert by_usage == {"wireless": 20, "dynamic": 8, "general": 12, "server": 4}
+
+    def test_wireless_sparse(self, campus):
+        """USC wireless is overprovisioned: ~10 live of 256 — below
+        Trinocular's 15-address probing floor."""
+        for cb in campus:
+            if cb.usage == "wireless":
+                assert len(cb.block.ever_active()) < 15
+
+    def test_wireless_truly_diurnal(self, campus):
+        assert all(cb.truly_diurnal for cb in campus if cb.usage == "wireless")
+
+    def test_servers_not_diurnal(self, campus):
+        assert not any(cb.truly_diurnal for cb in campus if cb.usage == "server")
+
+    def test_general_pockets_of_16(self, campus):
+        from repro.net.addrmodel import AddressKind
+
+        pockets = [
+            cb for cb in campus if cb.usage == "general" and cb.truly_diurnal
+        ]
+        assert len(pockets) == 4
+        for cb in pockets:
+            assert (cb.block.behavior.kinds == AddressKind.DIURNAL).sum() == 16
+
+    def test_rdns_names_match_usage(self, campus):
+        from repro.linktype import classify_block_names
+
+        for cb in campus:
+            result = classify_block_names(cb.rdns_names, keep_discarded=True)
+            if cb.usage == "wireless":
+                assert "wireless" in result.counts
+            elif cb.usage == "dynamic":
+                assert "dyn" in result.labels
+            elif cb.usage == "server":
+                assert "srv" in result.labels
+
+    def test_unique_block_ids(self, campus):
+        ids = [cb.block.block_id for cb in campus]
+        assert len(set(ids)) == len(ids)

@@ -1,0 +1,53 @@
+"""Tests for exhaustive surveys."""
+
+import numpy as np
+import pytest
+
+from repro.net import Block24, make_always_on, make_dead, make_diurnal, merge_behaviors
+from repro.probing import RoundSchedule, run_survey
+
+
+def surveyed(behavior, n_rounds=200, seed=0):
+    block = Block24(1, behavior)
+    schedule = RoundSchedule(n_rounds)
+    oracle = block.realize(schedule.times(), np.random.default_rng(seed))
+    return run_survey(oracle, schedule), schedule
+
+
+class TestSurvey:
+    def test_probes_every_address_every_round(self):
+        result, _ = surveyed(merge_behaviors(make_always_on(10), make_dead(246)))
+        assert (result.totals == 256).all()
+        assert result.total_probes == 256 * 200
+
+    def test_availability_is_exact_fraction(self):
+        result, _ = surveyed(merge_behaviors(make_always_on(64, 1.0), make_dead(192)))
+        assert (result.availability == 1.0).all()
+        assert (result.positives == 64).all()
+
+    def test_availability_over_ever_active_only(self):
+        """A = responsive fraction of E(b), not of all 256 addresses."""
+        result, _ = surveyed(merge_behaviors(make_always_on(42, 0.735), make_dead(214)), n_rounds=2000)
+        assert result.n_ever_active == 42
+        assert result.mean_availability == pytest.approx(0.735, abs=0.02)
+
+    def test_diurnal_block_availability_oscillates(self):
+        behavior = merge_behaviors(
+            make_always_on(50, 1.0), make_diurnal(100, phase_s=0.0, p_response=1.0)
+        )
+        result, _ = surveyed(behavior, n_rounds=int(86400 / 660) + 1)
+        assert result.availability.max() == pytest.approx(1.0, abs=0.01)
+        assert result.availability.min() == pytest.approx(50 / 150, abs=0.01)
+
+    def test_schedule_mismatch_rejected(self):
+        block = Block24(1, make_always_on(10))
+        oracle = block.realize(np.arange(5) * 660.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            run_survey(oracle, RoundSchedule(6))
+
+    def test_survey_cost_dwarfs_adaptive(self):
+        """Surveys cost ~256 probes/round: fine for 2% of blocks, not for all."""
+        result, schedule = surveyed(merge_behaviors(make_always_on(30), make_dead(226)))
+        from repro.probing import probes_per_hour
+
+        assert probes_per_hour(result.total_probes, schedule) > 1000

@@ -1,0 +1,198 @@
+"""Tests for timeseries cleaning (paper section 2.2, data cleaning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timeseries import (
+    fill_missing,
+    is_stationary,
+    linear_slope,
+    observations_to_grid,
+    trim_to_midnight,
+)
+
+ROUND = 660.0
+DAY = 86400.0
+
+
+class TestGrid:
+    def test_aligned_observations_pass_through(self):
+        times = np.arange(10) * ROUND
+        values = np.arange(10.0)
+        grid, stats = observations_to_grid(times, values, ROUND, 0.0, 10)
+        assert np.array_equal(grid, values)
+        assert stats.n_missing == 0
+        assert stats.n_duplicates == 0
+
+    def test_jittered_observations_snap_to_nearest_round(self):
+        times = np.arange(10) * ROUND + np.linspace(-100, 100, 10)
+        values = np.arange(10.0)
+        grid, stats = observations_to_grid(times, values, ROUND, 0.0, 10)
+        assert np.array_equal(grid, values)
+
+    def test_missing_round_becomes_nan(self):
+        times = np.array([0.0, ROUND, 3 * ROUND])
+        grid, stats = observations_to_grid(times, np.ones(3), ROUND, 0.0, 4)
+        assert np.isnan(grid[2])
+        assert stats.n_missing == 1
+
+    def test_duplicate_keeps_most_recent(self):
+        times = np.array([0.0, ROUND, ROUND + 10.0])
+        values = np.array([1.0, 2.0, 3.0])
+        grid, stats = observations_to_grid(times, values, ROUND, 0.0, 2)
+        assert grid[1] == 3.0
+        assert stats.n_duplicates == 1
+
+    def test_duplicate_order_independent_of_input_order(self):
+        times = np.array([ROUND + 10.0, ROUND, 0.0])
+        values = np.array([3.0, 2.0, 1.0])
+        grid, _ = observations_to_grid(times, values, ROUND, 0.0, 2)
+        assert grid[1] == 3.0  # later *time* wins, not later input position
+
+    def test_out_of_range_observations_dropped(self):
+        times = np.array([-5000.0, 0.0, 50000.0])
+        grid, _ = observations_to_grid(times, np.ones(3), ROUND, 0.0, 3)
+        assert grid[0] == 1.0
+        assert np.isnan(grid[1]) and np.isnan(grid[2])
+
+    def test_missing_fraction(self):
+        grid, stats = observations_to_grid(
+            np.array([0.0]), np.array([1.0]), ROUND, 0.0, 20
+        )
+        assert stats.missing_fraction == pytest.approx(19 / 20)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            observations_to_grid(np.zeros(3), np.zeros(4), ROUND, 0.0, 5)
+
+
+class TestFillMissing:
+    def test_single_gap_filled_from_previous(self):
+        values = np.array([1.0, np.nan, 3.0])
+        filled, n = fill_missing(values)
+        assert filled.tolist() == [1.0, 1.0, 3.0]
+        assert n == 1
+
+    def test_long_gap_left_alone_with_max_gap_1(self):
+        values = np.array([1.0, np.nan, np.nan, 4.0])
+        filled, n = fill_missing(values, max_gap=1)
+        assert filled[1] == 1.0
+        assert np.isnan(filled[2])
+        assert n == 1
+
+    def test_fill_everything_for_fft(self):
+        values = np.array([1.0, np.nan, np.nan, np.nan, 5.0])
+        filled, n = fill_missing(values, max_gap=10**9)
+        assert not np.isnan(filled).any()
+        assert n == 3
+
+    def test_leading_nan_backfilled(self):
+        values = np.array([np.nan, 2.0, 3.0])
+        filled, n = fill_missing(values)
+        assert filled[0] == 2.0
+
+    def test_no_gaps_no_change(self):
+        values = np.arange(5.0)
+        filled, n = fill_missing(values)
+        assert n == 0
+        assert np.array_equal(filled, values)
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            fill_missing(np.full(5, np.nan))
+
+    def test_input_not_modified(self):
+        values = np.array([1.0, np.nan])
+        fill_missing(values)
+        assert np.isnan(values[1])
+
+
+class TestTrimToMidnight:
+    def test_midnight_aligned_series_untouched(self):
+        n = int(3 * DAY / ROUND)
+        times = np.arange(n) * ROUND
+        sl = trim_to_midnight(times, ROUND)
+        assert sl.start == 0
+        # End near the last midnight (round 262 ≈ day 2).
+        assert abs(times[sl.stop - 1] - 2 * DAY) <= ROUND / 2 + 1e-9
+
+    def test_offset_start_trimmed_forward(self):
+        start = 5 * 3600.0  # measurement begins at 05:00 UTC
+        n = int(3 * DAY / ROUND)
+        times = start + np.arange(n) * ROUND
+        sl = trim_to_midnight(times, ROUND)
+        assert abs(times[sl.start] - DAY) <= ROUND / 2 + 1e-9
+
+    def test_retained_span_is_whole_days(self):
+        start = 17.3 * 3600.0
+        n = int(10 * DAY / ROUND)
+        times = start + np.arange(n) * ROUND
+        sl = trim_to_midnight(times, ROUND)
+        span = times[sl.stop - 1] - times[sl.start]
+        days = span / DAY
+        assert abs(days - round(days)) < ROUND / DAY
+
+    def test_short_series_returned_whole(self):
+        times = np.arange(10) * ROUND
+        sl = trim_to_midnight(times, ROUND)
+        assert (sl.start, sl.stop) == (0, 10)
+
+
+class TestStationarity:
+    def test_flat_series_is_stationary(self):
+        times = np.arange(1000) * ROUND
+        values = np.full(1000, 0.5)
+        assert is_stationary(times, values, n_ever_active=100)
+
+    def test_strong_trend_is_not_stationary(self):
+        times = np.arange(1000) * ROUND
+        # 5% of a 100-address block per day = 5 addresses/day.
+        values = 0.2 + 0.05 * times / DAY
+        assert not is_stationary(times, values, n_ever_active=100)
+
+    def test_sub_address_trend_is_stationary(self):
+        times = np.arange(1000) * ROUND
+        values = 0.5 + 0.005 * times / DAY  # 0.5 addresses/day on 100
+        assert is_stationary(times, values, n_ever_active=100)
+
+    def test_diurnal_oscillation_is_stationary(self):
+        times = np.arange(int(14 * DAY / ROUND)) * ROUND
+        values = 0.5 + 0.3 * np.sin(2 * np.pi * times / DAY)
+        assert is_stationary(times, values, n_ever_active=200)
+
+    def test_empty_ever_active_trivially_stationary(self):
+        assert is_stationary(np.arange(10.0), np.ones(10), n_ever_active=0)
+
+    def test_linear_slope_exact(self):
+        times = np.arange(100.0)
+        values = 3.0 + 0.25 * times
+        assert linear_slope(times, values) == pytest.approx(0.25)
+
+    def test_linear_slope_ignores_nan(self):
+        times = np.arange(100.0)
+        values = 2.0 * times
+        values[10:20] = np.nan
+        assert linear_slope(times, values) == pytest.approx(2.0)
+
+    def test_linear_slope_degenerate(self):
+        assert linear_slope(np.array([1.0]), np.array([2.0])) == 0.0
+        assert linear_slope(np.ones(5), np.arange(5.0)) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=400),
+    gap_at=st.integers(min_value=1, max_value=398),
+)
+def test_fill_missing_preserves_observed_values(n, gap_at):
+    values = np.linspace(0, 1, n)
+    holes = values.copy()
+    idx = gap_at % n
+    if idx == 0:
+        idx = 1
+    holes[idx] = np.nan
+    filled, _ = fill_missing(holes, max_gap=n)
+    observed = ~np.isnan(holes)
+    assert np.array_equal(filled[observed], values[observed])
