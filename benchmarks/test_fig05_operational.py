@@ -4,7 +4,6 @@ Paper: Â_o stays at or below true A in ~94% of comparable rounds (cases
 with A below the 0.1 probing floor are omitted).
 """
 
-import numpy as np
 
 from repro.analysis import run_availability_validation
 

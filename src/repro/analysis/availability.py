@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.pipeline import MeasurementConfig, measure_block
+from repro.core.pipeline import BatchConfig, BatchRunner, MeasurementConfig
 from repro.probing.rounds import RoundSchedule
 from repro.simulation.scenarios import schedule_for, survey_population
 from repro.stats.descriptive import BinnedQuartiles, binned_quartiles, density_grid, pearson
@@ -98,15 +98,16 @@ def run_availability_validation(
     schedule = schedule or schedule_for("S51W")
     config = config or MeasurementConfig()
     blocks = survey_population(n_blocks, seed=seed)
-    children = np.random.SeedSequence(seed + 999).spawn(len(blocks))
+    # The resilient runner reproduces the legacy per-block seeding
+    # bit-for-bit while isolating any per-block failure.
+    runner = BatchRunner(BatchConfig(measurement=config))
+    batch = runner.run(blocks, schedule, seed=seed + 999)
 
     true_parts = []
     short_parts = []
     oper_parts = []
     measured = 0
-    for block, child in zip(blocks, children):
-        rng = np.random.default_rng(child)
-        result = measure_block(block, schedule, rng, config)
+    for result in batch.measurements:
         if result.skipped:
             continue
         measured += 1

@@ -12,9 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.core.pipeline import MeasurementConfig, measure_block
+from repro.core.pipeline import BatchConfig, BatchRunner, MeasurementConfig
 from repro.probing.rounds import RoundSchedule
 from repro.simulation.scenarios import schedule_for, survey_population
 
@@ -94,14 +92,15 @@ def run_diurnal_validation(
     schedule = schedule or schedule_for("S51W")
     config = config or MeasurementConfig()
     blocks = survey_population(n_blocks, seed=seed)
-    children = np.random.SeedSequence(seed + 31).spawn(len(blocks))
+    # Same per-block seeding as the legacy loop (bit-identical results),
+    # with per-block failure isolation from the resilient runner.
+    runner = BatchRunner(BatchConfig(measurement=config))
+    batch = runner.run(blocks, schedule, seed=seed + 31)
 
     d_dhat = n_nhat = d_nhat = n_dhat = 0
     stationary = 0
     measured = 0
-    for block, child in zip(blocks, children):
-        rng = np.random.default_rng(child)
-        result = measure_block(block, schedule, rng, config)
+    for result in batch.measurements:
         if result.skipped:
             continue
         measured += 1

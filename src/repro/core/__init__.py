@@ -15,7 +15,9 @@
     Strict/relaxed diurnal classification and phase extraction.
 ``pipeline``
     End-to-end measurement of simulated blocks: probing, estimation,
-    cleaning, classification, outage extraction.
+    cleaning, classification, outage extraction — plus the resilient
+    :class:`BatchRunner` (per-block failure isolation, retry,
+    checkpoint/resume) and fault-injected degraded measurement.
 """
 
 from repro.core.estimator import (
@@ -28,9 +30,13 @@ from repro.core.estimator import (
 )
 from repro.core.timeseries import (
     CleanStats,
+    QualityReport,
+    clean_observations,
+    fill_gaps,
     fill_missing,
     linear_slope,
     is_stationary,
+    longest_nan_run,
     observations_to_grid,
     trim_to_midnight,
 )
@@ -48,6 +54,7 @@ from repro.core.classify import (
     classify_series,
     classify_spectrum,
     classify_many,
+    insufficient_report,
 )
 from repro.core.localtime import (
     circular_hour_difference,
@@ -58,6 +65,10 @@ from repro.core.localtime import (
     wake_utc_hour,
 )
 from repro.core.pipeline import (
+    BatchConfig,
+    BatchResult,
+    BatchRunner,
+    BlockFailure,
     BlockMeasurement,
     MeasurementConfig,
     measure_block,
@@ -68,6 +79,10 @@ from repro.core.pipeline import (
 __all__ = [
     "AvailabilityEstimator",
     "AvailabilitySeries",
+    "BatchConfig",
+    "BatchResult",
+    "BatchRunner",
+    "BlockFailure",
     "BlockMeasurement",
     "ClassifierConfig",
     "CleanStats",
@@ -76,11 +91,13 @@ __all__ = [
     "DiurnalReport",
     "EstimatorConfig",
     "MeasurementConfig",
+    "QualityReport",
     "RestartPolicy",
     "Spectrum",
     "circular_hour_difference",
     "classify_ground_truth",
     "classify_many",
+    "clean_observations",
     "local_hour",
     "peak_utc_hour",
     "wake_local_hour",
@@ -92,10 +109,13 @@ __all__ = [
     "diurnal_bin",
     "estimate_series",
     "ewma_lag_hours",
+    "fill_gaps",
     "fill_missing",
     "harmonic_bins",
+    "insufficient_report",
     "is_stationary",
     "linear_slope",
+    "longest_nan_run",
     "measure_block",
     "measure_blocks",
     "observations_to_grid",

@@ -7,14 +7,23 @@ It is **relaxed diurnal** when the strongest frequency is at 1 cycle/day or
 the first harmonic, with no ratio requirement.  Phase is read from the
 winning diurnal bin and is only meaningful for (strictly or relaxed)
 diurnal blocks — for anything else it is effectively random.
+
+Degraded inputs get a fourth verdict, **insufficient data**: when the
+cleaned series still contains NaNs, or its :class:`~repro.core.timeseries.
+QualityReport` shows too many missing rounds, the classifier refuses to
+label rather than running an FFT over manufactured fill values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.timeseries import QualityReport
 
 from repro.core.spectral import (
     Spectrum,
@@ -33,6 +42,7 @@ __all__ = [
     "classify_many",
     "classify_series",
     "classify_spectrum",
+    "insufficient_report",
 ]
 
 
@@ -42,6 +52,7 @@ class DiurnalClass(Enum):
     NON_DIURNAL = "non-diurnal"
     RELAXED = "relaxed"
     STRICT = "strict"
+    INSUFFICIENT = "insufficient-data"
 
     @property
     def is_strict(self) -> bool:
@@ -50,7 +61,12 @@ class DiurnalClass(Enum):
     @property
     def is_diurnal(self) -> bool:
         """True for the paper's "either" set: strict or relaxed."""
-        return self is not DiurnalClass.NON_DIURNAL
+        return self in (DiurnalClass.STRICT, DiurnalClass.RELAXED)
+
+    @property
+    def is_classified(self) -> bool:
+        """False only for the insufficient-data refusal verdict."""
+        return self is not DiurnalClass.INSUFFICIENT
 
 
 @dataclass(frozen=True)
@@ -62,15 +78,25 @@ class ClassifierConfig:
             of the strongest non-harmonic competitor (paper: 2.0).
         max_harmonic: highest harmonic multiple treated as harmonic energy.
         harmonic_tolerance: ± bins of slack around each harmonic.
+        max_gap_fraction: when a quality report is supplied, refuse to
+            classify series missing more than this fraction of rounds.
+        max_longest_gap: likewise refuse when the longest gap exceeds this
+            many rounds (``None`` disables the check).
     """
 
     strict_ratio: float = 2.0
     max_harmonic: int = 8
     harmonic_tolerance: int = 1
+    max_gap_fraction: float = 0.35
+    max_longest_gap: int | None = None
 
     def __post_init__(self) -> None:
         if self.strict_ratio < 1.0:
             raise ValueError("strict_ratio must be at least 1")
+        if not 0.0 <= self.max_gap_fraction <= 1.0:
+            raise ValueError("max_gap_fraction must be in [0, 1]")
+        if self.max_longest_gap is not None and self.max_longest_gap < 0:
+            raise ValueError("max_longest_gap must be non-negative")
 
 
 @dataclass
@@ -107,8 +133,27 @@ class DiurnalReport:
         return self.label.is_diurnal
 
     @property
+    def is_classified(self) -> bool:
+        """False only for the :data:`DiurnalClass.INSUFFICIENT` refusal."""
+        return self.label.is_classified
+
+    @property
     def phase_valid(self) -> bool:
         return self.label.is_diurnal
+
+
+def insufficient_report() -> DiurnalReport:
+    """The explicit refusal verdict for series too degraded to classify."""
+    return DiurnalReport(
+        label=DiurnalClass.INSUFFICIENT,
+        diurnal_k=-1,
+        diurnal_amplitude=float("nan"),
+        dominant_k=-1,
+        dominant_cycles_per_day=float("nan"),
+        strongest_other=float("nan"),
+        strongest_harmonic=float("nan"),
+        phase=float("nan"),
+    )
 
 
 def _bin_sets(
@@ -187,9 +232,29 @@ def classify_spectrum(
 
 
 def classify_series(
-    values: np.ndarray, round_s: float, config: ClassifierConfig | None = None
+    values: np.ndarray,
+    round_s: float,
+    config: ClassifierConfig | None = None,
+    quality: "QualityReport | None" = None,
 ) -> DiurnalReport:
-    """Classify one block straight from its cleaned availability series."""
+    """Classify one block straight from its cleaned availability series.
+
+    When a :class:`~repro.core.timeseries.QualityReport` is supplied the
+    classifier first checks it against the config's quality thresholds and
+    returns the ``insufficient-data`` verdict instead of classifying a
+    series that is mostly fill.  A series still containing NaNs (the
+    ``nan`` fill policy, or gaps past ``max_gap``) is likewise refused —
+    an FFT over NaNs yields garbage, not a label.
+    """
+    config = config or ClassifierConfig()
+    if quality is not None and not quality.usable(
+        max_gap_fraction=config.max_gap_fraction,
+        max_longest_gap=config.max_longest_gap,
+    ):
+        return insufficient_report()
+    values = np.asarray(values, dtype=np.float64)
+    if np.isnan(values).any():
+        return insufficient_report()
     return classify_spectrum(compute_spectrum(values, round_s), config)
 
 
@@ -197,8 +262,9 @@ def classify_series(
 class DiurnalBatch:
     """Vectorized classification results for many blocks.
 
-    ``labels`` uses integer codes 0 (non-diurnal), 1 (relaxed), 2 (strict);
-    the masks and :meth:`label_of` give the friendlier view.
+    ``labels`` uses integer codes 0 (non-diurnal), 1 (relaxed), 2 (strict),
+    and -1 (insufficient data — the row contained NaNs); the masks and
+    :meth:`label_of` give the friendlier view.
     """
 
     labels: np.ndarray
@@ -212,6 +278,7 @@ class DiurnalBatch:
         DiurnalClass.NON_DIURNAL: 0,
         DiurnalClass.RELAXED: 1,
         DiurnalClass.STRICT: 2,
+        DiurnalClass.INSUFFICIENT: -1,
     }
 
     @property
@@ -226,6 +293,11 @@ class DiurnalBatch:
     def diurnal_mask(self) -> np.ndarray:
         """Strict or relaxed — the paper's "either" set."""
         return self.labels >= 1
+
+    @property
+    def insufficient_mask(self) -> np.ndarray:
+        """Rows refused for insufficient data."""
+        return self.labels == -1
 
     def label_of(self, i: int) -> DiurnalClass:
         for label, code in self.LABEL_CODES.items():
@@ -247,9 +319,16 @@ def classify_many(
 
     Bit-for-bit equivalent to calling :func:`classify_series` per row
     (tested), but runs one batched FFT and vectorized bin reductions.
+    Rows containing NaN (degraded series under the ``nan`` fill policy)
+    receive label code -1 (insufficient data) and a NaN phase.
     """
     config = config or ClassifierConfig()
     matrix = np.asarray(matrix, dtype=np.float64)
+    nan_rows = np.isnan(matrix).any(axis=1)
+    if nan_rows.any():
+        # Zero out degraded rows so the batched FFT stays finite; their
+        # labels are overridden below.
+        matrix = np.where(nan_rows[:, None], 0.0, matrix)
     spectra = compute_spectra(matrix, round_s)
     coeff = spectra.coefficients
     amps = np.abs(coeff)
@@ -286,6 +365,11 @@ def classify_many(
 
     phases = np.angle(coeff[np.arange(n_blocks), k_best])
     day_cycles = dominant_k / (round_s * spectra.n_samples) * 86400.0
+
+    if nan_rows.any():
+        labels[nan_rows] = -1
+        phases = phases.copy()
+        phases[nan_rows] = np.nan
 
     return DiurnalBatch(
         labels=labels,

@@ -23,14 +23,21 @@ import numpy as np
 
 __all__ = [
     "CleanStats",
+    "FILL_POLICIES",
+    "QualityReport",
+    "clean_observations",
+    "fill_gaps",
     "fill_missing",
     "is_stationary",
     "linear_slope",
+    "longest_nan_run",
     "observations_to_grid",
     "trim_to_midnight",
 ]
 
 DAY_SECONDS = 86400.0
+
+FILL_POLICIES = ("hold", "interp", "nan")
 
 
 @dataclass
@@ -47,6 +54,66 @@ class CleanStats:
         return self.n_missing / self.n_rounds if self.n_rounds else 0.0
 
 
+@dataclass
+class QualityReport:
+    """Per-series data-quality summary from one cleaning pass.
+
+    Downstream consumers use this to refuse to classify garbage: a series
+    that is mostly holes carries no spectral information, and filling it
+    manufactures a flat (or worse, periodic) signal that was never
+    measured.
+
+    Attributes:
+        n_rounds: rounds in the target grid.
+        n_observed: rounds that received at least one observation.
+        n_duplicates: extra observations sharing a round with another.
+        n_filled: gap rounds filled by the fill policy.
+        longest_gap: longest run of consecutive missing rounds (pre-fill).
+    """
+
+    n_rounds: int
+    n_observed: int
+    n_duplicates: int
+    n_filled: int
+    longest_gap: int
+
+    @property
+    def n_missing(self) -> int:
+        return self.n_rounds - self.n_observed
+
+    @property
+    def gap_fraction(self) -> float:
+        return self.n_missing / self.n_rounds if self.n_rounds else 1.0
+
+    @property
+    def duplicate_fraction(self) -> float:
+        return self.n_duplicates / self.n_rounds if self.n_rounds else 0.0
+
+    def usable(
+        self,
+        max_gap_fraction: float = 0.35,
+        max_longest_gap: int | None = None,
+    ) -> bool:
+        """Whether the series carries enough signal to classify."""
+        if self.n_observed == 0:
+            return False
+        if self.gap_fraction > max_gap_fraction:
+            return False
+        if max_longest_gap is not None and self.longest_gap > max_longest_gap:
+            return False
+        return True
+
+
+def longest_nan_run(values: np.ndarray) -> int:
+    """Length of the longest run of consecutive NaNs."""
+    isnan = np.isnan(np.asarray(values, dtype=np.float64))
+    if not isnan.any():
+        return 0
+    padded = np.concatenate([[False], isnan, [False]]).astype(np.int8)
+    edges = np.flatnonzero(np.diff(padded))
+    return int((edges[1::2] - edges[0::2]).max())
+
+
 def observations_to_grid(
     obs_times: np.ndarray,
     obs_values: np.ndarray,
@@ -60,11 +127,26 @@ def observations_to_grid(
     ``start_s + i * round_s``; when several observations land in the same
     round the most recent wins (the paper's rule for duplicates).  Rounds
     with no observation become NaN.  Returns the gridded values and stats.
+
+    Non-monotonic timestamps are legal — degraded streams deliver out of
+    order — and are resolved by a stable time sort before the duplicate
+    rule is applied; non-finite timestamps, empty inputs, and nonsensical
+    grid parameters raise ``ValueError``.
     """
     obs_times = np.asarray(obs_times, dtype=np.float64)
     obs_values = np.asarray(obs_values, dtype=np.float64)
+    if obs_times.ndim != 1:
+        raise ValueError(f"times must be 1-d, got shape {obs_times.shape}")
     if obs_times.shape != obs_values.shape:
         raise ValueError("times and values must have the same shape")
+    if len(obs_times) == 0:
+        raise ValueError("empty observation series: nothing to grid")
+    if not np.isfinite(obs_times).all():
+        raise ValueError("observation times contain NaN or infinity")
+    if round_s <= 0:
+        raise ValueError(f"round_s must be positive, got {round_s}")
+    if n_rounds <= 0:
+        raise ValueError(f"n_rounds must be positive, got {n_rounds}")
     grid = np.full(n_rounds, np.nan)
     idx = np.round((obs_times - start_s) / round_s).astype(np.int64)
     in_range = (idx >= 0) & (idx < n_rounds)
@@ -99,6 +181,12 @@ def fill_missing(values: np.ndarray, max_gap: int = 1) -> tuple[np.ndarray, int]
     from the first observation.  Returns the filled series and fill count.
     """
     values = np.asarray(values, dtype=np.float64).copy()
+    if values.ndim != 1:
+        raise ValueError(f"series must be 1-d, got shape {values.shape}")
+    if len(values) == 0:
+        raise ValueError("empty series: nothing to fill")
+    if max_gap < 0:
+        raise ValueError(f"max_gap must be non-negative, got {max_gap}")
     isnan = np.isnan(values)
     if not isnan.any():
         return values, 0
@@ -122,6 +210,120 @@ def fill_missing(values: np.ndarray, max_gap: int = 1) -> tuple[np.ndarray, int]
             last = values[i]
             gap = 0
     return values, n_filled
+
+
+def fill_gaps(
+    values: np.ndarray,
+    policy: str = "hold",
+    max_gap: int | None = None,
+) -> tuple[np.ndarray, int]:
+    """Fill multi-round gaps under a selectable policy.
+
+    Policies:
+
+    * ``"hold"`` — carry the last observation forward (the paper's rule,
+      generalized to longer gaps);
+    * ``"interp"`` — linear interpolation between the gap's endpoints,
+      with hold/backfill at the series edges;
+    * ``"nan"`` — leave every gap as NaN (a mask for consumers that can
+      handle missing data; the FFT path cannot).
+
+    ``max_gap`` bounds the length of gaps that get filled (``None`` fills
+    everything); longer gaps stay NaN so the quality gate can see them.
+    Returns the filled series and the number of rounds filled.
+    """
+    if policy not in FILL_POLICIES:
+        raise ValueError(
+            f"unknown fill policy {policy!r}; expected one of {FILL_POLICIES}"
+        )
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"series must be 1-d, got shape {values.shape}")
+    if len(values) == 0:
+        raise ValueError("empty series: nothing to fill")
+    if policy == "nan":
+        return values.copy(), 0
+    limit = len(values) if max_gap is None else max_gap
+    if policy == "hold":
+        return fill_missing(values, max_gap=limit)
+
+    # policy == "interp"
+    isnan = np.isnan(values)
+    if not isnan.any():
+        return values.copy(), 0
+    if isnan.all():
+        raise ValueError("series has no observations at all")
+    filled = values.copy()
+    valid = np.flatnonzero(~isnan)
+    interior = np.arange(valid[0], valid[-1] + 1)
+    candidate = filled.copy()
+    candidate[interior] = np.interp(interior, valid, values[valid])
+    candidate[: valid[0]] = values[valid[0]]
+    candidate[valid[-1] + 1 :] = values[valid[-1]]
+    # Respect max_gap: only gaps short enough are actually replaced.
+    n_filled = 0
+    padded = np.concatenate([[False], isnan, [False]]).astype(np.int8)
+    edges = np.flatnonzero(np.diff(padded))
+    for start, stop in zip(edges[0::2], edges[1::2]):
+        if stop - start <= limit:
+            filled[start:stop] = candidate[start:stop]
+            n_filled += stop - start
+    return filled, n_filled
+
+
+def clean_observations(
+    obs_times: np.ndarray,
+    obs_values: np.ndarray,
+    round_s: float,
+    start_s: float,
+    n_rounds: int,
+    policy: str = "hold",
+    max_gap: int | None = None,
+) -> tuple[np.ndarray, QualityReport]:
+    """Full cleaning pass: grid a degraded stream, fill, and audit it.
+
+    This is the section 2.2 path as one call: snap observations to the
+    round grid (duplicates resolved most-recent-wins), fill gaps under
+    ``policy``, and return the series plus a :class:`QualityReport` that
+    downstream classification uses to refuse insufficient data.  An empty
+    stream, or a grid every round of which is missing, is returned as all-NaN
+    rather than raising, so batch pipelines can record the failure
+    per-block instead of dying.
+    """
+    if len(np.asarray(obs_times)) == 0:
+        if n_rounds <= 0:
+            raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+        report = QualityReport(
+            n_rounds=n_rounds,
+            n_observed=0,
+            n_duplicates=0,
+            n_filled=0,
+            longest_gap=n_rounds,
+        )
+        return np.full(n_rounds, np.nan), report
+    grid, stats = observations_to_grid(
+        obs_times, obs_values, round_s, start_s, n_rounds
+    )
+    longest = longest_nan_run(grid)
+    n_observed = n_rounds - stats.n_missing
+    if n_observed == 0 or np.isnan(grid).all():
+        report = QualityReport(
+            n_rounds=n_rounds,
+            n_observed=0,
+            n_duplicates=stats.n_duplicates,
+            n_filled=0,
+            longest_gap=longest,
+        )
+        return grid, report
+    filled, n_filled = fill_gaps(grid, policy=policy, max_gap=max_gap)
+    report = QualityReport(
+        n_rounds=n_rounds,
+        n_observed=n_observed,
+        n_duplicates=stats.n_duplicates,
+        n_filled=n_filled,
+        longest_gap=longest,
+    )
+    return filled, report
 
 
 def trim_to_midnight(

@@ -1,8 +1,9 @@
-"""On-disk persistence for worlds, measurements, and tables."""
+"""On-disk persistence for worlds, measurements, tables, and checkpoints."""
 
 from __future__ import annotations
 
 import csv
+import os
 from pathlib import Path
 
 import numpy as np
@@ -13,8 +14,10 @@ from repro.simulation.internet import InternetWorld
 
 __all__ = [
     "ensure_measurement",
+    "load_batch_checkpoint",
     "load_measurement",
     "load_world_arrays",
+    "save_batch_checkpoint",
     "save_measurement",
     "save_world_arrays",
     "write_csv",
@@ -134,6 +137,218 @@ def ensure_measurement(
     measurement = measure_world(world, spec.schedule())
     save_measurement(path, measurement)
     return measurement
+
+
+# --- batch checkpoints -----------------------------------------------------
+#
+# A checkpoint is one .npz archive holding every completed entry of a
+# BatchRunner run, keyed by batch index: measurement entries under
+# "m{i}_*" keys, failure entries under "f{i}_*".  Writes are atomic
+# (tmp file + rename) so a run killed mid-checkpoint leaves the previous
+# complete checkpoint intact, never a truncated archive.
+
+_CHECKPOINT_VERSION = 1
+
+# DiurnalReport scalar fields serialized as one float vector, in order.
+_REPORT_FIELDS = (
+    "diurnal_k",
+    "diurnal_amplitude",
+    "dominant_k",
+    "dominant_cycles_per_day",
+    "strongest_other",
+    "strongest_harmonic",
+    "phase",
+)
+
+_MEASUREMENT_ARRAYS = (
+    "positives",
+    "totals",
+    "states",
+    "a_short",
+    "a_long",
+    "a_operational",
+    "true_availability",
+)
+
+
+def _label_codes():
+    from repro.core.classify import DiurnalBatch
+
+    return DiurnalBatch.LABEL_CODES
+
+
+def _report_to_array(report) -> np.ndarray:
+    if report is None:
+        return np.zeros(0)
+    code = _label_codes()[report.label]
+    return np.array(
+        [float(code)] + [float(getattr(report, f)) for f in _REPORT_FIELDS]
+    )
+
+
+def _report_from_array(packed: np.ndarray):
+    from repro.core.classify import DiurnalReport
+
+    if len(packed) == 0:
+        return None
+    decode = {code: label for label, code in _label_codes().items()}
+    fields = dict(zip(_REPORT_FIELDS, packed[1:]))
+    for int_field in ("diurnal_k", "dominant_k"):
+        fields[int_field] = int(fields[int_field])
+    return DiurnalReport(label=decode[int(packed[0])], **fields)
+
+
+def _quality_to_array(quality) -> np.ndarray:
+    if quality is None:
+        return np.zeros(0, dtype=np.int64)
+    return np.array(
+        [
+            quality.n_rounds,
+            quality.n_observed,
+            quality.n_duplicates,
+            quality.n_filled,
+            quality.longest_gap,
+        ],
+        dtype=np.int64,
+    )
+
+
+def _quality_from_array(packed: np.ndarray):
+    from repro.core.timeseries import QualityReport
+
+    if len(packed) == 0:
+        return None
+    return QualityReport(*(int(v) for v in packed))
+
+
+def _schedule_to_array(schedule: RoundSchedule) -> np.ndarray:
+    return np.array(
+        [
+            schedule.n_rounds,
+            schedule.round_s,
+            schedule.start_s,
+            schedule.restart_interval_s,
+        ]
+    )
+
+
+def _schedule_from_array(packed: np.ndarray) -> RoundSchedule:
+    n_rounds, round_s, start_s, restart = packed
+    return RoundSchedule(
+        n_rounds=int(n_rounds),
+        round_s=float(round_s),
+        start_s=float(start_s),
+        restart_interval_s=float(restart),
+    )
+
+
+def save_batch_checkpoint(
+    path: str | Path,
+    entries: dict,
+    schedule: RoundSchedule,
+    meta: dict,
+) -> Path:
+    """Atomically persist a partial batch run.
+
+    ``entries`` maps batch index to ``BlockMeasurement`` or
+    ``BlockFailure``.  ``meta`` must carry ``seed`` and ``n_blocks`` so
+    resume can refuse a checkpoint from a different run.
+    """
+    from repro.core.pipeline import BlockMeasurement
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {
+        "version": np.array([_CHECKPOINT_VERSION]),
+        "meta": np.array([int(meta["seed"]), int(meta["n_blocks"])]),
+        "schedule": _schedule_to_array(schedule),
+        "indices": np.array(sorted(entries), dtype=np.int64),
+    }
+    for index, entry in entries.items():
+        if isinstance(entry, BlockMeasurement):
+            prefix = f"m{index}_"
+            for name in _MEASUREMENT_ARRAYS:
+                arrays[prefix + name] = getattr(entry, name)
+            arrays[prefix + "ints"] = np.array(
+                [
+                    entry.block_id,
+                    entry.n_ever_active,
+                    int(entry.skipped),
+                    int(entry.stationary),
+                    entry.trim.start or 0,
+                    entry.trim.stop,
+                ],
+                dtype=np.int64,
+            )
+            arrays[prefix + "report"] = _report_to_array(entry.report)
+            arrays[prefix + "true_report"] = _report_to_array(entry.true_report)
+            arrays[prefix + "quality"] = _quality_to_array(entry.quality)
+        else:
+            prefix = f"f{index}_"
+            arrays[prefix + "ints"] = np.array(
+                [entry.block_id, entry.index, entry.attempts], dtype=np.int64
+            )
+            arrays[prefix + "error"] = np.array(
+                [entry.error_type, entry.message]
+            )
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    os.replace(tmp, path)
+    return path
+
+
+def load_batch_checkpoint(path: str | Path):
+    """Load a checkpoint written by :func:`save_batch_checkpoint`.
+
+    Returns ``(entries, schedule, meta)`` with entries reconstructed as
+    ``BlockMeasurement`` / ``BlockFailure`` objects, bit-identical to the
+    instances that were saved.
+    """
+    from repro.core.pipeline import BlockFailure, BlockMeasurement
+
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != _CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {path} has version {version}, "
+                f"expected {_CHECKPOINT_VERSION}"
+            )
+        seed, n_blocks = (int(v) for v in data["meta"])
+        schedule = _schedule_from_array(data["schedule"])
+        entries: dict = {}
+        for index in data["indices"].tolist():
+            m_prefix, f_prefix = f"m{index}_", f"f{index}_"
+            if m_prefix + "ints" in data.files:
+                ints = data[m_prefix + "ints"]
+                entries[index] = BlockMeasurement(
+                    block_id=int(ints[0]),
+                    schedule=schedule,
+                    **{
+                        name: data[m_prefix + name]
+                        for name in _MEASUREMENT_ARRAYS
+                    },
+                    trim=slice(int(ints[4]), int(ints[5])),
+                    n_ever_active=int(ints[1]),
+                    skipped=bool(ints[2]),
+                    report=_report_from_array(data[m_prefix + "report"]),
+                    true_report=_report_from_array(
+                        data[m_prefix + "true_report"]
+                    ),
+                    stationary=bool(ints[3]),
+                    quality=_quality_from_array(data[m_prefix + "quality"]),
+                )
+            else:
+                ints = data[f_prefix + "ints"]
+                error_type, message = data[f_prefix + "error"]
+                entries[index] = BlockFailure(
+                    block_id=int(ints[0]),
+                    index=int(ints[1]),
+                    error_type=str(error_type),
+                    message=str(message),
+                    attempts=int(ints[2]),
+                )
+    return entries, schedule, {"seed": seed, "n_blocks": n_blocks}
 
 
 def write_csv(path: str | Path, header: list, rows: list) -> Path:

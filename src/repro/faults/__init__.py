@@ -1,0 +1,47 @@
+"""Fault injection: degraded measurement streams, on purpose.
+
+The paper's setting is degraded by nature — ~5% of rounds arrive missing
+or duplicated, probers restart every 5.5 hours, and outages punch
+multi-round holes in the stream.  This package reproduces those faults as
+composable, seeded injectors so any benchmark can run "clean versus
+degraded" with one config object:
+
+``config``
+    :class:`FaultConfig`, the shared knob set for a scenario.
+``injectors``
+    One small class per fault: probe loss, dropped and duplicated rounds,
+    multi-round gaps, clock skew/jitter, prober crashes.
+``oracle``
+    :class:`LossyOracle`, the probe-path proxy used by probe loss.
+``plan``
+    :class:`FaultPlan`, which composes the active injectors and owns
+    their deterministic random substreams.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.injectors import (
+    ClockSkewInjector,
+    FaultInjector,
+    GapInjector,
+    ObservationStream,
+    ProbeLossInjector,
+    ProberCrashInjector,
+    RoundDropInjector,
+    RoundDuplicateInjector,
+)
+from repro.faults.oracle import LossyOracle
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "ClockSkewInjector",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "GapInjector",
+    "LossyOracle",
+    "ObservationStream",
+    "ProbeLossInjector",
+    "ProberCrashInjector",
+    "RoundDropInjector",
+    "RoundDuplicateInjector",
+]

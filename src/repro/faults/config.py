@@ -1,0 +1,80 @@
+"""Shared configuration for the fault-injection subsystem.
+
+One :class:`FaultConfig` describes a whole degradation scenario: every
+injector reads its knobs from here, so a benchmark can run "clean versus
+degraded" by swapping a single object.  The default instance is fully
+clean (every rate zero), and :attr:`FaultConfig.is_clean` lets callers
+skip the fault path entirely in that case.
+
+The magnitudes are chosen to bracket what the paper reports for real
+Trinocular data: ~5% of rounds missing or duplicated (section 2.2),
+prober restarts every 5.5 hours (the Figure 10 artifact), and multi-round
+holes from outages at the prober's own site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FaultConfig"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs for one degradation scenario.
+
+    Attributes:
+        probe_loss_rate: probability that an individual probe's positive
+            response is lost in transit (the prober sees a negative).
+        round_drop_rate: probability that a round's estimate never reaches
+            the analysis pipeline (a missing observation).
+        round_duplicate_rate: probability that a round's estimate is
+            delivered twice, the second copy slightly late.
+        gaps_per_day: expected number of multi-round measurement gaps
+            starting per day (collector outages, maintenance windows).
+        mean_gap_rounds: mean length of each such gap, in rounds
+            (geometrically distributed, minimum 2 rounds).
+        clock_jitter_s: standard deviation of Gaussian noise added to each
+            observation timestamp.
+        clock_skew_ppm: linear clock drift of the observation timestamps,
+            in parts per million of elapsed time.
+        crashes_per_day: expected number of *unscheduled* prober crashes
+            per day; each behaves like a scheduled restart (walk position
+            and belief lost) but at a random round.
+        seed: base seed for every injector's random substream.
+    """
+
+    probe_loss_rate: float = 0.0
+    round_drop_rate: float = 0.0
+    round_duplicate_rate: float = 0.0
+    gaps_per_day: float = 0.0
+    mean_gap_rounds: float = 6.0
+    clock_jitter_s: float = 0.0
+    clock_skew_ppm: float = 0.0
+    crashes_per_day: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("probe_loss_rate", "round_drop_rate", "round_duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("gaps_per_day", "clock_jitter_s", "crashes_per_day"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if self.mean_gap_rounds < 1:
+            raise ValueError("mean_gap_rounds must be at least 1")
+
+    @property
+    def is_clean(self) -> bool:
+        """True when this configuration injects no faults at all."""
+        return (
+            self.probe_loss_rate == 0.0
+            and self.round_drop_rate == 0.0
+            and self.round_duplicate_rate == 0.0
+            and self.gaps_per_day == 0.0
+            and self.clock_jitter_s == 0.0
+            and self.clock_skew_ppm == 0.0
+            and self.crashes_per_day == 0.0
+        )

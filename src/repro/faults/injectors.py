@@ -1,0 +1,240 @@
+"""Composable fault injectors.
+
+Each injector is a small class with up to three hooks, all no-ops by
+default:
+
+* :meth:`FaultInjector.wrap_oracle` — interpose on the probe path
+  (packet loss);
+* :meth:`FaultInjector.corrupt_stream` — rewrite the observation stream
+  the analysis pipeline receives (drops, duplicates, gaps, clock errors);
+* :meth:`FaultInjector.crash_rounds` — add unscheduled prober restarts.
+
+Injectors never share random state: the :class:`~repro.faults.plan.FaultPlan`
+hands each hook its own seeded generator, so scenarios compose
+deterministically and each fault can be toggled without perturbing the
+others' draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.oracle import LossyOracle
+from repro.probing.rounds import RoundSchedule
+
+__all__ = [
+    "ClockSkewInjector",
+    "FaultInjector",
+    "GapInjector",
+    "ObservationStream",
+    "ProbeLossInjector",
+    "ProberCrashInjector",
+    "RoundDropInjector",
+    "RoundDuplicateInjector",
+]
+
+_DAY_SECONDS = 86400.0
+
+
+@dataclass
+class ObservationStream:
+    """A raw (possibly degraded) observation stream: timestamped values.
+
+    This is the unaligned form that ``observations_to_grid`` cleans back
+    onto the round grid — the paper's section 2.2 input.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.float64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.times.shape != self.values.shape:
+            raise ValueError(
+                f"times {self.times.shape} and values {self.values.shape} "
+                "must have the same shape"
+            )
+
+    @property
+    def n_observations(self) -> int:
+        return len(self.times)
+
+    def sorted(self) -> "ObservationStream":
+        """Time-ordered copy (stable, so duplicate order is preserved)."""
+        order = np.argsort(self.times, kind="stable")
+        return ObservationStream(self.times[order], self.values[order])
+
+
+class FaultInjector:
+    """Base injector: all hooks are identity transforms."""
+
+    def wrap_oracle(self, oracle, rng: np.random.Generator):
+        return oracle
+
+    def corrupt_stream(
+        self,
+        stream: ObservationStream,
+        round_s: float,
+        rng: np.random.Generator,
+    ) -> ObservationStream:
+        return stream
+
+    def crash_rounds(
+        self, schedule: RoundSchedule, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.zeros(0, dtype=np.int64)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ProbeLossInjector(FaultInjector):
+    """Individual probe responses lost in transit."""
+
+    def __init__(self, loss_rate: float) -> None:
+        self.loss_rate = loss_rate
+
+    def wrap_oracle(self, oracle, rng: np.random.Generator):
+        return LossyOracle(oracle, self.loss_rate, rng)
+
+    def describe(self) -> str:
+        return f"ProbeLoss({self.loss_rate:.1%})"
+
+
+class RoundDropInjector(FaultInjector):
+    """Independent per-round observation loss (missing estimates)."""
+
+    def __init__(self, drop_rate: float) -> None:
+        self.drop_rate = drop_rate
+
+    def corrupt_stream(
+        self,
+        stream: ObservationStream,
+        round_s: float,
+        rng: np.random.Generator,
+    ) -> ObservationStream:
+        keep = rng.random(stream.n_observations) >= self.drop_rate
+        return ObservationStream(stream.times[keep], stream.values[keep])
+
+    def describe(self) -> str:
+        return f"RoundDrop({self.drop_rate:.1%})"
+
+
+class RoundDuplicateInjector(FaultInjector):
+    """Observations delivered twice, the second copy slightly late.
+
+    The duplicate lands a quarter-round after the original, so gridding
+    snaps both to the same round and "most recent wins" resolves them —
+    the paper's duplicate rule.
+    """
+
+    def __init__(self, duplicate_rate: float) -> None:
+        self.duplicate_rate = duplicate_rate
+
+    def corrupt_stream(
+        self,
+        stream: ObservationStream,
+        round_s: float,
+        rng: np.random.Generator,
+    ) -> ObservationStream:
+        dup = rng.random(stream.n_observations) < self.duplicate_rate
+        if not dup.any():
+            return stream
+        times = np.concatenate([stream.times, stream.times[dup] + 0.25 * round_s])
+        values = np.concatenate([stream.values, stream.values[dup]])
+        return ObservationStream(times, values)
+
+    def describe(self) -> str:
+        return f"RoundDuplicate({self.duplicate_rate:.1%})"
+
+
+class GapInjector(FaultInjector):
+    """Multi-round measurement gaps (collector outages).
+
+    Gap starts are a Bernoulli process per round; each gap's length is
+    geometric with the configured mean, at least 2 rounds so gaps are
+    distinguishable from single drops.
+    """
+
+    def __init__(self, gaps_per_day: float, mean_gap_rounds: float) -> None:
+        self.gaps_per_day = gaps_per_day
+        self.mean_gap_rounds = mean_gap_rounds
+
+    def corrupt_stream(
+        self,
+        stream: ObservationStream,
+        round_s: float,
+        rng: np.random.Generator,
+    ) -> ObservationStream:
+        n = stream.n_observations
+        if n == 0:
+            return stream
+        p_start = min(self.gaps_per_day * round_s / _DAY_SECONDS, 1.0)
+        starts = np.flatnonzero(rng.random(n) < p_start)
+        if len(starts) == 0:
+            return stream
+        keep = np.ones(n, dtype=bool)
+        p_continue = min(1.0 / max(self.mean_gap_rounds, 1.0), 1.0)
+        for start in starts:
+            length = max(2, int(rng.geometric(p_continue)))
+            keep[start : start + length] = False
+        return ObservationStream(stream.times[keep], stream.values[keep])
+
+    def describe(self) -> str:
+        return (
+            f"Gap({self.gaps_per_day}/day, mean {self.mean_gap_rounds} rounds)"
+        )
+
+
+class ClockSkewInjector(FaultInjector):
+    """Timestamp corruption: linear drift plus Gaussian jitter.
+
+    Skew accumulates from the first observation (a prober whose clock
+    drifts over the window); jitter is independent per observation and can
+    reorder neighbours — downstream consumers must sort before gridding.
+    """
+
+    def __init__(self, jitter_s: float, skew_ppm: float) -> None:
+        self.jitter_s = jitter_s
+        self.skew_ppm = skew_ppm
+
+    def corrupt_stream(
+        self,
+        stream: ObservationStream,
+        round_s: float,
+        rng: np.random.Generator,
+    ) -> ObservationStream:
+        times = stream.times
+        if len(times) == 0:
+            return stream
+        origin = times[0]
+        skewed = origin + (times - origin) * (1.0 + self.skew_ppm * 1e-6)
+        if self.jitter_s > 0:
+            skewed = skewed + rng.normal(0.0, self.jitter_s, len(times))
+        return ObservationStream(skewed, stream.values)
+
+    def describe(self) -> str:
+        return f"ClockSkew({self.skew_ppm}ppm, jitter {self.jitter_s}s)"
+
+
+class ProberCrashInjector(FaultInjector):
+    """Unscheduled prober crashes: extra restarts at random rounds."""
+
+    def __init__(self, crashes_per_day: float) -> None:
+        self.crashes_per_day = crashes_per_day
+
+    def crash_rounds(
+        self, schedule: RoundSchedule, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = schedule.n_rounds
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        p = min(self.crashes_per_day * schedule.round_s / _DAY_SECONDS, 1.0)
+        rounds = np.flatnonzero(rng.random(n) < p).astype(np.int64)
+        return rounds[rounds > 0]  # round 0 is a cold start, not a crash
+
+    def describe(self) -> str:
+        return f"ProberCrash({self.crashes_per_day}/day)"

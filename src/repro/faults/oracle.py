@@ -1,0 +1,75 @@
+"""A lossy proxy over :class:`~repro.net.blocks.ResponseOracle`.
+
+Probe loss is a *measurement* fault, not a behaviour change: the block's
+addresses still answer, but the answer never reaches the prober.  The
+proxy therefore flips positive probe outcomes to negative with a fixed
+probability while leaving the ground-truth availability series — which is
+defined over the block's real behaviour — untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.blocks import ResponseOracle
+
+__all__ = ["LossyOracle"]
+
+
+class LossyOracle:
+    """Drops each positive probe response with probability ``loss_rate``.
+
+    Implements the same read-only interface probers use on
+    :class:`ResponseOracle`; ground-truth accessors delegate to the
+    wrapped oracle unchanged.
+    """
+
+    def __init__(
+        self,
+        oracle: ResponseOracle,
+        loss_rate: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        self._oracle = oracle
+        self.loss_rate = loss_rate
+        self._rng = rng
+
+    @property
+    def block_id(self) -> int:
+        return self._oracle.block_id
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._oracle.times
+
+    @property
+    def ever_active(self) -> np.ndarray:
+        return self._oracle.ever_active
+
+    @property
+    def n_rounds(self) -> int:
+        return self._oracle.n_rounds
+
+    @property
+    def n_ever_active(self) -> int:
+        return self._oracle.n_ever_active
+
+    def probe(self, host: int, round_idx: int) -> bool:
+        response = self._oracle.probe(host, round_idx)
+        if response and self._rng.random() < self.loss_rate:
+            return False
+        return response
+
+    def probe_many(self, hosts: np.ndarray, round_idx: int) -> np.ndarray:
+        responses = np.array(self._oracle.probe_many(hosts, round_idx))
+        lost = self._rng.random(len(responses)) < self.loss_rate
+        return responses & ~lost
+
+    def true_availability(self) -> np.ndarray:
+        """Ground truth is unaffected: the addresses did respond."""
+        return self._oracle.true_availability()
+
+    def mean_availability(self) -> float:
+        return self._oracle.mean_availability()

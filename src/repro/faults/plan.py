@@ -1,0 +1,124 @@
+"""Composition of fault injectors into one deterministic scenario.
+
+A :class:`FaultPlan` turns a :class:`~repro.faults.config.FaultConfig`
+into the ordered list of active injectors and owns their randomness.
+Every hook call derives its generator from ``(config.seed, *entropy,
+injector index)``, so
+
+* calling the same hook twice on the same plan gives identical faults
+  (needed for bit-identical checkpoint resume);
+* per-block plans from :meth:`FaultPlan.for_block` have independent
+  substreams, keyed by block index;
+* toggling one injector never shifts the draws of the others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.config import FaultConfig
+from repro.faults.injectors import (
+    ClockSkewInjector,
+    FaultInjector,
+    GapInjector,
+    ObservationStream,
+    ProbeLossInjector,
+    ProberCrashInjector,
+    RoundDropInjector,
+    RoundDuplicateInjector,
+)
+from repro.probing.rounds import RoundSchedule
+
+__all__ = ["FaultPlan"]
+
+# Stable hook offsets so oracle/stream/crash draws never collide even if
+# one injector ever implements several hooks.
+_ORACLE_STREAM = 0
+_STREAM_STREAM = 1
+_CRASH_STREAM = 2
+
+
+def _build_injectors(config: FaultConfig) -> list[FaultInjector]:
+    injectors: list[FaultInjector] = []
+    if config.probe_loss_rate > 0:
+        injectors.append(ProbeLossInjector(config.probe_loss_rate))
+    if config.round_drop_rate > 0:
+        injectors.append(RoundDropInjector(config.round_drop_rate))
+    if config.round_duplicate_rate > 0:
+        injectors.append(RoundDuplicateInjector(config.round_duplicate_rate))
+    if config.gaps_per_day > 0:
+        injectors.append(
+            GapInjector(config.gaps_per_day, config.mean_gap_rounds)
+        )
+    if config.clock_jitter_s > 0 or config.clock_skew_ppm != 0:
+        injectors.append(
+            ClockSkewInjector(config.clock_jitter_s, config.clock_skew_ppm)
+        )
+    if config.crashes_per_day > 0:
+        injectors.append(ProberCrashInjector(config.crashes_per_day))
+    return injectors
+
+
+class FaultPlan:
+    """One realized degradation scenario over one measurement."""
+
+    def __init__(
+        self, config: FaultConfig, entropy: tuple[int, ...] = ()
+    ) -> None:
+        self.config = config
+        self.entropy = tuple(int(e) for e in entropy)
+        self.injectors = _build_injectors(config)
+
+    @property
+    def is_clean(self) -> bool:
+        return len(self.injectors) == 0
+
+    def for_block(self, index: int) -> "FaultPlan":
+        """Plan with an independent random substream for one block."""
+        return FaultPlan(self.config, entropy=(*self.entropy, int(index)))
+
+    def _rng(self, injector_idx: int, stream: int) -> np.random.Generator:
+        return np.random.default_rng(
+            (self.config.seed, *self.entropy, injector_idx, stream)
+        )
+
+    def wrap_oracle(self, oracle):
+        """Interpose every probe-path injector on an oracle."""
+        for i, injector in enumerate(self.injectors):
+            oracle = injector.wrap_oracle(oracle, self._rng(i, _ORACLE_STREAM))
+        return oracle
+
+    def crash_rounds(self, schedule: RoundSchedule) -> np.ndarray:
+        """Union of all unscheduled restart rounds."""
+        rounds: list[np.ndarray] = []
+        for i, injector in enumerate(self.injectors):
+            rounds.append(
+                injector.crash_rounds(schedule, self._rng(i, _CRASH_STREAM))
+            )
+        if not rounds:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(rounds))
+
+    def degrade_stream(
+        self, times: np.ndarray, values: np.ndarray, round_s: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the observation stream through every stream injector.
+
+        Returns the degraded stream sorted by (possibly corrupted)
+        timestamp, ready for ``observations_to_grid``.
+        """
+        stream = ObservationStream(
+            np.asarray(times, dtype=np.float64).copy(),
+            np.asarray(values, dtype=np.float64).copy(),
+        )
+        for i, injector in enumerate(self.injectors):
+            stream = injector.corrupt_stream(
+                stream, round_s, self._rng(i, _STREAM_STREAM)
+            )
+        stream = stream.sorted()
+        return stream.times, stream.values
+
+    def describe(self) -> str:
+        if self.is_clean:
+            return "clean (no faults)"
+        return " + ".join(injector.describe() for injector in self.injectors)

@@ -188,12 +188,15 @@ class AdaptiveProber:
         oracle: ResponseOracle,
         schedule: RoundSchedule,
         feedback: AvailabilityFeedback | None = None,
+        extra_restarts: np.ndarray | None = None,
     ) -> ProbeLog:
         """Probe a block over a whole schedule, coupling to an estimator.
 
         ``feedback`` supplies the operational availability before each round
         and absorbs the raw counts afterwards; when omitted, a fixed 0.5 is
         used (pure outage detection with no estimation).
+        ``extra_restarts`` adds unscheduled restart rounds (crash faults)
+        on top of the schedule's periodic ones.
         """
         if schedule.n_rounds != oracle.n_rounds:
             raise ValueError(
@@ -207,6 +210,10 @@ class AdaptiveProber:
         states = np.zeros(n, dtype=np.int8)
         beliefs = np.zeros(n, dtype=np.float64)
         restarts = set(schedule.restart_rounds().tolist())
+        if extra_restarts is not None:
+            restarts.update(
+                int(r) for r in np.asarray(extra_restarts, dtype=np.int64)
+            )
 
         for r in range(n):
             if r in restarts:

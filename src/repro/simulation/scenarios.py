@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.net.addrmodel import (
-    BlockBehavior,
     make_always_on,
     make_dead,
     make_diurnal,

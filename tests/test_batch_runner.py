@@ -1,0 +1,295 @@
+"""Tests for the resilient BatchRunner: isolation, retry, checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchConfig,
+    BatchRunner,
+    BlockFailure,
+    BlockMeasurement,
+    measure_blocks,
+)
+from repro.datasets.io import load_batch_checkpoint, save_batch_checkpoint
+from repro.faults import FaultConfig
+from repro.net import Block24, make_always_on, make_dead, make_diurnal, merge_behaviors
+from repro.probing import RoundSchedule
+
+SCHEDULE = RoundSchedule.for_days(3)
+
+
+def diurnal_block(block_id):
+    behavior = merge_behaviors(
+        make_always_on(40),
+        make_diurnal(80, phase_s=6 * 3600),
+        make_dead(136),
+    )
+    return Block24(block_id, behavior)
+
+
+def make_blocks(n):
+    return [diurnal_block(i) for i in range(n)]
+
+
+class AlwaysBroken:
+    """A 'block' whose realization always raises."""
+
+    block_id = 666
+
+    def realize(self, times, rng):
+        raise RuntimeError("synthetic block failure")
+
+
+class FailsOnce(Block24):
+    """Fails the first realize call, then behaves like a normal block."""
+
+    def __init__(self, block_id, behavior):
+        super().__init__(block_id, behavior)
+        self.calls = 0
+
+    def realize(self, times, rng):
+        self.calls += 1
+        if self.calls == 1:
+            raise RuntimeError("transient failure")
+        return super().realize(times, rng)
+
+
+class KilledAt(Block24):
+    """Simulates the process dying (KeyboardInterrupt) on first realize."""
+
+    def __init__(self, block_id, behavior):
+        super().__init__(block_id, behavior)
+        self.killed = False
+
+    def realize(self, times, rng):
+        if not self.killed:
+            self.killed = True
+            raise KeyboardInterrupt
+        return super().realize(times, rng)
+
+
+def assert_measurements_identical(a: BlockMeasurement, b: BlockMeasurement):
+    for name in (
+        "positives",
+        "totals",
+        "states",
+        "a_short",
+        "a_long",
+        "a_operational",
+        "true_availability",
+    ):
+        assert np.array_equal(
+            getattr(a, name), getattr(b, name), equal_nan=True
+        ), name
+    assert a.block_id == b.block_id
+    assert a.trim == b.trim
+    assert a.n_ever_active == b.n_ever_active
+    assert a.skipped == b.skipped
+    assert a.stationary == b.stationary
+    for report_name in ("report", "true_report"):
+        ra, rb = getattr(a, report_name), getattr(b, report_name)
+        assert (ra is None) == (rb is None)
+        if ra is not None:
+            assert ra.label == rb.label
+            assert ra.diurnal_k == rb.diurnal_k
+            assert ra.diurnal_amplitude == rb.diurnal_amplitude
+            assert ra.phase == rb.phase
+
+
+class TestLegacyCompatibility:
+    def test_measure_blocks_matches_batch_runner(self):
+        blocks = make_blocks(3)
+        legacy = measure_blocks(blocks, SCHEDULE, seed=5)
+        batch = BatchRunner(BatchConfig()).run(blocks, SCHEDULE, seed=5)
+        assert len(legacy) == batch.n_blocks
+        for a, b in zip(legacy, batch.results):
+            assert_measurements_identical(a, b)
+
+    def test_measure_blocks_propagates_errors(self):
+        blocks = [diurnal_block(0), AlwaysBroken()]
+        with pytest.raises(RuntimeError, match="synthetic block failure"):
+            measure_blocks(blocks, SCHEDULE, seed=0)
+
+
+class TestFailureIsolation:
+    def test_bad_block_recorded_not_fatal(self):
+        blocks = [diurnal_block(0), AlwaysBroken(), diurnal_block(2)]
+        result = BatchRunner(BatchConfig(max_retries=1)).run(
+            blocks, SCHEDULE, seed=0
+        )
+        assert result.n_blocks == 3
+        assert len(result.measurements) == 2
+        [failure] = result.failures
+        assert isinstance(failure, BlockFailure)
+        assert failure.index == 1
+        assert failure.block_id == 666
+        assert failure.error_type == "RuntimeError"
+        assert failure.attempts == 2
+        assert "synthetic" in failure.message
+
+    def test_good_blocks_unperturbed_by_neighbour_failure(self):
+        clean = BatchRunner(BatchConfig()).run(
+            [diurnal_block(0), diurnal_block(1), diurnal_block(2)],
+            SCHEDULE,
+            seed=3,
+        )
+        with_bad = BatchRunner(BatchConfig()).run(
+            [diurnal_block(0), AlwaysBroken(), diurnal_block(2)],
+            SCHEDULE,
+            seed=3,
+        )
+        assert_measurements_identical(
+            clean.results[0], with_bad.results[0]
+        )
+        assert_measurements_identical(
+            clean.results[2], with_bad.results[2]
+        )
+
+    def test_summary_reports_failures(self):
+        blocks = [diurnal_block(0), AlwaysBroken()]
+        result = BatchRunner(BatchConfig(max_retries=0)).run(
+            blocks, SCHEDULE, seed=0
+        )
+        assert "1 failed" in result.summary()
+
+
+class TestRetry:
+    def test_transient_failure_retried_to_success(self):
+        block = FailsOnce(1, diurnal_block(1).behavior)
+        result = BatchRunner(BatchConfig(max_retries=1)).run(
+            [block], SCHEDULE, seed=0
+        )
+        assert len(result.measurements) == 1
+        assert block.calls == 2
+
+    def test_no_retries_means_single_attempt(self):
+        block = FailsOnce(1, diurnal_block(1).behavior)
+        result = BatchRunner(BatchConfig(max_retries=0)).run(
+            [block], SCHEDULE, seed=0
+        )
+        [failure] = result.failures
+        assert failure.attempts == 1
+
+    def test_retry_uses_fresh_deterministic_substream(self):
+        a = BatchRunner(BatchConfig(max_retries=2)).run(
+            [FailsOnce(1, diurnal_block(1).behavior)], SCHEDULE, seed=0
+        )
+        b = BatchRunner(BatchConfig(max_retries=2)).run(
+            [FailsOnce(1, diurnal_block(1).behavior)], SCHEDULE, seed=0
+        )
+        assert_measurements_identical(a.results[0], b.results[0])
+        # The retry stream differs from the first-attempt stream a clean
+        # block would have used.
+        clean = BatchRunner(BatchConfig()).run(
+            [diurnal_block(1)], SCHEDULE, seed=0
+        )
+        assert not np.array_equal(
+            a.results[0].a_short, clean.results[0].a_short
+        )
+
+
+class TestCheckpointResume:
+    def test_killed_run_resumes_bit_identical(self, tmp_path):
+        path = tmp_path / "batch.npz"
+        blocks = make_blocks(6)
+        uninterrupted = BatchRunner(BatchConfig()).run(blocks, SCHEDULE, seed=11)
+
+        killed = make_blocks(6)
+        killed[4] = KilledAt(4, diurnal_block(4).behavior)
+        config = BatchConfig(checkpoint_path=path, checkpoint_every=2)
+        with pytest.raises(KeyboardInterrupt):
+            BatchRunner(config).run(killed, SCHEDULE, seed=11)
+        assert path.exists()
+
+        resumed = BatchRunner(config).run(killed, SCHEDULE, seed=11)
+        assert resumed.n_resumed == 4
+        assert len(resumed.measurements) == 6
+        for a, b in zip(uninterrupted.results, resumed.results):
+            assert_measurements_identical(a, b)
+
+    def test_completed_checkpoint_resumes_without_work(self, tmp_path):
+        path = tmp_path / "batch.npz"
+        blocks = make_blocks(3)
+        config = BatchConfig(checkpoint_path=path, checkpoint_every=1)
+        first = BatchRunner(config).run(blocks, SCHEDULE, seed=2)
+        second = BatchRunner(config).run(blocks, SCHEDULE, seed=2)
+        assert second.n_resumed == 3
+        for a, b in zip(first.results, second.results):
+            assert_measurements_identical(a, b)
+
+    def test_checkpoint_seed_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "batch.npz"
+        blocks = make_blocks(2)
+        config = BatchConfig(checkpoint_path=path, checkpoint_every=1)
+        BatchRunner(config).run(blocks, SCHEDULE, seed=1)
+        with pytest.raises(ValueError, match="seed"):
+            BatchRunner(config).run(blocks, SCHEDULE, seed=2)
+
+    def test_checkpoint_schedule_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "batch.npz"
+        blocks = make_blocks(2)
+        config = BatchConfig(checkpoint_path=path, checkpoint_every=1)
+        BatchRunner(config).run(blocks, SCHEDULE, seed=1)
+        with pytest.raises(ValueError, match="schedule"):
+            BatchRunner(config).run(
+                blocks, RoundSchedule.for_days(4), seed=1
+            )
+
+    def test_failures_survive_checkpoint_round_trip(self, tmp_path):
+        path = tmp_path / "batch.npz"
+        blocks = [diurnal_block(0), AlwaysBroken()]
+        config = BatchConfig(
+            checkpoint_path=path, checkpoint_every=1, max_retries=0
+        )
+        first = BatchRunner(config).run(blocks, SCHEDULE, seed=0)
+        second = BatchRunner(config).run(blocks, SCHEDULE, seed=0)
+        [fa], [fb] = first.failures, second.failures
+        assert (fa.block_id, fa.index, fa.error_type, fa.message, fa.attempts) == (
+            fb.block_id,
+            fb.index,
+            fb.error_type,
+            fb.message,
+            fb.attempts,
+        )
+
+    def test_degraded_run_checkpoints_quality_reports(self, tmp_path):
+        path = tmp_path / "batch.npz"
+        blocks = make_blocks(2)
+        config = BatchConfig(
+            checkpoint_path=path,
+            checkpoint_every=1,
+            faults=FaultConfig(round_drop_rate=0.05, seed=4),
+        )
+        first = BatchRunner(config).run(blocks, SCHEDULE, seed=6)
+        resumed = BatchRunner(config).run(blocks, SCHEDULE, seed=6)
+        assert resumed.n_resumed == 2
+        for a, b in zip(first.measurements, resumed.measurements):
+            assert a.quality is not None and b.quality is not None
+            assert a.quality == b.quality
+            assert_measurements_identical(a, b)
+
+
+class TestCheckpointIO:
+    def test_atomic_write_leaves_no_tmp_file(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        blocks = make_blocks(1)
+        result = BatchRunner(BatchConfig()).run(blocks, SCHEDULE, seed=0)
+        save_batch_checkpoint(
+            path,
+            {0: result.results[0]},
+            SCHEDULE,
+            meta={"seed": 0, "n_blocks": 1},
+        )
+        assert path.exists()
+        assert not (tmp_path / "ck.npz.tmp").exists()
+        entries, schedule, meta = load_batch_checkpoint(path)
+        assert meta == {"seed": 0, "n_blocks": 1}
+        assert schedule == SCHEDULE
+        assert_measurements_identical(entries[0], result.results[0])
+
+    def test_corrupt_checkpoint_rejected_with_clear_error(self, tmp_path):
+        path = tmp_path / "batch.npz"
+        path.write_bytes(b"not an npz file at all")
+        config = BatchConfig(checkpoint_path=path)
+        with pytest.raises(ValueError, match="corrupt or unreadable"):
+            BatchRunner(config).run(make_blocks(1), SCHEDULE, seed=0)

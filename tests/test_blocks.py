@@ -8,7 +8,6 @@ from repro.net import (
     Outage,
     make_always_on,
     make_dead,
-    make_diurnal,
     merge_behaviors,
     parse_block,
 )

@@ -160,3 +160,80 @@ def test_white_noise_rarely_strict(seed):
     values = series(14, [], noise=0.05, seed=seed)
     report = classify_series(values, ROUND)
     assert report.label is not DiurnalClass.STRICT
+
+
+class TestInsufficientData:
+    def test_nan_series_is_insufficient(self):
+        values = series(14, [(1, 0.3, 0.0)], noise=0.01, seed=1)
+        values[100:200] = np.nan
+        report = classify_series(values, ROUND)
+        assert report.label is DiurnalClass.INSUFFICIENT
+        assert not report.is_diurnal
+        assert not report.is_classified
+        assert np.isnan(report.phase)
+
+    def test_failed_quality_gate_is_insufficient(self):
+        from repro.core.timeseries import QualityReport
+
+        values = series(14, [(1, 0.3, 0.0)], noise=0.01, seed=1)
+        bad = QualityReport(
+            n_rounds=len(values),
+            n_observed=len(values) // 2,
+            n_duplicates=0,
+            n_filled=len(values) // 2,
+            longest_gap=50,
+        )
+        report = classify_series(values, ROUND, quality=bad)
+        assert report.label is DiurnalClass.INSUFFICIENT
+
+    def test_passing_quality_gate_classifies_normally(self):
+        from repro.core.timeseries import QualityReport
+
+        values = series(14, [(1, 0.3, 0.0)], noise=0.01, seed=1)
+        good = QualityReport(
+            n_rounds=len(values),
+            n_observed=len(values) - 10,
+            n_duplicates=2,
+            n_filled=10,
+            longest_gap=3,
+        )
+        report = classify_series(values, ROUND, quality=good)
+        assert report.label is DiurnalClass.STRICT
+
+    def test_longest_gap_gate(self):
+        from repro.core.timeseries import QualityReport
+
+        values = series(14, [(1, 0.3, 0.0)], noise=0.01, seed=1)
+        gappy = QualityReport(
+            n_rounds=len(values),
+            n_observed=len(values) - 60,
+            n_duplicates=0,
+            n_filled=60,
+            longest_gap=60,
+        )
+        config = ClassifierConfig(max_longest_gap=40)
+        report = classify_series(values, ROUND, config, quality=gappy)
+        assert report.label is DiurnalClass.INSUFFICIENT
+        relaxed_gate = ClassifierConfig(max_longest_gap=80)
+        report = classify_series(values, ROUND, relaxed_gate, quality=gappy)
+        assert report.label is DiurnalClass.STRICT
+
+    def test_batch_flags_nan_rows(self):
+        clean = series(14, [(1, 0.3, 0.0)], noise=0.01, seed=1)
+        broken = clean.copy()
+        broken[5] = np.nan
+        batch = classify_many(np.vstack([clean, broken, clean]), ROUND)
+        assert batch.insufficient_mask.tolist() == [False, True, False]
+        assert batch.label_of(0) is DiurnalClass.STRICT
+        assert batch.label_of(1) is DiurnalClass.INSUFFICIENT
+        assert np.isnan(batch.phases[1])
+        # NaN rows don't perturb their neighbours' batched FFT.
+        solo = classify_series(clean, ROUND)
+        assert batch.phases[0] == pytest.approx(solo.phase, abs=1e-9)
+
+    def test_insufficient_not_counted_as_diurnal_fraction(self):
+        clean = series(14, [(1, 0.3, 0.0)], noise=0.01, seed=1)
+        broken = np.full_like(clean, np.nan)
+        batch = classify_many(np.vstack([clean, broken]), ROUND)
+        assert batch.fraction_strict() == 0.5
+        assert batch.fraction_diurnal() == 0.5

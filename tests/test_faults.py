@@ -1,0 +1,306 @@
+"""Tests for the fault-injection subsystem (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiurnalClass, MeasurementConfig, measure_block
+from repro.faults import (
+    ClockSkewInjector,
+    FaultConfig,
+    FaultPlan,
+    GapInjector,
+    LossyOracle,
+    ObservationStream,
+    ProberCrashInjector,
+    RoundDropInjector,
+    RoundDuplicateInjector,
+)
+from repro.net import Block24, make_always_on, make_dead, make_diurnal, merge_behaviors
+from repro.probing import RoundSchedule
+
+ROUND = 660.0
+
+
+def diurnal_block(block_id=1):
+    behavior = merge_behaviors(
+        make_always_on(50),
+        make_diurnal(100, phase_s=8 * 3600),
+        make_dead(106),
+    )
+    return Block24(block_id, behavior)
+
+
+def stable_oracle(n_rounds=200, seed=0):
+    block = Block24(
+        7, merge_behaviors(make_always_on(60, p_response=0.9), make_dead(196))
+    )
+    times = np.arange(n_rounds) * ROUND
+    return block.realize(times, np.random.default_rng(seed))
+
+
+class TestFaultConfig:
+    def test_default_is_clean(self):
+        assert FaultConfig().is_clean
+
+    def test_any_rate_makes_it_dirty(self):
+        assert not FaultConfig(probe_loss_rate=0.01).is_clean
+        assert not FaultConfig(crashes_per_day=1.0).is_clean
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(probe_loss_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(round_drop_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(gaps_per_day=-1.0)
+        with pytest.raises(ValueError):
+            FaultConfig(mean_gap_rounds=0.5)
+
+
+class TestLossyOracle:
+    def test_loss_flips_positives_to_negatives(self):
+        oracle = stable_oracle()
+        lossy = LossyOracle(oracle, 0.5, np.random.default_rng(0))
+        raw = sum(oracle.probe(h, 0) for h in oracle.ever_active)
+        seen = sum(lossy.probe(h, 0) for h in oracle.ever_active)
+        assert seen < raw
+
+    def test_ground_truth_unaffected(self):
+        oracle = stable_oracle()
+        lossy = LossyOracle(oracle, 0.9, np.random.default_rng(0))
+        assert np.array_equal(lossy.true_availability(), oracle.true_availability())
+
+    def test_zero_loss_transparent(self):
+        oracle = stable_oracle()
+        lossy = LossyOracle(oracle, 0.0, np.random.default_rng(0))
+        outcomes = [lossy.probe(h, 3) for h in oracle.ever_active]
+        expected = [oracle.probe(h, 3) for h in oracle.ever_active]
+        assert outcomes == expected
+
+    def test_probe_many_applies_loss(self):
+        oracle = stable_oracle()
+        lossy = LossyOracle(oracle, 1.0, np.random.default_rng(0))
+        assert not lossy.probe_many(oracle.ever_active, 0).any()
+
+
+class TestStreamInjectors:
+    def setup_method(self):
+        self.n = 500
+        self.stream = ObservationStream(
+            np.arange(self.n) * ROUND, np.linspace(0.2, 0.8, self.n)
+        )
+        self.rng = np.random.default_rng(42)
+
+    def test_drop_removes_observations(self):
+        out = RoundDropInjector(0.2).corrupt_stream(self.stream, ROUND, self.rng)
+        assert out.n_observations < self.n
+        assert out.n_observations > 0.6 * self.n
+
+    def test_duplicate_adds_same_round_copies(self):
+        out = RoundDuplicateInjector(0.2).corrupt_stream(
+            self.stream, ROUND, self.rng
+        )
+        assert out.n_observations > self.n
+        extra = out.n_observations - self.n
+        # Duplicates land within the same round (offset < round/2).
+        assert extra > 0
+        dup_times = out.times[self.n :]
+        assert np.allclose(dup_times % ROUND, 0.25 * ROUND)
+
+    def test_gap_injector_cuts_consecutive_runs(self):
+        out = GapInjector(gaps_per_day=8.0, mean_gap_rounds=10).corrupt_stream(
+            self.stream, ROUND, self.rng
+        )
+        kept = np.round(out.times / ROUND).astype(int)
+        missing = np.setdiff1d(np.arange(self.n), kept)
+        assert len(missing) > 0
+        # At least one gap of length >= 2 (gaps are multi-round by design).
+        runs = np.split(missing, np.flatnonzero(np.diff(missing) > 1) + 1)
+        assert max(len(r) for r in runs) >= 2
+
+    def test_clock_skew_shifts_late_timestamps_more(self):
+        out = ClockSkewInjector(jitter_s=0.0, skew_ppm=1000.0).corrupt_stream(
+            self.stream, ROUND, self.rng
+        )
+        drift = out.times - self.stream.times
+        assert drift[0] == 0.0
+        assert drift[-1] > drift[1] > 0
+
+    def test_jitter_can_reorder_but_sort_recovers(self):
+        out = ClockSkewInjector(jitter_s=400.0, skew_ppm=0.0).corrupt_stream(
+            self.stream, ROUND, self.rng
+        )
+        sorted_stream = out.sorted()
+        assert np.all(np.diff(sorted_stream.times) >= 0)
+
+    def test_crash_rounds_within_schedule(self):
+        schedule = RoundSchedule.for_days(7)
+        rounds = ProberCrashInjector(2.0).crash_rounds(
+            schedule, np.random.default_rng(0)
+        )
+        assert len(rounds) > 0
+        assert rounds.min() > 0
+        assert rounds.max() < schedule.n_rounds
+
+    def test_mismatched_stream_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationStream(np.zeros(3), np.zeros(4))
+
+
+class TestFaultPlan:
+    def test_clean_config_builds_no_injectors(self):
+        plan = FaultPlan(FaultConfig())
+        assert plan.is_clean
+        assert plan.describe() == "clean (no faults)"
+
+    def test_all_faults_active(self):
+        config = FaultConfig(
+            probe_loss_rate=0.1,
+            round_drop_rate=0.1,
+            round_duplicate_rate=0.1,
+            gaps_per_day=1.0,
+            clock_jitter_s=10.0,
+            crashes_per_day=1.0,
+        )
+        plan = FaultPlan(config)
+        assert len(plan.injectors) == 6
+        assert "ProbeLoss" in plan.describe()
+
+    def test_degrade_stream_is_deterministic(self):
+        config = FaultConfig(
+            round_drop_rate=0.1, clock_jitter_s=20.0, seed=5
+        )
+        times = np.arange(300) * ROUND
+        values = np.linspace(0, 1, 300)
+        a = FaultPlan(config).degrade_stream(times, values, ROUND)
+        b = FaultPlan(config).degrade_stream(times, values, ROUND)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_per_block_plans_differ(self):
+        config = FaultConfig(round_drop_rate=0.2, seed=5)
+        times = np.arange(300) * ROUND
+        values = np.linspace(0, 1, 300)
+        plan = FaultPlan(config)
+        a = plan.for_block(0).degrade_stream(times, values, ROUND)
+        b = plan.for_block(1).degrade_stream(times, values, ROUND)
+        assert len(a[0]) != len(b[0]) or not np.array_equal(a[0], b[0])
+
+    def test_toggling_one_injector_keeps_others_draws(self):
+        times = np.arange(300) * ROUND
+        values = np.linspace(0, 1, 300)
+        only_drop = FaultPlan(FaultConfig(round_drop_rate=0.2, seed=9))
+        drop_and_crash = FaultPlan(
+            FaultConfig(round_drop_rate=0.2, crashes_per_day=2.0, seed=9)
+        )
+        a = only_drop.degrade_stream(times, values, ROUND)
+        b = drop_and_crash.degrade_stream(times, values, ROUND)
+        assert np.array_equal(a[0], b[0])
+
+    def test_crash_rounds_deterministic(self):
+        config = FaultConfig(crashes_per_day=1.0, seed=3)
+        schedule = RoundSchedule.for_days(7)
+        assert np.array_equal(
+            FaultPlan(config).crash_rounds(schedule),
+            FaultPlan(config).crash_rounds(schedule),
+        )
+
+
+class TestDegradedMeasurement:
+    def test_mild_degradation_keeps_strong_diurnal_label(self):
+        schedule = RoundSchedule.for_days(14)
+        clean = measure_block(
+            diurnal_block(), schedule, np.random.default_rng(0), walk_seed=7
+        )
+        config = FaultConfig(
+            probe_loss_rate=0.03,
+            round_drop_rate=0.05,
+            round_duplicate_rate=0.03,
+            seed=1,
+        )
+        degraded = measure_block(
+            diurnal_block(),
+            schedule,
+            np.random.default_rng(0),
+            walk_seed=7,
+            faults=FaultPlan(config),
+        )
+        assert clean.report.label is DiurnalClass.STRICT
+        assert degraded.report.label is DiurnalClass.STRICT
+        assert degraded.quality is not None
+        assert degraded.quality.gap_fraction < 0.15
+
+    def test_quality_report_counts_duplicates_and_fills(self):
+        schedule = RoundSchedule.for_days(7)
+        config = FaultConfig(
+            round_drop_rate=0.05, round_duplicate_rate=0.05, seed=2
+        )
+        result = measure_block(
+            diurnal_block(),
+            schedule,
+            np.random.default_rng(0),
+            faults=FaultPlan(config),
+        )
+        assert result.quality.n_duplicates > 0
+        assert result.quality.n_filled > 0
+        assert result.quality.n_observed < schedule.n_rounds
+
+    def test_extreme_loss_yields_insufficient_data(self):
+        schedule = RoundSchedule.for_days(7)
+        config = FaultConfig(round_drop_rate=0.9, seed=3)
+        result = measure_block(
+            diurnal_block(),
+            schedule,
+            np.random.default_rng(0),
+            faults=FaultPlan(config),
+        )
+        assert result.report.label is DiurnalClass.INSUFFICIENT
+        assert not result.report.is_diurnal
+        assert not result.report.is_strict
+
+    def test_nan_fill_policy_refuses_classification_on_gaps(self):
+        schedule = RoundSchedule.for_days(7)
+        config = FaultConfig(round_drop_rate=0.2, seed=4)
+        m_config = MeasurementConfig(fill_policy="nan")
+        result = measure_block(
+            diurnal_block(),
+            schedule,
+            np.random.default_rng(0),
+            m_config,
+            faults=FaultPlan(config),
+        )
+        assert np.isnan(result.a_short).any()
+        assert result.report.label is DiurnalClass.INSUFFICIENT
+
+    def test_crash_faults_add_probe_churn(self):
+        """Unscheduled crashes reset the walk: the block stays measurable
+        but the restart artifact machinery is exercised."""
+        schedule = RoundSchedule.for_days(7)
+        config = FaultConfig(crashes_per_day=4.0, seed=5)
+        result = measure_block(
+            diurnal_block(),
+            schedule,
+            np.random.default_rng(0),
+            walk_seed=7,
+            faults=FaultPlan(config),
+        )
+        assert not result.skipped
+        assert result.report is not None
+
+    def test_ground_truth_classification_unaffected_by_faults(self):
+        schedule = RoundSchedule.for_days(14)
+        clean = measure_block(
+            diurnal_block(), schedule, np.random.default_rng(0), walk_seed=7
+        )
+        config = FaultConfig(probe_loss_rate=0.1, round_drop_rate=0.1, seed=6)
+        degraded = measure_block(
+            diurnal_block(),
+            schedule,
+            np.random.default_rng(0),
+            walk_seed=7,
+            faults=FaultPlan(config),
+        )
+        assert np.array_equal(
+            clean.true_availability, degraded.true_availability
+        )
+        assert clean.true_report.label == degraded.true_report.label

@@ -1,7 +1,6 @@
 """Tests for link-type inference from reverse DNS."""
 
 import numpy as np
-import pytest
 
 from repro.linktype import (
     ACTIVE_KEYWORDS,

@@ -1,6 +1,5 @@
 """Tests for the outage-detection validation and the census application."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import GlobalStudy, run_census, run_outage_validation

@@ -159,3 +159,57 @@ class TestGroundTruthClassification:
         artifact = (cpd > 4.0) & (cpd < 4.8)
         background = (cpd > 2.0) & (cpd < 3.5)
         assert spec.amplitudes[artifact].max() > 2 * spec.amplitudes[background].max()
+
+
+class TestSkippedBlockMeasurement:
+    """Regression tests: skipped-block results must be self-consistent
+    (same array-length convention as measured blocks, stationarity computed
+    from the truth series rather than hardcoded)."""
+
+    def sparse_trending_block(self):
+        """Nine addresses that all depart during the window: too sparse to
+        probe, and strongly non-stationary in ground truth."""
+        from repro.net import make_trending
+
+        events = np.linspace(0.2, 0.8, 9) * 3 * 86400.0
+        return Block24(9, merge_behaviors(make_trending(9, events, departing=True), make_dead(247)))
+
+    def test_skipped_arrays_match_schedule_length(self):
+        schedule = RoundSchedule.for_days(14)
+        block = Block24(9, merge_behaviors(make_always_on(10), make_dead(246)))
+        m = measure_block(block, schedule, np.random.default_rng(5))
+        assert m.skipped
+        for name in m._ROUND_ARRAYS:
+            assert len(getattr(m, name)) == schedule.n_rounds, name
+        assert 0 <= m.trim.start <= m.trim.stop <= schedule.n_rounds
+
+    def test_skipped_block_stationarity_computed_from_truth(self):
+        schedule = RoundSchedule.for_days(3)
+        m = measure_block(
+            self.sparse_trending_block(), schedule, np.random.default_rng(5)
+        )
+        assert m.skipped
+        assert not m.stationary
+
+    def test_skipped_stable_block_is_stationary(self):
+        schedule = RoundSchedule.for_days(3)
+        block = Block24(9, merge_behaviors(make_always_on(10), make_dead(246)))
+        m = measure_block(block, schedule, np.random.default_rng(5))
+        assert m.skipped
+        assert m.stationary
+
+    def test_mismatched_array_length_rejected(self):
+        import dataclasses
+
+        schedule = RoundSchedule.for_days(3)
+        m = measure_block(stable_block(), schedule, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="rounds"):
+            dataclasses.replace(m, positives=m.positives[:-1])
+
+    def test_out_of_bounds_trim_rejected(self):
+        import dataclasses
+
+        schedule = RoundSchedule.for_days(3)
+        m = measure_block(stable_block(), schedule, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="trim"):
+            dataclasses.replace(m, trim=slice(0, schedule.n_rounds + 1))

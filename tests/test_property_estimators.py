@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for estimator invariants.
+
+The invariants the paper's design depends on, exercised under random
+probe-count streams and random fault schedules (zero-probe rounds from
+gaps, interleaved prober restarts):
+
+* the operational estimate never goes below the 0.1 do-no-harm floor;
+* Â_o ≤ Â_l whenever Â_l is at or above the floor (the margin only ever
+  subtracts);
+* with the default (checkpointing) restart policy, ``restart()`` fully
+  restores — i.e. never perturbs — estimator state, and with a
+  full-reset policy it restores the pristine initial state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import (
+    AvailabilityEstimator,
+    EstimatorConfig,
+    RestartPolicy,
+)
+
+FLOOR = 0.1
+EPS = 1e-12
+
+
+@st.composite
+def fault_schedules(draw):
+    """A random round stream: counts, gap rounds, and restart points.
+
+    Each element is ``(positives, totals, restart_before)``; ``totals == 0``
+    models a round lost to a measurement gap (the estimator's no-op path),
+    and ``restart_before`` models a prober crash.
+    """
+    n = draw(st.integers(min_value=1, max_value=120))
+    rounds = []
+    for _ in range(n):
+        total = draw(st.integers(min_value=0, max_value=15))
+        positives = draw(st.integers(min_value=0, max_value=total)) if total else 0
+        restart = draw(st.booleans())
+        rounds.append((positives, total, restart))
+    return rounds
+
+
+def run_stream(estimator, rounds):
+    trace = []
+    for positives, total, restart in rounds:
+        if restart:
+            estimator.restart()
+        estimator.observe(positives, total)
+        trace.append(
+            (estimator.a_short, estimator.a_long, estimator.a_operational)
+        )
+    return trace
+
+
+class TestOperationalFloor:
+    @given(fault_schedules())
+    @settings(max_examples=200, deadline=None)
+    def test_a_operational_never_below_floor(self, rounds):
+        estimator = AvailabilityEstimator()
+        for _, _, a_oper in run_stream(estimator, rounds):
+            assert a_oper >= FLOOR - EPS
+
+    @given(fault_schedules())
+    @settings(max_examples=200, deadline=None)
+    def test_a_operational_below_a_long_above_floor(self, rounds):
+        """Â_o ≤ Â_l whenever Â_l ≥ floor: the deviation margin only
+        subtracts, and the floor cannot push Â_o past Â_l."""
+        estimator = AvailabilityEstimator()
+        for _, a_long, a_oper in run_stream(estimator, rounds):
+            if a_long >= FLOOR:
+                assert a_oper <= a_long + EPS
+
+
+class TestEstimatesWellFormed:
+    @given(fault_schedules())
+    @settings(max_examples=200, deadline=None)
+    def test_estimates_stay_in_unit_interval(self, rounds):
+        estimator = AvailabilityEstimator()
+        for a_short, a_long, a_oper in run_stream(estimator, rounds):
+            assert -EPS <= a_short <= 1.0 + EPS
+            assert -EPS <= a_long <= 1.0 + EPS
+            assert FLOOR - EPS <= a_oper <= 1.0 + EPS
+
+
+def _state(estimator):
+    return (
+        estimator.p_short,
+        estimator.t_short,
+        estimator.p_long,
+        estimator.t_long,
+        estimator.deviation,
+    )
+
+
+class TestRestartRestoresState:
+    @given(fault_schedules())
+    @settings(max_examples=200, deadline=None)
+    def test_default_restart_preserves_state_exactly(self, rounds):
+        """The production prober checkpoints its estimator state: restart()
+        under the default policy must be an exact no-op."""
+        estimator = AvailabilityEstimator()
+        run_stream(estimator, rounds)
+        before = _state(estimator)
+        estimator.restart()
+        assert _state(estimator) == before
+
+    @given(fault_schedules())
+    @settings(max_examples=200, deadline=None)
+    def test_full_reset_restart_restores_initial_state(self, rounds):
+        config = EstimatorConfig(
+            restart=RestartPolicy(
+                reset_short=True, reset_long=True, reset_deviation=True
+            )
+        )
+        estimator = AvailabilityEstimator(config)
+        pristine = _state(AvailabilityEstimator(config))
+        run_stream(estimator, rounds)
+        estimator.restart()
+        assert _state(estimator) == pristine
+
+    @given(fault_schedules(), fault_schedules())
+    @settings(max_examples=100, deadline=None)
+    def test_post_reset_evolution_matches_fresh_estimator(self, warm, cold):
+        """After a full-reset restart, the estimator's future is
+        indistinguishable from a brand-new estimator fed the same rounds."""
+        config = EstimatorConfig(
+            restart=RestartPolicy(
+                reset_short=True, reset_long=True, reset_deviation=True
+            )
+        )
+        restarted = AvailabilityEstimator(config)
+        run_stream(restarted, warm)
+        restarted.restart()
+        fresh = AvailabilityEstimator(config)
+        for positives, total, _ in cold:
+            restarted.observe(positives, total)
+            fresh.observe(positives, total)
+            assert _state(restarted) == _state(fresh)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.probing.rounds import ROUND_SECONDS, RoundSchedule, probes_per_hour
+from repro.probing.rounds import RoundSchedule, probes_per_hour
 
 
 class TestSchedule:

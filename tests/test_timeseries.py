@@ -196,3 +196,187 @@ def test_fill_missing_preserves_observed_values(n, gap_at):
     filled, _ = fill_missing(holes, max_gap=n)
     observed = ~np.isnan(holes)
     assert np.array_equal(filled[observed], values[observed])
+
+
+class TestGridValidation:
+    def test_empty_observations_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            observations_to_grid(np.array([]), np.array([]), ROUND, 0.0, 10)
+
+    def test_non_finite_timestamps_rejected(self):
+        times = np.array([0.0, np.nan, 2 * ROUND])
+        with pytest.raises(ValueError, match="NaN"):
+            observations_to_grid(times, np.ones(3), ROUND, 0.0, 10)
+
+    def test_bad_round_length_rejected(self):
+        with pytest.raises(ValueError):
+            observations_to_grid(np.zeros(3), np.ones(3), 0.0, 0.0, 10)
+
+    def test_bad_n_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            observations_to_grid(np.zeros(3), np.ones(3), ROUND, 0.0, 0)
+
+    def test_non_monotonic_timestamps_are_legal(self):
+        """Out-of-order delivery is resolved by the stable time sort, not
+        rejected: injected clock jitter produces exactly this shape."""
+        times = np.array([2 * ROUND, 0.0, ROUND])
+        values = np.array([0.3, 0.1, 0.2])
+        grid, _ = observations_to_grid(times, values, ROUND, 0.0, 3)
+        assert np.allclose(grid, [0.1, 0.2, 0.3])
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            observations_to_grid(
+                np.zeros((2, 2)), np.ones((2, 2)), ROUND, 0.0, 4
+            )
+
+
+class TestFillMissingValidation:
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            fill_missing(np.array([]))
+
+    def test_negative_max_gap_rejected(self):
+        with pytest.raises(ValueError):
+            fill_missing(np.ones(4), max_gap=-1)
+
+    def test_2d_series_rejected(self):
+        with pytest.raises(ValueError):
+            fill_missing(np.ones((2, 3)))
+
+
+class TestFillGaps:
+    def test_hold_policy_matches_fill_missing(self):
+        from repro.core.timeseries import fill_gaps
+
+        values = np.array([0.2, np.nan, np.nan, 0.8, np.nan, 0.4])
+        held, n_held = fill_gaps(values, policy="hold", max_gap=1)
+        filled, n_filled = fill_missing(values, max_gap=1)
+        assert np.array_equal(held, filled, equal_nan=True)
+        assert n_held == n_filled
+
+    def test_interp_policy_bridges_gap_linearly(self):
+        from repro.core.timeseries import fill_gaps
+
+        values = np.array([0.0, np.nan, np.nan, np.nan, 1.0])
+        out, n_filled = fill_gaps(values, policy="interp")
+        assert np.allclose(out, [0.0, 0.25, 0.5, 0.75, 1.0])
+        assert n_filled == 3
+
+    def test_interp_respects_max_gap(self):
+        from repro.core.timeseries import fill_gaps
+
+        values = np.array([0.0, np.nan, 1.0, np.nan, np.nan, np.nan, 0.0])
+        out, _ = fill_gaps(values, policy="interp", max_gap=2)
+        assert np.isclose(out[1], 0.5)
+        assert np.isnan(out[3:6]).all()
+
+    def test_nan_policy_leaves_gaps(self):
+        from repro.core.timeseries import fill_gaps
+
+        values = np.array([0.2, np.nan, 0.8])
+        out, n_filled = fill_gaps(values, policy="nan")
+        assert np.isnan(out[1])
+        assert n_filled == 0
+        out[0] = 99.0
+        assert values[0] == 0.2  # copy, not a view
+
+    def test_unknown_policy_rejected(self):
+        from repro.core.timeseries import fill_gaps
+
+        with pytest.raises(ValueError, match="policy"):
+            fill_gaps(np.ones(3), policy="magic")
+
+
+class TestQualityReport:
+    def test_complete_series_is_usable(self):
+        from repro.core.timeseries import QualityReport
+
+        q = QualityReport(
+            n_rounds=100, n_observed=100, n_duplicates=0, n_filled=0, longest_gap=0
+        )
+        assert q.gap_fraction == 0.0
+        assert q.usable()
+
+    def test_gap_fraction_threshold(self):
+        from repro.core.timeseries import QualityReport
+
+        q = QualityReport(
+            n_rounds=100, n_observed=50, n_duplicates=0, n_filled=50, longest_gap=10
+        )
+        assert q.gap_fraction == 0.5
+        assert not q.usable(max_gap_fraction=0.35)
+        assert q.usable(max_gap_fraction=0.6)
+
+    def test_longest_gap_threshold(self):
+        from repro.core.timeseries import QualityReport
+
+        q = QualityReport(
+            n_rounds=100, n_observed=95, n_duplicates=0, n_filled=5, longest_gap=5
+        )
+        assert q.usable(max_longest_gap=10)
+        assert not q.usable(max_longest_gap=4)
+
+    def test_empty_series_never_usable(self):
+        from repro.core.timeseries import QualityReport
+
+        q = QualityReport(
+            n_rounds=0, n_observed=0, n_duplicates=0, n_filled=0, longest_gap=0
+        )
+        assert q.gap_fraction == 1.0
+        assert not q.usable()
+
+
+class TestCleanObservations:
+    def test_clean_stream_round_trips(self):
+        from repro.core.timeseries import clean_observations
+
+        n = 20
+        times = np.arange(n) * ROUND
+        values = np.linspace(0, 1, n)
+        out, quality = clean_observations(times, values, ROUND, 0.0, n)
+        assert np.allclose(out, values)
+        assert quality.n_observed == n
+        assert quality.n_filled == 0
+        assert quality.usable()
+
+    def test_gappy_stream_counts_fills(self):
+        from repro.core.timeseries import clean_observations
+
+        times = np.array([0.0, ROUND, 4 * ROUND]) 
+        values = np.array([0.1, 0.2, 0.5])
+        out, quality = clean_observations(times, values, ROUND, 0.0, 5)
+        assert quality.n_observed == 3
+        assert quality.n_filled == 2
+        assert quality.longest_gap == 2
+        assert not np.isnan(out).any()
+
+    def test_all_missing_stream_returns_nan_grid(self):
+        """An entirely lost stream degrades to an unusable (not raising)
+        result so the batch runner can record it as insufficient data."""
+        from repro.core.timeseries import clean_observations
+
+        out, quality = clean_observations(
+            np.array([]), np.array([]), ROUND, 0.0, 8
+        )
+        assert np.isnan(out).all()
+        assert quality.n_observed == 0
+        assert not quality.usable()
+
+
+class TestLongestNanRun:
+    def test_no_nans(self):
+        from repro.core.timeseries import longest_nan_run
+
+        assert longest_nan_run(np.ones(5)) == 0
+
+    def test_interior_run(self):
+        from repro.core.timeseries import longest_nan_run
+
+        values = np.array([1.0, np.nan, np.nan, np.nan, 1.0, np.nan])
+        assert longest_nan_run(values) == 3
+
+    def test_all_nan(self):
+        from repro.core.timeseries import longest_nan_run
+
+        assert longest_nan_run(np.full(4, np.nan)) == 4
