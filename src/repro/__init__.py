@@ -34,6 +34,7 @@ from repro import (
     probing,
     simulation,
     stats,
+    stream,
 )
 
 __version__ = "1.0.0"
@@ -49,5 +50,6 @@ __all__ = [
     "probing",
     "simulation",
     "stats",
+    "stream",
     "__version__",
 ]

@@ -38,6 +38,7 @@ from repro.core.timeseries import (
     is_stationary,
     longest_nan_run,
     observations_to_grid,
+    round_index,
     trim_to_midnight,
 )
 from repro.core.spectral import (
@@ -45,6 +46,7 @@ from repro.core.spectral import (
     compute_spectrum,
     compute_spectra,
     diurnal_bin,
+    goertzel,
     harmonic_bins,
 )
 from repro.core.classify import (
@@ -54,7 +56,9 @@ from repro.core.classify import (
     classify_series,
     classify_spectrum,
     classify_many,
+    decide_label,
     insufficient_report,
+    reports_equal,
 )
 from repro.core.localtime import (
     circular_hour_difference,
@@ -106,8 +110,10 @@ __all__ = [
     "classify_spectrum",
     "compute_spectra",
     "compute_spectrum",
+    "decide_label",
     "diurnal_bin",
     "estimate_series",
+    "goertzel",
     "ewma_lag_hours",
     "fill_gaps",
     "fill_missing",
@@ -119,5 +125,7 @@ __all__ = [
     "measure_block",
     "measure_blocks",
     "observations_to_grid",
+    "reports_equal",
+    "round_index",
     "trim_to_midnight",
 ]

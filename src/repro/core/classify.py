@@ -42,7 +42,9 @@ __all__ = [
     "classify_many",
     "classify_series",
     "classify_spectrum",
+    "decide_label",
     "insufficient_report",
+    "reports_equal",
 ]
 
 
@@ -156,6 +158,58 @@ def insufficient_report() -> DiurnalReport:
     )
 
 
+def decide_label(
+    dominant_is_diurnal: bool,
+    dominant_in_first_harmonic: bool,
+    diurnal_amplitude: float,
+    strongest_other: float,
+    strongest_harmonic: float,
+    config: ClassifierConfig,
+) -> DiurnalClass:
+    """The section 2.2 decision rule on already-reduced amplitudes.
+
+    Shared by the batch classifier and the streaming engine, so the two
+    paths cannot drift: strict needs the diurnal bin to dominate overall,
+    beat every harmonic, and exceed ``strict_ratio`` times the strongest
+    non-harmonic competitor; relaxed only needs dominance at 1 cycle/day
+    or its first harmonic.
+    """
+    strict = (
+        dominant_is_diurnal
+        and diurnal_amplitude >= config.strict_ratio * strongest_other
+        and diurnal_amplitude > strongest_harmonic
+    )
+    if strict:
+        return DiurnalClass.STRICT
+    if dominant_is_diurnal or dominant_in_first_harmonic:
+        return DiurnalClass.RELAXED
+    return DiurnalClass.NON_DIURNAL
+
+
+def reports_equal(a: DiurnalReport, b: DiurnalReport) -> bool:
+    """Field-wise report equality treating NaN as equal to NaN.
+
+    Dataclass ``==`` is false for two insufficient-data reports because
+    their NaN fields compare unequal; parity oracles (streaming versus
+    batch) need the NaN-tolerant comparison.
+    """
+    if a.label is not b.label:
+        return False
+    for field in (
+        "diurnal_k",
+        "diurnal_amplitude",
+        "dominant_k",
+        "dominant_cycles_per_day",
+        "strongest_other",
+        "strongest_harmonic",
+        "phase",
+    ):
+        va, vb = getattr(a, field), getattr(b, field)
+        if va != vb and not (np.isnan(va) and np.isnan(vb)):
+            return False
+    return True
+
+
 def _bin_sets(
     n_samples: int, round_s: float, config: ClassifierConfig
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -204,20 +258,14 @@ def classify_spectrum(
     strongest_harmonic = float(amps[harmonics].max()) if len(harmonics) else 0.0
     dominant_k = spectrum.dominant_bin()
 
-    dominant_is_diurnal = dominant_k in cand
-    strict = (
-        dominant_is_diurnal
-        and diurnal_amp >= config.strict_ratio * strongest_other
-        and diurnal_amp > strongest_harmonic
+    label = decide_label(
+        dominant_is_diurnal=dominant_k in cand,
+        dominant_in_first_harmonic=dominant_k in first,
+        diurnal_amplitude=diurnal_amp,
+        strongest_other=strongest_other,
+        strongest_harmonic=strongest_harmonic,
+        config=config,
     )
-    relaxed = dominant_is_diurnal or dominant_k in first
-
-    if strict:
-        label = DiurnalClass.STRICT
-    elif relaxed:
-        label = DiurnalClass.RELAXED
-    else:
-        label = DiurnalClass.NON_DIURNAL
 
     return DiurnalReport(
         label=label,

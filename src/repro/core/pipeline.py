@@ -227,6 +227,30 @@ class BlockMeasurement:
     def mean_true_availability(self) -> float:
         return float(self.true_availability.mean())
 
+    def observation_stream(
+        self, series: str = "a_short", trimmed: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One estimate series as a ``(times, values)`` observation stream.
+
+        This is the bridge to the streaming engine: the returned pair can
+        be fed to :meth:`repro.stream.engine.StreamEngine.ingest_many`
+        round by round, replaying the measurement as if it were arriving
+        live.  ``series`` names any per-round float series (``a_short``,
+        ``a_long``, ``a_operational``, ``true_availability``);
+        ``trimmed`` restricts to the midnight-aligned span the batch
+        classifier saw.
+        """
+        if series not in self._ROUND_ARRAYS:
+            raise ValueError(
+                f"unknown series {series!r}; expected one of "
+                f"{self._ROUND_ARRAYS}"
+            )
+        times = self.schedule.times()
+        values = np.asarray(getattr(self, series), dtype=np.float64)
+        if trimmed:
+            return times[self.trim], values[self.trim]
+        return times, values
+
     def underestimate_fraction(self) -> float:
         """Fraction of rounds where Â_o ≤ true A — the Figure 5 criterion.
 
@@ -453,6 +477,32 @@ class BatchResult:
             f"{self.n_blocks} blocks: {ok} measured ({skipped} skipped as "
             f"sparse), {failed} failed, {self.n_resumed} from checkpoint"
         )
+
+    def replay_into(
+        self,
+        engine,
+        series: str = "a_short",
+        include_skipped: bool = False,
+        flush: bool = True,
+    ) -> int:
+        """Feed every measurement into a streaming engine, block by block.
+
+        ``engine`` is duck-typed (anything with ``ingest_many`` and
+        ``flush``), so ``repro.core`` does not import ``repro.stream``.
+        Skipped-as-sparse blocks are omitted unless ``include_skipped``
+        (their series are all zeros, not measurements).  Returns the
+        number of observations fed.
+        """
+        n_fed = 0
+        for m in self.measurements:
+            if m.skipped and not include_skipped:
+                continue
+            times, values = m.observation_stream(series)
+            engine.ingest_many(m.block_id, times, values)
+            n_fed += len(times)
+        if flush:
+            engine.flush()
+        return n_fed
 
 
 class BatchRunner:

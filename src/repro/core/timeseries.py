@@ -32,6 +32,7 @@ __all__ = [
     "linear_slope",
     "longest_nan_run",
     "observations_to_grid",
+    "round_index",
     "trim_to_midnight",
 ]
 
@@ -114,6 +115,21 @@ def longest_nan_run(values: np.ndarray) -> int:
     return int((edges[1::2] - edges[0::2]).max())
 
 
+def round_index(
+    obs_times: np.ndarray, round_s: float, start_s: float = 0.0
+) -> np.ndarray:
+    """Grid round index for each observation time (nearest-round snapping).
+
+    This is the single definition of the section 2.2 snapping rule, shared
+    by the batch gridder and the streaming engine so an observation can
+    never land in different rounds on the two paths.
+    """
+    if round_s <= 0:
+        raise ValueError(f"round_s must be positive, got {round_s}")
+    obs_times = np.asarray(obs_times, dtype=np.float64)
+    return np.round((obs_times - start_s) / round_s).astype(np.int64)
+
+
 def observations_to_grid(
     obs_times: np.ndarray,
     obs_values: np.ndarray,
@@ -148,7 +164,7 @@ def observations_to_grid(
     if n_rounds <= 0:
         raise ValueError(f"n_rounds must be positive, got {n_rounds}")
     grid = np.full(n_rounds, np.nan)
-    idx = np.round((obs_times - start_s) / round_s).astype(np.int64)
+    idx = round_index(obs_times, round_s, start_s)
     in_range = (idx >= 0) & (idx < n_rounds)
     idx, values, times = idx[in_range], obs_values[in_range], obs_times[in_range]
     # Process in time order so "most recent observation wins" holds.

@@ -8,6 +8,7 @@ across analyses (the paper likewise publishes its derived datasets).
 
 from repro.datasets.io import (
     ensure_measurement,
+    iter_observation_stream,
     load_measurement,
     load_world_arrays,
     save_measurement,
@@ -21,6 +22,7 @@ __all__ = [
     "DatasetSpec",
     "dataset",
     "ensure_measurement",
+    "iter_observation_stream",
     "list_datasets",
     "load_measurement",
     "load_world_arrays",

@@ -14,6 +14,7 @@ from repro.simulation.internet import InternetWorld
 
 __all__ = [
     "ensure_measurement",
+    "iter_observation_stream",
     "load_batch_checkpoint",
     "load_measurement",
     "load_world_arrays",
@@ -349,6 +350,46 @@ def load_batch_checkpoint(path: str | Path):
                     attempts=int(ints[2]),
                 )
     return entries, schedule, {"seed": seed, "n_blocks": n_blocks}
+
+
+def iter_observation_stream(
+    path: str | Path,
+    series: str = "a_short",
+    include_skipped: bool = False,
+    interleave: bool = False,
+):
+    """Replay a saved batch checkpoint as a round-by-round stream.
+
+    Yields ``(block_id, time_s, value)`` tuples suitable for
+    :meth:`repro.stream.engine.StreamEngine.replay`, turning any
+    checkpoint written by :class:`repro.core.pipeline.BatchRunner` into
+    a live-ingestion simulation.  By default blocks are replayed one
+    after another; ``interleave=True`` walks the shared round schedule
+    instead, emitting every block's round ``r`` before any block's round
+    ``r + 1`` — the arrival order a real multi-block prober produces.
+    Failures are skipped (they carry no series); skipped-as-sparse
+    blocks are omitted unless ``include_skipped``.
+    """
+    from repro.core.pipeline import BlockMeasurement
+
+    entries, schedule, _ = load_batch_checkpoint(path)
+    streams = []
+    for index in sorted(entries):
+        entry = entries[index]
+        if not isinstance(entry, BlockMeasurement):
+            continue
+        if entry.skipped and not include_skipped:
+            continue
+        times, values = entry.observation_stream(series)
+        streams.append((entry.block_id, times, values))
+    if interleave:
+        for r in range(schedule.n_rounds):
+            for block_id, times, values in streams:
+                yield block_id, float(times[r]), float(values[r])
+    else:
+        for block_id, times, values in streams:
+            for t, v in zip(times, values):
+                yield block_id, float(t), float(v)
 
 
 def write_csv(path: str | Path, header: list, rows: list) -> Path:

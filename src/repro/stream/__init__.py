@@ -1,0 +1,70 @@
+"""Streaming diurnal engine: live verdicts from incremental ingestion.
+
+``engine``
+    :class:`StreamEngine` — watermark-ordered ingestion, per-round
+    sliding-DFT updates, hop-window closes with batch-parity verdicts,
+    label hysteresis, and event emission.
+``window``
+    :class:`RoundWindow` — the bounded ring-buffer grid with the batch
+    path's duplicate/gap-fill/quality semantics.
+``sliding_dft``
+    :class:`SlidingDFT` — O(tracked bins) per-round spectral updates at
+    the DC, diurnal, and harmonic bins.
+``events`` / ``sinks``
+    Typed events, the synchronous :class:`EventBus`, and pluggable
+    sinks (list, counting, callback, filter, CSV).
+
+The correctness anchor is *batch parity*: every window-close report is
+bit-identical to :func:`repro.core.classify.classify_series` over the
+same window (:func:`batch_window_report` is the oracle).
+"""
+
+from repro.stream.engine import (
+    ProvisionalEstimate,
+    StreamConfig,
+    StreamEngine,
+    batch_window_report,
+)
+from repro.stream.events import (
+    ClassificationTransition,
+    EventBus,
+    LateObservation,
+    PhaseEdge,
+    QualityDegraded,
+    QualityRestored,
+    StreamEvent,
+    WindowClosed,
+)
+from repro.stream.sinks import (
+    CallbackSink,
+    CountingSink,
+    CsvSink,
+    EventSink,
+    FilterSink,
+    ListSink,
+)
+from repro.stream.sliding_dft import SlidingDFT
+from repro.stream.window import RoundWindow
+
+__all__ = [
+    "CallbackSink",
+    "ClassificationTransition",
+    "CountingSink",
+    "CsvSink",
+    "EventBus",
+    "EventSink",
+    "FilterSink",
+    "LateObservation",
+    "ListSink",
+    "PhaseEdge",
+    "ProvisionalEstimate",
+    "QualityDegraded",
+    "QualityRestored",
+    "RoundWindow",
+    "SlidingDFT",
+    "StreamConfig",
+    "StreamEngine",
+    "StreamEvent",
+    "WindowClosed",
+    "batch_window_report",
+]

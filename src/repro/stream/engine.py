@@ -1,0 +1,636 @@
+"""The streaming diurnal engine: incremental ingestion to live verdicts.
+
+The batch pipeline classifies a block once, after the campaign ends.
+This engine consumes the same per-round observations *as they arrive*
+and maintains, per block:
+
+* a bounded :class:`~repro.stream.window.RoundWindow` ring with the
+  section 2.2 grid/duplicate/fill semantics (memory is O(window), not
+  O(campaign));
+* a :class:`~repro.stream.sliding_dft.SlidingDFT` over the trailing
+  window, tracking only the DC, diurnal, and harmonic bins — O(tracked
+  bins) per round instead of O(n log n) per reclassification;
+* a hysteresis-stable diurnal label that only transitions after
+  ``label_dwell`` consecutive window closes agree, so verdicts don't
+  flap at the strict/relaxed boundary;
+* an :class:`~repro.stream.events.EventBus` emitting typed events:
+  window closes, classification transitions, sleep/wake phase edges,
+  quality degradation/restoration, and dropped late observations.
+
+Out-of-order delivery is handled with a watermark: rounds up to
+``max_round − lateness_rounds`` are frozen; observations behind the
+watermark are dropped (with a :class:`~repro.stream.events.
+LateObservation` event) exactly because their window may already have
+closed.  **Batch parity** is the correctness anchor: every window-close
+verdict is produced by materializing the ring through the same
+grid-and-fill code and calling the same classifier the batch path uses,
+so the streaming report is bit-identical to
+:func:`repro.core.classify.classify_series` over the identical window —
+:func:`batch_window_report` is the oracle tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.classify import (
+    ClassifierConfig,
+    DiurnalClass,
+    DiurnalReport,
+    classify_series,
+)
+from repro.core.spectral import (
+    diurnal_bin,
+    diurnal_candidates,
+    harmonic_bins,
+)
+from repro.core.timeseries import (
+    FILL_POLICIES,
+    QualityReport,
+    clean_observations,
+    round_index,
+)
+from repro.probing.rounds import ROUND_SECONDS
+from repro.stream.events import (
+    ClassificationTransition,
+    EventBus,
+    LateObservation,
+    PhaseEdge,
+    QualityDegraded,
+    QualityRestored,
+    WindowClosed,
+)
+from repro.stream.sliding_dft import SlidingDFT
+from repro.stream.window import RoundWindow
+
+__all__ = [
+    "ProvisionalEstimate",
+    "StreamConfig",
+    "StreamEngine",
+    "batch_window_report",
+]
+
+_DAY_SECONDS = 86400.0
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs for the streaming engine.
+
+    Attributes:
+        window_rounds: spectral window length in rounds; must span at
+            least one whole day (the classifier needs a diurnal bin).
+        round_s: grid period in seconds (660 in all paper datasets).
+        start_s: absolute time of round 0 (the grid origin).
+        hop_rounds: rounds between window closes; ``None`` means
+            tumbling windows (hop = window).
+        lateness_rounds: how many rounds behind the newest observation
+            the watermark trails; out-of-order delivery within this
+            slack is reordered correctly, anything older is dropped.
+        fill_policy: gap-fill policy for window materialization (see
+            :data:`repro.core.timeseries.FILL_POLICIES`).
+        max_fill_gap: bound on filled gap length (``None`` fills all).
+        classifier: thresholds shared with the batch classifier.
+        label_dwell: consecutive closes a new label needs before the
+            stable label transitions (1 disables hysteresis).
+        edge_margin: half-width of the dead band around the sliding
+            window mean for sleep/wake edge detection, in availability
+            units.
+        reseed_every: recompute the sliding DFT exactly every this many
+            rounds to cancel float drift (``None``: once per window).
+    """
+
+    window_rounds: int
+    round_s: float = ROUND_SECONDS
+    start_s: float = 0.0
+    hop_rounds: int | None = None
+    lateness_rounds: int = 0
+    fill_policy: str = "hold"
+    max_fill_gap: int | None = None
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+    label_dwell: int = 2
+    edge_margin: float = 0.05
+    reseed_every: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_rounds < 4:
+            raise ValueError("window_rounds must be at least 4")
+        if self.round_s <= 0:
+            raise ValueError("round_s must be positive")
+        # Raises for windows shorter than one day, where no diurnal bin
+        # exists and every close would fail.
+        diurnal_bin(self.window_rounds, self.round_s)
+        if self.hop is not None and not 1 <= self.hop <= self.window_rounds:
+            raise ValueError(
+                "hop_rounds must be in [1, window_rounds]"
+            )
+        if self.lateness_rounds < 0:
+            raise ValueError("lateness_rounds must be non-negative")
+        if self.fill_policy not in FILL_POLICIES:
+            raise ValueError(
+                f"unknown fill policy {self.fill_policy!r}; "
+                f"expected one of {FILL_POLICIES}"
+            )
+        if self.label_dwell < 1:
+            raise ValueError("label_dwell must be at least 1")
+        if self.edge_margin < 0:
+            raise ValueError("edge_margin must be non-negative")
+        if self.reseed_every is not None and self.reseed_every < 1:
+            raise ValueError("reseed_every must be positive")
+
+    @property
+    def hop(self) -> int:
+        return (
+            self.window_rounds if self.hop_rounds is None else self.hop_rounds
+        )
+
+    @classmethod
+    def for_days(
+        cls,
+        window_days: float,
+        hop_days: float | None = None,
+        round_s: float = ROUND_SECONDS,
+        **kwargs,
+    ) -> "StreamConfig":
+        """Window/hop expressed in days, rounded to whole rounds."""
+        window = int(round(window_days * _DAY_SECONDS / round_s))
+        hop = (
+            None
+            if hop_days is None
+            else max(1, int(round(hop_days * _DAY_SECONDS / round_s)))
+        )
+        return cls(
+            window_rounds=window, round_s=round_s, hop_rounds=hop, **kwargs
+        )
+
+
+@dataclass(frozen=True)
+class ProvisionalEstimate:
+    """Per-round spectral state from the sliding DFT (cheap, approximate).
+
+    Exact verdicts only happen at window closes; between closes this is
+    the O(tracked bins) view: the trailing window's mean, its 1-cycle/day
+    amplitude and phase, and the strongest harmonic.  ``primed`` is False
+    until the trailing window is fully covered by observed (or held)
+    rounds, when the numbers are not yet meaningful.
+    """
+
+    block_id: int
+    round_index: int
+    time_s: float
+    mean: float
+    diurnal_k: int
+    diurnal_amplitude: float
+    diurnal_phase: float
+    strongest_harmonic: float
+    primed: bool
+
+    @property
+    def looks_diurnal(self) -> bool:
+        """Cheap per-round indicator: diurnal energy beats every harmonic."""
+        return (
+            self.primed
+            and self.diurnal_amplitude > 0
+            and self.diurnal_amplitude > self.strongest_harmonic
+        )
+
+
+class _BlockState:
+    """Everything the engine tracks for one block."""
+
+    __slots__ = (
+        "ring",
+        "dft",
+        "filled_ring",
+        "last_filled",
+        "trailing_missing",
+        "n_frozen",
+        "max_round",
+        "watermark",
+        "next_close_start",
+        "stable_label",
+        "candidate",
+        "candidate_count",
+        "degraded",
+        "level",
+        "last_report",
+        "n_closed",
+        "n_late",
+        "n_observations",
+    )
+
+    def __init__(self, capacity: int, window: int, bins) -> None:
+        self.ring = RoundWindow(capacity)
+        self.dft = SlidingDFT(window, bins)
+        self.filled_ring = np.full(window, np.nan)
+        self.last_filled = float("nan")
+        self.trailing_missing = window
+        self.n_frozen = 0
+        self.max_round = -1
+        self.watermark = -1
+        self.next_close_start = 0
+        self.stable_label: DiurnalClass | None = None
+        self.candidate: DiurnalClass | None = None
+        self.candidate_count = 0
+        self.degraded = False
+        self.level: str | None = None
+        self.last_report: DiurnalReport | None = None
+        self.n_closed = 0
+        self.n_late = 0
+        self.n_observations = 0
+
+
+class StreamEngine:
+    """Consume per-round observations, maintain verdicts, emit events."""
+
+    def __init__(self, config: StreamConfig, sinks=()) -> None:
+        self.config = config
+        self.bus = EventBus(sinks)
+        self._states: dict[int, _BlockState] = {}
+        n = config.window_rounds
+        n_bins = n // 2 + 1
+        k_d = diurnal_bin(n, config.round_s)
+        self._cand = np.array(
+            diurnal_candidates(n, config.round_s), dtype=np.int64
+        )
+        self._harmonics = harmonic_bins(
+            k_d,
+            n_bins,
+            max_harmonic=config.classifier.max_harmonic,
+            tolerance=config.classifier.harmonic_tolerance,
+        )
+        self._tracked = np.unique(
+            np.concatenate([[0], self._cand, self._harmonics])
+        )
+        self._capacity = n + config.hop + config.lateness_rounds + 2
+        self._reseed_every = (
+            n if config.reseed_every is None else config.reseed_every
+        )
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, block_id: int, time_s: float, value: float) -> None:
+        """Process one observation (any order within the lateness slack)."""
+        state = self._state(block_id)
+        r = int(round_index(time_s, self.config.round_s, self.config.start_s))
+        if r < 0 or r <= state.watermark:
+            state.n_late += 1
+            self.bus.publish(
+                LateObservation(
+                    block_id=block_id,
+                    round_index=r,
+                    time_s=time_s,
+                    value=float(value),
+                    lag_rounds=state.watermark - r,
+                )
+            )
+            return
+        if r >= state.ring.base + state.ring.capacity:
+            # A jump ahead: freeze/close/evict everything that must
+            # precede this round so the ring has room for it.
+            self._advance(state, block_id, r - self.config.lateness_rounds - 1)
+        state.ring.observe(r, float(time_s), float(value))
+        state.n_observations += 1
+        if r > state.max_round:
+            state.max_round = r
+            # The newest round itself stays open (a same-round duplicate
+            # must still be able to revise it), so the watermark trails
+            # one round behind the lateness slack.
+            target = r - self.config.lateness_rounds - 1
+            if target > state.watermark:
+                self._advance(state, block_id, target)
+
+    def ingest_many(
+        self, block_id: int, times: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Feed a batch of observations for one block, in arrival order."""
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if times.shape != values.shape:
+            raise ValueError("times and values must have the same shape")
+        for t, v in zip(times, values):
+            self.ingest(block_id, float(t), float(v))
+
+    def replay(self, stream) -> int:
+        """Consume ``(block_id, time_s, value)`` tuples from an iterable."""
+        n = 0
+        for block_id, time_s, value in stream:
+            self.ingest(block_id, time_s, value)
+            n += 1
+        return n
+
+    def flush(
+        self, block_id: int | None = None, close_partial: bool = False
+    ) -> None:
+        """Expire the lateness slack: freeze and close everything due.
+
+        With ``close_partial`` the tail beyond the last full window is
+        also classified (when it spans at least one day), exactly as the
+        batch path would classify the same shorter window.
+        """
+        ids = [block_id] if block_id is not None else list(self._states)
+        for bid in ids:
+            state = self._states[bid]
+            if state.max_round > state.watermark:
+                self._advance(state, bid, state.max_round)
+            if close_partial and state.next_close_start <= state.max_round:
+                n_tail = state.max_round - state.next_close_start + 1
+                self._close_window(state, bid, n_tail, partial=True)
+
+    # -- accessors ---------------------------------------------------------
+
+    def blocks(self) -> list[int]:
+        return sorted(self._states)
+
+    def watermark(self, block_id: int) -> int:
+        return self._states[block_id].watermark
+
+    def stable_label(self, block_id: int) -> DiurnalClass | None:
+        """The hysteresis-smoothed label (None before the first close)."""
+        return self._states[block_id].stable_label
+
+    def last_report(self, block_id: int) -> DiurnalReport | None:
+        return self._states[block_id].last_report
+
+    def n_late(self, block_id: int) -> int:
+        return self._states[block_id].n_late
+
+    def provisional(self, block_id: int) -> ProvisionalEstimate:
+        """The current trailing-window spectral state (O(tracked bins))."""
+        state = self._states[block_id]
+        dft = state.dft
+        cand_amps = dft.amplitudes(self._cand)
+        best = int(np.argmax(cand_amps))
+        k_best = int(self._cand[best])
+        strongest_harmonic = (
+            float(dft.amplitudes(self._harmonics).max())
+            if len(self._harmonics)
+            else 0.0
+        )
+        return ProvisionalEstimate(
+            block_id=block_id,
+            round_index=state.watermark,
+            time_s=self._round_time(state.watermark),
+            mean=dft.mean(),
+            diurnal_k=k_best,
+            diurnal_amplitude=float(cand_amps[best]),
+            diurnal_phase=dft.phase(k_best),
+            strongest_harmonic=strongest_harmonic,
+            primed=state.trailing_missing == 0,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _state(self, block_id: int) -> _BlockState:
+        state = self._states.get(block_id)
+        if state is None:
+            state = _BlockState(
+                self._capacity, self.config.window_rounds, self._tracked
+            )
+            self._states[block_id] = state
+        return state
+
+    def _round_time(self, r: int) -> float:
+        return self.config.start_s + r * self.config.round_s
+
+    def _advance(self, state: _BlockState, block_id: int, target: int) -> None:
+        close_at = state.next_close_start + self.config.window_rounds - 1
+        for f in range(state.watermark + 1, target + 1):
+            self._freeze_round(state, block_id, f)
+            state.watermark = f
+            if f == close_at:
+                self._close_window(
+                    state, block_id, self.config.window_rounds, partial=False
+                )
+                close_at = (
+                    state.next_close_start + self.config.window_rounds - 1
+                )
+
+    def _freeze_round(
+        self, state: _BlockState, block_id: int, f: int
+    ) -> None:
+        """Fix round ``f``'s held value and push it through the DFT."""
+        n = self.config.window_rounds
+        raw = state.ring.value_at(f)
+        if np.isnan(raw):
+            filled = state.last_filled
+        else:
+            filled = raw
+            state.last_filled = raw
+        i = f % n
+        evicted = state.filled_ring[i]
+        state.filled_ring[i] = filled
+        entering_nan = np.isnan(filled)
+        evicted_nan = np.isnan(evicted)
+        state.dft.slide(
+            0.0 if entering_nan else filled,
+            0.0 if evicted_nan else evicted,
+        )
+        state.trailing_missing += int(entering_nan) - int(evicted_nan)
+        state.n_frozen += 1
+        if state.n_frozen % self._reseed_every == 0:
+            order = np.arange(f - n + 1, f + 1) % n
+            state.dft.reseed(
+                np.nan_to_num(state.filled_ring[order], nan=0.0)
+            )
+        if state.trailing_missing == 0 and not entering_nan:
+            self._phase_edge(state, block_id, f, filled)
+
+    def _phase_edge(
+        self, state: _BlockState, block_id: int, f: int, value: float
+    ) -> None:
+        mean = state.dft.mean()
+        if value > mean + self.config.edge_margin:
+            level = "high"
+        elif value < mean - self.config.edge_margin:
+            level = "low"
+        else:
+            return
+        if state.level is None:
+            state.level = level
+            return
+        if level != state.level:
+            state.level = level
+            self.bus.publish(
+                PhaseEdge(
+                    block_id=block_id,
+                    round_index=f,
+                    time_s=self._round_time(f),
+                    edge="wake" if level == "high" else "sleep",
+                    value=value,
+                    window_mean=mean,
+                )
+            )
+
+    def _close_window(
+        self,
+        state: _BlockState,
+        block_id: int,
+        n_rounds: int,
+        partial: bool,
+    ) -> None:
+        w_start = state.next_close_start
+        values, quality = state.ring.materialize(
+            w_start,
+            n_rounds,
+            policy=self.config.fill_policy,
+            max_gap=self.config.max_fill_gap,
+        )
+        try:
+            report = classify_series(
+                values, self.config.round_s, self.config.classifier,
+                quality=quality,
+            )
+        except ValueError:
+            # Only reachable on a partial close too short to classify;
+            # full windows are validated at config time.
+            if not partial:
+                raise
+            return
+        end_round = w_start + n_rounds - 1
+        self.bus.publish(
+            WindowClosed(
+                block_id=block_id,
+                round_index=end_round,
+                time_s=self._round_time(end_round),
+                window_start_round=w_start,
+                n_rounds=n_rounds,
+                report=report,
+                quality=quality,
+                partial=partial,
+            )
+        )
+        state.last_report = report
+        state.n_closed += 1
+        self._quality_events(state, block_id, end_round, report, quality)
+        self._hysteresis(state, block_id, end_round, report)
+        state.next_close_start = (
+            end_round + 1 if partial else w_start + self.config.hop
+        )
+        state.ring.advance_base(state.next_close_start)
+
+    def _quality_events(
+        self,
+        state: _BlockState,
+        block_id: int,
+        end_round: int,
+        report: DiurnalReport,
+        quality: QualityReport,
+    ) -> None:
+        degraded_now = not report.is_classified
+        if degraded_now and not state.degraded:
+            state.degraded = True
+            if quality.n_observed == 0:
+                reason = "no observations in window"
+            elif not quality.usable(
+                max_gap_fraction=self.config.classifier.max_gap_fraction,
+                max_longest_gap=self.config.classifier.max_longest_gap,
+            ):
+                reason = (
+                    f"quality gate: {quality.gap_fraction:.1%} missing, "
+                    f"longest gap {quality.longest_gap} rounds"
+                )
+            else:
+                reason = "filled series still contains NaN"
+            self.bus.publish(
+                QualityDegraded(
+                    block_id=block_id,
+                    round_index=end_round,
+                    time_s=self._round_time(end_round),
+                    quality=quality,
+                    reason=reason,
+                )
+            )
+        elif not degraded_now and state.degraded:
+            state.degraded = False
+            self.bus.publish(
+                QualityRestored(
+                    block_id=block_id,
+                    round_index=end_round,
+                    time_s=self._round_time(end_round),
+                    quality=quality,
+                )
+            )
+
+    def _hysteresis(
+        self,
+        state: _BlockState,
+        block_id: int,
+        end_round: int,
+        report: DiurnalReport,
+    ) -> None:
+        label = report.label
+
+        def publish(old: DiurnalClass | None, dwell: int) -> None:
+            self.bus.publish(
+                ClassificationTransition(
+                    block_id=block_id,
+                    round_index=end_round,
+                    time_s=self._round_time(end_round),
+                    old_label=old,
+                    new_label=label,
+                    report=report,
+                    dwell=dwell,
+                )
+            )
+
+        if state.stable_label is None:
+            state.stable_label = label
+            publish(None, 1)
+        elif label == state.stable_label:
+            state.candidate = None
+            state.candidate_count = 0
+        else:
+            if label == state.candidate:
+                state.candidate_count += 1
+            else:
+                state.candidate = label
+                state.candidate_count = 1
+            if state.candidate_count >= self.config.label_dwell:
+                old = state.stable_label
+                state.stable_label = label
+                publish(old, state.candidate_count)
+                state.candidate = None
+                state.candidate_count = 0
+
+
+def batch_window_report(
+    times: np.ndarray,
+    values: np.ndarray,
+    window_start_round: int,
+    n_rounds: int,
+    config: StreamConfig,
+) -> tuple[DiurnalReport, QualityReport]:
+    """The batch-path verdict for one hop window of a raw stream.
+
+    This is the parity oracle: select the observations that grid into
+    ``[window_start_round, window_start_round + n_rounds)``, run them
+    through :func:`repro.core.timeseries.clean_observations`, and
+    classify.  For every window the engine closes, its report must equal
+    this one field-for-field (see
+    :func:`repro.core.classify.reports_equal`).
+    """
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    idx = round_index(times, config.round_s, config.start_s)
+    in_window = (idx >= window_start_round) & (
+        idx < window_start_round + n_rounds
+    )
+    window_start_s = (
+        config.start_s + window_start_round * config.round_s
+    )
+    series, quality = clean_observations(
+        times[in_window],
+        values[in_window],
+        config.round_s,
+        window_start_s,
+        n_rounds,
+        policy=config.fill_policy,
+        max_gap=config.max_fill_gap,
+    )
+    report = classify_series(
+        series, config.round_s, config.classifier, quality=quality
+    )
+    return report, quality

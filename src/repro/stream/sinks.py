@@ -1,0 +1,145 @@
+"""Pluggable event sinks for the streaming engine's event bus.
+
+A sink is anything with ``emit(event)``; ``close()`` is optional and
+called by :meth:`repro.stream.events.EventBus.close`.  The sinks here
+cover the common consumers: collect in memory (tests, notebooks), count
+by type (benchmarks, health checks), call back into user code, filter a
+downstream sink, and append to a CSV file (offline analysis).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.stream.events import StreamEvent
+
+__all__ = [
+    "CallbackSink",
+    "CountingSink",
+    "CsvSink",
+    "EventSink",
+    "FilterSink",
+    "ListSink",
+]
+
+
+class EventSink:
+    """Base sink: swallows everything.  Subclass and override ``emit``."""
+
+    def emit(self, event: StreamEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ListSink(EventSink):
+    """Collect events in memory, optionally keeping only the newest.
+
+    ``maxlen`` bounds memory on long campaigns; older events are dropped
+    from the front (``n_dropped`` counts them).
+    """
+
+    def __init__(self, maxlen: int | None = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError("maxlen must be positive")
+        self.maxlen = maxlen
+        self.events: list[StreamEvent] = []
+        self.n_dropped = 0
+
+    def emit(self, event: StreamEvent) -> None:
+        self.events.append(event)
+        if self.maxlen is not None and len(self.events) > self.maxlen:
+            del self.events[0]
+            self.n_dropped += 1
+
+    def of_type(self, event_type: type) -> list[StreamEvent]:
+        return [e for e in self.events if isinstance(e, event_type)]
+
+
+class CountingSink(EventSink):
+    """Count events by type without retaining them."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def emit(self, event: StreamEvent) -> None:
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class CallbackSink(EventSink):
+    """Invoke a callable per event (bridges to user code or queues)."""
+
+    def __init__(self, callback) -> None:
+        self.callback = callback
+
+    def emit(self, event: StreamEvent) -> None:
+        self.callback(event)
+
+
+class FilterSink(EventSink):
+    """Forward only selected events to a downstream sink.
+
+    ``event_types`` keeps isinstance matches; ``predicate`` (if given)
+    must also return True.  Both default to pass-everything.
+    """
+
+    def __init__(self, sink, event_types=None, predicate=None) -> None:
+        self.sink = sink
+        self.event_types = tuple(event_types) if event_types else None
+        self.predicate = predicate
+
+    def emit(self, event: StreamEvent) -> None:
+        if self.event_types and not isinstance(event, self.event_types):
+            return
+        if self.predicate is not None and not self.predicate(event):
+            return
+        self.sink.emit(event)
+
+    def close(self) -> None:
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
+
+
+class CsvSink(EventSink):
+    """Append events to a CSV file: one row per event.
+
+    Columns are the shared header (kind, block, round, time) plus a
+    ``payload`` column holding the subclass fields as ``key=value``
+    pairs — heterogeneous event types share one file without a schema
+    per type.  The file is opened lazily on the first event.
+    """
+
+    HEADER = ("kind", "block_id", "round_index", "time_s", "payload")
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._writer = None
+        self.n_written = 0
+
+    def emit(self, event: StreamEvent) -> None:
+        if self._writer is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", newline="")
+            self._writer = csv.writer(self._handle)
+            self._writer.writerow(self.HEADER)
+        payload = ";".join(
+            f"{name}={value}" for name, value in sorted(event.payload().items())
+        )
+        self._writer.writerow(
+            [event.kind, event.block_id, event.round_index, event.time_s, payload]
+        )
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._writer = None

@@ -105,3 +105,113 @@ class TestCsv:
         assert text[0] == "code,frac"
         assert text[1] == "US,0.002"
         assert len(text) == 3
+
+
+class TestObservationStreamReplay:
+    """iter_observation_stream replays a checkpoint round by round."""
+
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        from repro.core import BatchConfig, BatchRunner
+        from repro.simulation.scenarios import survey_population
+
+        path = tmp_path_factory.mktemp("ckpt") / "batch.npz"
+        schedule = RoundSchedule.for_days(3)
+        runner = BatchRunner(
+            BatchConfig(checkpoint_path=path, checkpoint_every=1)
+        )
+        batch = runner.run(survey_population(5, seed=0), schedule, seed=0)
+        return path, schedule, batch
+
+    def test_yields_every_measured_round(self, checkpoint):
+        from repro.datasets import iter_observation_stream
+
+        path, schedule, batch = checkpoint
+        measured = [m for m in batch.measurements if not m.skipped]
+        rows = list(iter_observation_stream(path))
+        assert len(rows) == len(measured) * schedule.n_rounds
+        block_ids = {block_id for block_id, _, _ in rows}
+        assert block_ids == {m.block_id for m in measured}
+
+    def test_values_match_measurement(self, checkpoint):
+        from repro.datasets import iter_observation_stream
+
+        path, schedule, batch = checkpoint
+        measured = [m for m in batch.measurements if not m.skipped]
+        first = measured[0]
+        rows = [
+            (t, v)
+            for block_id, t, v in iter_observation_stream(path)
+            if block_id == first.block_id
+        ]
+        times, values = zip(*rows)
+        np.testing.assert_array_equal(times, schedule.times())
+        np.testing.assert_array_equal(values, first.a_short)
+
+    def test_interleave_orders_by_round(self, checkpoint):
+        from repro.datasets import iter_observation_stream
+
+        path, schedule, batch = checkpoint
+        rows = list(iter_observation_stream(path, interleave=True))
+        times = [t for _, t, _ in rows]
+        # Non-decreasing times: every block's round r before any r+1.
+        assert all(a <= b for a, b in zip(times, times[1:]))
+        n_blocks = len({b for b, _, _ in rows})
+        assert times[:n_blocks].count(times[0]) == n_blocks
+
+    def test_include_skipped(self, checkpoint):
+        from repro.datasets import iter_observation_stream
+
+        path, schedule, batch = checkpoint
+        n_all = sum(1 for _ in iter_observation_stream(path, include_skipped=True))
+        n_measured = sum(1 for _ in iter_observation_stream(path))
+        n_skipped = sum(1 for m in batch.measurements if m.skipped)
+        assert n_all - n_measured == n_skipped * schedule.n_rounds
+
+    def test_series_selection(self, checkpoint):
+        from repro.datasets import iter_observation_stream
+
+        path, schedule, batch = checkpoint
+        measured = [m for m in batch.measurements if not m.skipped]
+        first = measured[0]
+        values = [
+            v
+            for block_id, _, v in iter_observation_stream(
+                path, series="true_availability"
+            )
+            if block_id == first.block_id
+        ]
+        np.testing.assert_array_equal(values, first.true_availability)
+
+    def test_feeds_streaming_engine(self, checkpoint):
+        from repro.core.classify import reports_equal
+        from repro.datasets import iter_observation_stream
+        from repro.stream import (
+            ListSink,
+            StreamConfig,
+            StreamEngine,
+            WindowClosed,
+            batch_window_report,
+        )
+
+        path, schedule, batch = checkpoint
+        config = StreamConfig.for_days(
+            1.0, start_s=schedule.start_s, label_dwell=1
+        )
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        n = engine.replay(iter_observation_stream(path, interleave=True))
+        engine.flush()
+        assert n > 0
+        measured = {
+            m.block_id: m for m in batch.measurements if not m.skipped
+        }
+        closes = sink.of_type(WindowClosed)
+        assert closes
+        for event in closes:
+            times, values = measured[event.block_id].observation_stream()
+            want, want_q = batch_window_report(
+                times, values, event.window_start_round, event.n_rounds, config
+            )
+            assert reports_equal(event.report, want)
+            assert event.quality == want_q

@@ -1,0 +1,178 @@
+"""Tests for the sliding DFT (repro.stream.sliding_dft) against rfft."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spectral import goertzel
+from repro.stream.sliding_dft import SlidingDFT
+
+
+def rfft_at(values, bins):
+    return np.fft.rfft(values)[np.asarray(bins)]
+
+
+class TestConstruction:
+    def test_requires_bins(self):
+        with pytest.raises(ValueError, match="no bins"):
+            SlidingDFT(16, [])
+
+    def test_rejects_out_of_range_bins(self):
+        with pytest.raises(ValueError, match="tracked bins"):
+            SlidingDFT(16, [9])  # n_bins = 9, valid range [0, 9)
+        with pytest.raises(ValueError, match="tracked bins"):
+            SlidingDFT(16, [-1])
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            SlidingDFT(1, [0])
+
+    def test_bins_deduplicated_and_sorted(self):
+        dft = SlidingDFT(16, [5, 0, 5, 2])
+        np.testing.assert_array_equal(dft.bins, [0, 2, 5])
+        assert dft.n_tracked == 3
+
+
+class TestSlide:
+    def test_priming_matches_zero_padded_fft(self):
+        """Sliding samples into an empty window == FFT of a 0-padded tail."""
+        rng = np.random.default_rng(0)
+        n = 32
+        bins = [0, 1, 2, 5]
+        x = rng.standard_normal(10)
+        dft = SlidingDFT(n, bins)
+        for v in x:
+            dft.slide(v)
+        window = np.concatenate([np.zeros(n - len(x)), x])
+        np.testing.assert_allclose(
+            dft.coefficients, rfft_at(window, bins), atol=1e-9
+        )
+
+    def test_full_window_matches_rfft(self):
+        rng = np.random.default_rng(1)
+        n = 64
+        bins = [0, 3, 7, 21]
+        x = rng.standard_normal(n)
+        dft = SlidingDFT(n, bins)
+        for v in x:
+            dft.slide(v)
+        np.testing.assert_allclose(dft.coefficients, rfft_at(x, bins), atol=1e-8)
+
+    def test_sliding_past_full_matches_trailing_window(self):
+        rng = np.random.default_rng(2)
+        n = 48
+        bins = [0, 2, 4, 11]
+        stream = rng.standard_normal(n * 3)
+        dft = SlidingDFT(n, bins)
+        for i, v in enumerate(stream):
+            evicted = stream[i - n] if i >= n else 0.0
+            dft.slide(v, evicted)
+        np.testing.assert_allclose(
+            dft.coefficients, rfft_at(stream[-n:], bins), atol=1e-7
+        )
+        assert dft.n_slides == len(stream)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.sampled_from([16, 30, 64]),
+        extra=st.integers(0, 100),
+    )
+    def test_property_trailing_window_parity(self, seed, n, extra):
+        rng = np.random.default_rng(seed)
+        bins = [0, 1, n // 4, n // 2]
+        stream = rng.random(n + extra)
+        dft = SlidingDFT(n, bins)
+        for i, v in enumerate(stream):
+            dft.slide(v, stream[i - n] if i >= n else 0.0)
+        window = (
+            stream[-n:]
+            if len(stream) >= n
+            else np.concatenate([np.zeros(n - len(stream)), stream])
+        )
+        np.testing.assert_allclose(
+            dft.coefficients, rfft_at(window, sorted(set(bins))), atol=1e-7
+        )
+
+
+class TestAccessors:
+    def test_mean_reads_dc(self):
+        rng = np.random.default_rng(3)
+        n = 32
+        x = rng.random(n)
+        dft = SlidingDFT(n, [0, 4])
+        for v in x:
+            dft.slide(v)
+        assert dft.mean() == pytest.approx(x.mean(), abs=1e-10)
+
+    def test_amplitude_and_phase(self):
+        n = 64
+        t = np.arange(n)
+        x = 0.5 + 0.3 * np.cos(2 * np.pi * 4 * t / n + 1.1)
+        dft = SlidingDFT(n, [0, 4])
+        for v in x:
+            dft.slide(v)
+        ref = np.fft.rfft(x)
+        assert dft.amplitude(4) == pytest.approx(abs(ref[4]), abs=1e-8)
+        assert dft.phase(4) == pytest.approx(float(np.angle(ref[4])), abs=1e-8)
+
+    def test_amplitudes_vector(self):
+        rng = np.random.default_rng(4)
+        n = 32
+        x = rng.random(n)
+        dft = SlidingDFT(n, [0, 2, 5])
+        for v in x:
+            dft.slide(v)
+        np.testing.assert_allclose(
+            dft.amplitudes([2, 5]), np.abs(rfft_at(x, [2, 5])), atol=1e-9
+        )
+
+
+class TestReseedAndAdjust:
+    def test_reseed_cancels_drift(self):
+        rng = np.random.default_rng(5)
+        n = 32
+        stream = rng.random(n * 200)
+        dft = SlidingDFT(n, [0, 1, 8])
+        for i, v in enumerate(stream):
+            dft.slide(v, stream[i - n] if i >= n else 0.0)
+        drifted = dft.coefficients.copy()
+        dft.reseed(stream[-n:])
+        exact = rfft_at(stream[-n:], [0, 1, 8])
+        np.testing.assert_allclose(dft.coefficients, exact, rtol=1e-12)
+        # The reseed is at least as accurate as the drifted state.
+        assert np.abs(dft.coefficients - exact).max() <= (
+            np.abs(drifted - exact).max() + 1e-15
+        )
+
+    def test_reseed_wrong_length_rejected(self):
+        dft = SlidingDFT(16, [0])
+        with pytest.raises(ValueError, match="exactly 16"):
+            dft.reseed(np.zeros(8))
+
+    def test_reseed_matches_goertzel(self):
+        rng = np.random.default_rng(6)
+        x = rng.random(24)
+        dft = SlidingDFT(24, [0, 3, 7])
+        dft.reseed(x)
+        np.testing.assert_array_equal(
+            dft.coefficients, goertzel(x, np.array([0, 3, 7]))
+        )
+
+    def test_adjust_revises_in_place_sample(self):
+        """adjust() applies a correction as if the sample had that value."""
+        rng = np.random.default_rng(7)
+        n = 16
+        x = rng.random(n)
+        dft = SlidingDFT(n, [0, 2, 5])
+        dft.reseed(x)
+        y = x.copy()
+        y[4] += 0.25
+        dft.adjust(4, 0.25)
+        np.testing.assert_allclose(dft.coefficients, rfft_at(y, [0, 2, 5]), atol=1e-12)
+
+    def test_adjust_out_of_window_rejected(self):
+        dft = SlidingDFT(16, [0])
+        with pytest.raises(ValueError, match="outside window"):
+            dft.adjust(16, 1.0)

@@ -158,3 +158,69 @@ def test_pure_daily_tone_always_lands_in_diurnal_candidates(days, amplitude, pha
     values = daily_series(days, amplitude=amplitude, phase=phase)
     spec = compute_spectrum(values, ROUND)
     assert spec.dominant_bin() in diurnal_candidates(spec.n_samples, ROUND)
+
+
+class TestBinValidation:
+    """Satellite fix: phase()/frequency_hz() must refuse out-of-range bins."""
+
+    def test_phase_rejects_negative_bin(self):
+        spec = compute_spectrum(daily_series(7), ROUND)
+        with pytest.raises(ValueError, match="out of range"):
+            spec.phase(-1)
+
+    def test_phase_rejects_past_end(self):
+        spec = compute_spectrum(daily_series(7), ROUND)
+        with pytest.raises(ValueError, match="out of range"):
+            spec.phase(spec.n_bins)
+
+    def test_frequency_hz_rejects_negative_bin(self):
+        spec = compute_spectrum(daily_series(7), ROUND)
+        with pytest.raises(ValueError, match="out of range"):
+            spec.frequency_hz(-2)
+
+    def test_frequency_hz_rejects_past_end(self):
+        spec = compute_spectrum(daily_series(7), ROUND)
+        with pytest.raises(ValueError, match="out of range"):
+            spec.frequency_hz(spec.n_bins + 5)
+
+    def test_boundary_bins_accepted(self):
+        spec = compute_spectrum(daily_series(7), ROUND)
+        spec.phase(0)
+        spec.phase(spec.n_bins - 1)
+        spec.frequency_hz(0)
+        spec.frequency_hz(spec.n_bins - 1)
+
+
+class TestGoertzel:
+    """Exact selected-bin DFT used to reseed the sliding engine."""
+
+    def test_matches_rfft_at_selected_bins(self):
+        from repro.core.spectral import goertzel
+
+        rng = np.random.default_rng(0)
+        values = rng.random(200)
+        bins = np.array([0, 1, 7, 50, 100])
+        want = np.fft.rfft(values)[bins]
+        np.testing.assert_allclose(goertzel(values, bins), want, atol=1e-9)
+
+    def test_rejects_nan(self):
+        from repro.core.spectral import goertzel
+
+        values = np.ones(16)
+        values[3] = np.nan
+        with pytest.raises(ValueError):
+            goertzel(values, np.array([0]))
+
+    def test_rejects_out_of_range_bins(self):
+        from repro.core.spectral import goertzel
+
+        with pytest.raises(ValueError):
+            goertzel(np.ones(16), np.array([9]))
+        with pytest.raises(ValueError):
+            goertzel(np.ones(16), np.array([-1]))
+
+    def test_rejects_2d(self):
+        from repro.core.spectral import goertzel
+
+        with pytest.raises(ValueError):
+            goertzel(np.ones((2, 8)), np.array([0]))

@@ -1,0 +1,582 @@
+"""Tests for the streaming diurnal engine (repro.stream.engine).
+
+The load-bearing property is **batch parity**: every window the engine
+closes must carry a report bit-identical to running the batch path
+(`clean_observations` + `classify_series`) over the same observations —
+including under fault injection.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classify import DiurnalClass, reports_equal
+from repro.faults.config import FaultConfig
+from repro.faults.plan import FaultPlan
+from repro.stream import (
+    ClassificationTransition,
+    LateObservation,
+    ListSink,
+    PhaseEdge,
+    QualityDegraded,
+    QualityRestored,
+    StreamConfig,
+    StreamEngine,
+    WindowClosed,
+    batch_window_report,
+)
+
+ROUND = 660.0
+DAY = 86400.0
+
+
+def diurnal_stream(n_days, seed=0, amplitude=0.4, noise=0.02, mean=0.5):
+    """A clean per-round diurnal observation stream."""
+    rng = np.random.default_rng(seed)
+    n = int(n_days * DAY / ROUND)
+    times = np.arange(n) * ROUND
+    values = (
+        mean
+        + amplitude * np.sin(2 * np.pi * times / DAY)
+        + noise * rng.standard_normal(n)
+    )
+    return times, values
+
+
+def flat_stream(n_days, seed=0, noise=0.02, mean=0.5):
+    rng = np.random.default_rng(seed)
+    n = int(n_days * DAY / ROUND)
+    times = np.arange(n) * ROUND
+    return times, mean + noise * rng.standard_normal(n)
+
+
+def assert_parity(sink, times, values, config):
+    """Every closed window's report/quality must match the batch oracle."""
+    closes = sink.of_type(WindowClosed)
+    assert closes, "no windows closed"
+    for event in closes:
+        want_report, want_quality = batch_window_report(
+            times, values, event.window_start_round, event.n_rounds, config
+        )
+        assert reports_equal(event.report, want_report), (
+            event.window_start_round,
+            event.report,
+            want_report,
+        )
+        assert event.quality == want_quality
+    return closes
+
+
+class TestConfig:
+    def test_sub_day_window_rejected(self):
+        with pytest.raises(ValueError, match="at least one full day"):
+            StreamConfig(window_rounds=50)
+
+    def test_bad_hop_rejected(self):
+        n = int(2 * DAY / ROUND)
+        with pytest.raises(ValueError, match="hop_rounds"):
+            StreamConfig(window_rounds=n, hop_rounds=n + 1)
+        with pytest.raises(ValueError, match="hop_rounds"):
+            StreamConfig(window_rounds=n, hop_rounds=0)
+
+    def test_bad_policy_rejected(self):
+        n = int(2 * DAY / ROUND)
+        with pytest.raises(ValueError, match="fill policy"):
+            StreamConfig(window_rounds=n, fill_policy="wat")
+
+    def test_bad_dwell_rejected(self):
+        n = int(2 * DAY / ROUND)
+        with pytest.raises(ValueError, match="label_dwell"):
+            StreamConfig(window_rounds=n, label_dwell=0)
+
+    def test_for_days(self):
+        config = StreamConfig.for_days(2.0, hop_days=0.5)
+        assert config.window_rounds == int(round(2 * DAY / ROUND))
+        assert config.hop == int(round(0.5 * DAY / ROUND))
+
+    def test_default_hop_is_tumbling(self):
+        config = StreamConfig.for_days(2.0)
+        assert config.hop == config.window_rounds
+
+
+class TestBatchParityClean:
+    def test_tumbling_windows(self):
+        times, values = diurnal_stream(6, seed=1)
+        config = StreamConfig.for_days(2.0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times, values)
+        engine.flush()
+        closes = assert_parity(sink, times, values, config)
+        n = len(times)
+        want = (n - config.window_rounds) // config.hop + 1
+        assert len(closes) == want
+        assert all(
+            e.report.label is DiurnalClass.STRICT for e in closes
+        )
+
+    def test_hopping_windows(self):
+        times, values = diurnal_stream(5, seed=2)
+        config = StreamConfig.for_days(2.0, hop_days=0.5, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(3, times, values)
+        engine.flush()
+        closes = assert_parity(sink, times, values, config)
+        n = len(times)
+        want = (n - config.window_rounds) // config.hop + 1
+        assert len(closes) == want
+        starts = [e.window_start_round for e in closes]
+        assert starts == [i * config.hop for i in range(want)]
+
+    def test_non_diurnal_stream(self):
+        times, values = flat_stream(4, seed=3)
+        config = StreamConfig.for_days(2.0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times, values)
+        engine.flush()
+        closes = assert_parity(sink, times, values, config)
+        assert all(
+            e.report.label is not DiurnalClass.STRICT for e in closes
+        )
+
+    def test_sparse_stream_parity(self):
+        rng = np.random.default_rng(4)
+        times, values = diurnal_stream(6, seed=4)
+        keep = rng.random(len(times)) > 0.2
+        config = StreamConfig.for_days(2.0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times[keep], values[keep])
+        engine.flush()
+        assert_parity(sink, times[keep], values[keep], config)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        drop=st.floats(0.0, 0.5),
+        hop_days=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    def test_property_parity(self, seed, drop, hop_days):
+        rng = np.random.default_rng(seed)
+        times, values = diurnal_stream(5, seed=seed)
+        keep = rng.random(len(times)) > drop
+        config = StreamConfig.for_days(2.0, hop_days=hop_days, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times[keep], values[keep])
+        engine.flush()
+        assert_parity(sink, times[keep], values[keep], config)
+
+
+class TestBatchParityUnderFaults:
+    FAULTS = FaultConfig(
+        round_drop_rate=0.05,
+        round_duplicate_rate=0.05,
+        gaps_per_day=1.0,
+        mean_gap_rounds=6.0,
+        clock_jitter_s=60.0,
+        clock_skew_ppm=50.0,
+        seed=11,
+    )
+
+    def degraded(self, block_index, n_days=6, seed=5):
+        times, values = diurnal_stream(n_days, seed=seed)
+        plan = FaultPlan(self.FAULTS).for_block(block_index)
+        return plan.degrade_stream(times, values, ROUND)
+
+    def test_parity_with_injected_faults(self):
+        # degrade_stream sorts by (corrupted) timestamp, so rounds arrive
+        # in non-decreasing order and no lateness slack is needed.
+        for block in range(4):
+            times, values = self.degraded(block)
+            config = StreamConfig.for_days(2.0, label_dwell=1)
+            sink = ListSink()
+            engine = StreamEngine(config, sinks=[sink])
+            engine.ingest_many(block, times, values)
+            engine.flush()
+            assert engine.n_late(block) == 0
+            assert_parity(sink, times, values, config)
+
+    def test_heavy_faults_trigger_quality_gate(self):
+        heavy = FaultConfig(round_drop_rate=0.45, gaps_per_day=4.0, seed=3)
+        times, values = diurnal_stream(6, seed=6)
+        obs_t, obs_v = FaultPlan(heavy).degrade_stream(times, values, ROUND)
+        config = StreamConfig.for_days(2.0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, obs_t, obs_v)
+        engine.flush()
+        closes = assert_parity(sink, obs_t, obs_v, config)
+        assert any(
+            e.report.label is DiurnalClass.INSUFFICIENT for e in closes
+        )
+        assert sink.of_type(QualityDegraded)
+
+
+class TestWatermarkAndLateness:
+    def test_disorder_within_slack_is_reordered(self):
+        times, values = diurnal_stream(4, seed=7)
+        rng = np.random.default_rng(7)
+        # Perturbing each timestamp forward by up to 5 rounds before
+        # sorting bounds any observation's displacement to 5 rounds.
+        order = np.argsort(
+            times + rng.uniform(0, 5 * ROUND, len(times)), kind="stable"
+        )
+        config = StreamConfig.for_days(2.0, lateness_rounds=8, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times[order], values[order])
+        engine.flush()
+        assert engine.n_late(0) == 0
+        assert_parity(sink, times, values, config)
+
+    def test_late_observation_dropped_with_event(self):
+        config = StreamConfig.for_days(2.0, lateness_rounds=0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest(0, 100 * ROUND, 0.5)
+        engine.ingest(0, 50 * ROUND, 0.9)  # behind the watermark
+        late = sink.of_type(LateObservation)
+        assert len(late) == 1
+        assert late[0].round_index == 50
+        # Watermark sits one round behind the newest round (100), so the
+        # drop lags it by 99 - 50 rounds.
+        assert late[0].lag_rounds == 49
+        assert engine.n_late(0) == 1
+
+    def test_negative_round_dropped(self):
+        config = StreamConfig.for_days(2.0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest(0, -5 * ROUND, 0.5)
+        assert len(sink.of_type(LateObservation)) == 1
+
+    def test_dropped_late_round_excluded_from_verdict(self):
+        """The closed window reflects exactly the admitted observations."""
+        times, values = diurnal_stream(3, seed=8)
+        config = StreamConfig.for_days(2.0, lateness_rounds=0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        # Feed rounds 10.. first so rounds 0..9 arrive late and drop.
+        engine.ingest_many(0, times[10:], values[10:])
+        engine.ingest_many(0, times[:10], values[:10])
+        engine.flush()
+        assert engine.n_late(0) == 10
+        assert_parity(sink, times[10:], values[10:], config)
+
+    def test_far_future_jump_still_parity(self):
+        """A jump past ring capacity forces eviction, not corruption."""
+        times, values = diurnal_stream(3, seed=9)
+        config = StreamConfig.for_days(1.0, label_dwell=1)
+        gap_times = np.concatenate([times, times + 30 * DAY])
+        gap_values = np.concatenate([values, values])
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, gap_times, gap_values)
+        engine.flush()
+        assert_parity(sink, gap_times, gap_values, config)
+
+
+class TestHysteresis:
+    def build(self, dwell):
+        # 2 diurnal days, then flat: tumbling 1-day windows flip labels.
+        t1, v1 = diurnal_stream(2, seed=10)
+        t2, v2 = flat_stream(3, seed=10)
+        times = np.concatenate([t1, t2 + 2 * DAY])
+        values = np.concatenate([v1, v2])
+        config = StreamConfig.for_days(1.0, label_dwell=dwell)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times, values)
+        engine.flush()
+        return engine, sink
+
+    def test_dwell_two_delays_transition(self):
+        engine, sink = self.build(dwell=2)
+        transitions = sink.of_type(ClassificationTransition)
+        # Initial verdict plus exactly one (confirmed) transition.
+        assert len(transitions) == 2
+        first, flip = transitions
+        assert first.old_label is None
+        assert first.new_label.is_diurnal
+        assert not flip.new_label.is_diurnal
+        assert flip.dwell == 2
+        # The flip fires on the second non-diurnal close, not the first.
+        closes = sink.of_type(WindowClosed)
+        flip_positions = [
+            i for i, c in enumerate(closes)
+            if c.round_index == flip.round_index
+        ]
+        first_bad = next(
+            i for i, c in enumerate(closes)
+            if not c.report.label.is_diurnal
+        )
+        assert flip_positions[0] == first_bad + 1
+        assert not engine.stable_label(0).is_diurnal
+
+    def test_dwell_one_flips_immediately(self):
+        engine, sink = self.build(dwell=1)
+        transitions = sink.of_type(ClassificationTransition)
+        assert len(transitions) == 2
+        assert transitions[1].dwell == 1
+
+    def test_single_window_blip_suppressed(self):
+        # diurnal, one flat day, diurnal again: with dwell=2 the stable
+        # label never leaves diurnal.
+        t1, v1 = diurnal_stream(2, seed=11)
+        t2, v2 = flat_stream(1, seed=11)
+        t3, v3 = diurnal_stream(2, seed=12)
+        times = np.concatenate([t1, t2 + 2 * DAY, t3 + 3 * DAY])
+        values = np.concatenate([v1, v2, v3])
+        config = StreamConfig.for_days(1.0, label_dwell=2)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times, values)
+        engine.flush()
+        transitions = sink.of_type(ClassificationTransition)
+        assert len(transitions) == 1  # only the initial verdict
+        assert engine.stable_label(0).is_diurnal
+
+
+class TestPhaseEdges:
+    def test_clean_sinusoid_alternates(self):
+        times, values = diurnal_stream(6, seed=13, noise=0.0)
+        config = StreamConfig.for_days(2.0, edge_margin=0.1, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times, values)
+        engine.flush()
+        edges = sink.of_type(PhaseEdge)
+        assert edges, "no phase edges on a clean sinusoid"
+        kinds = [e.edge for e in edges]
+        # Strictly alternating sleep/wake.
+        assert all(a != b for a, b in zip(kinds, kinds[1:]))
+        # Roughly one sleep and one wake per day after priming.
+        assert 4 <= len(edges) <= 12
+
+    def test_flat_stream_has_no_edges(self):
+        times, values = flat_stream(4, seed=14, noise=0.01)
+        config = StreamConfig.for_days(2.0, edge_margin=0.2, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times, values)
+        engine.flush()
+        assert not sink.of_type(PhaseEdge)
+
+
+class TestQualityEvents:
+    def test_degrade_then_restore(self):
+        t1, v1 = diurnal_stream(2, seed=15)
+        t3, v3 = diurnal_stream(2, seed=16)
+        # Day 3 entirely missing -> the window covering it is refused.
+        times = np.concatenate([t1, t3 + 3 * DAY])
+        values = np.concatenate([v1, v3])
+        config = StreamConfig.for_days(1.0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times, values)
+        engine.flush()
+        degraded = sink.of_type(QualityDegraded)
+        restored = sink.of_type(QualityRestored)
+        assert len(degraded) == 1
+        assert "no observations" in degraded[0].reason
+        assert len(restored) == 1
+        assert restored[0].round_index > degraded[0].round_index
+        assert_parity(sink, times, values, config)
+
+
+class TestFlush:
+    def test_flush_without_partial_leaves_tail_open(self):
+        times, values = diurnal_stream(2.5, seed=17)
+        config = StreamConfig.for_days(1.0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times, values)
+        engine.flush()
+        assert len(sink.of_type(WindowClosed)) == 2
+
+    def test_flush_partial_classifies_tail(self):
+        # 3.5 days with a 2-day window: one full close plus a ~1.5-day
+        # tail, long enough (>= one day) for a partial classification.
+        times, values = diurnal_stream(3.5, seed=17)
+        config = StreamConfig.for_days(2.0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times, values)
+        engine.flush(close_partial=True)
+        closes = sink.of_type(WindowClosed)
+        assert len(closes) == 2
+        tail = closes[-1]
+        assert tail.partial
+        assert tail.n_rounds < config.window_rounds
+        want, want_q = batch_window_report(
+            times, values, tail.window_start_round, tail.n_rounds, config
+        )
+        assert reports_equal(tail.report, want)
+        assert tail.quality == want_q
+
+    def test_flush_partial_too_short_is_skipped(self):
+        # A 30-round tail spans well under a day: unclassifiable, no event.
+        times, values = diurnal_stream(1.0, seed=18)
+        n = int(DAY / ROUND)
+        extra_t = np.arange(n, n + 30) * ROUND
+        extra_v = np.full(30, 0.5)
+        config = StreamConfig.for_days(1.0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, np.concatenate([times, extra_t]),
+                           np.concatenate([values, extra_v]))
+        engine.flush(close_partial=True)
+        closes = sink.of_type(WindowClosed)
+        assert len(closes) == 1
+        assert not closes[0].partial
+
+    def test_flush_single_block(self):
+        # Lateness larger than the stream defers every close to flush.
+        times, values = diurnal_stream(2.0, seed=19)
+        config = StreamConfig.for_days(1.0, lateness_rounds=300, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        engine.ingest_many(0, times, values)
+        engine.ingest_many(1, times, values)
+        engine.flush(block_id=0)
+        closed_blocks = {e.block_id for e in sink.of_type(WindowClosed)}
+        assert closed_blocks == {0}
+        engine.flush()
+        closed_blocks = {e.block_id for e in sink.of_type(WindowClosed)}
+        assert closed_blocks == {0, 1}
+
+
+class TestMultiBlock:
+    def test_interleaved_blocks_are_independent(self):
+        streams = {b: diurnal_stream(3, seed=20 + b) for b in range(3)}
+        config = StreamConfig.for_days(1.0, label_dwell=1)
+
+        # Interleaved round-robin ingestion.
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        n = len(streams[0][0])
+        for r in range(n):
+            for b, (times, values) in streams.items():
+                engine.ingest(b, float(times[r]), float(values[r]))
+        engine.flush()
+
+        # Each block alone.
+        for b, (times, values) in streams.items():
+            solo_sink = ListSink()
+            solo = StreamEngine(config, sinks=[solo_sink])
+            solo.ingest_many(b, times, values)
+            solo.flush()
+            got = [e for e in sink.of_type(WindowClosed) if e.block_id == b]
+            want = solo_sink.of_type(WindowClosed)
+            assert len(got) == len(want)
+            for g, w in zip(got, want):
+                assert reports_equal(g.report, w.report)
+                assert g.quality == w.quality
+
+        assert engine.blocks() == [0, 1, 2]
+
+
+class TestProvisional:
+    def test_primes_after_one_window(self):
+        # A 2-day window keeps the diurnal candidates (bins 2-3) clear of
+        # the harmonic set; in a 1-day window bin 2 is both candidate and
+        # first harmonic, which blurs looks_diurnal by construction.
+        times, values = diurnal_stream(4, seed=21, noise=0.0)
+        config = StreamConfig.for_days(2.0, label_dwell=1)
+        engine = StreamEngine(config)
+        n = config.window_rounds
+        engine.ingest_many(0, times[: n // 2], values[: n // 2])
+        assert not engine.provisional(0).primed
+        engine.ingest_many(0, times[n // 2:], values[n // 2:])
+        est = engine.provisional(0)
+        assert est.primed
+        assert est.looks_diurnal
+        assert est.mean == pytest.approx(0.5, abs=0.05)
+
+    def test_provisional_tracks_trailing_window_amplitude(self):
+        times, values = diurnal_stream(3, seed=22, noise=0.0)
+        config = StreamConfig.for_days(1.0, label_dwell=1)
+        engine = StreamEngine(config)
+        engine.ingest_many(0, times, values)
+        est = engine.provisional(0)
+        n = config.window_rounds
+        wm = engine.watermark(0)
+        window = values[wm - n + 1: wm + 1]
+        ref = np.abs(np.fft.rfft(window))
+        assert est.diurnal_amplitude == pytest.approx(
+            ref[est.diurnal_k], rel=1e-6
+        )
+
+    def test_flat_stream_not_diurnal(self):
+        times, values = flat_stream(2, seed=23)
+        config = StreamConfig.for_days(1.0, label_dwell=1)
+        engine = StreamEngine(config)
+        engine.ingest_many(0, times, values)
+        assert not engine.provisional(0).looks_diurnal
+
+
+class TestReplayIntegration:
+    def test_replay_iterable(self):
+        times, values = diurnal_stream(2, seed=24)
+        config = StreamConfig.for_days(1.0, label_dwell=1)
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        n = engine.replay((7, float(t), float(v)) for t, v in zip(times, values))
+        engine.flush()
+        assert n == len(times)
+        assert_parity(sink, times, values, config)
+
+    def test_batch_result_replay_into(self):
+        from repro.core.pipeline import BatchConfig, BatchRunner
+        from repro.simulation.scenarios import survey_population
+
+        blocks = survey_population(6, seed=0)
+        from repro.probing.rounds import RoundSchedule
+
+        schedule = RoundSchedule.for_days(4)
+        batch = BatchRunner(BatchConfig()).run(blocks, schedule, seed=0)
+        measured = [m for m in batch.measurements if not m.skipped]
+        assert measured
+
+        config = StreamConfig.for_days(
+            2.0, start_s=schedule.start_s, label_dwell=1
+        )
+        sink = ListSink()
+        engine = StreamEngine(config, sinks=[sink])
+        n_fed = batch.replay_into(engine)
+        assert n_fed == sum(m.schedule.n_rounds for m in measured)
+        assert set(engine.blocks()) == {m.block_id for m in measured}
+        for m in measured:
+            times, values = m.observation_stream()
+            events = [
+                e for e in sink.of_type(WindowClosed)
+                if e.block_id == m.block_id
+            ]
+            assert events
+            for event in events:
+                want, want_q = batch_window_report(
+                    times, values, event.window_start_round,
+                    event.n_rounds, config,
+                )
+                assert reports_equal(event.report, want)
+                assert event.quality == want_q
+
+    def test_observation_stream_validates_series(self):
+        from repro.core.pipeline import BatchConfig, BatchRunner
+        from repro.simulation.scenarios import survey_population
+        from repro.probing.rounds import RoundSchedule
+
+        blocks = survey_population(2, seed=1)
+        batch = BatchRunner(BatchConfig()).run(
+            blocks, RoundSchedule.for_days(2), seed=1
+        )
+        m = batch.measurements[0]
+        with pytest.raises(ValueError, match="unknown series"):
+            m.observation_stream("nope")
+        times, values = m.observation_stream("true_availability", trimmed=True)
+        assert len(times) == len(values)
+        assert len(times) == (m.trim.stop - (m.trim.start or 0))

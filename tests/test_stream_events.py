@@ -1,0 +1,199 @@
+"""Tests for stream events, the bus, and sinks."""
+
+import csv
+
+import pytest
+
+from repro.core.classify import DiurnalClass, insufficient_report
+from repro.core.timeseries import QualityReport
+from repro.stream.events import (
+    ClassificationTransition,
+    EventBus,
+    LateObservation,
+    PhaseEdge,
+    StreamEvent,
+    WindowClosed,
+)
+from repro.stream.sinks import (
+    CallbackSink,
+    CountingSink,
+    CsvSink,
+    EventSink,
+    FilterSink,
+    ListSink,
+)
+
+
+def make_edge(block_id=1, r=10, edge="wake"):
+    return PhaseEdge(
+        block_id=block_id,
+        round_index=r,
+        time_s=r * 660.0,
+        edge=edge,
+        value=0.8,
+        window_mean=0.5,
+    )
+
+
+def make_late(block_id=1, r=3):
+    return LateObservation(
+        block_id=block_id, round_index=r, time_s=r * 660.0,
+        value=0.4, lag_rounds=5,
+    )
+
+
+class TestEvents:
+    def test_kind_is_class_name(self):
+        assert make_edge().kind == "PhaseEdge"
+        assert make_late().kind == "LateObservation"
+
+    def test_payload_excludes_base_fields(self):
+        payload = make_edge().payload()
+        assert payload == {"edge": "wake", "value": 0.8, "window_mean": 0.5}
+
+    def test_events_are_frozen(self):
+        event = make_edge()
+        with pytest.raises(AttributeError):
+            event.value = 0.0
+
+    def test_transition_carries_labels(self):
+        event = ClassificationTransition(
+            block_id=2,
+            round_index=100,
+            time_s=66000.0,
+            old_label=None,
+            new_label=DiurnalClass.STRICT,
+            report=insufficient_report(),
+            dwell=1,
+        )
+        assert event.old_label is None
+        assert event.new_label is DiurnalClass.STRICT
+
+
+class TestEventBus:
+    def test_fans_out_to_all_sinks(self):
+        a, b = ListSink(), ListSink()
+        bus = EventBus([a])
+        bus.subscribe(b)
+        bus.publish(make_edge())
+        assert len(a.events) == 1
+        assert len(b.events) == 1
+
+    def test_counts_by_kind(self):
+        bus = EventBus()
+        bus.publish(make_edge())
+        bus.publish(make_edge())
+        bus.publish(make_late())
+        assert bus.counts == {"PhaseEdge": 2, "LateObservation": 1}
+        assert bus.n_published == 3
+
+    def test_close_propagates(self):
+        closed = []
+
+        class Recording(EventSink):
+            def close(self):
+                closed.append(True)
+
+        bus = EventBus([Recording(), Recording()])
+        bus.close()
+        assert closed == [True, True]
+
+
+class TestListSink:
+    def test_bounded_drops_oldest(self):
+        sink = ListSink(maxlen=2)
+        events = [make_edge(r=i) for i in range(4)]
+        for e in events:
+            sink.emit(e)
+        assert sink.events == events[2:]
+        assert sink.n_dropped == 2
+
+    def test_of_type(self):
+        sink = ListSink()
+        sink.emit(make_edge())
+        sink.emit(make_late())
+        assert len(sink.of_type(PhaseEdge)) == 1
+        assert len(sink.of_type(StreamEvent)) == 2
+
+    def test_bad_maxlen(self):
+        with pytest.raises(ValueError):
+            ListSink(maxlen=0)
+
+
+class TestCountingSink:
+    def test_counts(self):
+        sink = CountingSink()
+        for _ in range(3):
+            sink.emit(make_edge())
+        sink.emit(make_late())
+        assert sink.counts == {"PhaseEdge": 3, "LateObservation": 1}
+        assert sink.total == 4
+
+
+class TestCallbackSink:
+    def test_invokes(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.emit(make_edge())
+        assert len(seen) == 1
+
+
+class TestFilterSink:
+    def test_type_filter(self):
+        inner = ListSink()
+        sink = FilterSink(inner, event_types=[PhaseEdge])
+        sink.emit(make_edge())
+        sink.emit(make_late())
+        assert len(inner.events) == 1
+        assert isinstance(inner.events[0], PhaseEdge)
+
+    def test_predicate(self):
+        inner = ListSink()
+        sink = FilterSink(inner, predicate=lambda e: e.block_id == 7)
+        sink.emit(make_edge(block_id=7))
+        sink.emit(make_edge(block_id=8))
+        assert [e.block_id for e in inner.events] == [7]
+
+
+class TestCsvSink:
+    def test_writes_rows(self, tmp_path):
+        path = tmp_path / "events.csv"
+        sink = CsvSink(path)
+        sink.emit(make_edge(r=5))
+        sink.emit(make_late(r=2))
+        sink.close()
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(CsvSink.HEADER)
+        assert rows[1][0] == "PhaseEdge"
+        assert rows[1][2] == "5"
+        assert "edge=wake" in rows[1][4]
+        assert rows[2][0] == "LateObservation"
+        assert sink.n_written == 2
+
+    def test_lazy_open(self, tmp_path):
+        path = tmp_path / "sub" / "events.csv"
+        sink = CsvSink(path)
+        assert not path.exists()
+        sink.emit(make_edge())
+        sink.close()
+        assert path.exists()
+
+    def test_complex_payload_round_trips(self, tmp_path):
+        path = tmp_path / "events.csv"
+        sink = CsvSink(path)
+        sink.emit(
+            WindowClosed(
+                block_id=1,
+                round_index=99,
+                time_s=0.0,
+                window_start_round=0,
+                n_rounds=100,
+                report=insufficient_report(),
+                quality=QualityReport(100, 0, 0, 0, 100),
+            )
+        )
+        sink.close()
+        text = path.read_text()
+        assert "WindowClosed" in text
+        assert "n_rounds=100" in text

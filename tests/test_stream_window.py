@@ -1,0 +1,138 @@
+"""Tests for the streaming ring-buffer grid (repro.stream.window)."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeseries import clean_observations
+from repro.stream.window import RoundWindow
+
+ROUND = 660.0
+
+
+class TestObserve:
+    def test_single_observation(self):
+        ring = RoundWindow(capacity=8)
+        ring.observe(3, 3 * ROUND, 0.7)
+        assert ring.value_at(3) == 0.7
+        assert np.isnan(ring.value_at(2))
+        assert ring.max_round == 3
+
+    def test_below_base_rejected(self):
+        ring = RoundWindow(capacity=8, base=5)
+        with pytest.raises(ValueError, match="below the ring base"):
+            ring.observe(4, 0.0, 1.0)
+
+    def test_beyond_capacity_rejected(self):
+        ring = RoundWindow(capacity=8)
+        with pytest.raises(ValueError, match="beyond ring capacity"):
+            ring.observe(8, 0.0, 1.0)
+
+    def test_duplicate_most_recent_wins(self):
+        ring = RoundWindow(capacity=4)
+        ring.observe(1, 100.0, 0.2)
+        ring.observe(1, 50.0, 0.9)   # older timestamp: loses
+        assert ring.value_at(1) == 0.2
+        ring.observe(1, 150.0, 0.5)  # newer: wins
+        assert ring.value_at(1) == 0.5
+
+    def test_duplicate_same_timestamp_later_arrival_wins(self):
+        # Matches the batch path's stable sort by time: a tie is broken
+        # by arrival order, later arrival winning.
+        ring = RoundWindow(capacity=4)
+        ring.observe(1, 100.0, 0.2)
+        ring.observe(1, 100.0, 0.8)
+        assert ring.value_at(1) == 0.8
+
+    def test_duplicates_counted(self):
+        ring = RoundWindow(capacity=4)
+        ring.observe(2, 0.0, 0.1)
+        ring.observe(2, 1.0, 0.2)
+        ring.observe(2, 2.0, 0.3)
+        _, quality = ring.materialize(2, 1)
+        assert quality.n_duplicates == 2
+
+
+class TestAdvanceBase:
+    def test_evicts_old_rounds(self):
+        ring = RoundWindow(capacity=4)
+        for r in range(4):
+            ring.observe(r, r * ROUND, float(r))
+        ring.advance_base(2)
+        assert np.isnan(ring.value_at(0))
+        assert np.isnan(ring.value_at(1))
+        assert ring.value_at(2) == 2.0
+        # Slots freed by eviction accept new rounds.
+        ring.observe(4, 4 * ROUND, 4.0)
+        ring.observe(5, 5 * ROUND, 5.0)
+        assert ring.value_at(4) == 4.0
+        assert ring.value_at(5) == 5.0
+
+    def test_noop_backwards(self):
+        ring = RoundWindow(capacity=4, base=3)
+        ring.observe(3, 0.0, 1.0)
+        ring.advance_base(1)
+        assert ring.base == 3
+        assert ring.value_at(3) == 1.0
+
+    def test_far_jump_clears_everything(self):
+        ring = RoundWindow(capacity=4)
+        for r in range(4):
+            ring.observe(r, r * ROUND, 1.0)
+        ring.advance_base(100)
+        assert ring.base == 100
+        for r in range(100, 104):
+            assert np.isnan(ring.value_at(r))
+
+
+class TestMaterialize:
+    def test_matches_clean_observations(self):
+        """The ring's grid-and-fill must be bit-identical to the batch path."""
+        rng = np.random.default_rng(7)
+        n_rounds = 40
+        times = np.arange(n_rounds) * ROUND
+        values = rng.random(n_rounds)
+        keep = rng.random(n_rounds) > 0.3
+        obs_t, obs_v = times[keep], values[keep]
+        # Add duplicates with differing timestamps inside the rounds.
+        dup_t = obs_t[:5] + 10.0
+        dup_v = obs_v[:5] + 0.01
+        all_t = np.concatenate([obs_t, dup_t])
+        all_v = np.concatenate([obs_v, dup_v])
+
+        ring = RoundWindow(capacity=n_rounds)
+        for t, v in zip(all_t, all_v):
+            ring.observe(int(round(t / ROUND)), t, v)
+
+        for policy in ("hold", "interp", "nan"):
+            got, got_q = ring.materialize(0, n_rounds, policy=policy)
+            want, want_q = clean_observations(
+                all_t, all_v, ROUND, 0.0, n_rounds, policy=policy
+            )
+            np.testing.assert_array_equal(got, want)
+            assert got_q == want_q
+
+    def test_all_missing_window(self):
+        ring = RoundWindow(capacity=10)
+        filled, quality = ring.materialize(0, 10)
+        assert np.isnan(filled).all()
+        assert quality.n_observed == 0
+        assert quality.n_filled == 0
+        assert quality.longest_gap == 10
+
+    def test_window_outside_retained_rejected(self):
+        ring = RoundWindow(capacity=8, base=4)
+        with pytest.raises(ValueError, match="outside retained"):
+            ring.materialize(0, 4)
+        with pytest.raises(ValueError, match="outside retained"):
+            ring.materialize(8, 8)
+
+    def test_max_gap_respected(self):
+        ring = RoundWindow(capacity=10)
+        ring.observe(0, 0.0, 1.0)
+        ring.observe(9, 9 * ROUND, 1.0)
+        filled, quality = ring.materialize(0, 10, policy="hold", max_gap=3)
+        # hold fills at most max_gap rounds of a longer gap (same as
+        # fill_gaps on the batch path): 3 filled, the rest stay NaN.
+        np.testing.assert_array_equal(filled[1:4], [1.0, 1.0, 1.0])
+        assert np.isnan(filled[4:9]).all()
+        assert quality.n_filled == 3

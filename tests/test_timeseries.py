@@ -380,3 +380,115 @@ class TestLongestNanRun:
         from repro.core.timeseries import longest_nan_run
 
         assert longest_nan_run(np.full(4, np.nan)) == 4
+
+
+class TestTrimToMidnightEdges:
+    """Satellite coverage: degenerate inputs for the midnight trimmer."""
+
+    def test_empty_series(self):
+        sl = trim_to_midnight(np.array([]), ROUND)
+        assert (sl.start, sl.stop) == (0, 0)
+
+    def test_single_sample(self):
+        sl = trim_to_midnight(np.array([3 * 3600.0]), ROUND)
+        assert (sl.start, sl.stop) == (0, 1)
+
+    def test_window_under_one_day_returned_whole(self):
+        # Half a day contains at most one midnight: nothing to trim to.
+        n = int(0.5 * DAY / ROUND)
+        times = 6 * 3600.0 + np.arange(n) * ROUND
+        sl = trim_to_midnight(times, ROUND)
+        assert (sl.start, sl.stop) == (0, n)
+
+    def test_trailing_partial_day_dropped(self):
+        # 2 whole days plus a 7-hour tail: the tail must be cut, keeping
+        # the span a whole number of days.
+        n_full = int(2 * DAY / ROUND)
+        n_tail = int(7 * 3600 / ROUND)
+        times = np.arange(n_full + n_tail) * ROUND
+        sl = trim_to_midnight(times, ROUND)
+        assert sl.start == 0
+        assert abs(times[sl.stop - 1] - 2 * DAY) <= ROUND / 2 + 1e-9
+        span_days = (times[sl.stop - 1] - times[sl.start]) / DAY
+        assert abs(span_days - round(span_days)) < ROUND / DAY
+
+    def test_exactly_one_day(self):
+        # Rounds 0..131: round 131 (at 86460 s) is the closest to the
+        # second midnight, within half a round.
+        n = int(DAY / ROUND) + 2
+        times = np.arange(n) * ROUND
+        sl = trim_to_midnight(times, ROUND)
+        assert sl.start == 0
+        assert abs(times[sl.stop - 1] - DAY) <= ROUND / 2 + 1e-9
+
+
+class TestLongestNanRunEdges:
+    """Satellite coverage: degenerate inputs for the gap scanner."""
+
+    def test_empty_array(self):
+        from repro.core.timeseries import longest_nan_run
+
+        assert longest_nan_run(np.array([])) == 0
+
+    def test_single_nan(self):
+        from repro.core.timeseries import longest_nan_run
+
+        assert longest_nan_run(np.array([np.nan])) == 1
+
+    def test_leading_and_trailing_runs(self):
+        from repro.core.timeseries import longest_nan_run
+
+        values = np.array([np.nan, np.nan, 1.0, np.nan, np.nan, np.nan])
+        assert longest_nan_run(values) == 3
+
+    def test_alternating(self):
+        from repro.core.timeseries import longest_nan_run
+
+        values = np.array([np.nan, 1.0, np.nan, 1.0, np.nan])
+        assert longest_nan_run(values) == 1
+
+
+class TestRoundIndex:
+    """The shared grid-snapping rule (batch gridder and streaming engine)."""
+
+    def test_exact_times(self):
+        from repro.core.timeseries import round_index
+
+        times = np.arange(5) * ROUND
+        np.testing.assert_array_equal(round_index(times, ROUND), np.arange(5))
+
+    def test_nearest_round_snapping(self):
+        from repro.core.timeseries import round_index
+
+        times = np.array([ROUND * 0.49, ROUND * 0.51, ROUND * 1.49])
+        np.testing.assert_array_equal(round_index(times, ROUND), [0, 1, 1])
+
+    def test_start_offset(self):
+        from repro.core.timeseries import round_index
+
+        start = 12345.0
+        times = start + np.arange(3) * ROUND
+        np.testing.assert_array_equal(
+            round_index(times, ROUND, start_s=start), [0, 1, 2]
+        )
+
+    def test_negative_rounds_before_origin(self):
+        from repro.core.timeseries import round_index
+
+        assert round_index(np.array([-ROUND]), ROUND)[0] == -1
+
+    def test_bad_round_s_rejected(self):
+        from repro.core.timeseries import round_index
+
+        with pytest.raises(ValueError):
+            round_index(np.array([0.0]), 0.0)
+
+    def test_matches_grid_placement(self):
+        from repro.core.timeseries import round_index
+
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 50 * ROUND, 30))
+        idx = round_index(times, ROUND)
+        grid, _ = observations_to_grid(times, np.ones(30), ROUND, 0.0, 51)
+        observed = np.flatnonzero(~np.isnan(grid))
+        np.testing.assert_array_equal(observed, np.unique(idx))
