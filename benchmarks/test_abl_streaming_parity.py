@@ -15,12 +15,14 @@ naive full reclassification every round.
 """
 
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.classify import classify_series, reports_equal
 from repro.faults import FaultConfig
 from repro.faults.plan import FaultPlan
+from repro.obs import MetricsRegistry, write_json_snapshot
 from repro.stream import (
     ListSink,
     StreamConfig,
@@ -28,6 +30,8 @@ from repro.stream import (
     WindowClosed,
     batch_window_report,
 )
+
+RESULTS_DIR = Path(__file__).parent / "results"
 
 N_BLOCKS = 12
 N_DAYS = 10
@@ -73,12 +77,12 @@ def degrade(streams):
     }
 
 
-def parity_tally(streams, config):
+def parity_tally(streams, config, metrics=None):
     """(windows closed, windows whose report+quality match the oracle)."""
     n_windows = n_equal = 0
     for block, (times, values) in streams.items():
         sink = ListSink()
-        engine = StreamEngine(config, sinks=[sink])
+        engine = StreamEngine(config, sinks=[sink], metrics=metrics)
         engine.ingest_many(block, times, values)
         engine.flush()
         for event in sink.of_type(WindowClosed):
@@ -124,17 +128,25 @@ def run_ablation():
     clean = population()
     faulted = degrade(clean)
 
-    clean_tally = parity_tally(clean, config)
-    faulted_tally = parity_tally(faulted, config)
+    # One registry across every engine run: the exported snapshot is the
+    # campaign-level telemetry CI uploads as an artifact.
+    registry = MetricsRegistry()
+    clean_tally = parity_tally(clean, config, metrics=registry)
+    faulted_tally = parity_tally(faulted, config, metrics=registry)
     costs = per_round_costs(config, *clean[0])
-    return clean_tally, faulted_tally, costs
+    return clean_tally, faulted_tally, costs, registry
 
 
 def test_abl_streaming_parity(benchmark, record_output):
-    clean_tally, faulted_tally, costs = benchmark.pedantic(
+    clean_tally, faulted_tally, costs, registry = benchmark.pedantic(
         run_ablation, rounds=1, iterations=1
     )
     stream_us, rfft_us, reclass_us = costs
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_json_snapshot(
+        RESULTS_DIR / "abl_streaming_parity_metrics.json", registry
+    )
 
     lines = [f"{'streams':>10}{'windows':>9}{'parity':>9}"]
     for name, (n_windows, n_equal) in (

@@ -16,6 +16,7 @@ label rather than running an FFT over manufactured fill values.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING
@@ -33,6 +34,7 @@ from repro.core.spectral import (
     diurnal_candidates,
     harmonic_bins,
 )
+from repro.obs.registry import NULL_REGISTRY
 
 __all__ = [
     "ClassifierConfig",
@@ -45,6 +47,7 @@ __all__ = [
     "decide_label",
     "insufficient_report",
     "reports_equal",
+    "set_metrics",
 ]
 
 
@@ -69,6 +72,61 @@ class DiurnalClass(Enum):
     def is_classified(self) -> bool:
         """False only for the insufficient-data refusal verdict."""
         return self is not DiurnalClass.INSUFFICIENT
+
+
+class _Instruments:
+    """Pre-bound classification metrics (null registry by default).
+
+    Bound once per :func:`set_metrics` call so the per-classification
+    cost is a dict lookup and a no-op (or locked) increment — never a
+    registry lookup on the hot path.
+    """
+
+    __slots__ = (
+        "enabled",
+        "verdicts",
+        "gate_trips",
+        "nan_refusals",
+        "fft_seconds",
+        "fft_batch_seconds",
+    )
+
+    # FFT windows run tens of microseconds to tens of milliseconds.
+    _FFT_BUCKETS = (
+        1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+        1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.1,
+    )
+
+    def __init__(self, registry) -> None:
+        self.enabled = registry.enabled
+        self.verdicts = {
+            label: registry.counter(
+                "classify_verdicts_total", label=label.value
+            )
+            for label in DiurnalClass
+        }
+        self.gate_trips = registry.counter("classify_quality_gate_trips_total")
+        self.nan_refusals = registry.counter("classify_nan_refusals_total")
+        self.fft_seconds = registry.histogram(
+            "classify_fft_seconds", buckets=self._FFT_BUCKETS, path="single"
+        )
+        self.fft_batch_seconds = registry.histogram(
+            "classify_fft_seconds", buckets=self._FFT_BUCKETS, path="batch"
+        )
+
+
+_obs = _Instruments(NULL_REGISTRY)
+
+
+def set_metrics(registry) -> None:
+    """Point this module's verdict/gate/FFT metrics at ``registry``.
+
+    Pass ``None`` (or :data:`repro.obs.registry.NULL_REGISTRY`) to turn
+    instrumentation back off.  Usually called through
+    :func:`repro.obs.install_metrics`.
+    """
+    global _obs
+    _obs = _Instruments(registry if registry is not None else NULL_REGISTRY)
 
 
 @dataclass(frozen=True)
@@ -267,6 +325,7 @@ def classify_spectrum(
         config=config,
     )
 
+    _obs.verdicts[label].inc()
     return DiurnalReport(
         label=label,
         diurnal_k=k_best,
@@ -299,11 +358,21 @@ def classify_series(
         max_gap_fraction=config.max_gap_fraction,
         max_longest_gap=config.max_longest_gap,
     ):
+        _obs.gate_trips.inc()
+        _obs.verdicts[DiurnalClass.INSUFFICIENT].inc()
         return insufficient_report()
     values = np.asarray(values, dtype=np.float64)
     if np.isnan(values).any():
+        _obs.nan_refusals.inc()
+        _obs.verdicts[DiurnalClass.INSUFFICIENT].inc()
         return insufficient_report()
-    return classify_spectrum(compute_spectrum(values, round_s), config)
+    if _obs.enabled:
+        t0 = time.perf_counter()
+        spectrum = compute_spectrum(values, round_s)
+        _obs.fft_seconds.observe(time.perf_counter() - t0)
+    else:
+        spectrum = compute_spectrum(values, round_s)
+    return classify_spectrum(spectrum, config)
 
 
 @dataclass
@@ -377,7 +446,12 @@ def classify_many(
         # Zero out degraded rows so the batched FFT stays finite; their
         # labels are overridden below.
         matrix = np.where(nan_rows[:, None], 0.0, matrix)
-    spectra = compute_spectra(matrix, round_s)
+    if _obs.enabled:
+        t0 = time.perf_counter()
+        spectra = compute_spectra(matrix, round_s)
+        _obs.fft_batch_seconds.observe(time.perf_counter() - t0)
+    else:
+        spectra = compute_spectra(matrix, round_s)
     coeff = spectra.coefficients
     amps = np.abs(coeff)
     n_blocks, n_bins = amps.shape
@@ -418,6 +492,15 @@ def classify_many(
         labels[nan_rows] = -1
         phases = phases.copy()
         phases[nan_rows] = np.nan
+
+    if _obs.enabled:
+        for label, code in DiurnalBatch.LABEL_CODES.items():
+            n = int((labels == code).sum())
+            if n:
+                _obs.verdicts[label].inc(n)
+        n_nan = int(nan_rows.sum())
+        if n_nan:
+            _obs.nan_refusals.inc(n_nan)
 
     return DiurnalBatch(
         labels=labels,

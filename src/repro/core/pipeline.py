@@ -23,7 +23,8 @@ Two robustness layers sit on top of the per-block path:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Union
 
@@ -42,6 +43,9 @@ from repro.core.timeseries import (
     trim_to_midnight,
 )
 from repro.net.blocks import Block24, ResponseOracle
+from repro.obs.export import RunManifest
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.tracing import NULL_TRACER
 from repro.probing.prober import AdaptiveProber, ProberConfig
 from repro.probing.rounds import RoundSchedule, probes_per_hour
 
@@ -452,10 +456,16 @@ class BatchConfig:
 
 @dataclass
 class BatchResult:
-    """Index-aligned outcomes of one batch run."""
+    """Index-aligned outcomes of one batch run.
+
+    ``manifest`` is the run's telemetry record (seeds, fault plan,
+    quality gates, stage timings, metric snapshot); it is attached by
+    :class:`BatchRunner` and ``None`` for results built by hand.
+    """
 
     results: list[Union[BlockMeasurement, BlockFailure]]
     n_resumed: int = 0
+    manifest: "RunManifest | None" = None
 
     @property
     def n_blocks(self) -> int:
@@ -505,6 +515,42 @@ class BatchResult:
         return n_fed
 
 
+class _RunnerMetrics:
+    """Pre-bound batch-runner metrics (null registry by default)."""
+
+    __slots__ = ("enabled", "measured", "skipped", "failed", "attempts",
+                 "retries", "resumed", "checkpoints", "checkpoint_seconds",
+                 "block_seconds")
+
+    # Checkpoint writes run milliseconds to tens of seconds; per-block
+    # measurement runs milliseconds to seconds.
+    _CHECKPOINT_BUCKETS = (
+        0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+    )
+    _BLOCK_BUCKETS = (
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+        2.5, 5.0, 15.0,
+    )
+
+    def __init__(self, registry) -> None:
+        self.enabled = registry.enabled
+        self.measured = registry.counter("batch_blocks_total",
+                                         outcome="measured")
+        self.skipped = registry.counter("batch_blocks_total",
+                                        outcome="skipped")
+        self.failed = registry.counter("batch_blocks_total", outcome="failed")
+        self.attempts = registry.counter("batch_attempts_total")
+        self.retries = registry.counter("batch_retries_total")
+        self.resumed = registry.counter("batch_blocks_resumed_total")
+        self.checkpoints = registry.counter("batch_checkpoints_total")
+        self.checkpoint_seconds = registry.histogram(
+            "batch_checkpoint_seconds", buckets=self._CHECKPOINT_BUCKETS
+        )
+        self.block_seconds = registry.histogram(
+            "batch_block_seconds", buckets=self._BLOCK_BUCKETS
+        )
+
+
 class BatchRunner:
     """Hardened batch measurement: isolation, retry, checkpoint, resume.
 
@@ -515,10 +561,23 @@ class BatchRunner:
     bit-identical to an uninterrupted one, and a retry draws a fresh
     substream spawned from the same child (deterministic but independent
     of the failed attempt).
+
+    ``metrics``/``tracer`` attach a :class:`repro.obs.MetricsRegistry` /
+    :class:`repro.obs.Tracer`; the defaults are the no-op null
+    implementations.  Instrumentation never touches the RNG derivation
+    or the measurement path, so instrumented runs stay bit-identical.
     """
 
-    def __init__(self, config: BatchConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: BatchConfig | None = None,
+        metrics=None,
+        tracer=None,
+    ) -> None:
         self.config = config or BatchConfig()
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._m = _RunnerMetrics(self.metrics)
 
     def run(
         self,
@@ -526,12 +585,25 @@ class BatchRunner:
         schedule: RoundSchedule,
         seed: int = 0,
     ) -> BatchResult:
+        with self.tracer.trace("batch.run", n_blocks=len(blocks), seed=seed):
+            result = self._run(blocks, schedule, seed)
+        result.manifest = self._manifest(seed, len(blocks))
+        return result
+
+    def _run(
+        self,
+        blocks: list[Block24],
+        schedule: RoundSchedule,
+        seed: int,
+    ) -> BatchResult:
         config = self.config
         children = np.random.SeedSequence(seed).spawn(len(blocks))
         fault_plan = self._fault_plan()
 
         completed = self._load_checkpoint(schedule, seed, len(blocks))
         n_resumed = len(completed)
+        if n_resumed:
+            self._m.resumed.inc(n_resumed)
         pending_since_flush = 0
 
         for index, (block, child) in enumerate(zip(blocks, children)):
@@ -540,6 +612,7 @@ class BatchRunner:
             completed[index] = self._measure_one(
                 block, index, schedule, child, fault_plan
             )
+            self._count_outcome(completed[index])
             pending_since_flush += 1
             if (
                 config.checkpoint_path is not None
@@ -554,12 +627,45 @@ class BatchRunner:
         results = [completed[i] for i in range(len(blocks))]
         return BatchResult(results=results, n_resumed=n_resumed)
 
+    def _count_outcome(
+        self, outcome: Union[BlockMeasurement, BlockFailure]
+    ) -> None:
+        if isinstance(outcome, BlockFailure):
+            self._m.failed.inc()
+        elif outcome.skipped:
+            self._m.skipped.inc()
+        else:
+            self._m.measured.inc()
+
+    def _manifest(self, seed: int, n_blocks: int) -> RunManifest:
+        fault_plan = self._fault_plan()
+        return RunManifest.capture(
+            kind="batch",
+            registry=self.metrics,
+            tracer=self.tracer,
+            seed=seed,
+            n_blocks=n_blocks,
+            fault_plan=(
+                fault_plan.describe()
+                if fault_plan is not None
+                else "clean (no faults)"
+            ),
+            quality_gates=asdict(self.config.measurement.classifier),
+            max_retries=self.config.max_retries,
+            checkpoint_path=(
+                str(self.config.checkpoint_path)
+                if self.config.checkpoint_path is not None
+                else None
+            ),
+            fill_policy=self.config.measurement.fill_policy,
+        )
+
     def _fault_plan(self) -> "FaultPlan | None":
         if self.config.faults is None or self.config.faults.is_clean:
             return None
         from repro.faults.plan import FaultPlan
 
-        return FaultPlan(self.config.faults)
+        return FaultPlan(self.config.faults, metrics=self.metrics)
 
     def _measure_one(
         self,
@@ -579,14 +685,23 @@ class BatchRunner:
             stream = child if attempt == 0 else child.spawn(1)[0]
             rng = np.random.default_rng(stream)
             attempts += 1
+            self._m.attempts.inc()
+            if attempt > 0:
+                self._m.retries.inc()
             try:
-                return measure_block(
-                    block,
-                    schedule,
-                    rng,
-                    config.measurement,
-                    faults=plan,
-                )
+                with self.tracer.trace(
+                    "batch.measure_block", index=index, attempt=attempt
+                ):
+                    t0 = time.perf_counter()
+                    result = measure_block(
+                        block,
+                        schedule,
+                        rng,
+                        config.measurement,
+                        faults=plan,
+                    )
+                    self._m.block_seconds.observe(time.perf_counter() - t0)
+                return result
             except Exception as error:  # noqa: BLE001 — isolation boundary
                 last_error = error
                 if config.fail_fast:
@@ -637,12 +752,16 @@ class BatchRunner:
     ) -> None:
         from repro.datasets.io import save_batch_checkpoint
 
-        save_batch_checkpoint(
-            self.config.checkpoint_path,
-            completed,
-            schedule,
-            meta={"seed": seed, "n_blocks": n_blocks},
-        )
+        with self.tracer.trace("batch.checkpoint", n_entries=len(completed)):
+            t0 = time.perf_counter()
+            save_batch_checkpoint(
+                self.config.checkpoint_path,
+                completed,
+                schedule,
+                meta={"seed": seed, "n_blocks": n_blocks},
+            )
+            self._m.checkpoint_seconds.observe(time.perf_counter() - t0)
+        self._m.checkpoints.inc()
 
 
 def measure_blocks(

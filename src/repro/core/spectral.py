@@ -55,7 +55,9 @@ class Spectrum:
         # numpy indexing; refuse anything outside the one-sided spectrum.
         if not 0 <= k < self.n_bins:
             raise ValueError(
-                f"bin {k} out of range for a {self.n_bins}-bin spectrum"
+                f"bin {k} out of range: valid bins are 0..{self.n_bins - 1} "
+                f"for this {self.n_bins}-bin one-sided spectrum "
+                f"({self.n_samples} samples)"
             )
 
     def phase(self, k: int) -> float:

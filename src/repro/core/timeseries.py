@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.registry import NULL_REGISTRY
+
 __all__ = [
     "CleanStats",
     "FILL_POLICIES",
@@ -33,6 +35,7 @@ __all__ = [
     "longest_nan_run",
     "observations_to_grid",
     "round_index",
+    "set_metrics",
     "trim_to_midnight",
 ]
 
@@ -103,6 +106,49 @@ class QualityReport:
         if max_longest_gap is not None and self.longest_gap > max_longest_gap:
             return False
         return True
+
+
+class _Instruments:
+    """Pre-bound cleaning metrics (null registry by default)."""
+
+    __slots__ = ("enabled", "cleanings", "observed", "filled", "missing",
+                 "duplicates")
+
+    def __init__(self, registry) -> None:
+        self.enabled = registry.enabled
+        self.cleanings = registry.counter("timeseries_cleanings_total")
+        self.observed = registry.counter("timeseries_rounds_observed_total")
+        self.filled = registry.counter("timeseries_rounds_filled_total")
+        self.missing = registry.counter("timeseries_rounds_missing_total")
+        self.duplicates = registry.counter(
+            "timeseries_duplicate_observations_total"
+        )
+
+
+_obs = _Instruments(NULL_REGISTRY)
+
+
+def set_metrics(registry) -> None:
+    """Point this module's cleaning metrics at ``registry``.
+
+    Pass ``None`` to turn instrumentation back off.  Usually called
+    through :func:`repro.obs.install_metrics`.
+    """
+    global _obs
+    _obs = _Instruments(registry if registry is not None else NULL_REGISTRY)
+
+
+def _record_cleaning(report: "QualityReport") -> None:
+    """Tally one cleaning pass into the module metrics."""
+    _obs.cleanings.inc()
+    if report.n_observed:
+        _obs.observed.inc(report.n_observed)
+    if report.n_filled:
+        _obs.filled.inc(report.n_filled)
+    if report.n_missing:
+        _obs.missing.inc(report.n_missing)
+    if report.n_duplicates:
+        _obs.duplicates.inc(report.n_duplicates)
 
 
 def longest_nan_run(values: np.ndarray) -> int:
@@ -316,6 +362,7 @@ def clean_observations(
             n_filled=0,
             longest_gap=n_rounds,
         )
+        _record_cleaning(report)
         return np.full(n_rounds, np.nan), report
     grid, stats = observations_to_grid(
         obs_times, obs_values, round_s, start_s, n_rounds
@@ -330,6 +377,7 @@ def clean_observations(
             n_filled=0,
             longest_gap=longest,
         )
+        _record_cleaning(report)
         return grid, report
     filled, n_filled = fill_gaps(grid, policy=policy, max_gap=max_gap)
     report = QualityReport(
@@ -339,6 +387,7 @@ def clean_observations(
         n_filled=n_filled,
         longest_gap=longest,
     )
+    _record_cleaning(report)
     return filled, report
 
 

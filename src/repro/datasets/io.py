@@ -8,6 +8,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.registry import NULL_REGISTRY
 from repro.probing.rounds import RoundSchedule
 from repro.simulation.fastsim import FastMeasurement
 from repro.simulation.internet import InternetWorld
@@ -21,8 +22,42 @@ __all__ = [
     "save_batch_checkpoint",
     "save_measurement",
     "save_world_arrays",
+    "set_metrics",
     "write_csv",
 ]
+
+
+class _Instruments:
+    """Pre-bound persistence metrics (null registry by default)."""
+
+    __slots__ = ("enabled", "saves", "loads", "entries_saved",
+                 "entries_loaded", "checkpoint_bytes", "replayed")
+
+    def __init__(self, registry) -> None:
+        self.enabled = registry.enabled
+        self.saves = registry.counter("io_checkpoint_saves_total")
+        self.loads = registry.counter("io_checkpoint_loads_total")
+        self.entries_saved = registry.counter(
+            "io_checkpoint_entries_saved_total"
+        )
+        self.entries_loaded = registry.counter(
+            "io_checkpoint_entries_loaded_total"
+        )
+        self.checkpoint_bytes = registry.gauge("io_checkpoint_bytes")
+        self.replayed = registry.counter("io_replayed_observations_total")
+
+
+_obs = _Instruments(NULL_REGISTRY)
+
+
+def set_metrics(registry) -> None:
+    """Point this module's persistence metrics at ``registry``.
+
+    Pass ``None`` to turn instrumentation back off.  Usually called
+    through :func:`repro.obs.install_metrics`.
+    """
+    global _obs
+    _obs = _Instruments(registry if registry is not None else NULL_REGISTRY)
 
 
 def save_measurement(path: str | Path, measurement: FastMeasurement) -> Path:
@@ -296,6 +331,10 @@ def save_batch_checkpoint(
     with open(tmp, "wb") as handle:
         np.savez_compressed(handle, **arrays)
     os.replace(tmp, path)
+    _obs.saves.inc()
+    _obs.entries_saved.inc(len(entries))
+    if _obs.enabled:
+        _obs.checkpoint_bytes.set(path.stat().st_size)
     return path
 
 
@@ -349,6 +388,8 @@ def load_batch_checkpoint(path: str | Path):
                     message=str(message),
                     attempts=int(ints[2]),
                 )
+    _obs.loads.inc()
+    _obs.entries_loaded.inc(len(entries))
     return entries, schedule, {"seed": seed, "n_blocks": n_blocks}
 
 
@@ -385,10 +426,12 @@ def iter_observation_stream(
     if interleave:
         for r in range(schedule.n_rounds):
             for block_id, times, values in streams:
+                _obs.replayed.inc()
                 yield block_id, float(times[r]), float(values[r])
     else:
         for block_id, times, values in streams:
             for t, v in zip(times, values):
+                _obs.replayed.inc()
                 yield block_id, float(t), float(v)
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faults.oracle import LossyOracle
+from repro.obs.registry import NULL_REGISTRY
 from repro.probing.rounds import RoundSchedule
 
 __all__ = [
@@ -69,7 +70,15 @@ class ObservationStream:
 
 
 class FaultInjector:
-    """Base injector: all hooks are identity transforms."""
+    """Base injector: all hooks are identity transforms.
+
+    ``metrics`` is the injected-event registry; the owning
+    :class:`~repro.faults.plan.FaultPlan` replaces the null default so
+    injectors that generate faults outside the observation stream (probe
+    loss inside the oracle) can still count them.
+    """
+
+    metrics = NULL_REGISTRY
 
     def wrap_oracle(self, oracle, rng: np.random.Generator):
         return oracle
@@ -98,7 +107,14 @@ class ProbeLossInjector(FaultInjector):
         self.loss_rate = loss_rate
 
     def wrap_oracle(self, oracle, rng: np.random.Generator):
-        return LossyOracle(oracle, self.loss_rate, rng)
+        return LossyOracle(
+            oracle,
+            self.loss_rate,
+            rng,
+            counter=self.metrics.counter(
+                "faults_probe_losses_total", injector=type(self).__name__
+            ),
+        )
 
     def describe(self) -> str:
         return f"ProbeLoss({self.loss_rate:.1%})"

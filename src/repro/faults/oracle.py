@@ -29,12 +29,17 @@ class LossyOracle:
         oracle: ResponseOracle,
         loss_rate: float,
         rng: np.random.Generator,
+        counter=None,
     ) -> None:
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
         self._oracle = oracle
         self.loss_rate = loss_rate
         self._rng = rng
+        # Optional injected-event counter (anything with ``inc``); the
+        # RNG is consumed identically whether or not losses are counted.
+        self._counter = counter
+        self.n_lost = 0
 
     @property
     def block_id(self) -> int:
@@ -59,12 +64,20 @@ class LossyOracle:
     def probe(self, host: int, round_idx: int) -> bool:
         response = self._oracle.probe(host, round_idx)
         if response and self._rng.random() < self.loss_rate:
+            self.n_lost += 1
+            if self._counter is not None:
+                self._counter.inc()
             return False
         return response
 
     def probe_many(self, hosts: np.ndarray, round_idx: int) -> np.ndarray:
         responses = np.array(self._oracle.probe_many(hosts, round_idx))
         lost = self._rng.random(len(responses)) < self.loss_rate
+        n_lost = int((responses & lost).sum())
+        if n_lost:
+            self.n_lost += n_lost
+            if self._counter is not None:
+                self._counter.inc(n_lost)
         return responses & ~lost
 
     def true_availability(self) -> np.ndarray:

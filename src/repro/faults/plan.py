@@ -27,6 +27,7 @@ from repro.faults.injectors import (
     RoundDropInjector,
     RoundDuplicateInjector,
 )
+from repro.obs.registry import NULL_REGISTRY
 from repro.probing.rounds import RoundSchedule
 
 __all__ = ["FaultPlan"]
@@ -60,14 +61,28 @@ def _build_injectors(config: FaultConfig) -> list[FaultInjector]:
 
 
 class FaultPlan:
-    """One realized degradation scenario over one measurement."""
+    """One realized degradation scenario over one measurement.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`; null by default)
+    receives injected-event counters — observations removed/added per
+    injector, crash restarts, lost probe responses — so fault ablations
+    can assert that every injected fault was observed downstream.
+    Counting never consumes randomness: toggling metrics cannot change
+    the faults a seed produces.
+    """
 
     def __init__(
-        self, config: FaultConfig, entropy: tuple[int, ...] = ()
+        self,
+        config: FaultConfig,
+        entropy: tuple[int, ...] = (),
+        metrics=None,
     ) -> None:
         self.config = config
         self.entropy = tuple(int(e) for e in entropy)
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
         self.injectors = _build_injectors(config)
+        for injector in self.injectors:
+            injector.metrics = self.metrics
 
     @property
     def is_clean(self) -> bool:
@@ -75,7 +90,11 @@ class FaultPlan:
 
     def for_block(self, index: int) -> "FaultPlan":
         """Plan with an independent random substream for one block."""
-        return FaultPlan(self.config, entropy=(*self.entropy, int(index)))
+        return FaultPlan(
+            self.config,
+            entropy=(*self.entropy, int(index)),
+            metrics=self.metrics,
+        )
 
     def _rng(self, injector_idx: int, stream: int) -> np.random.Generator:
         return np.random.default_rng(
@@ -92,9 +111,15 @@ class FaultPlan:
         """Union of all unscheduled restart rounds."""
         rounds: list[np.ndarray] = []
         for i, injector in enumerate(self.injectors):
-            rounds.append(
-                injector.crash_rounds(schedule, self._rng(i, _CRASH_STREAM))
+            injected = injector.crash_rounds(
+                schedule, self._rng(i, _CRASH_STREAM)
             )
+            if len(injected):
+                self.metrics.counter(
+                    "faults_crash_restarts_total",
+                    injector=type(injector).__name__,
+                ).inc(len(injected))
+            rounds.append(injected)
         if not rounds:
             return np.zeros(0, dtype=np.int64)
         return np.unique(np.concatenate(rounds))
@@ -112,9 +137,21 @@ class FaultPlan:
             np.asarray(values, dtype=np.float64).copy(),
         )
         for i, injector in enumerate(self.injectors):
+            n_before = stream.n_observations
             stream = injector.corrupt_stream(
                 stream, round_s, self._rng(i, _STREAM_STREAM)
             )
+            delta = stream.n_observations - n_before
+            if delta < 0:
+                self.metrics.counter(
+                    "faults_observations_removed_total",
+                    injector=type(injector).__name__,
+                ).inc(-delta)
+            elif delta > 0:
+                self.metrics.counter(
+                    "faults_observations_added_total",
+                    injector=type(injector).__name__,
+                ).inc(delta)
         stream = stream.sorted()
         return stream.times, stream.values
 

@@ -1,0 +1,65 @@
+"""Observability: metrics, tracing, and run telemetry for the pipeline.
+
+``registry``
+    :class:`MetricsRegistry` — thread-safe counters, gauges,
+    fixed-bucket histograms, and EWMA rate meters (paper gain
+    conventions).  :data:`NULL_REGISTRY` is the allocation-free default
+    every hot path binds when observability is off.
+``tracing``
+    :class:`Tracer` — nested wall-time spans per pipeline stage
+    (``with tracer.trace("classify", block=...)``), with per-stage
+    aggregates; :data:`NULL_TRACER` is the no-op default.
+``export``
+    :func:`prometheus_text`, :func:`json_snapshot` /
+    :func:`write_json_snapshot`, and :class:`RunManifest` — the per-run
+    record of seeds, fault plans, quality gates, stage timings, and
+    final metrics.
+``instrument``
+    :func:`install_metrics` / :func:`uninstall_metrics` — process-wide
+    wiring of the module-level instruments in ``repro.core.classify``,
+    ``repro.core.timeseries``, and ``repro.datasets.io``.
+
+The contract instrumentation must honour everywhere: metrics and spans
+*observe* the pipeline, they never influence it — an instrumented run is
+bit-identical to an uninstrumented one (``tests/test_obs_parity.py``),
+and the null defaults keep uninstrumented hot paths free of locks and
+allocations (``benchmarks/test_abl_obs_overhead.py``).
+"""
+
+from repro.obs.export import (
+    RunManifest,
+    json_snapshot,
+    prometheus_text,
+    write_json_snapshot,
+)
+from repro.obs.instrument import install_metrics, uninstall_metrics
+from repro.obs.registry import (
+    Counter,
+    EwmaMeter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "EwmaMeter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "install_metrics",
+    "json_snapshot",
+    "prometheus_text",
+    "uninstall_metrics",
+    "write_json_snapshot",
+]

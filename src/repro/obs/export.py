@@ -1,0 +1,189 @@
+"""Exporters: Prometheus text, JSON snapshots, and per-run manifests.
+
+Three consumers, three formats:
+
+* :func:`prometheus_text` — the standard text exposition format, for
+  scraping a long-lived process (counters/gauges verbatim, histograms as
+  cumulative ``_bucket{le=...}`` series, meters as two derived gauges).
+* :func:`json_snapshot` / :func:`write_json_snapshot` — a plain-data
+  dump of every metric plus optional stage timings; CI uploads this as
+  an artifact so a regression's metrics are attached to the failing run.
+* :class:`RunManifest` — the "why did this run do what it did" record: a
+  batch or streaming campaign's seeds, fault plan, quality gates, stage
+  timings, and final metric values, serialized as JSON next to the
+  checkpoint it describes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.registry import (
+    Counter,
+    EwmaMeter,
+    Gauge,
+    Histogram,
+    render_labels,
+)
+
+__all__ = [
+    "RunManifest",
+    "json_snapshot",
+    "prometheus_text",
+    "write_json_snapshot",
+]
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    by_name: dict[str, list] = {}
+    for metric in registry.collect():
+        by_name.setdefault(metric.name, []).append(metric)
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        group = by_name[name]
+        kind = group[0].kind
+        if kind == "meter":
+            # Meters decompose into two gauges; emit them grouped.
+            for suffix, attr in (("rate_short", "rate_short"),
+                                 ("rate_long", "rate_long"),
+                                 ("updates_total", "count")):
+                sub = f"{name}_{suffix}"
+                lines.append(
+                    f"# TYPE {sub} "
+                    f"{'counter' if suffix == 'updates_total' else 'gauge'}"
+                )
+                for metric in group:
+                    labels = render_labels(metric.labels)
+                    lines.append(
+                        f"{sub}{labels} "
+                        f"{_format_value(getattr(metric, attr))}"
+                    )
+            continue
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in group:
+            labels = render_labels(metric.labels)
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{name}{labels} {_format_value(metric.value)}")
+            elif isinstance(metric, Histogram):
+                for edge, cumulative in metric.cumulative_buckets():
+                    le = dict(metric.labels)
+                    le["le"] = _format_value(edge)
+                    lines.append(
+                        f"{name}_bucket{render_labels(le)} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{labels} {_format_value(metric.sum)}"
+                )
+                lines.append(f"{name}_count{labels} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def json_snapshot(registry, tracer=None) -> dict:
+    """Plain-data snapshot of a registry (and optionally stage timings)."""
+    snap = {"metrics": registry.snapshot()}
+    if tracer is not None:
+        snap["stages"] = tracer.stage_timings()
+    return snap
+
+
+def write_json_snapshot(path, registry, tracer=None, indent: int = 2) -> Path:
+    """Serialize :func:`json_snapshot` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(json_snapshot(registry, tracer), indent=indent,
+                               sort_keys=True) + "\n")
+    return path
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to explain (and re-run) one campaign.
+
+    Attributes:
+        kind: what produced it (``"batch"``, ``"stream"``, free-form).
+        seed: the run's root seed (None when not applicable).
+        n_blocks: blocks the run covered.
+        fault_plan: human-readable fault scenario (``FaultPlan.describe``).
+        quality_gates: the classifier's refusal thresholds, as a dict.
+        stage_timings: per-stage wall-time aggregates from the tracer.
+        metrics: final registry snapshot.
+        extra: free-form additions (dataset name, git rev, ...).
+        created_unix: wall-clock creation time (``time.time()``).
+    """
+
+    kind: str
+    seed: int | None = None
+    n_blocks: int | None = None
+    fault_plan: str | None = None
+    quality_gates: dict = field(default_factory=dict)
+    stage_timings: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+    created_unix: float = 0.0
+
+    @classmethod
+    def capture(
+        cls,
+        kind: str,
+        registry=None,
+        tracer=None,
+        seed: int | None = None,
+        n_blocks: int | None = None,
+        fault_plan: str | None = None,
+        quality_gates: dict | None = None,
+        **extra,
+    ) -> "RunManifest":
+        """Snapshot the current registry/tracer state into a manifest."""
+        return cls(
+            kind=kind,
+            seed=seed,
+            n_blocks=n_blocks,
+            fault_plan=fault_plan,
+            quality_gates=dict(quality_gates or {}),
+            stage_timings=tracer.stage_timings() if tracer is not None else {},
+            metrics=registry.snapshot() if registry is not None else {},
+            extra=extra,
+            created_unix=time.time(),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "n_blocks": self.n_blocks,
+            "fault_plan": self.fault_plan,
+            "quality_gates": self.quality_gates,
+            "stage_timings": self.stage_timings,
+            "metrics": self.metrics,
+            "extra": self.extra,
+            "created_unix": self.created_unix,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "RunManifest":
+        data = json.loads(Path(path).read_text())
+        return cls(**data)

@@ -1,0 +1,37 @@
+"""Process-wide wiring of the core modules' module-level metrics.
+
+The pipeline's pure functions (``classify_series``, ``clean_observations``,
+checkpoint IO) cannot carry a registry parameter without threading it
+through every caller, so each of those modules keeps a module-level
+instrument bundle defaulting to the null registry.  :func:`install_metrics`
+points them all at a real registry in one call; :func:`uninstall_metrics`
+restores the free default.  Class-based entry points
+(:class:`~repro.core.pipeline.BatchRunner`,
+:class:`~repro.stream.engine.StreamEngine`) take their registry/tracer as
+constructor arguments instead and are unaffected by these globals.
+
+Imports of the instrumented modules happen lazily inside the functions —
+``repro.obs`` must stay importable from ``repro.core`` without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import NULL_REGISTRY
+
+__all__ = ["install_metrics", "uninstall_metrics"]
+
+
+def install_metrics(registry):
+    """Point every module-level instrument at ``registry``; returns it."""
+    from repro.core import classify, timeseries
+    from repro.datasets import io
+
+    classify.set_metrics(registry)
+    timeseries.set_metrics(registry)
+    io.set_metrics(registry)
+    return registry
+
+
+def uninstall_metrics() -> None:
+    """Restore the no-op default in every instrumented module."""
+    install_metrics(NULL_REGISTRY)

@@ -1,0 +1,404 @@
+"""Thread-safe, zero-dependency metrics primitives.
+
+The registry is the shared vocabulary every instrumented subsystem
+speaks: counters (monotone event tallies), gauges (set-anywhere levels),
+histograms (fixed bucket boundaries, Prometheus ``le`` semantics), and
+EWMA rate meters that reuse the paper's section 2.1 gain conventions
+(``alpha_short = 0.1``, ``alpha_long = 0.01``) so a metric's smoothed
+rate and the availability estimators age observations identically.
+
+Two registries exist:
+
+* :class:`MetricsRegistry` — the real thing.  Every metric carries one
+  lock; updates are exact under concurrency (hammered in
+  ``tests/test_obs_registry.py``).
+* :class:`NullRegistry` — the default everywhere.  Its factory methods
+  hand back shared no-op singletons, so an uninstrumented hot path pays
+  one attribute load and a no-op call per event — no locks, no
+  allocation, no branches in caller code.
+
+Instrumented code never checks "is observability on": it binds metric
+objects once (at construction) and calls ``inc``/``observe``
+unconditionally.  The registry chosen decides the cost.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "EwmaMeter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "render_labels",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Latency buckets (seconds) spanning sub-millisecond metric updates to
+# multi-second checkpoint writes; callers can override per histogram.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+# Paper section 2.1 gains, shared with repro.core.estimator.
+PAPER_ALPHA_SHORT = 0.1
+PAPER_ALPHA_LONG = 0.01
+
+
+def render_labels(labels: dict) -> str:
+    """Render a label set the Prometheus way: ``{a="x",b="y"}`` (sorted)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{v}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A level that can move both ways (queue depth, tracked blocks)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram with Prometheus ``le`` bucket semantics.
+
+    ``bounds`` are inclusive upper edges; an implicit ``+Inf`` bucket
+    catches the tail.  Per-bucket counts are stored non-cumulatively and
+    accumulated at export time, so ``observe`` is one bisect plus one
+    locked increment.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "_lock", "_counts", "_sum",
+                 "_count")
+
+    def __init__(
+        self, name: str, labels: dict, bounds: tuple[float, ...]
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        i = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``."""
+        with self._lock:
+            counts = list(self._counts)
+        edges = [*self.bounds, float("inf")]
+        total = 0
+        out = []
+        for edge, n in zip(edges, counts):
+            total += n
+            out.append((edge, total))
+        return out
+
+
+class EwmaMeter:
+    """EWMA-smoothed rate meter using the paper's estimator gains.
+
+    ``observe(value)`` feeds one per-interval sample (events this round,
+    µs this stage, ...); the meter keeps a fast view (``rate_short``,
+    gain 0.1) and a slow view (``rate_long``, gain 0.01), seeded from the
+    first sample exactly as section 2.1 seeds Â from the first estimate.
+    """
+
+    kind = "meter"
+    __slots__ = ("name", "labels", "alpha_short", "alpha_long", "_lock",
+                 "_short", "_long", "_count", "_last")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict,
+        alpha_short: float = PAPER_ALPHA_SHORT,
+        alpha_long: float = PAPER_ALPHA_LONG,
+    ) -> None:
+        for alpha in (alpha_short, alpha_long):
+            if not 0.0 < alpha <= 1.0:
+                raise ValueError(f"meter gain must be in (0, 1], got {alpha}")
+        self.name = name
+        self.labels = labels
+        self.alpha_short = alpha_short
+        self.alpha_long = alpha_long
+        self._lock = threading.Lock()
+        self._short = 0.0
+        self._long = 0.0
+        self._count = 0
+        self._last = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            if self._count == 0:
+                self._short = self._long = value
+            else:
+                a_s, a_l = self.alpha_short, self.alpha_long
+                self._short = a_s * value + (1.0 - a_s) * self._short
+                self._long = a_l * value + (1.0 - a_l) * self._long
+            self._last = value
+            self._count += 1
+
+    @property
+    def rate_short(self) -> float:
+        return self._short
+
+    @property
+    def rate_long(self) -> float:
+        return self._long
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def last(self) -> float:
+        return self._last
+
+
+class MetricsRegistry:
+    """Get-or-create home for metrics, keyed by ``(name, labels)``.
+
+    Creation is locked and idempotent: asking twice for the same name and
+    label set returns the same object, so call sites can bind eagerly or
+    lazily without coordination.  Re-registering a name as a different
+    metric kind (or a histogram with different bounds) is an error — one
+    name means one thing in an exposition.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple, object] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get(self, cls, name: str, labels: dict, *args):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        labels = {str(k): str(v) for k, v in labels.items()}
+        for key in labels:
+            if not _LABEL_RE.match(key):
+                raise ValueError(f"invalid label name {key!r}")
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if cls is Histogram and args and existing.bounds != tuple(
+                    float(b) for b in args[0]
+                ):
+                    raise ValueError(
+                        f"histogram {name!r} already registered with bounds "
+                        f"{existing.bounds}"
+                    )
+                return existing
+            kind = self._kinds.get(name)
+            if kind is not None and kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {kind}, "
+                    f"not {cls.kind}"
+                )
+            metric = cls(name, labels, *args)
+            self._metrics[key] = metric
+            self._kinds[name] = cls.kind
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets or DEFAULT_BUCKETS)
+
+    def meter(
+        self,
+        name: str,
+        alpha_short: float = PAPER_ALPHA_SHORT,
+        alpha_long: float = PAPER_ALPHA_LONG,
+        **labels,
+    ) -> EwmaMeter:
+        return self._get(EwmaMeter, name, labels, alpha_short, alpha_long)
+
+    def collect(self) -> list:
+        """All registered metrics, sorted by (name, labels)."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every metric (JSON-ready)."""
+        out: dict[str, dict] = {
+            "counters": {}, "gauges": {}, "histograms": {}, "meters": {},
+        }
+        for metric in self.collect():
+            key = metric.name + render_labels(metric.labels)
+            if isinstance(metric, Counter):
+                out["counters"][key] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][key] = metric.value
+            elif isinstance(metric, Histogram):
+                out["histograms"][key] = {
+                    "buckets": {
+                        ("+Inf" if edge == float("inf") else repr(edge)): n
+                        for edge, n in metric.cumulative_buckets()
+                    },
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+            elif isinstance(metric, EwmaMeter):
+                out["meters"][key] = {
+                    "count": metric.count,
+                    "last": metric.last,
+                    "rate_short": metric.rate_short,
+                    "rate_long": metric.rate_long,
+                }
+        return out
+
+
+class _NullMetric:
+    """One object, every interface, no behaviour."""
+
+    kind = "null"
+    name = ""
+    labels: dict = {}
+    bounds: tuple = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    last = 0.0
+    rate_short = 0.0
+    rate_long = 0.0
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_buckets(self) -> list:
+        return []
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Observability off: every factory returns the shared no-op metric."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, buckets=None, **labels) -> _NullMetric:
+        return _NULL_METRIC
+
+    def meter(self, name: str, alpha_short=PAPER_ALPHA_SHORT,
+              alpha_long=PAPER_ALPHA_LONG, **labels) -> _NullMetric:
+        return _NULL_METRIC
+
+    def collect(self) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "meters": {}}
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,179 @@
+"""Lightweight span tracing for pipeline stages.
+
+``with tracer.trace("classify", block=7):`` records the wall time of one
+stage as a :class:`Span`.  Spans nest: a span opened while another is
+active on the same thread becomes its child, so one batch run yields a
+tree (``batch.run`` → ``batch.block`` → ...).  The span stack is
+thread-local — concurrent runs interleave without mixing trees.
+
+Besides the tree (finished root spans, bounded by ``max_roots``), the
+tracer aggregates per-stage timing statistics; :meth:`Tracer.
+stage_timings` is what :class:`repro.obs.export.RunManifest` embeds.
+
+:class:`NullTracer` is the default everywhere: ``trace`` hands back a
+shared reusable no-op context manager, so untraced hot paths pay one
+call and no allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]
+
+
+@dataclass
+class Span:
+    """One timed stage: name, attributes, duration, children."""
+
+    name: str
+    attrs: dict
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    children: list = field(default_factory=list)
+
+    @property
+    def self_s(self) -> float:
+        """Time spent in this span minus its direct children."""
+        return self.duration_s - sum(c.duration_s for c in self.children)
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "duration_s": self.duration_s,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class _SpanContext:
+    """Context manager for one live span (one per trace() call)."""
+
+    __slots__ = ("_tracer", "span", "_t0")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._t0 = 0.0
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        self._t0 = time.perf_counter()
+        self.span.start_s = self._t0
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.duration_s = time.perf_counter() - self._t0
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Collects nested wall-time spans and per-stage aggregates."""
+
+    enabled = True
+
+    def __init__(self, max_roots: int = 1000) -> None:
+        if max_roots < 1:
+            raise ValueError("max_roots must be positive")
+        self.max_roots = max_roots
+        self.roots: list[Span] = []
+        self.n_dropped_roots = 0
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        # name -> [count, total_s, max_s]
+        self._stages: dict[str, list] = {}
+
+    def trace(self, name: str, **attrs) -> _SpanContext:
+        return _SpanContext(self, Span(name=name, attrs=attrs))
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Exits are LIFO by construction (context managers unwind in
+        # order), but a generator-held span could exit late; search from
+        # the top so the common case is O(1).
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is span:
+                del stack[i]
+                break
+        parent = stack[-1] if stack else None
+        with self._lock:
+            stats = self._stages.get(span.name)
+            if stats is None:
+                self._stages[span.name] = [1, span.duration_s, span.duration_s]
+            else:
+                stats[0] += 1
+                stats[1] += span.duration_s
+                stats[2] = max(stats[2], span.duration_s)
+            if parent is not None:
+                parent.children.append(span)
+            elif len(self.roots) < self.max_roots:
+                self.roots.append(span)
+            else:
+                self.n_dropped_roots += 1
+
+    def stage_timings(self) -> dict:
+        """Per-stage aggregates: count, total, mean, and max seconds."""
+        with self._lock:
+            return {
+                name: {
+                    "count": count,
+                    "total_s": total,
+                    "mean_s": total / count if count else 0.0,
+                    "max_s": peak,
+                }
+                for name, (count, total, peak) in sorted(self._stages.items())
+            }
+
+
+class _NullSpanContext:
+    """Reusable, stateless no-op span context."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Tracing off: one shared no-op context for every trace call."""
+
+    enabled = False
+    roots: list = []
+
+    def trace(self, name: str, **attrs) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def stage_timings(self) -> dict:
+        return {}
+
+
+NULL_TRACER = NullTracer()

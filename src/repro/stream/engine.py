@@ -31,9 +31,14 @@ so the streaming report is bit-identical to
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.obs.export import RunManifest
 
 from repro.core.classify import (
     ClassifierConfig,
@@ -52,6 +57,8 @@ from repro.core.timeseries import (
     clean_observations,
     round_index,
 )
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.tracing import NULL_TRACER
 from repro.probing.rounds import ROUND_SECONDS
 from repro.stream.events import (
     ClassificationTransition,
@@ -242,12 +249,69 @@ class _BlockState:
         self.n_observations = 0
 
 
-class StreamEngine:
-    """Consume per-round observations, maintain verdicts, emit events."""
+class _EngineMetrics:
+    """Pre-bound engine metrics; one attribute load + no-op call when off.
 
-    def __init__(self, config: StreamConfig, sinks=()) -> None:
+    Bucket bounds for close latency cover the observed range: a window
+    close is one materialize + one FFT classify, tens of microseconds to
+    a few milliseconds.
+    """
+
+    __slots__ = ("enabled", "ingested", "late", "frozen", "reseeds",
+                 "closes", "partial_closes", "transitions", "blocks",
+                 "close_seconds", "ingest_rate")
+
+    _CLOSE_BUCKETS = (
+        1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 5e-3, 2.5e-2, 0.1,
+    )
+
+    def __init__(self, registry) -> None:
+        self.enabled = registry.enabled
+        self.ingested = registry.counter("stream_observations_total")
+        self.late = registry.counter("stream_late_observations_total")
+        self.frozen = registry.counter("stream_rounds_frozen_total")
+        self.reseeds = registry.counter("stream_dft_reseeds_total")
+        self.closes = registry.counter(
+            "stream_window_closes_total", partial="false"
+        )
+        self.partial_closes = registry.counter(
+            "stream_window_closes_total", partial="true"
+        )
+        self.transitions = registry.counter("stream_label_transitions_total")
+        self.blocks = registry.gauge("stream_tracked_blocks")
+        self.close_seconds = registry.histogram(
+            "stream_close_seconds", buckets=self._CLOSE_BUCKETS
+        )
+        self.ingest_rate = registry.meter("stream_close_interval_observations")
+
+
+class StreamEngine:
+    """Consume per-round observations, maintain verdicts, emit events.
+
+    ``metrics``/``tracer`` attach a :class:`repro.obs.MetricsRegistry` /
+    :class:`repro.obs.Tracer`; by default the null implementations keep
+    every code path allocation-free.  Instrumentation is strictly
+    observational — verdicts, events, and state are bit-identical with
+    or without it (``tests/test_obs_parity.py``).
+    """
+
+    def __init__(
+        self, config: StreamConfig, sinks=(), metrics=None, tracer=None
+    ) -> None:
         self.config = config
         self.bus = EventBus(sinks)
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._m = _EngineMetrics(self.metrics)
+        self._since_close = 0
+        # Hot-path event tallies are plain ints, synced to the registry
+        # at close/flush boundaries — a locked counter increment per
+        # observation would dominate the ingest cost (see
+        # ``benchmarks/test_abl_obs_overhead.py``).  Totals are exact at
+        # every observation point (after ``flush`` or a window close).
+        self._pending_ingested = 0
+        self._pending_late = 0
+        self._pending_frozen = 0
         self._states: dict[int, _BlockState] = {}
         n = config.window_rounds
         n_bins = n // 2 + 1
@@ -277,6 +341,7 @@ class StreamEngine:
         r = int(round_index(time_s, self.config.round_s, self.config.start_s))
         if r < 0 or r <= state.watermark:
             state.n_late += 1
+            self._pending_late += 1
             self.bus.publish(
                 LateObservation(
                     block_id=block_id,
@@ -293,6 +358,8 @@ class StreamEngine:
             self._advance(state, block_id, r - self.config.lateness_rounds - 1)
         state.ring.observe(r, float(time_s), float(value))
         state.n_observations += 1
+        self._pending_ingested += 1
+        self._since_close += 1
         if r > state.max_round:
             state.max_round = r
             # The newest round itself stays open (a same-round duplicate
@@ -338,6 +405,7 @@ class StreamEngine:
             if close_partial and state.next_close_start <= state.max_round:
                 n_tail = state.max_round - state.next_close_start + 1
                 self._close_window(state, bid, n_tail, partial=True)
+        self._sync_counters()
 
     # -- accessors ---------------------------------------------------------
 
@@ -381,7 +449,45 @@ class StreamEngine:
             primed=state.trailing_missing == 0,
         )
 
+    def manifest(self, **extra) -> "RunManifest":
+        """Telemetry manifest for this engine's run so far.
+
+        Captures the quality gates, tracked-block count, stage timings
+        (when a tracer is attached), and the current metric values; pass
+        free-form keywords (dataset name, campaign id, ...) for the
+        ``extra`` section.
+        """
+        from dataclasses import asdict
+
+        from repro.obs.export import RunManifest
+
+        self._sync_counters()
+        return RunManifest.capture(
+            kind="stream",
+            registry=self.metrics,
+            tracer=self.tracer,
+            n_blocks=len(self._states),
+            quality_gates=asdict(self.config.classifier),
+            window_rounds=self.config.window_rounds,
+            hop_rounds=self.config.hop,
+            lateness_rounds=self.config.lateness_rounds,
+            fill_policy=self.config.fill_policy,
+            **extra,
+        )
+
     # -- internals ---------------------------------------------------------
+
+    def _sync_counters(self) -> None:
+        """Flush pending hot-path tallies into the metrics registry."""
+        if self._pending_ingested:
+            self._m.ingested.inc(self._pending_ingested)
+            self._pending_ingested = 0
+        if self._pending_late:
+            self._m.late.inc(self._pending_late)
+            self._pending_late = 0
+        if self._pending_frozen:
+            self._m.frozen.inc(self._pending_frozen)
+            self._pending_frozen = 0
 
     def _state(self, block_id: int) -> _BlockState:
         state = self._states.get(block_id)
@@ -390,6 +496,7 @@ class StreamEngine:
                 self._capacity, self.config.window_rounds, self._tracked
             )
             self._states[block_id] = state
+            self._m.blocks.inc()
         return state
 
     def _round_time(self, r: int) -> float:
@@ -430,11 +537,13 @@ class StreamEngine:
         )
         state.trailing_missing += int(entering_nan) - int(evicted_nan)
         state.n_frozen += 1
+        self._pending_frozen += 1
         if state.n_frozen % self._reseed_every == 0:
             order = np.arange(f - n + 1, f + 1) % n
             state.dft.reseed(
                 np.nan_to_num(state.filled_ring[order], nan=0.0)
             )
+            self._m.reseeds.inc()
         if state.trailing_missing == 0 and not entering_nan:
             self._phase_edge(state, block_id, f, filled)
 
@@ -465,6 +574,26 @@ class StreamEngine:
             )
 
     def _close_window(
+        self,
+        state: _BlockState,
+        block_id: int,
+        n_rounds: int,
+        partial: bool,
+    ) -> None:
+        if not (self._m.enabled or self.tracer.enabled):
+            self._close_window_impl(state, block_id, n_rounds, partial)
+            return
+        with self.tracer.trace(
+            "stream.close_window", block=block_id, partial=partial
+        ):
+            t0 = time.perf_counter()
+            self._close_window_impl(state, block_id, n_rounds, partial)
+            self._m.close_seconds.observe(time.perf_counter() - t0)
+        self._m.ingest_rate.observe(self._since_close)
+        self._since_close = 0
+        self._sync_counters()
+
+    def _close_window_impl(
         self,
         state: _BlockState,
         block_id: int,
@@ -504,6 +633,7 @@ class StreamEngine:
         )
         state.last_report = report
         state.n_closed += 1
+        (self._m.partial_closes if partial else self._m.closes).inc()
         self._quality_events(state, block_id, end_round, report, quality)
         self._hysteresis(state, block_id, end_round, report)
         state.next_close_start = (
@@ -564,6 +694,7 @@ class StreamEngine:
         label = report.label
 
         def publish(old: DiurnalClass | None, dwell: int) -> None:
+            self._m.transitions.inc()
             self.bus.publish(
                 ClassificationTransition(
                     block_id=block_id,

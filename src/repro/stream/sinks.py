@@ -25,13 +25,28 @@ __all__ = [
 
 
 class EventSink:
-    """Base sink: swallows everything.  Subclass and override ``emit``."""
+    """Base sink: swallows everything.  Subclass and override ``emit``.
+
+    Every sink is a context manager — ``with CsvSink(path) as sink:``
+    guarantees buffered output reaches disk even when the engine feeding
+    it raises; ``__exit__`` simply calls :meth:`close`.
+    """
 
     def emit(self, event: StreamEvent) -> None:
         pass
 
+    def flush(self) -> None:
+        pass
+
     def close(self) -> None:
         pass
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 class ListSink(EventSink):
@@ -138,8 +153,14 @@ class CsvSink(EventSink):
         )
         self.n_written += 1
 
+    def flush(self) -> None:
+        """Push buffered rows to disk without closing the file."""
+        if self._handle is not None:
+            self._handle.flush()
+
     def close(self) -> None:
         if self._handle is not None:
+            self._handle.flush()
             self._handle.close()
             self._handle = None
             self._writer = None

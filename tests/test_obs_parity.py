@@ -1,0 +1,211 @@
+"""Instrumentation parity: metrics and tracing must never change results.
+
+The acceptance bar for the observability layer: a fully instrumented run
+(registry + tracer + module-level instruments installed) over a faulted
+stream produces window reports, labels, and measurements bit-identical
+to an uninstrumented run on the same inputs.  Instrumentation observes;
+it never draws randomness or touches a value.
+"""
+
+import numpy as np
+
+from repro.core import BatchConfig, BatchRunner
+from repro.core.classify import reports_equal
+from repro.faults import FaultConfig
+from repro.faults.plan import FaultPlan
+from repro.net import (
+    Block24,
+    make_always_on,
+    make_dead,
+    make_diurnal,
+    merge_behaviors,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    install_metrics,
+    uninstall_metrics,
+)
+from repro.probing import RoundSchedule
+from repro.stream import ListSink, StreamConfig, StreamEngine, WindowClosed
+
+ROUND = 660.0
+DAY = 86400.0
+
+FAULTS = FaultConfig(
+    round_drop_rate=0.05,
+    round_duplicate_rate=0.05,
+    gaps_per_day=1.0,
+    clock_jitter_s=30.0,
+    seed=21,
+)
+
+
+def faulted_stream(n_days, seed=0):
+    """A diurnal observation stream degraded by a deterministic plan."""
+    rng = np.random.default_rng(seed)
+    n = int(n_days * DAY / ROUND)
+    times = np.arange(n) * ROUND
+    values = (
+        0.5
+        + 0.4 * np.sin(2 * np.pi * times / DAY)
+        + 0.02 * rng.standard_normal(n)
+    )
+    return FaultPlan(FAULTS).degrade_stream(times, values, ROUND)
+
+
+def run_stream(times, values, config, metrics=None, tracer=None):
+    sink = ListSink()
+    engine = StreamEngine(config, sinks=[sink], metrics=metrics, tracer=tracer)
+    engine.ingest_many(0, times, values)
+    engine.flush(close_partial=True)
+    return engine, sink
+
+
+def assert_same_closes(sink_a, sink_b):
+    closes_a = sink_a.of_type(WindowClosed)
+    closes_b = sink_b.of_type(WindowClosed)
+    assert len(closes_a) == len(closes_b)
+    assert closes_a, "no windows closed; the scenario is vacuous"
+    for a, b in zip(closes_a, closes_b):
+        assert a.window_start_round == b.window_start_round
+        assert a.n_rounds == b.n_rounds
+        assert a.partial == b.partial
+        assert reports_equal(a.report, b.report), a.window_start_round
+        assert a.quality == b.quality
+
+
+class TestStreamingParity:
+    def test_instrumented_run_bit_identical(self):
+        times, values = faulted_stream(7, seed=30)
+        config = StreamConfig.for_days(
+            2.0, hop_days=1.0, lateness_rounds=3, label_dwell=1
+        )
+
+        # Reference: fully uninstrumented.
+        engine_null, sink_null = run_stream(times, values, config)
+
+        # Full instrumentation: constructor registry + tracer, plus the
+        # module-level instruments in classify/timeseries/io.
+        registry = MetricsRegistry()
+        install_metrics(registry)
+        try:
+            engine_inst, sink_inst = run_stream(
+                times, values, config, metrics=registry, tracer=Tracer()
+            )
+        finally:
+            uninstall_metrics()
+
+        assert_same_closes(sink_null, sink_inst)
+        assert engine_null.stable_label(0) == engine_inst.stable_label(0)
+        assert engine_null.n_late(0) == engine_inst.n_late(0)
+        prov_null = engine_null.provisional(0)
+        prov_inst = engine_inst.provisional(0)
+        assert prov_null == prov_inst
+        # The instrumented run did actually record something.
+        snap = registry.snapshot()["counters"]
+        assert snap["stream_observations_total"] == len(times) - (
+            engine_inst.n_late(0)
+        )
+
+    def test_event_streams_identical(self):
+        """Every event — not just closes — matches across the two runs."""
+        times, values = faulted_stream(5, seed=31)
+        config = StreamConfig.for_days(1.0, lateness_rounds=2)
+        _, sink_null = run_stream(times, values, config)
+        registry = MetricsRegistry()
+        install_metrics(registry)
+        try:
+            _, sink_inst = run_stream(
+                times, values, config, metrics=registry, tracer=Tracer()
+            )
+        finally:
+            uninstall_metrics()
+        assert len(sink_null.events) == len(sink_inst.events)
+        for a, b in zip(sink_null.events, sink_inst.events):
+            assert type(a) is type(b)
+            assert a.kind == b.kind
+            assert a.block_id == b.block_id
+            assert a.round_index == b.round_index
+
+
+def diurnal_block(block_id):
+    behavior = merge_behaviors(
+        make_always_on(40),
+        make_diurnal(80, phase_s=6 * 3600),
+        make_dead(136),
+    )
+    return Block24(block_id, behavior)
+
+
+def assert_measurements_identical(a, b):
+    for name in (
+        "positives",
+        "totals",
+        "states",
+        "a_short",
+        "a_long",
+        "a_operational",
+        "true_availability",
+    ):
+        assert np.array_equal(
+            getattr(a, name), getattr(b, name), equal_nan=True
+        ), name
+    assert a.block_id == b.block_id
+    assert a.trim == b.trim
+    assert a.skipped == b.skipped
+    for report_name in ("report", "true_report"):
+        ra, rb = getattr(a, report_name), getattr(b, report_name)
+        assert (ra is None) == (rb is None)
+        if ra is not None:
+            assert reports_equal(ra, rb)
+    assert a.quality == b.quality
+
+
+class TestBatchParity:
+    def test_faulted_batch_bit_identical(self):
+        schedule = RoundSchedule.for_days(3)
+        blocks = [diurnal_block(i) for i in range(3)]
+        config = BatchConfig(faults=FAULTS)
+
+        reference = BatchRunner(config).run(blocks, schedule, seed=9)
+
+        registry = MetricsRegistry()
+        install_metrics(registry)
+        try:
+            instrumented = BatchRunner(
+                config, metrics=registry, tracer=Tracer()
+            ).run(blocks, schedule, seed=9)
+        finally:
+            uninstall_metrics()
+
+        assert reference.n_blocks == instrumented.n_blocks
+        for a, b in zip(reference.results, instrumented.results):
+            assert_measurements_identical(a, b)
+        # And the instrumented run measured what it claims.
+        snap = registry.snapshot()["counters"]
+        assert snap['batch_blocks_total{outcome="measured"}'] == 3
+
+    def test_checkpointed_batch_parity(self, tmp_path):
+        """Instrumentation on the checkpoint path changes nothing."""
+        schedule = RoundSchedule.for_days(3)
+        blocks = [diurnal_block(i) for i in range(2)]
+
+        plain = BatchRunner(BatchConfig()).run(blocks, schedule, seed=4)
+
+        registry = MetricsRegistry()
+        install_metrics(registry)
+        try:
+            ckpt = BatchRunner(
+                BatchConfig(
+                    checkpoint_path=tmp_path / "ckpt.npz",
+                    checkpoint_every=1,
+                ),
+                metrics=registry,
+                tracer=Tracer(),
+            ).run(blocks, schedule, seed=4)
+        finally:
+            uninstall_metrics()
+
+        for a, b in zip(plain.results, ckpt.results):
+            assert_measurements_identical(a, b)

@@ -1,0 +1,270 @@
+"""Tests for repro.obs.registry: metric primitives and thread safety.
+
+The load-bearing property is exactness under concurrency: counters and
+histograms hammered from many threads must land on the exact totals —
+a lost update would make "injected == observed" fault assertions flaky.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    EwmaMeter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    render_labels,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = MetricsRegistry().counter("events_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(3)
+        assert c.value == 4.0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("events_total")
+        with pytest.raises(ValueError, match=">= 0"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6.0
+
+
+class TestHistogram:
+    def test_le_semantics(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 6.0):
+            h.observe(v)
+        # le buckets are inclusive upper edges: 1.0 lands in the first.
+        assert h.cumulative_buckets() == [
+            (1.0, 2),
+            (2.0, 3),
+            (5.0, 3),
+            (float("inf"), 4),
+        ]
+        assert h.count == 4
+        assert h.sum == pytest.approx(9.0)
+
+    def test_bounds_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            reg.histogram("bad", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            reg.histogram("bad2", buckets=(2.0, 1.0))
+
+    def test_empty_bounds_rejected(self):
+        # Through the registry, empty buckets fall back to the defaults;
+        # the constructor itself refuses them.
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("bad", {}, ())
+        h = MetricsRegistry().histogram("ok", buckets=())
+        assert len(h.bounds) > 0
+
+
+class TestEwmaMeter:
+    def test_seeds_from_first_sample(self):
+        m = MetricsRegistry().meter("rate")
+        m.observe(10.0)
+        assert m.rate_short == 10.0
+        assert m.rate_long == 10.0
+        assert m.count == 1
+        assert m.last == 10.0
+
+    def test_paper_gains(self):
+        """Defaults reuse the section 2.1 estimator conventions."""
+        m = MetricsRegistry().meter("rate")
+        assert m.alpha_short == 0.1
+        assert m.alpha_long == 0.01
+        m.observe(10.0)
+        m.observe(20.0)
+        assert m.rate_short == pytest.approx(0.1 * 20.0 + 0.9 * 10.0)
+        assert m.rate_long == pytest.approx(0.01 * 20.0 + 0.99 * 10.0)
+
+    def test_bad_gain_rejected(self):
+        with pytest.raises(ValueError, match="gain"):
+            MetricsRegistry().meter("rate", alpha_short=0.0)
+        with pytest.raises(ValueError, match="gain"):
+            MetricsRegistry().meter("rate", alpha_long=1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", path="x")
+        b = reg.counter("hits_total", path="x")
+        assert a is b
+
+    def test_label_sets_are_distinct_metrics(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", path="x")
+        b = reg.counter("hits_total", path="y")
+        assert a is not b
+        a.inc()
+        assert b.value == 0.0
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("thing")
+        # Same name, different labels, different kind: still a conflict.
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("thing", path="x")
+
+    def test_histogram_bounds_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered with bounds"):
+            reg.histogram("lat", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("bad name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            reg.counter("ok", **{"bad-label": "x"})
+
+    def test_collect_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total")
+        reg.counter("a_total")
+        assert [m.name for m in reg.collect()] == ["a_total", "b_total"]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", kind="x").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        reg.meter("m").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {'c_total{kind="x"}': 2.0}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["buckets"]["+Inf"] == 1
+        assert snap["meters"]["m"]["rate_short"] == 3.0
+
+
+class TestRenderLabels:
+    def test_empty(self):
+        assert render_labels({}) == ""
+
+    def test_sorted(self):
+        assert render_labels({"b": "2", "a": "1"}) == '{a="1",b="2"}'
+
+
+class TestNullRegistry:
+    def test_shared_noop_metric(self):
+        reg = NullRegistry()
+        assert not reg.enabled
+        c = reg.counter("x_total")
+        assert c is reg.gauge("y")
+        assert c is reg.histogram("z")
+        assert c is reg.meter("w")
+        # Every mutation is a no-op and every read is a zero.
+        c.inc(100)
+        c.set(5)
+        c.observe(1.0)
+        assert c.value == 0.0
+        assert reg.collect() == []
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "meters": {},
+        }
+
+    def test_module_singleton(self):
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+
+
+class TestConcurrency:
+    """Hammer shared metrics from many threads; totals must be exact."""
+
+    N_THREADS = 8
+    N_OPS = 2500
+
+    def _hammer(self, worker):
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_exact_total(self):
+        c = MetricsRegistry().counter("hammer_total")
+
+        def worker(_tid):
+            for _ in range(self.N_OPS):
+                c.inc()
+
+        self._hammer(worker)
+        assert c.value == self.N_THREADS * self.N_OPS
+
+    def test_histogram_exact_counts(self):
+        h = MetricsRegistry().histogram("hammer_lat", buckets=(0.5, 1.5))
+
+        def worker(tid):
+            # Each thread alternates buckets deterministically.
+            for i in range(self.N_OPS):
+                h.observe(0.0 if (tid + i) % 2 == 0 else 1.0)
+
+        self._hammer(worker)
+        total = self.N_THREADS * self.N_OPS
+        assert h.count == total
+        buckets = dict(h.cumulative_buckets())
+        assert buckets[0.5] == total // 2
+        assert buckets[1.5] == total
+        assert buckets[float("inf")] == total
+        assert h.sum == pytest.approx(total / 2)
+
+    def test_concurrent_get_or_create_returns_one_object(self):
+        reg = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker(_tid):
+            barrier.wait()
+            c = reg.counter("race_total")
+            with lock:
+                seen.append(c)
+            for _ in range(self.N_OPS):
+                c.inc()
+
+        self._hammer(worker)
+        assert all(c is seen[0] for c in seen)
+        assert seen[0].value == self.N_THREADS * self.N_OPS
+
+    def test_meter_exact_count(self):
+        m = MetricsRegistry().meter("hammer_rate")
+
+        def worker(_tid):
+            for _ in range(self.N_OPS):
+                m.observe(1.0)
+
+        self._hammer(worker)
+        assert m.count == self.N_THREADS * self.N_OPS
+        # Every sample was 1.0, so both EWMA views converge exactly.
+        assert m.rate_short == 1.0
+        assert m.rate_long == 1.0
+
+
+def test_metric_kinds_are_declared():
+    assert Counter.kind == "counter"
+    assert Gauge.kind == "gauge"
+    assert Histogram.kind == "histogram"
+    assert EwmaMeter.kind == "meter"

@@ -1,0 +1,165 @@
+"""Tests for repro.obs.tracing: span nesting and per-stage aggregates."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class TestSpanTree:
+    def test_root_span_recorded(self):
+        tracer = Tracer()
+        with tracer.trace("load", path="x") as span:
+            pass
+        assert tracer.roots == [span]
+        assert span.name == "load"
+        assert span.attrs == {"path": "x"}
+        assert span.duration_s >= 0.0
+        assert span.children == []
+
+    def test_nesting_builds_tree(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                with tracer.trace("leaf"):
+                    pass
+            with tracer.trace("inner2"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["inner", "inner2"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_children_time_bounded_by_parent(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                pass
+        (root,) = tracer.roots
+        inner = root.children[0]
+        assert inner.duration_s <= root.duration_s
+        assert root.self_s == pytest.approx(
+            root.duration_s - inner.duration_s
+        )
+
+    def test_walk_depth_first(self):
+        tracer = Tracer()
+        with tracer.trace("a"):
+            with tracer.trace("b"):
+                with tracer.trace("c"):
+                    pass
+            with tracer.trace("d"):
+                pass
+        (root,) = tracer.roots
+        assert [s.name for s in root.walk()] == ["a", "b", "c", "d"]
+
+    def test_to_dict_roundtrips_structure(self):
+        tracer = Tracer()
+        with tracer.trace("a", k=1):
+            with tracer.trace("b"):
+                pass
+        d = tracer.roots[0].to_dict()
+        assert d["name"] == "a"
+        assert d["attrs"] == {"k": 1}
+        assert d["children"][0]["name"] == "b"
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.trace("boom"):
+                raise RuntimeError("x")
+        assert [s.name for s in tracer.roots] == ["boom"]
+
+
+class TestStageTimings:
+    def test_aggregates(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.trace("stage"):
+                pass
+        stats = tracer.stage_timings()["stage"]
+        assert stats["count"] == 3
+        assert stats["total_s"] >= 0.0
+        assert stats["mean_s"] == pytest.approx(stats["total_s"] / 3)
+        assert stats["max_s"] <= stats["total_s"]
+
+    def test_sorted_by_name(self):
+        tracer = Tracer()
+        with tracer.trace("b"):
+            pass
+        with tracer.trace("a"):
+            pass
+        assert list(tracer.stage_timings()) == ["a", "b"]
+
+    def test_nested_spans_counted_per_stage(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                pass
+            with tracer.trace("inner"):
+                pass
+        timings = tracer.stage_timings()
+        assert timings["outer"]["count"] == 1
+        assert timings["inner"]["count"] == 2
+
+
+class TestBounds:
+    def test_max_roots_drops_overflow(self):
+        tracer = Tracer(max_roots=2)
+        for i in range(5):
+            with tracer.trace(f"s{i}"):
+                pass
+        assert len(tracer.roots) == 2
+        assert tracer.n_dropped_roots == 3
+        # Aggregates still see every span.
+        assert sum(s["count"] for s in tracer.stage_timings().values()) == 5
+
+    def test_bad_max_roots_rejected(self):
+        with pytest.raises(ValueError, match="max_roots"):
+            Tracer(max_roots=0)
+
+
+class TestThreadIsolation:
+    def test_threads_build_separate_trees(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.trace(name):
+                barrier.wait()  # both spans open simultaneously
+                with tracer.trace(f"{name}.child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(s.name for s in tracer.roots) == ["t0", "t1"]
+        for root in tracer.roots:
+            assert [c.name for c in root.children] == [f"{root.name}.child"]
+
+
+class TestNullTracer:
+    def test_shared_noop_context(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        ctx_a = tracer.trace("a", k=1)
+        ctx_b = tracer.trace("b")
+        assert ctx_a is ctx_b
+        with ctx_a as span:
+            assert span is None
+        assert tracer.roots == []
+        assert tracer.stage_timings() == {}
+
+    def test_module_singleton(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+def test_span_defaults():
+    span = Span(name="x", attrs={})
+    assert span.duration_s == 0.0
+    assert span.self_s == 0.0
+    assert list(span.walk()) == [span]

@@ -179,6 +179,48 @@ class TestCsvSink:
         sink.close()
         assert path.exists()
 
+    def test_context_manager_closes_file(self, tmp_path):
+        path = tmp_path / "events.csv"
+        with CsvSink(path) as sink:
+            sink.emit(make_edge(r=5))
+            assert sink._handle is not None
+        assert sink._handle is None
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 2  # header + one event
+
+    def test_context_manager_flushes_on_error(self, tmp_path):
+        path = tmp_path / "events.csv"
+        with pytest.raises(RuntimeError):
+            with CsvSink(path) as sink:
+                sink.emit(make_edge(r=5))
+                raise RuntimeError("engine died")
+        # The row written before the crash reached disk.
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 2
+
+    def test_flush_without_close(self, tmp_path):
+        path = tmp_path / "events.csv"
+        sink = CsvSink(path)
+        sink.emit(make_edge(r=5))
+        sink.flush()
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 2
+        # Still open: more events append to the same file.
+        sink.emit(make_late(r=2))
+        sink.close()
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 3
+
+    def test_flush_and_close_before_open_are_noops(self, tmp_path):
+        sink = CsvSink(tmp_path / "events.csv")
+        sink.flush()
+        sink.close()
+        assert sink.n_written == 0
+
     def test_complex_payload_round_trips(self, tmp_path):
         path = tmp_path / "events.csv"
         sink = CsvSink(path)
