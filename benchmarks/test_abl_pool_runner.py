@@ -1,0 +1,197 @@
+"""Ablation: supervised PoolRunner versus serial BatchRunner, and the
+price of durability.
+
+Two claims carry the robustness layer.  **Determinism**: the pooled
+runner exists to survive hung and dying workers, and that is only safe
+if supervision never changes the science — its merged results must be
+bit-identical to serial execution for the same seed.  **Cost**: the
+durability machinery (write-ahead journal on the streaming path, atomic
+checksummed checkpoint writes on the batch path) must be cheap enough
+to leave on everywhere; the acceptance bar is <10% overhead for
+journaling on the streaming parity workload.
+
+The table reports serial and pooled wall-clock with the speedup ratio
+(on a single-CPU container the pool's process overhead typically makes
+this <1; the number is reported, not asserted), the journal overhead on
+the streaming workload (asserted <10%), and the atomic-write overhead
+per checkpoint flush.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    BatchConfig,
+    BatchRunner,
+    PoolConfig,
+    PoolRunner,
+)
+from repro.net import (
+    Block24,
+    make_always_on,
+    make_dead,
+    make_diurnal,
+    merge_behaviors,
+)
+from repro.probing import RoundSchedule
+from repro.stream import StreamConfig, StreamEngine, StreamJournal
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_BLOCKS = 16
+SCHEDULE = RoundSchedule.for_days(3)
+SEED = 21
+
+STREAM_DAYS = 6
+STREAM_BLOCKS = 6
+ROUND = 660.0
+DAY = 86400.0
+
+
+def make_blocks():
+    behavior = merge_behaviors(
+        make_always_on(40),
+        make_diurnal(80, phase_s=6 * 3600),
+        make_dead(136),
+    )
+    return [Block24(i, behavior) for i in range(N_BLOCKS)]
+
+
+def assert_bit_identical(serial, pooled):
+    assert len(serial.results) == len(pooled.results)
+    for a, b in zip(serial.results, pooled.results):
+        assert type(a) is type(b)
+        for name in a._ROUND_ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(a, name), getattr(b, name)
+            )
+        assert a.report == b.report
+        assert a.true_report == b.true_report
+
+
+def stream_population():
+    rng = np.random.default_rng(SEED)
+    n = int(STREAM_DAYS * DAY / ROUND)
+    times = np.arange(n) * ROUND
+    streams = {}
+    for block in range(STREAM_BLOCKS):
+        amplitude = rng.uniform(0.2, 0.45)
+        phase = rng.uniform(0, 2 * np.pi)
+        streams[block] = (
+            times,
+            0.5
+            + amplitude * np.sin(2 * np.pi * times / DAY + phase)
+            + 0.02 * rng.standard_normal(n),
+        )
+    return streams
+
+
+def ingest_all(engine, streams, journal=None):
+    # The write-ahead discipline, block batch by block batch: journal
+    # the batch first, then hand it to the engine.
+    for block, (times, values) in streams.items():
+        if journal is not None:
+            journal.append_many(block, times, values)
+        engine.ingest_many(block, times, values)
+    engine.flush()
+    if journal is not None:
+        journal.flush()
+
+
+def journal_overhead(tmp_path):
+    """Best-of-5: bare ingest, journal-only, and combined wall-clock.
+
+    The overhead fraction is computed from the two isolated minima
+    (journal-only / bare) rather than from one paired run — on a noisy
+    shared box, paired wall-clock differences of a few percent drown in
+    scheduler jitter, while per-path minima are stable.
+    """
+    streams = stream_population()
+    config = StreamConfig.for_days(2, hop_days=1)
+    bare_times, journal_times, combined_times = [], [], []
+    for trial in range(5):
+        engine = StreamEngine(config)
+        t0 = time.perf_counter()
+        ingest_all(engine, streams)
+        bare_times.append(time.perf_counter() - t0)
+
+        with StreamJournal(
+            tmp_path / f"wal-only-{trial}", sync_every=1024
+        ) as journal:
+            t0 = time.perf_counter()
+            for block, (times, values) in streams.items():
+                journal.append_many(block, times, values)
+            journal.flush()
+            journal_times.append(time.perf_counter() - t0)
+
+        engine = StreamEngine(config)
+        with StreamJournal(
+            tmp_path / f"wal-{trial}", sync_every=1024
+        ) as journal:
+            t0 = time.perf_counter()
+            ingest_all(engine, streams, journal)
+            combined_times.append(time.perf_counter() - t0)
+    return min(bare_times), min(journal_times), min(combined_times)
+
+
+def checkpoint_write_cost(tmp_path, result):
+    """Per-flush cost of the atomic, checksummed checkpoint write."""
+    from repro.datasets.io import save_batch_checkpoint
+
+    entries = dict(enumerate(result.results))
+    t0 = time.perf_counter()
+    for i in range(3):
+        save_batch_checkpoint(
+            tmp_path / "ck.npz",
+            entries,
+            SCHEDULE,
+            meta={"seed": SEED, "n_blocks": len(entries)},
+        )
+    return (time.perf_counter() - t0) / 3
+
+
+def test_pool_runner_parity_and_durability_cost(tmp_path, record_output):
+    blocks = make_blocks()
+
+    t0 = time.perf_counter()
+    serial = BatchRunner(BatchConfig()).run(blocks, SCHEDULE, seed=SEED)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = PoolRunner(PoolConfig(n_workers=2)).run(
+        blocks, SCHEDULE, seed=SEED
+    )
+    pooled_s = time.perf_counter() - t0
+
+    assert_bit_identical(serial, pooled)
+
+    bare_s, journal_s, combined_s = journal_overhead(tmp_path)
+    overhead = journal_s / bare_s
+    ckpt_s = checkpoint_write_cost(tmp_path, serial)
+
+    n_obs = STREAM_BLOCKS * int(STREAM_DAYS * DAY / ROUND)
+    lines = [
+        f"{'workload':<34} {'metric':>18} {'value':>12}",
+        f"{'batch ' + str(N_BLOCKS) + ' blocks, serial':<34} "
+        f"{'wall s':>18} {serial_s:>12.3f}",
+        f"{'batch ' + str(N_BLOCKS) + ' blocks, pool x2':<34} "
+        f"{'wall s':>18} {pooled_s:>12.3f}",
+        f"{'pool speedup (serial/pool)':<34} {'ratio':>18} "
+        f"{serial_s / pooled_s:>12.2f}",
+        f"{'pooled result':<34} {'bit-identical':>18} {'yes':>12}",
+        f"{'stream ingest, bare':<34} {'wall s':>18} {bare_s:>12.3f}",
+        f"{'journal appends alone':<34} {'wall s':>18} {journal_s:>12.3f}",
+        f"{'stream ingest, journaled':<34} {'wall s':>18} "
+        f"{combined_s:>12.3f}",
+        f"{'journal overhead':<34} {'fraction':>18} {overhead:>12.3f}",
+        f"{'journal observations':<34} {'count':>18} {n_obs:>12d}",
+        f"{'atomic checkpoint write':<34} {'s/flush':>18} {ckpt_s:>12.4f}",
+    ]
+    record_output("abl_pool_runner", "\n".join(lines))
+
+    # Durability must be cheap enough to leave on everywhere.
+    assert overhead < 0.10, (
+        f"journal overhead {overhead:.1%} exceeds the 10% budget"
+    )

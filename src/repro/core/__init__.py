@@ -18,6 +18,11 @@
     cleaning, classification, outage extraction — plus the resilient
     :class:`BatchRunner` (per-block failure isolation, retry,
     checkpoint/resume) and fault-injected degraded measurement.
+``supervisor``
+    :class:`PoolRunner` — the same batch across supervised worker
+    processes: per-block deadlines, hung/dead-worker respawn, poison
+    quarantine, a circuit breaker, and deterministic merge
+    bit-identical to serial execution.
 """
 
 from repro.core.estimator import (
@@ -79,6 +84,11 @@ from repro.core.pipeline import (
     measure_blocks,
     classify_ground_truth,
 )
+from repro.core.supervisor import (
+    CircuitOpenError,
+    PoolConfig,
+    PoolRunner,
+)
 
 __all__ = [
     "AvailabilityEstimator",
@@ -88,6 +98,7 @@ __all__ = [
     "BatchRunner",
     "BlockFailure",
     "BlockMeasurement",
+    "CircuitOpenError",
     "ClassifierConfig",
     "CleanStats",
     "DirectEwmaEstimator",
@@ -95,6 +106,8 @@ __all__ = [
     "DiurnalReport",
     "EstimatorConfig",
     "MeasurementConfig",
+    "PoolConfig",
+    "PoolRunner",
     "QualityReport",
     "RestartPolicy",
     "Spectrum",

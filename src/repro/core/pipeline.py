@@ -42,6 +42,7 @@ from repro.core.timeseries import (
     is_stationary,
     trim_to_midnight,
 )
+from repro.faults.crash import crashpoint
 from repro.net.blocks import Block24, ResponseOracle
 from repro.obs.export import RunManifest
 from repro.obs.registry import NULL_REGISTRY
@@ -613,6 +614,7 @@ class BatchRunner:
                 block, index, schedule, child, fault_plan
             )
             self._count_outcome(completed[index])
+            crashpoint("batch.block_done")
             pending_since_flush += 1
             if (
                 config.checkpoint_path is not None
@@ -620,6 +622,7 @@ class BatchRunner:
             ):
                 self._save_checkpoint(completed, schedule, seed, len(blocks))
                 pending_since_flush = 0
+                crashpoint("batch.checkpointed")
 
         if config.checkpoint_path is not None and pending_since_flush:
             self._save_checkpoint(completed, schedule, seed, len(blocks))
@@ -721,10 +724,17 @@ class BatchRunner:
         path = self.config.checkpoint_path
         if path is None or not Path(path).exists():
             return {}
-        from repro.datasets.io import load_batch_checkpoint
+        from repro.datasets.io import (
+            CorruptCheckpointError,
+            load_batch_checkpoint,
+        )
 
         try:
             entries, ckpt_schedule, meta = load_batch_checkpoint(path)
+        except CorruptCheckpointError:
+            # Already typed, named, and (if damaged) quarantined by the
+            # loader; the message carries everything a caller needs.
+            raise
         except Exception as exc:
             raise ValueError(
                 f"checkpoint {path} is corrupt or unreadable "

@@ -1,0 +1,475 @@
+"""Supervised multi-process batch measurement.
+
+:class:`BatchRunner` survives per-block *exceptions*; a production-scale
+campaign also has to survive the failures exceptions cannot express — a
+worker process that dies (OOM kill, segfault in a native library) or
+wedges forever in a C loop.  :class:`PoolRunner` runs the same per-block
+pipeline across a pool of worker processes under a supervisor that:
+
+* enforces a **per-block wall-clock deadline**, killing and respawning
+  any worker whose heartbeat goes stale past it;
+* detects **worker death** via process sentinels and re-dispatches the
+  interrupted block to a fresh worker;
+* **quarantines poison blocks**: a block that kills its worker
+  ``max_block_failures`` times is recorded as a
+  :class:`~repro.core.pipeline.BlockFailure` instead of crashing the
+  pool forever;
+* trips a **circuit breaker** after a burst of consecutive failures —
+  the checkpoint is saved, the pool shuts down, and
+  :class:`CircuitOpenError` tells the operator the environment (not one
+  block) is sick;
+* merges results **deterministically**: every block's randomness comes
+  from the same per-index :class:`~numpy.random.SeedSequence` child the
+  serial runner would use, and a re-dispatched block gets the identical
+  child again, so the merged :class:`~repro.core.pipeline.BatchResult`
+  is bit-identical to a serial :class:`BatchRunner` run with the same
+  seed — regardless of completion order, retries, or worker deaths.
+
+Checkpoints are shared with the serial runner (same file format, same
+resume semantics), so a campaign can move between serial and pooled
+execution across restarts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from multiprocessing import connection
+from typing import Union
+
+import numpy as np
+
+from repro.core.pipeline import (
+    BatchConfig,
+    BatchResult,
+    BatchRunner,
+    BlockFailure,
+    BlockMeasurement,
+)
+from repro.faults.crash import crashpoint
+from repro.net.blocks import Block24
+from repro.obs.export import RunManifest
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.tracing import NULL_TRACER
+from repro.probing.rounds import RoundSchedule
+
+__all__ = ["CircuitOpenError", "PoolConfig", "PoolRunner"]
+
+
+class CircuitOpenError(RuntimeError):
+    """The pool aborted after a burst of consecutive failures.
+
+    A single bad block is isolated and retried; ``breaker_threshold``
+    failures *in a row* mean something systemic (disk full, bad deploy,
+    poisoned dataset) and continuing would burn the whole campaign.
+    Completed work is already checkpointed when this raises; fix the
+    environment and rerun to resume.
+    """
+
+    def __init__(self, n_consecutive: int, checkpoint_path) -> None:
+        where = (
+            f"; completed blocks are checkpointed at {checkpoint_path}"
+            if checkpoint_path is not None
+            else ""
+        )
+        super().__init__(
+            f"circuit breaker open after {n_consecutive} consecutive "
+            f"block failures{where}"
+        )
+        self.n_consecutive = n_consecutive
+        self.checkpoint_path = checkpoint_path
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Supervision policy for a pooled batch run.
+
+    Attributes:
+        batch: the serial resilience policy (measurement, retries,
+            checkpointing) each worker applies per block.
+        n_workers: worker processes.
+        block_deadline_s: wall-clock budget per dispatched block;
+            a worker whose heartbeat goes stale past it is killed and
+            respawned.  ``None`` disables deadlines.
+        max_block_failures: worker deaths tolerated per block before it
+            is quarantined as a :class:`BlockFailure` (in-worker
+            exceptions are already retried by the per-block pipeline;
+            this bounds *environment* failures).
+        breaker_threshold: consecutive failed blocks that trip
+            :class:`CircuitOpenError`; ``None`` disables the breaker.
+        heartbeat_interval_s: how often idle workers refresh their
+            heartbeat; also the supervisor's poll granularity.
+        mp_context: multiprocessing start method.  ``"fork"`` (default)
+            inherits test doubles and armed crash points; ``"spawn"``
+            requires everything dispatched to be importable.
+    """
+
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    n_workers: int = 2
+    block_deadline_s: float | None = None
+    max_block_failures: int = 2
+    breaker_threshold: int | None = 5
+    heartbeat_interval_s: float = 0.05
+    mp_context: str = "fork"
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if self.block_deadline_s is not None and self.block_deadline_s <= 0:
+            raise ValueError("block_deadline_s must be positive")
+        if self.max_block_failures < 1:
+            raise ValueError("max_block_failures must be at least 1")
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+
+
+def _worker_main(conn, heartbeat, worker_id, batch_config, schedule) -> None:
+    """Worker loop: receive ``(index, block, child)``, send ``(index, result)``.
+
+    Reuses :meth:`BatchRunner._measure_one` verbatim, so retry
+    semantics and RNG substream derivation are *identical* to serial
+    execution.  The heartbeat slot is refreshed at every task boundary
+    and while idle; a worker wedged inside a block stops refreshing and
+    the supervisor's deadline reaps it.
+    """
+    runner = BatchRunner(batch_config)
+    fault_plan = runner._fault_plan()
+    try:
+        while True:
+            heartbeat[worker_id] = time.monotonic()
+            if not conn.poll(0.05):
+                continue
+            task = conn.recv()
+            if task is None:
+                return
+            index, block, child = task
+            heartbeat[worker_id] = time.monotonic()
+            crashpoint("pool.worker.task_start")
+            result = runner._measure_one(
+                block, index, schedule, child, fault_plan
+            )
+            crashpoint("pool.worker.task_done")
+            conn.send((index, result))
+            heartbeat[worker_id] = time.monotonic()
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Worker:
+    """Supervisor-side handle for one worker process."""
+
+    worker_id: int
+    process: multiprocessing.Process
+    conn: connection.Connection
+    task: tuple | None = None
+    dispatched_at: float = 0.0
+
+
+class _PoolMetrics:
+    """Pre-bound pool supervision metrics (null registry by default)."""
+
+    __slots__ = ("dispatched", "hung", "crashed", "quarantined",
+                 "breaker_trips", "workers")
+
+    def __init__(self, registry) -> None:
+        self.dispatched = registry.counter("pool_tasks_dispatched_total")
+        self.hung = registry.counter("pool_worker_restarts_total",
+                                     reason="hung")
+        self.crashed = registry.counter("pool_worker_restarts_total",
+                                        reason="crashed")
+        self.quarantined = registry.counter("pool_blocks_quarantined_total")
+        self.breaker_trips = registry.counter("pool_breaker_trips_total")
+        self.workers = registry.gauge("pool_workers")
+
+
+class PoolRunner:
+    """Run a batch across supervised worker processes.
+
+    Drop-in alternative to :class:`BatchRunner.run` — same arguments,
+    same :class:`BatchResult`, bit-identical results for the same seed —
+    that additionally survives hung and dying workers.  See the module
+    docstring for the supervision policy.
+    """
+
+    def __init__(
+        self,
+        config: PoolConfig | None = None,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        self.config = config or PoolConfig()
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._m = _PoolMetrics(self.metrics)
+        # Checkpoint IO and outcome counting are delegated to a serial
+        # runner so the two execution modes share one format and one
+        # metric family.
+        self._serial = BatchRunner(self.config.batch, metrics, tracer)
+
+    def run(
+        self,
+        blocks: list[Block24],
+        schedule: RoundSchedule,
+        seed: int = 0,
+    ) -> BatchResult:
+        with self.tracer.trace(
+            "pool.run",
+            n_blocks=len(blocks),
+            seed=seed,
+            n_workers=self.config.n_workers,
+        ):
+            result = self._run(blocks, schedule, seed)
+        result.manifest = self._manifest(seed, len(blocks))
+        return result
+
+    def _manifest(self, seed: int, n_blocks: int) -> RunManifest:
+        fault_plan = self._serial._fault_plan()
+        return RunManifest.capture(
+            kind="pool",
+            registry=self.metrics,
+            tracer=self.tracer,
+            seed=seed,
+            n_blocks=n_blocks,
+            fault_plan=(
+                fault_plan.describe()
+                if fault_plan is not None
+                else "clean (no faults)"
+            ),
+            quality_gates=asdict(self.config.batch.measurement.classifier),
+            max_retries=self.config.batch.max_retries,
+            checkpoint_path=(
+                str(self.config.batch.checkpoint_path)
+                if self.config.batch.checkpoint_path is not None
+                else None
+            ),
+            fill_policy=self.config.batch.measurement.fill_policy,
+            n_workers=self.config.n_workers,
+            block_deadline_s=self.config.block_deadline_s,
+            max_block_failures=self.config.max_block_failures,
+            breaker_threshold=self.config.breaker_threshold,
+        )
+
+    def _run(
+        self,
+        blocks: list[Block24],
+        schedule: RoundSchedule,
+        seed: int,
+    ) -> BatchResult:
+        config = self.config
+        children = np.random.SeedSequence(seed).spawn(len(blocks))
+        completed = self._serial._load_checkpoint(schedule, seed, len(blocks))
+        n_resumed = len(completed)
+        if n_resumed:
+            self._serial._m.resumed.inc(n_resumed)
+
+        pending = deque(
+            (index, blocks[index], children[index])
+            for index in range(len(blocks))
+            if index not in completed
+        )
+        if pending:
+            self._supervise(pending, completed, blocks, schedule, seed)
+        results = [completed[i] for i in range(len(blocks))]
+        return BatchResult(results=results, n_resumed=n_resumed)
+
+    def _supervise(
+        self,
+        pending: deque,
+        completed: dict[int, Union[BlockMeasurement, BlockFailure]],
+        blocks: list[Block24],
+        schedule: RoundSchedule,
+        seed: int,
+    ) -> None:
+        config = self.config
+        ctx = multiprocessing.get_context(config.mp_context)
+        heartbeat = ctx.Array("d", config.n_workers, lock=False)
+        workers = [
+            self._spawn(ctx, wid, heartbeat, schedule)
+            for wid in range(config.n_workers)
+        ]
+        self._m.workers.set(len(workers))
+        env_failures: dict[int, int] = {}
+        state = {"consecutive": 0, "pending_since_flush": 0}
+        n_blocks = len(blocks)
+
+        def record(index, outcome) -> None:
+            completed[index] = outcome
+            self._serial._count_outcome(outcome)
+            crashpoint("pool.block_done")
+            if isinstance(outcome, BlockFailure):
+                state["consecutive"] += 1
+            else:
+                state["consecutive"] = 0
+            state["pending_since_flush"] += 1
+            if (
+                config.batch.checkpoint_path is not None
+                and state["pending_since_flush"]
+                >= config.batch.checkpoint_every
+            ):
+                self._serial._save_checkpoint(
+                    completed, schedule, seed, n_blocks
+                )
+                state["pending_since_flush"] = 0
+                crashpoint("pool.checkpointed")
+
+        def reap(worker: _Worker, reason: str) -> _Worker:
+            """Kill/bury one worker, requeue or quarantine its block."""
+            (self._m.hung if reason == "hung" else self._m.crashed).inc()
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if worker.task is not None:
+                index, block, child = worker.task
+                env_failures[index] = env_failures.get(index, 0) + 1
+                if env_failures[index] >= config.max_block_failures:
+                    self._m.quarantined.inc()
+                    record(
+                        index,
+                        BlockFailure(
+                            block_id=int(getattr(block, "block_id", -1)),
+                            index=index,
+                            error_type="WorkerLost",
+                            message=(
+                                f"worker {reason} "
+                                f"{env_failures[index]} time(s); "
+                                f"block quarantined as poison"
+                            ),
+                            attempts=env_failures[index],
+                        ),
+                    )
+                else:
+                    # Same pickled child ⇒ the retry is bit-identical
+                    # to what an undisturbed worker would have produced.
+                    pending.appendleft(worker.task)
+            replacement = self._spawn(
+                ctx, worker.worker_id, heartbeat, schedule
+            )
+            workers[worker.worker_id] = replacement
+            return replacement
+
+        try:
+            while len(completed) < n_blocks:
+                if (
+                    config.breaker_threshold is not None
+                    and state["consecutive"] >= config.breaker_threshold
+                ):
+                    self._m.breaker_trips.inc()
+                    if (
+                        config.batch.checkpoint_path is not None
+                        and state["pending_since_flush"]
+                    ):
+                        self._serial._save_checkpoint(
+                            completed, schedule, seed, n_blocks
+                        )
+                        state["pending_since_flush"] = 0
+                    raise CircuitOpenError(
+                        state["consecutive"], config.batch.checkpoint_path
+                    )
+
+                for worker in workers:
+                    if worker.task is None and pending:
+                        task = pending.popleft()
+                        try:
+                            worker.conn.send(task)
+                        except (OSError, ValueError):
+                            worker.task = task  # requeued by reap
+                            reap(worker, "crashed")
+                            continue
+                        worker.task = task
+                        worker.dispatched_at = time.monotonic()
+                        self._m.dispatched.inc()
+
+                handles: dict[object, tuple[_Worker, str]] = {}
+                for worker in workers:
+                    if worker.task is not None:
+                        handles[worker.conn] = (worker, "conn")
+                    handles[worker.process.sentinel] = (worker, "sentinel")
+                ready = connection.wait(
+                    list(handles), timeout=config.heartbeat_interval_s
+                )
+                replaced: set[int] = set()
+                for handle in ready:
+                    worker, kind = handles[handle]
+                    if worker.worker_id in replaced:
+                        continue
+                    if kind == "conn":
+                        try:
+                            index, outcome = worker.conn.recv()
+                        except (EOFError, OSError):
+                            reap(worker, "crashed")
+                            replaced.add(worker.worker_id)
+                            continue
+                        worker.task = None
+                        record(index, outcome)
+                    else:  # sentinel: the process died
+                        reap(worker, "crashed")
+                        replaced.add(worker.worker_id)
+
+                if config.block_deadline_s is not None:
+                    now = time.monotonic()
+                    for worker in list(workers):
+                        if worker.task is None:
+                            continue
+                        last_sign_of_life = max(
+                            worker.dispatched_at,
+                            heartbeat[worker.worker_id],
+                        )
+                        if now - last_sign_of_life > config.block_deadline_s:
+                            reap(worker, "hung")
+
+            if (
+                config.batch.checkpoint_path is not None
+                and state["pending_since_flush"]
+            ):
+                self._serial._save_checkpoint(completed, schedule, seed, n_blocks)
+        finally:
+            for worker in workers:
+                try:
+                    worker.conn.send(None)
+                except (OSError, ValueError):
+                    pass
+            for worker in workers:
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=5.0)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            self._m.workers.set(0)
+
+    def _spawn(self, ctx, worker_id: int, heartbeat, schedule) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        heartbeat[worker_id] = time.monotonic()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                heartbeat,
+                worker_id,
+                self.config.batch,
+                schedule,
+            ),
+            daemon=True,
+            name=f"pool-worker-{worker_id}",
+        )
+        process.start()
+        child_conn.close()  # parent must not hold the child's end open
+        return _Worker(
+            worker_id=worker_id, process=process, conn=parent_conn
+        )

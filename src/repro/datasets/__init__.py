@@ -3,14 +3,22 @@
 ``io`` saves and loads worlds and measurements as ``.npz`` archives and
 exports analysis tables as CSV, so expensive global runs can be reused
 across analyses (the paper likewise publishes its derived datasets).
+Writers are atomic (temp file + fsync + rename) and archives are
+checksummed; loaders verify digests and schema versions, quarantine
+damage, and raise :class:`CorruptCheckpointError` /
+:class:`CheckpointVersionError` instead of numpy internals.
 ``registry`` names the reproducible dataset configurations.
 """
 
 from repro.datasets.io import (
+    CheckpointVersionError,
+    CorruptCheckpointError,
     ensure_measurement,
     iter_observation_stream,
+    load_batch_checkpoint,
     load_measurement,
     load_world_arrays,
+    save_batch_checkpoint,
     save_measurement,
     save_world_arrays,
     write_csv,
@@ -20,12 +28,16 @@ from repro.datasets.registry import DATASETS, DatasetSpec, dataset, list_dataset
 __all__ = [
     "DATASETS",
     "DatasetSpec",
+    "CheckpointVersionError",
+    "CorruptCheckpointError",
     "dataset",
     "ensure_measurement",
     "iter_observation_stream",
     "list_datasets",
+    "load_batch_checkpoint",
     "load_measurement",
     "load_world_arrays",
+    "save_batch_checkpoint",
     "save_measurement",
     "save_world_arrays",
     "write_csv",

@@ -1,19 +1,44 @@
-"""On-disk persistence for worlds, measurements, tables, and checkpoints."""
+"""On-disk persistence for worlds, measurements, tables, and checkpoints.
+
+Every writer here is **crash-safe** and every loader is **corruption-
+safe**, because multi-week campaigns die in the worst places:
+
+* writes go to a temp file in the target directory, are flushed and
+  ``fsync``-ed, then published with ``os.replace`` (and a directory
+  fsync), so a reader can only ever observe the old complete file or
+  the new complete file — never a torn one;
+* archives embed a schema version and a SHA-256 digest of their
+  contents; loaders verify both before reconstructing anything, so a
+  truncated, bit-flipped, or stale file surfaces as a typed
+  :class:`CorruptCheckpointError` / :class:`CheckpointVersionError`
+  naming the file — never as numpy garbage or an opaque ``KeyError``;
+* corrupt files are **quarantined**: renamed aside to
+  ``<name>.quarantine.<n>`` so the damaged bytes are preserved for
+  forensics and a resumed run can never load them again.
+
+Crash points (:func:`repro.faults.crash.crashpoint`) mark the
+atomic-write windows so the chaos harness can kill a run mid-write and
+assert that resume is bit-identical.
+"""
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import os
 from pathlib import Path
 
 import numpy as np
 
+from repro.faults.crash import crashpoint
 from repro.obs.registry import NULL_REGISTRY
 from repro.probing.rounds import RoundSchedule
 from repro.simulation.fastsim import FastMeasurement
 from repro.simulation.internet import InternetWorld
 
 __all__ = [
+    "CheckpointVersionError",
+    "CorruptCheckpointError",
     "ensure_measurement",
     "iter_observation_stream",
     "load_batch_checkpoint",
@@ -27,11 +52,59 @@ __all__ = [
 ]
 
 
+class CorruptCheckpointError(ValueError):
+    """A durable archive failed integrity or shape validation.
+
+    Raised (instead of propagating numpy/zip internals) whenever a
+    ``.npz`` written by this module cannot be loaded exactly as saved.
+    ``quarantined_to`` is the path the damaged file was renamed to, or
+    None when quarantine was disabled or impossible.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        reason: str,
+        quarantined_to: Path | None = None,
+    ) -> None:
+        message = f"{path} is corrupt or unreadable: {reason}"
+        if quarantined_to is not None:
+            message += f" (quarantined to {quarantined_to})"
+        super().__init__(message)
+        self.path = Path(path)
+        self.reason = reason
+        self.quarantined_to = quarantined_to
+
+
+class CheckpointVersionError(CorruptCheckpointError):
+    """A durable archive has a schema version this code cannot load.
+
+    The file is intact (or predates digests entirely) but was written
+    by a different schema; it is *not* quarantined — rerunning with the
+    matching code version, or recomputing, is the fix.
+    """
+
+    def __init__(
+        self, path: str | Path, found: object, expected: int
+    ) -> None:
+        ValueError.__init__(
+            self,
+            f"{path} has schema version {found}, expected {expected}; "
+            f"recompute it or load it with the code that wrote it",
+        )
+        self.path = Path(path)
+        self.reason = f"schema version {found}, expected {expected}"
+        self.quarantined_to = None
+        self.found = found
+        self.expected = expected
+
+
 class _Instruments:
     """Pre-bound persistence metrics (null registry by default)."""
 
     __slots__ = ("enabled", "saves", "loads", "entries_saved",
-                 "entries_loaded", "checkpoint_bytes", "replayed")
+                 "entries_loaded", "checkpoint_bytes", "replayed",
+                 "corruption", "quarantined")
 
     def __init__(self, registry) -> None:
         self.enabled = registry.enabled
@@ -45,6 +118,8 @@ class _Instruments:
         )
         self.checkpoint_bytes = registry.gauge("io_checkpoint_bytes")
         self.replayed = registry.counter("io_replayed_observations_total")
+        self.corruption = registry.counter("io_corruption_detected_total")
+        self.quarantined = registry.counter("io_files_quarantined_total")
 
 
 _obs = _Instruments(NULL_REGISTRY)
@@ -60,47 +135,204 @@ def set_metrics(registry) -> None:
     _obs = _Instruments(registry if registry is not None else NULL_REGISTRY)
 
 
-def save_measurement(path: str | Path, measurement: FastMeasurement) -> Path:
-    """Save a world measurement as a compressed ``.npz`` archive."""
-    path = Path(path)
+# --- durable npz container -------------------------------------------------
+#
+# Every archive carries two reserved keys: "__version__" (per-format
+# schema version) and "__digest__" (SHA-256 over every other entry's
+# name, dtype, shape, and bytes, in sorted key order).  The digest is
+# computed over logical content, not file bytes, so it survives any
+# container-level recompression and pinpoints *content* damage.
+
+_VERSION_KEY = "__version__"
+_DIGEST_KEY = "__digest__"
+_RESERVED_KEYS = (_VERSION_KEY, _DIGEST_KEY)
+
+_MEASUREMENT_VERSION = 2
+_WORLD_VERSION = 2
+_CHECKPOINT_VERSION = 2
+
+
+def _content_digest(arrays: dict) -> np.ndarray:
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(array.tobytes())
+    return np.frombuffer(digest.digest(), dtype=np.uint8).copy()
+
+
+def _fsync_dir(directory: Path) -> None:
+    # Persist the rename itself.  Directories cannot be opened for
+    # fsync on some platforms; losing that is a durability (not a
+    # correctness) concession there.
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, kind: str, writer) -> None:
+    """Write via temp file + fsync + ``os.replace`` + directory fsync.
+
+    ``writer(handle)`` receives the open binary temp-file handle.  The
+    three crash points bracket the publication window for chaos tests.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
-    schedule = measurement.schedule
-    np.savez_compressed(
-        path,
-        labels=measurement.labels,
-        phases=measurement.phases,
-        dominant_cycles_per_day=measurement.dominant_cycles_per_day,
-        diurnal_amplitude=measurement.diurnal_amplitude,
-        mean_availability=measurement.mean_availability,
-        schedule=np.array(
-            [
-                schedule.n_rounds,
-                schedule.round_s,
-                schedule.start_s,
-                schedule.restart_interval_s,
-            ]
-        ),
+    tmp = path.with_name(path.name + ".tmp")
+    crashpoint(f"io.{kind}.begin")
+    with open(tmp, "wb") as handle:
+        writer(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    crashpoint(f"io.{kind}.tmp_written")
+    os.replace(tmp, path)
+    crashpoint(f"io.{kind}.replaced")
+    _fsync_dir(path.parent)
+
+
+def _save_npz(path: str | Path, kind: str, version: int, arrays: dict) -> Path:
+    path = Path(path)
+    arrays = dict(arrays)
+    arrays[_VERSION_KEY] = np.array([version], dtype=np.int64)
+    arrays[_DIGEST_KEY] = _content_digest(arrays)
+    _atomic_write(
+        path, kind, lambda handle: np.savez_compressed(handle, **arrays)
     )
     return path
 
 
-def load_measurement(path: str | Path) -> FastMeasurement:
-    """Load a measurement previously stored by :func:`save_measurement`."""
-    with np.load(Path(path)) as data:
-        n_rounds, round_s, start_s, restart = data["schedule"]
-        return FastMeasurement(
-            labels=data["labels"],
-            phases=data["phases"],
-            dominant_cycles_per_day=data["dominant_cycles_per_day"],
-            diurnal_amplitude=data["diurnal_amplitude"],
-            mean_availability=data["mean_availability"],
-            schedule=RoundSchedule(
-                n_rounds=int(n_rounds),
-                round_s=float(round_s),
-                start_s=float(start_s),
-                restart_interval_s=float(restart),
-            ),
+def _quarantine(path: Path) -> Path | None:
+    """Rename a damaged file aside; returns the new path (None if failed)."""
+    for i in range(10_000):
+        target = path.with_name(f"{path.name}.quarantine.{i}")
+        if target.exists():
+            continue
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        _fsync_dir(path.parent)
+        _obs.quarantined.inc()
+        return target
+    return None
+
+
+def _load_npz(
+    path: str | Path, kind: str, expected_version: int, quarantine: bool
+) -> dict:
+    """Read, digest-verify, and version-check one durable archive.
+
+    Returns the content arrays with reserved keys stripped.  Damage
+    quarantines the file and raises :class:`CorruptCheckpointError`;
+    a schema mismatch raises :class:`CheckpointVersionError` and leaves
+    the (intact) file in place.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        _obs.corruption.inc()
+        quarantined_to = _quarantine(path) if quarantine else None
+        raise CorruptCheckpointError(
+            path,
+            f"not a loadable npz archive ({type(exc).__name__}: {exc})",
+            quarantined_to,
+        ) from exc
+
+    stored_digest = arrays.pop(_DIGEST_KEY, None)
+    version = arrays.pop(_VERSION_KEY, None)
+    if stored_digest is None or version is None:
+        raise CheckpointVersionError(
+            path, "pre-durability (no digest)", expected_version
         )
+    check = dict(arrays)
+    check[_VERSION_KEY] = version
+    if not np.array_equal(_content_digest(check), stored_digest):
+        _obs.corruption.inc()
+        quarantined_to = _quarantine(path) if quarantine else None
+        raise CorruptCheckpointError(
+            path, f"{kind} content digest mismatch", quarantined_to
+        )
+    if int(version[0]) != expected_version:
+        raise CheckpointVersionError(path, int(version[0]), expected_version)
+    return arrays
+
+
+def _require(condition: bool, path: Path, reason: str) -> None:
+    if not condition:
+        _obs.corruption.inc()
+        raise CorruptCheckpointError(path, reason)
+
+
+def save_measurement(path: str | Path, measurement: FastMeasurement) -> Path:
+    """Save a world measurement as an atomic, checksummed ``.npz``."""
+    schedule = measurement.schedule
+    return _save_npz(
+        path,
+        "measurement",
+        _MEASUREMENT_VERSION,
+        {
+            "labels": measurement.labels,
+            "phases": measurement.phases,
+            "dominant_cycles_per_day": measurement.dominant_cycles_per_day,
+            "diurnal_amplitude": measurement.diurnal_amplitude,
+            "mean_availability": measurement.mean_availability,
+            "schedule": _schedule_to_array(schedule),
+        },
+    )
+
+
+_MEASUREMENT_SERIES = (
+    "labels",
+    "phases",
+    "dominant_cycles_per_day",
+    "diurnal_amplitude",
+    "mean_availability",
+)
+
+
+def load_measurement(
+    path: str | Path, quarantine: bool = True
+) -> FastMeasurement:
+    """Load a measurement previously stored by :func:`save_measurement`.
+
+    Verifies the embedded digest and schema version, then validates
+    array shapes up front; any violation raises a typed error naming
+    the file instead of surfacing numpy internals downstream.
+    """
+    path = Path(path)
+    data = _load_npz(path, "measurement", _MEASUREMENT_VERSION, quarantine)
+    for name in _MEASUREMENT_SERIES + ("schedule",):
+        _require(name in data, path, f"missing array {name!r}")
+    _require(
+        data["schedule"].shape == (4,),
+        path,
+        f"schedule has shape {data['schedule'].shape}, expected (4,)",
+    )
+    n = len(data["labels"])
+    for name in _MEASUREMENT_SERIES:
+        _require(
+            data[name].ndim == 1 and len(data[name]) == n,
+            path,
+            f"{name} has shape {data[name].shape}, expected ({n},)",
+        )
+    return FastMeasurement(
+        labels=data["labels"],
+        phases=data["phases"],
+        dominant_cycles_per_day=data["dominant_cycles_per_day"],
+        diurnal_amplitude=data["diurnal_amplitude"],
+        mean_availability=data["mean_availability"],
+        schedule=_schedule_from_array(data["schedule"]),
+    )
 
 
 # World fields that round-trip as plain numeric arrays.
@@ -131,21 +363,34 @@ def save_world_arrays(path: str | Path, world: InternetWorld) -> Path:
     arrays fully describe the dataset; registry views are rebuilt on load
     via :func:`repro.simulation.internet.generate_world`.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     arrays = {name: getattr(world, name) for name in _WORLD_NUMERIC}
     arrays["config"] = np.array([world.config.n_blocks, world.config.seed])
-    np.savez_compressed(path, **arrays)
-    return path
+    return _save_npz(path, "world", _WORLD_VERSION, arrays)
 
 
-def load_world_arrays(path: str | Path) -> dict:
+def load_world_arrays(path: str | Path, quarantine: bool = True) -> dict:
     """Load world arrays saved by :func:`save_world_arrays`.
 
-    Returns a dict of arrays plus ``n_blocks``/``seed`` under ``config``.
+    Returns a dict of arrays plus ``n_blocks``/``seed`` under ``config``,
+    after digest/version verification and shape validation.
     """
-    with np.load(Path(path)) as data:
-        return {name: data[name] for name in data.files}
+    path = Path(path)
+    data = _load_npz(path, "world", _WORLD_VERSION, quarantine)
+    for name in _WORLD_NUMERIC + ("config",):
+        _require(name in data, path, f"missing array {name!r}")
+    _require(
+        data["config"].shape == (2,),
+        path,
+        f"config has shape {data['config'].shape}, expected (2,)",
+    )
+    n_blocks = int(data["config"][0])
+    for name in _WORLD_NUMERIC:
+        _require(
+            data[name].ndim == 1 and len(data[name]) == n_blocks,
+            path,
+            f"{name} has shape {data[name].shape}, expected ({n_blocks},)",
+        )
+    return data
 
 
 def ensure_measurement(
@@ -159,6 +404,8 @@ def ensure_measurement(
     caching it under ``cache_dir/<name>-<blocks>.npz`` lets analyses and
     notebooks share one run, the way the paper's derived datasets are
     shared.  Only "adaptive" datasets (A12W and friends) are world-based.
+    The cache self-heals: a corrupt entry is quarantined and a stale
+    schema version is recomputed, both transparently.
     """
     from repro.datasets.registry import dataset
     from repro.simulation.fastsim import measure_world
@@ -168,7 +415,10 @@ def ensure_measurement(
     config = spec.world_config(n_blocks)
     path = Path(cache_dir) / f"{spec.name}-{config.n_blocks}.npz"
     if path.exists():
-        return load_measurement(path)
+        try:
+            return load_measurement(path)
+        except CorruptCheckpointError:
+            pass  # quarantined (or stale); fall through to recompute
     world = generate_world(config)
     measurement = measure_world(world, spec.schedule())
     save_measurement(path, measurement)
@@ -179,11 +429,10 @@ def ensure_measurement(
 #
 # A checkpoint is one .npz archive holding every completed entry of a
 # BatchRunner run, keyed by batch index: measurement entries under
-# "m{i}_*" keys, failure entries under "f{i}_*".  Writes are atomic
-# (tmp file + rename) so a run killed mid-checkpoint leaves the previous
-# complete checkpoint intact, never a truncated archive.
-
-_CHECKPOINT_VERSION = 1
+# "m{i}_*" keys, failure entries under "f{i}_*".  Writes are atomic and
+# checksummed, so a run killed mid-checkpoint leaves the previous
+# complete checkpoint intact, and a damaged file is quarantined instead
+# of resuming from garbage.
 
 # DiurnalReport scalar fields serialized as one float vector, in order.
 _REPORT_FIELDS = (
@@ -284,7 +533,7 @@ def save_batch_checkpoint(
     schedule: RoundSchedule,
     meta: dict,
 ) -> Path:
-    """Atomically persist a partial batch run.
+    """Atomically persist a partial batch run (checksummed).
 
     ``entries`` maps batch index to ``BlockMeasurement`` or
     ``BlockFailure``.  ``meta`` must carry ``seed`` and ``n_blocks`` so
@@ -293,9 +542,7 @@ def save_batch_checkpoint(
     from repro.core.pipeline import BlockMeasurement
 
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {
-        "version": np.array([_CHECKPOINT_VERSION]),
         "meta": np.array([int(meta["seed"]), int(meta["n_blocks"])]),
         "schedule": _schedule_to_array(schedule),
         "indices": np.array(sorted(entries), dtype=np.int64),
@@ -327,10 +574,7 @@ def save_batch_checkpoint(
             arrays[prefix + "error"] = np.array(
                 [entry.error_type, entry.message]
             )
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
-    os.replace(tmp, path)
+    _save_npz(path, "checkpoint", _CHECKPOINT_VERSION, arrays)
     _obs.saves.inc()
     _obs.entries_saved.inc(len(entries))
     if _obs.enabled:
@@ -338,29 +582,45 @@ def save_batch_checkpoint(
     return path
 
 
-def load_batch_checkpoint(path: str | Path):
+def load_batch_checkpoint(path: str | Path, quarantine: bool = True):
     """Load a checkpoint written by :func:`save_batch_checkpoint`.
 
     Returns ``(entries, schedule, meta)`` with entries reconstructed as
     ``BlockMeasurement`` / ``BlockFailure`` objects, bit-identical to the
-    instances that were saved.
+    instances that were saved.  Digest, schema version, and array shapes
+    are validated before reconstruction; failures raise
+    :class:`CorruptCheckpointError` (after quarantining the file) or
+    :class:`CheckpointVersionError`, never a bare numpy/KeyError.
     """
     from repro.core.pipeline import BlockFailure, BlockMeasurement
 
-    with np.load(Path(path), allow_pickle=False) as data:
-        version = int(data["version"][0])
-        if version != _CHECKPOINT_VERSION:
-            raise ValueError(
-                f"checkpoint {path} has version {version}, "
-                f"expected {_CHECKPOINT_VERSION}"
-            )
-        seed, n_blocks = (int(v) for v in data["meta"])
-        schedule = _schedule_from_array(data["schedule"])
-        entries: dict = {}
+    path = Path(path)
+    data = _load_npz(path, "checkpoint", _CHECKPOINT_VERSION, quarantine)
+    for name in ("meta", "schedule", "indices"):
+        _require(name in data, path, f"missing array {name!r}")
+    _require(
+        data["meta"].shape == (2,),
+        path,
+        f"meta has shape {data['meta'].shape}, expected (2,)",
+    )
+    _require(
+        data["schedule"].shape == (4,),
+        path,
+        f"schedule has shape {data['schedule'].shape}, expected (4,)",
+    )
+    seed, n_blocks = (int(v) for v in data["meta"])
+    schedule = _schedule_from_array(data["schedule"])
+    entries: dict = {}
+    try:
         for index in data["indices"].tolist():
             m_prefix, f_prefix = f"m{index}_", f"f{index}_"
-            if m_prefix + "ints" in data.files:
+            if m_prefix + "ints" in data:
                 ints = data[m_prefix + "ints"]
+                _require(
+                    ints.shape == (6,),
+                    path,
+                    f"{m_prefix}ints has shape {ints.shape}, expected (6,)",
+                )
                 entries[index] = BlockMeasurement(
                     block_id=int(ints[0]),
                     schedule=schedule,
@@ -379,7 +639,17 @@ def load_batch_checkpoint(path: str | Path):
                     quality=_quality_from_array(data[m_prefix + "quality"]),
                 )
             else:
+                _require(
+                    f_prefix + "ints" in data,
+                    path,
+                    f"index {index} has neither measurement nor failure entry",
+                )
                 ints = data[f_prefix + "ints"]
+                _require(
+                    ints.shape == (3,),
+                    path,
+                    f"{f_prefix}ints has shape {ints.shape}, expected (3,)",
+                )
                 error_type, message = data[f_prefix + "error"]
                 entries[index] = BlockFailure(
                     block_id=int(ints[0]),
@@ -388,6 +658,15 @@ def load_batch_checkpoint(path: str | Path):
                     message=str(message),
                     attempts=int(ints[2]),
                 )
+    except CorruptCheckpointError:
+        raise
+    except (KeyError, ValueError, IndexError, TypeError) as exc:
+        # Digest-valid content that still cannot reconstruct points at a
+        # writer bug; name the file and entry instead of leaking internals.
+        _obs.corruption.inc()
+        raise CorruptCheckpointError(
+            path, f"entry reconstruction failed ({type(exc).__name__}: {exc})"
+        ) from exc
     _obs.loads.inc()
     _obs.entries_loaded.inc(len(entries))
     return entries, schedule, {"seed": seed, "n_blocks": n_blocks}
@@ -409,7 +688,9 @@ def iter_observation_stream(
     instead, emitting every block's round ``r`` before any block's round
     ``r + 1`` — the arrival order a real multi-block prober produces.
     Failures are skipped (they carry no series); skipped-as-sparse
-    blocks are omitted unless ``include_skipped``.
+    blocks are omitted unless ``include_skipped``.  A damaged checkpoint
+    raises :class:`CorruptCheckpointError` before the first tuple is
+    yielded.
     """
     from repro.core.pipeline import BlockMeasurement
 
@@ -436,11 +717,22 @@ def iter_observation_stream(
 
 
 def write_csv(path: str | Path, header: list, rows: list) -> Path:
-    """Write an analysis table as CSV (one figure/table per file)."""
+    """Write an analysis table as CSV (one figure/table per file).
+
+    The write is atomic (temp file + fsync + ``os.replace``): a reader —
+    or a rerun after a crash — can never observe a half-written table.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
+
+    def _write(handle) -> None:
+        import io as _io
+
+        text = _io.TextIOWrapper(handle, newline="", write_through=True)
+        writer = csv.writer(text)
         writer.writerow(header)
         writer.writerows(rows)
+        text.flush()
+        text.detach()  # leave the binary handle open for fsync
+
+    _atomic_write(path, "table", _write)
     return path

@@ -16,9 +16,35 @@ degraded" with one config object:
 ``plan``
     :class:`FaultPlan`, which composes the active injectors and owns
     their deterministic random substreams.
+``crash``
+    Named crash points: :func:`crashpoint` hooks in the persistence and
+    batch layers, armed by chaos tests to kill a run mid-write,
+    mid-append, mid-block, or mid-worker (:class:`InjectedCrash`).
+``corruption``
+    Deterministic on-disk damage (truncation, bit flips, zeroing) and
+    the shared :data:`CORRUPTION_MATRIX` the durable loaders are tested
+    against.
 """
 
 from repro.faults.config import FaultConfig
+from repro.faults.corruption import (
+    CORRUPTION_MATRIX,
+    corrupt_file,
+    flip_bit,
+    overwrite_range,
+    truncate_fraction,
+    truncate_tail,
+    zero_length,
+)
+from repro.faults.crash import (
+    InjectedCrash,
+    any_armed,
+    arm,
+    armed,
+    crashpoint,
+    disarm,
+    fired,
+)
 from repro.faults.injectors import (
     ClockSkewInjector,
     FaultInjector,
@@ -33,15 +59,29 @@ from repro.faults.oracle import LossyOracle
 from repro.faults.plan import FaultPlan
 
 __all__ = [
+    "CORRUPTION_MATRIX",
     "ClockSkewInjector",
     "FaultConfig",
     "FaultInjector",
     "FaultPlan",
     "GapInjector",
+    "InjectedCrash",
     "LossyOracle",
     "ObservationStream",
     "ProbeLossInjector",
     "ProberCrashInjector",
     "RoundDropInjector",
     "RoundDuplicateInjector",
+    "any_armed",
+    "arm",
+    "armed",
+    "corrupt_file",
+    "crashpoint",
+    "disarm",
+    "fired",
+    "flip_bit",
+    "overwrite_range",
+    "truncate_fraction",
+    "truncate_tail",
+    "zero_length",
 ]

@@ -1,0 +1,112 @@
+"""On-disk corruption primitives shared by durability tests and chaos runs.
+
+The durable loaders promise that *no* damaged file is ever silently
+loaded — truncation, bit rot, or an empty file must surface as a typed
+error (and quarantine), never as numpy garbage.  This module is the
+single source of the damage shapes those promises are tested against:
+each corruptor mutates a file in place, and :data:`CORRUPTION_MATRIX`
+names the standard set so every loader test and the chaos harness
+exercise the identical matrix.
+
+Corruptors are deterministic (no randomness): the same file always ends
+up with the same damage, keeping chaos runs reproducible.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = [
+    "CORRUPTION_MATRIX",
+    "corrupt_file",
+    "flip_bit",
+    "overwrite_range",
+    "truncate_fraction",
+    "truncate_tail",
+    "zero_length",
+]
+
+
+def truncate_tail(path: str | Path, n_bytes: int = 1) -> Path:
+    """Drop the last ``n_bytes`` bytes — a write that never finished."""
+    path = Path(path)
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.truncate(max(size - n_bytes, 0))
+    return path
+
+
+def truncate_fraction(path: str | Path, keep: float = 0.5) -> Path:
+    """Keep only the leading ``keep`` fraction of the file."""
+    if not 0.0 <= keep <= 1.0:
+        raise ValueError("keep must be in [0, 1]")
+    path = Path(path)
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.truncate(int(size * keep))
+    return path
+
+
+def flip_bit(path: str | Path, offset: int, bit: int = 0) -> Path:
+    """Flip one bit at byte ``offset`` (negative offsets count from EOF)."""
+    if not 0 <= bit <= 7:
+        raise ValueError("bit must be in [0, 7]")
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        raise ValueError(f"{path} is empty; nothing to flip")
+    if offset < 0:
+        offset += size
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} outside file of {size} bytes")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ (1 << bit)]))
+    return path
+
+
+def overwrite_range(
+    path: str | Path, offset: int, data: bytes
+) -> Path:
+    """Replace bytes at ``offset`` with ``data`` (no size change)."""
+    path = Path(path)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(data)
+    return path
+
+
+def zero_length(path: str | Path) -> Path:
+    """Truncate to zero bytes — a crash between create and first write."""
+    path = Path(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(0)
+    return path
+
+
+# The standard damage matrix: name -> corruptor(path).  Offsets are
+# chosen to hit distinct regions: the container header, the middle of
+# the payload, and the tail.
+CORRUPTION_MATRIX = {
+    "zero-length": zero_length,
+    "truncated-half": lambda p: truncate_fraction(p, keep=0.5),
+    "truncated-tail": lambda p: truncate_tail(p, n_bytes=7),
+    "bitflip-header": lambda p: flip_bit(p, offset=2),
+    "bitflip-middle": lambda p: flip_bit(p, offset=Path(p).stat().st_size // 2),
+    "bitflip-tail": lambda p: flip_bit(p, offset=-3),
+    "garbage-header": lambda p: overwrite_range(p, 0, b"\xde\xad\xbe\xef"),
+}
+
+
+def corrupt_file(path: str | Path, kind: str) -> Path:
+    """Apply one named corruption from :data:`CORRUPTION_MATRIX`."""
+    try:
+        corruptor = CORRUPTION_MATRIX[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown corruption {kind!r}; expected one of "
+            f"{sorted(CORRUPTION_MATRIX)}"
+        ) from None
+    return corruptor(Path(path))

@@ -1,0 +1,150 @@
+"""Crash points: kill a run at a named place, deterministically.
+
+The crash-recovery chaos harness needs to stop a run *exactly* where a
+real crash could — between writing a checkpoint's temp file and renaming
+it, halfway through a journal frame, between two blocks of a batch, or
+in the middle of a worker's task.  Production code marks those places
+with :func:`crashpoint`; the call is a dict lookup when nothing is
+armed, so the hooks cost nothing outside chaos tests.
+
+A test arms a point with :func:`arm` (or the :func:`armed` context
+manager) and the ``hits``-th call fires.  Two actions exist:
+
+* ``"raise"`` — raise :class:`InjectedCrash`.  It subclasses
+  ``BaseException`` (like ``KeyboardInterrupt``) on purpose: the batch
+  runner's per-block isolation catches ``Exception``, and a simulated
+  process death must tear through that boundary, not be recorded as a
+  :class:`~repro.core.pipeline.BlockFailure`.
+* ``"exit"`` — ``os._exit(1)``: no cleanup, no atexit, no flushing —
+  the closest a test can get to ``SIGKILL``.  Used to kill pool workers.
+
+``marker`` makes a crash one-shot *across processes*: the point only
+fires if it can atomically create the marker file.  A forked worker that
+respawns inherits the armed state, and without the marker it would die
+again on every respawn, turning "one crash" into a poison block.
+
+Everything here is stdlib-only so any module can import it without
+dependency cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "InjectedCrash",
+    "any_armed",
+    "arm",
+    "armed",
+    "crashpoint",
+    "disarm",
+    "fired",
+]
+
+_EXIT_CODE = 17  # distinctive, so tests can assert the death was injected
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death, raised at an armed crash point."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+@dataclass
+class _ArmedPoint:
+    hits: int
+    action: str
+    marker: str | None
+    calls: int = 0
+    fired: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+# Module-global armed table.  Empty (falsy) outside chaos tests, so the
+# hot-path cost of an unarmed crashpoint() is one dict identity check.
+_armed: dict[str, _ArmedPoint] = {}
+
+
+def arm(point: str, hits: int = 1, action: str = "raise",
+        marker: str | os.PathLike | None = None) -> None:
+    """Arm ``point`` to fire on its ``hits``-th call.
+
+    ``action`` is ``"raise"`` (raise :class:`InjectedCrash`) or
+    ``"exit"`` (``os._exit``, for killing worker processes).  With
+    ``marker``, the point fires only if it can create that file with
+    ``O_CREAT | O_EXCL`` — exactly-once semantics shared by every
+    process that inherited the armed state.
+    """
+    if hits < 1:
+        raise ValueError("hits must be at least 1")
+    if action not in ("raise", "exit"):
+        raise ValueError(f"unknown crash action {action!r}")
+    _armed[point] = _ArmedPoint(
+        hits=hits,
+        action=action,
+        marker=None if marker is None else os.fspath(marker),
+    )
+
+
+def disarm(point: str | None = None) -> None:
+    """Disarm one point, or every point when ``point`` is None."""
+    if point is None:
+        _armed.clear()
+    else:
+        _armed.pop(point, None)
+
+
+def any_armed() -> bool:
+    """True when at least one crash point is armed (chaos test running)."""
+    return bool(_armed)
+
+
+def fired(point: str) -> int:
+    """How many times ``point`` has fired since it was armed (0 if not)."""
+    entry = _armed.get(point)
+    return 0 if entry is None else entry.fired
+
+
+def _claim_marker(path: str) -> bool:
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def crashpoint(point: str) -> None:
+    """Fire ``point`` if armed; no-op (one dict lookup) otherwise."""
+    if not _armed:
+        return
+    entry = _armed.get(point)
+    if entry is None:
+        return
+    with entry.lock:
+        entry.calls += 1
+        due = entry.calls == entry.hits
+    if not due:
+        return
+    if entry.marker is not None and not _claim_marker(entry.marker):
+        return
+    entry.fired += 1
+    if entry.action == "exit":
+        os._exit(_EXIT_CODE)
+    raise InjectedCrash(point)
+
+
+@contextmanager
+def armed(point: str, hits: int = 1, action: str = "raise",
+          marker: str | os.PathLike | None = None):
+    """Arm ``point`` for the duration of a ``with`` block, then disarm."""
+    arm(point, hits=hits, action=action, marker=marker)
+    try:
+        yield
+    finally:
+        disarm(point)

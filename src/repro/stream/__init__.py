@@ -13,6 +13,10 @@
 ``events`` / ``sinks``
     Typed events, the synchronous :class:`EventBus`, and pluggable
     sinks (list, counting, callback, filter, CSV).
+``journal``
+    :class:`StreamJournal` — a CRC-framed write-ahead log for
+    observations, with torn-tail recovery on open and idempotent
+    sequence-numbered replay (:func:`replay_journal`).
 
 The correctness anchor is *batch parity*: every window-close report is
 bit-identical to :func:`repro.core.classify.classify_series` over the
@@ -35,6 +39,13 @@ from repro.stream.events import (
     StreamEvent,
     WindowClosed,
 )
+from repro.stream.journal import (
+    JournalRecord,
+    RecoveryReport,
+    StreamJournal,
+    read_journal,
+    replay_journal,
+)
 from repro.stream.sinks import (
     CallbackSink,
     CountingSink,
@@ -54,17 +65,22 @@ __all__ = [
     "EventBus",
     "EventSink",
     "FilterSink",
+    "JournalRecord",
     "LateObservation",
     "ListSink",
     "PhaseEdge",
     "ProvisionalEstimate",
     "QualityDegraded",
     "QualityRestored",
+    "RecoveryReport",
     "RoundWindow",
     "SlidingDFT",
     "StreamConfig",
     "StreamEngine",
     "StreamEvent",
+    "StreamJournal",
     "WindowClosed",
     "batch_window_report",
+    "read_journal",
+    "replay_journal",
 ]

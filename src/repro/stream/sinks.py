@@ -10,6 +10,7 @@ downstream sink, and append to a CSV file (offline analysis).
 from __future__ import annotations
 
 import csv
+import os
 from pathlib import Path
 
 from repro.stream.events import StreamEvent
@@ -154,13 +155,19 @@ class CsvSink(EventSink):
         self.n_written += 1
 
     def flush(self) -> None:
-        """Push buffered rows to disk without closing the file."""
+        """Push buffered rows durably to disk without closing the file.
+
+        Flushes Python's buffer *and* fsyncs, so every row emitted
+        before a flush survives a crash — a half-buffered row can only
+        be one the caller never flushed.
+        """
         if self._handle is not None:
             self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.flush()
+            self.flush()
             self._handle.close()
             self._handle = None
             self._writer = None

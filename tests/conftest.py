@@ -1,0 +1,70 @@
+"""Shared fixtures: per-test watchdog and chaos artifact capture.
+
+The chaos/durability suites deliberately hang workers and kill
+processes; a supervision bug there shows up as a test that never
+returns, which would wedge CI.  The ``watchdog`` marker arms a
+``SIGALRM``-based timeout around any test that opts in — stdlib only,
+no pytest-timeout dependency::
+
+    @pytest.mark.watchdog(60)
+    def test_that_might_hang(): ...
+
+When ``REPRO_CHAOS_ARTIFACT_DIR`` is set (the CI chaos job sets it),
+every failed test's temp directory is copied there, so quarantined
+files and manifests from the failing run are uploaded as artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+from pathlib import Path
+
+import pytest
+
+
+class WatchdogTimeout(Exception):
+    """The watchdog fired: the test exceeded its wall-clock budget."""
+
+
+@pytest.fixture(autouse=True)
+def _watchdog(request):
+    marker = request.node.get_closest_marker("watchdog")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else 60
+
+    def _fire(signum, frame):
+        raise WatchdogTimeout(
+            f"{request.node.nodeid} exceeded its {seconds}s watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    artifact_root = os.environ.get("REPRO_CHAOS_ARTIFACT_DIR")
+    if not artifact_root or report.when != "call" or not report.failed:
+        return
+    # Salvage the failing test's tmp_path (quarantine files, checkpoints,
+    # journals, manifests) for CI artifact upload.
+    tmp_path = getattr(item, "funcargs", {}).get("tmp_path")
+    if tmp_path is None or not Path(tmp_path).is_dir():
+        return
+    safe_name = item.nodeid.replace("/", "_").replace("::", "-")
+    target = Path(artifact_root) / safe_name
+    try:
+        shutil.copytree(tmp_path, target, dirs_exist_ok=True)
+    except OSError:
+        pass

@@ -1,0 +1,258 @@
+"""Crash-recovery chaos harness: kill the run anywhere, resume exactly.
+
+For every injected crash point — mid-checkpoint-write, just after
+checkpoint publication, mid-block, mid-journal-append, mid-worker —
+the restarted run must complete and produce results bit-identical to a
+run that was never interrupted, and no partially written state may
+ever be loaded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchConfig,
+    BatchRunner,
+    PoolConfig,
+    PoolRunner,
+    reports_equal,
+)
+from repro.faults import InjectedCrash, arm, disarm, fired
+from repro.probing import RoundSchedule
+from repro.stream import (
+    ListSink,
+    StreamConfig,
+    StreamEngine,
+    StreamJournal,
+    WindowClosed,
+    replay_journal,
+)
+from tests.test_batch_runner import make_blocks
+from tests.test_supervisor import assert_results_identical
+
+SCHEDULE = RoundSchedule.for_days(2)
+N_BLOCKS = 6
+
+
+@pytest.fixture(autouse=True)
+def _disarm_after_test():
+    yield
+    disarm()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted():
+    """The oracle: a batch run that was never disturbed."""
+    return BatchRunner(BatchConfig()).run(
+        make_blocks(N_BLOCKS), SCHEDULE, seed=13
+    )
+
+
+def run_with_checkpoint(path, **batch_kwargs):
+    config = BatchConfig(
+        checkpoint_path=path, checkpoint_every=2, **batch_kwargs
+    )
+    return BatchRunner(config).run(make_blocks(N_BLOCKS), SCHEDULE, seed=13)
+
+
+BATCH_CRASH_POINTS = [
+    ("io.checkpoint.begin", 2),
+    ("io.checkpoint.tmp_written", 2),
+    ("io.checkpoint.replaced", 1),
+    ("batch.block_done", 3),
+    ("batch.checkpointed", 1),
+]
+
+
+class TestBatchCrashRecovery:
+    @pytest.mark.watchdog(300)
+    @pytest.mark.parametrize("point,hits", BATCH_CRASH_POINTS)
+    def test_resume_is_bit_identical(
+        self, tmp_path, uninterrupted, point, hits
+    ):
+        path = tmp_path / "ck.npz"
+        arm(point, hits=hits)
+        with pytest.raises(InjectedCrash):
+            run_with_checkpoint(path)
+        assert fired(point) == 1
+        disarm()
+
+        resumed = run_with_checkpoint(path)
+        assert resumed.n_resumed >= 0
+        assert_results_identical(uninterrupted, resumed)
+
+    @pytest.mark.watchdog(300)
+    def test_crash_mid_checkpoint_write_never_loses_published_state(
+        self, tmp_path
+    ):
+        from repro.datasets.io import load_batch_checkpoint
+
+        path = tmp_path / "ck.npz"
+        arm("io.checkpoint.tmp_written", hits=2)
+        with pytest.raises(InjectedCrash):
+            run_with_checkpoint(path)
+        disarm()
+        # The crash hit the *second* checkpoint write mid-flight: the
+        # first published checkpoint must still load, complete, intact.
+        entries, _, meta = load_batch_checkpoint(path)
+        assert len(entries) == 2
+        assert meta == {"seed": 13, "n_blocks": N_BLOCKS}
+
+    @pytest.mark.watchdog(300)
+    def test_resume_after_crash_actually_resumes(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        arm("batch.checkpointed", hits=2)  # die after the 2nd checkpoint
+        with pytest.raises(InjectedCrash):
+            run_with_checkpoint(path)
+        disarm()
+        resumed = run_with_checkpoint(path)
+        assert resumed.n_resumed == 4  # two checkpoints of two blocks
+
+
+class TestJournalCrashRecovery:
+    @pytest.mark.watchdog(300)
+    def test_torn_append_then_restart_reproduces_stream_verdicts(
+        self, tmp_path
+    ):
+        """Kill the journal writer mid-frame; restart; verdicts identical.
+
+        The restart protocol is the production one: recover the journal
+        (torn tail truncated), replay it into a fresh engine, then keep
+        ingesting from the source starting at the first unjournaled
+        observation (a torn append was never acknowledged, so the
+        source re-sends it).
+        """
+        rng = np.random.default_rng(23)
+        config = StreamConfig.for_days(1)
+        n = 2 * config.window_rounds
+        day = 24 * 3600.0
+        source = [
+            (
+                7,
+                i * config.round_s,
+                float(
+                    np.clip(
+                        0.5
+                        + 0.3 * np.sin(2 * np.pi * i * config.round_s / day)
+                        + rng.normal(0, 0.02),
+                        0,
+                        1,
+                    )
+                ),
+            )
+            for i in range(n)
+        ]
+
+        oracle_sink = ListSink()
+        oracle = StreamEngine(config, sinks=[oracle_sink])
+        for block_id, t, value in source:
+            oracle.ingest(block_id, t, value)
+
+        path = tmp_path / "wal"
+        journal = StreamJournal(path)
+        live = StreamEngine(config)
+        arm("journal.mid_append", hits=n // 3)
+        with pytest.raises(InjectedCrash):
+            for block_id, t, value in source:
+                seq = journal.append(block_id, t, value)
+                live.ingest(block_id, t, value)
+                if seq % 5 == 0:
+                    journal.flush()
+        disarm()
+
+        # -- restart --
+        journal = StreamJournal(path)
+        assert journal.recovery.was_torn
+        restart_sink = ListSink()
+        restarted = StreamEngine(config, sinks=[restart_sink])
+        last = replay_journal(path, restarted)
+        for block_id, t, value in source[last:]:
+            journal.append(block_id, t, value)
+            restarted.ingest(block_id, t, value)
+        journal.close()
+
+        oracle_closes = oracle_sink.of_type(WindowClosed)
+        restart_closes = restart_sink.of_type(WindowClosed)
+        assert len(oracle_closes) == len(restart_closes) >= 1
+        for a, b in zip(oracle_closes, restart_closes):
+            assert reports_equal(a.report, b.report)
+
+
+class TestPoolCrashRecovery:
+    @pytest.mark.watchdog(300)
+    def test_worker_killed_mid_task_results_identical(
+        self, tmp_path, uninterrupted
+    ):
+        # The armed state is inherited by forked workers; the marker
+        # file makes the death exactly-once across every worker and
+        # respawn, so the pool must absorb one SIGKILL-style loss.
+        marker = tmp_path / "crash-marker"
+        arm(
+            "pool.worker.task_start",
+            hits=1,
+            action="exit",
+            marker=marker,
+        )
+        pooled = PoolRunner(
+            PoolConfig(n_workers=2, max_block_failures=3)
+        ).run(make_blocks(N_BLOCKS), SCHEDULE, seed=13)
+        disarm()
+        assert marker.exists()  # the injected kill really fired
+        assert not pooled.failures
+        assert_results_identical(uninterrupted, pooled)
+
+    @pytest.mark.watchdog(300)
+    def test_supervisor_crash_resumes_bit_identically(
+        self, tmp_path, uninterrupted
+    ):
+        path = tmp_path / "ck.npz"
+        config = PoolConfig(
+            batch=BatchConfig(checkpoint_path=path, checkpoint_every=1),
+            n_workers=2,
+        )
+        arm("pool.block_done", hits=3)
+        with pytest.raises(InjectedCrash):
+            PoolRunner(config).run(make_blocks(N_BLOCKS), SCHEDULE, seed=13)
+        disarm()
+
+        resumed = PoolRunner(config).run(
+            make_blocks(N_BLOCKS), SCHEDULE, seed=13
+        )
+        assert resumed.n_resumed >= 2
+        assert_results_identical(uninterrupted, resumed)
+
+    @pytest.mark.watchdog(300)
+    def test_crash_during_pool_checkpoint_write(self, tmp_path, uninterrupted):
+        path = tmp_path / "ck.npz"
+        config = PoolConfig(
+            batch=BatchConfig(checkpoint_path=path, checkpoint_every=2),
+            n_workers=2,
+        )
+        arm("io.checkpoint.tmp_written", hits=2)
+        with pytest.raises(InjectedCrash):
+            PoolRunner(config).run(make_blocks(N_BLOCKS), SCHEDULE, seed=13)
+        disarm()
+        resumed = PoolRunner(config).run(
+            make_blocks(N_BLOCKS), SCHEDULE, seed=13
+        )
+        assert_results_identical(uninterrupted, resumed)
+
+
+class TestMeasurementCrashRecovery:
+    @pytest.mark.watchdog(300)
+    def test_interrupted_measurement_save_retries_cleanly(self, tmp_path):
+        from repro.datasets.io import load_measurement, save_measurement
+        from repro.simulation.fastsim import measure_world
+        from repro.simulation.internet import WorldConfig, generate_world
+
+        world = generate_world(WorldConfig(n_blocks=30, seed=2))
+        measurement = measure_world(world, SCHEDULE)
+        path = tmp_path / "m.npz"
+        arm("io.measurement.tmp_written", hits=1)
+        with pytest.raises(InjectedCrash):
+            save_measurement(path, measurement)
+        disarm()
+        assert not path.exists()  # never published a torn file
+        save_measurement(path, measurement)
+        loaded = load_measurement(path)
+        np.testing.assert_array_equal(loaded.labels, measurement.labels)

@@ -1,0 +1,300 @@
+"""Durable persistence: atomicity, digests, quarantine, typed errors.
+
+Every loader is driven through the shared corruption matrix
+(:data:`repro.faults.corruption.CORRUPTION_MATRIX`) — the same damage
+shapes the chaos harness injects — and must quarantine the file and
+raise :class:`CorruptCheckpointError`, never return garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchConfig, BatchRunner, reports_equal
+from repro.datasets import io as dio
+from repro.datasets.io import (
+    CheckpointVersionError,
+    CorruptCheckpointError,
+    iter_observation_stream,
+    load_batch_checkpoint,
+    load_measurement,
+    load_world_arrays,
+    save_batch_checkpoint,
+    save_measurement,
+    save_world_arrays,
+    write_csv,
+)
+from repro.faults import CORRUPTION_MATRIX, InjectedCrash, armed, corrupt_file
+from repro.net import Block24, make_always_on, make_dead, make_diurnal, merge_behaviors
+from repro.probing import RoundSchedule
+from repro.simulation.fastsim import measure_world
+from repro.simulation.internet import WorldConfig, generate_world
+
+SCHEDULE = RoundSchedule.for_days(2)
+
+
+def diurnal_block(block_id):
+    behavior = merge_behaviors(
+        make_always_on(40),
+        make_diurnal(80, phase_s=6 * 3600),
+        make_dead(136),
+    )
+    return Block24(block_id, behavior)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(n_blocks=40, seed=5))
+
+
+@pytest.fixture(scope="module")
+def measurement(world):
+    return measure_world(world, SCHEDULE)
+
+
+@pytest.fixture()
+def measurement_file(tmp_path, measurement):
+    return save_measurement(tmp_path / "m.npz", measurement)
+
+
+@pytest.fixture(scope="module")
+def batch_result():
+    blocks = [diurnal_block(i) for i in range(4)]
+    runner = BatchRunner(BatchConfig())
+    return runner.run(blocks, SCHEDULE, seed=3)
+
+
+@pytest.fixture()
+def checkpoint_file(tmp_path, batch_result):
+    entries = dict(enumerate(batch_result.results))
+    return save_batch_checkpoint(
+        tmp_path / "ck.npz",
+        entries,
+        SCHEDULE,
+        meta={"seed": 3, "n_blocks": len(entries)},
+    )
+
+
+class TestRoundTrip:
+    def test_measurement_round_trip(self, measurement_file, measurement):
+        loaded = load_measurement(measurement_file)
+        np.testing.assert_array_equal(loaded.labels, measurement.labels)
+        np.testing.assert_array_equal(loaded.phases, measurement.phases)
+        assert loaded.schedule == measurement.schedule
+
+    def test_world_round_trip(self, tmp_path, world):
+        path = save_world_arrays(tmp_path / "w.npz", world)
+        data = load_world_arrays(path)
+        np.testing.assert_array_equal(data["lat"], world.lat)
+        assert int(data["config"][0]) == world.config.n_blocks
+        # Reserved digest/version keys never leak into the result.
+        assert all(not key.startswith("__") for key in data)
+
+    def test_checkpoint_round_trip(self, checkpoint_file, batch_result):
+        entries, schedule, meta = load_batch_checkpoint(checkpoint_file)
+        assert schedule == SCHEDULE
+        assert meta == {"seed": 3, "n_blocks": 4}
+        for index, original in enumerate(batch_result.results):
+            restored = entries[index]
+            np.testing.assert_array_equal(restored.a_short, original.a_short)
+            assert reports_equal(restored.report, original.report)
+
+    def test_no_temp_file_left_behind(self, measurement_file):
+        leftovers = list(measurement_file.parent.glob("*.tmp"))
+        assert leftovers == []
+
+
+@pytest.mark.parametrize("kind", sorted(CORRUPTION_MATRIX))
+class TestCorruptionMatrix:
+    def test_measurement_loader_rejects_and_quarantines(
+        self, measurement_file, kind
+    ):
+        corrupt_file(measurement_file, kind)
+        with pytest.raises(CorruptCheckpointError, match="corrupt or unreadable"):
+            load_measurement(measurement_file)
+        assert not measurement_file.exists()
+        quarantined = list(
+            measurement_file.parent.glob("m.npz.quarantine.*")
+        )
+        assert len(quarantined) == 1
+
+    def test_checkpoint_loader_rejects_and_quarantines(
+        self, checkpoint_file, kind
+    ):
+        corrupt_file(checkpoint_file, kind)
+        with pytest.raises(CorruptCheckpointError, match="corrupt or unreadable"):
+            load_batch_checkpoint(checkpoint_file)
+        assert not checkpoint_file.exists()
+        assert list(checkpoint_file.parent.glob("ck.npz.quarantine.*"))
+
+    def test_observation_stream_rejects(self, checkpoint_file, kind):
+        corrupt_file(checkpoint_file, kind)
+        with pytest.raises(CorruptCheckpointError):
+            list(iter_observation_stream(checkpoint_file))
+
+    def test_world_loader_rejects(self, tmp_path, world, kind):
+        path = save_world_arrays(tmp_path / "w.npz", world)
+        corrupt_file(path, kind)
+        with pytest.raises(CorruptCheckpointError):
+            load_world_arrays(path)
+
+
+class TestQuarantinePolicy:
+    def test_error_names_file_and_quarantine_target(self, measurement_file):
+        corrupt_file(measurement_file, "truncated-half")
+        with pytest.raises(CorruptCheckpointError) as excinfo:
+            load_measurement(measurement_file)
+        assert str(measurement_file) in str(excinfo.value)
+        assert excinfo.value.quarantined_to is not None
+        assert excinfo.value.quarantined_to.exists()
+
+    def test_quarantine_can_be_disabled(self, measurement_file):
+        corrupt_file(measurement_file, "zero-length")
+        with pytest.raises(CorruptCheckpointError) as excinfo:
+            load_measurement(measurement_file, quarantine=False)
+        assert measurement_file.exists()
+        assert excinfo.value.quarantined_to is None
+
+    def test_repeated_damage_gets_distinct_quarantine_names(
+        self, tmp_path, measurement
+    ):
+        path = tmp_path / "m.npz"
+        for _ in range(2):
+            save_measurement(path, measurement)
+            corrupt_file(path, "garbage-header")
+            with pytest.raises(CorruptCheckpointError):
+                load_measurement(path)
+        names = sorted(p.name for p in tmp_path.glob("m.npz.quarantine.*"))
+        assert names == ["m.npz.quarantine.0", "m.npz.quarantine.1"]
+
+    def test_missing_file_is_not_a_corruption(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_measurement(tmp_path / "absent.npz")
+
+
+class TestSchemaVersioning:
+    def test_stale_version_is_typed_and_not_quarantined(
+        self, tmp_path, measurement
+    ):
+        path = save_measurement(tmp_path / "m.npz", measurement)
+        raw = dict(np.load(path))
+        raw.pop("__digest__")
+        raw.pop("__version__")
+        dio._save_npz(path, "measurement", 1, raw)
+        with pytest.raises(CheckpointVersionError, match="version 1, expected 2"):
+            load_measurement(path)
+        assert path.exists()  # intact file, wrong schema: keep it
+
+    def test_pre_durability_archive_is_rejected(self, tmp_path):
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, labels=np.zeros(3))
+        with pytest.raises(CheckpointVersionError, match="pre-durability"):
+            load_measurement(path)
+        assert path.exists()
+
+    def test_version_error_is_catchable_as_corrupt(self, tmp_path):
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, labels=np.zeros(3))
+        with pytest.raises(CorruptCheckpointError):
+            load_measurement(path)
+
+
+class TestShapeValidation:
+    def test_measurement_with_wrong_schedule_shape(self, tmp_path):
+        arrays = {name: np.zeros(4) for name in dio._MEASUREMENT_SERIES}
+        arrays["schedule"] = np.zeros(3)  # should be (4,)
+        path = tmp_path / "bad.npz"
+        dio._save_npz(path, "measurement", dio._MEASUREMENT_VERSION, arrays)
+        with pytest.raises(CorruptCheckpointError, match="schedule has shape"):
+            load_measurement(path)
+
+    def test_measurement_with_mismatched_series_lengths(self, tmp_path):
+        arrays = {name: np.zeros(4) for name in dio._MEASUREMENT_SERIES}
+        arrays["phases"] = np.zeros(7)
+        arrays["schedule"] = dio._schedule_to_array(SCHEDULE)
+        path = tmp_path / "bad.npz"
+        dio._save_npz(path, "measurement", dio._MEASUREMENT_VERSION, arrays)
+        with pytest.raises(CorruptCheckpointError, match="phases has shape"):
+            load_measurement(path)
+
+    def test_checkpoint_missing_entry_arrays(self, tmp_path):
+        arrays = {
+            "meta": np.array([0, 1]),
+            "schedule": dio._schedule_to_array(SCHEDULE),
+            "indices": np.array([0], dtype=np.int64),
+        }
+        path = tmp_path / "bad.npz"
+        dio._save_npz(path, "checkpoint", dio._CHECKPOINT_VERSION, arrays)
+        with pytest.raises(CorruptCheckpointError, match="index 0"):
+            load_batch_checkpoint(path)
+
+
+class TestAtomicity:
+    def test_crash_before_replace_preserves_old_file(
+        self, tmp_path, measurement
+    ):
+        path = save_measurement(tmp_path / "m.npz", measurement)
+        before = path.read_bytes()
+        with armed("io.measurement.tmp_written"):
+            with pytest.raises(InjectedCrash):
+                save_measurement(path, measurement)
+        assert path.read_bytes() == before
+        # And the interrupted write is recoverable: plain retry wins.
+        save_measurement(path, measurement)
+        load_measurement(path)
+
+    def test_crash_before_tmp_write_preserves_old_file(
+        self, tmp_path, measurement
+    ):
+        path = save_measurement(tmp_path / "m.npz", measurement)
+        with armed("io.measurement.begin"):
+            with pytest.raises(InjectedCrash):
+                save_measurement(path, measurement)
+        load_measurement(path)
+
+    def test_write_csv_is_atomic(self, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        before = path.read_text()
+        with armed("io.table.tmp_written"):
+            with pytest.raises(InjectedCrash):
+                write_csv(path, ["a", "b"], [[9, 9]])
+        assert path.read_text() == before
+
+    def test_write_csv_content(self, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(path, ["x", "y"], [[1, "a"], [2, "b"]])
+        lines = path.read_text().splitlines()
+        assert lines == ["x,y", "1,a", "2,b"]
+
+
+class TestEnsureMeasurementSelfHeal:
+    def test_corrupt_cache_is_quarantined_and_recomputed(self, tmp_path):
+        from repro.datasets import ensure_measurement
+
+        first = ensure_measurement("A16ALL", tmp_path, n_blocks=60)
+        cache = tmp_path / "A16ALL-60.npz"
+        assert cache.exists()
+        corrupt_file(cache, "truncated-half")
+        healed = ensure_measurement("A16ALL", tmp_path, n_blocks=60)
+        np.testing.assert_array_equal(healed.labels, first.labels)
+        assert cache.exists()  # rewritten
+        assert list(tmp_path.glob("A16ALL-60.npz.quarantine.*"))
+
+
+class TestRunnerIntegration:
+    def test_corrupt_checkpoint_surfaces_typed_error(self, checkpoint_file):
+        corrupt_file(checkpoint_file, "bitflip-middle")
+        runner = BatchRunner(BatchConfig(checkpoint_path=checkpoint_file))
+        with pytest.raises(CorruptCheckpointError, match="corrupt or unreadable"):
+            runner.run([diurnal_block(0)] * 4, SCHEDULE, seed=3)
+
+    def test_quarantined_checkpoint_allows_fresh_run(self, checkpoint_file):
+        corrupt_file(checkpoint_file, "truncated-tail")
+        config = BatchConfig(checkpoint_path=checkpoint_file)
+        blocks = [diurnal_block(i) for i in range(4)]
+        with pytest.raises(CorruptCheckpointError):
+            BatchRunner(config).run(blocks, SCHEDULE, seed=3)
+        # The damaged file was moved aside, so the rerun starts clean.
+        result = BatchRunner(config).run(blocks, SCHEDULE, seed=3)
+        assert result.n_resumed == 0
+        assert len(result.measurements) == 4

@@ -1,0 +1,237 @@
+"""Supervised PoolRunner: parity, deadlines, respawn, quarantine, breaker."""
+
+import os
+import time
+
+import pytest
+
+from repro.core import (
+    BatchConfig,
+    BatchRunner,
+    BlockFailure,
+    CircuitOpenError,
+    PoolConfig,
+    PoolRunner,
+)
+from repro.datasets.io import load_batch_checkpoint
+from repro.probing import RoundSchedule
+from tests.test_batch_runner import (
+    AlwaysBroken,
+    assert_measurements_identical,
+    diurnal_block,
+    make_blocks,
+)
+
+SCHEDULE = RoundSchedule.for_days(2)
+
+
+class SleepsForever:
+    """A 'block' that wedges its worker (C-loop style: never returns)."""
+
+    def __init__(self, block_id=777):
+        self.block_id = block_id
+
+    def realize(self, times, rng):
+        time.sleep(3600)
+
+
+class DiesInWorker:
+    """A 'block' whose realization kills the whole worker process."""
+
+    block_id = 888
+
+    def realize(self, times, rng):
+        os._exit(99)
+
+
+class DiesOnceInWorker:
+    """Kills the worker on the first attempt ever (marker-guarded)."""
+
+    def __init__(self, block_id, marker):
+        self.block_id = block_id
+        self.marker = str(marker)
+
+    def realize(self, times, rng):
+        try:
+            fd = os.open(self.marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # Second dispatch: behave like a normal block.
+            return diurnal_block(self.block_id).realize(times, rng)
+        os.close(fd)
+        os._exit(99)
+
+
+def assert_results_identical(a, b):
+    assert len(a.results) == len(b.results)
+    for left, right in zip(a.results, b.results):
+        assert type(left) is type(right)
+        if isinstance(left, BlockFailure):
+            assert left.error_type == right.error_type
+        else:
+            assert_measurements_identical(left, right)
+
+
+class TestParity:
+    def test_bit_identical_to_serial(self):
+        blocks = make_blocks(6)
+        serial = BatchRunner(BatchConfig()).run(blocks, SCHEDULE, seed=7)
+        pooled = PoolRunner(PoolConfig(n_workers=3)).run(
+            blocks, SCHEDULE, seed=7
+        )
+        assert_results_identical(serial, pooled)
+
+    def test_single_worker_matches_serial(self):
+        blocks = make_blocks(4)
+        serial = BatchRunner(BatchConfig()).run(blocks, SCHEDULE, seed=1)
+        pooled = PoolRunner(PoolConfig(n_workers=1)).run(
+            blocks, SCHEDULE, seed=1
+        )
+        assert_results_identical(serial, pooled)
+
+    def test_manifest_records_pool_policy(self):
+        pooled = PoolRunner(PoolConfig(n_workers=2)).run(
+            make_blocks(2), SCHEDULE, seed=0
+        )
+        manifest = pooled.manifest
+        assert manifest.kind == "pool"
+        assert manifest.extra["n_workers"] == 2
+        assert "max_block_failures" in manifest.extra
+
+
+class TestCheckpointInterop:
+    def test_pool_checkpoint_resumes_in_serial(self, tmp_path):
+        blocks = make_blocks(5)
+        path = tmp_path / "ck.npz"
+        pooled = PoolRunner(
+            PoolConfig(batch=BatchConfig(checkpoint_path=path), n_workers=2)
+        ).run(blocks, SCHEDULE, seed=4)
+        assert path.exists()
+        serial = BatchRunner(BatchConfig(checkpoint_path=path)).run(
+            blocks, SCHEDULE, seed=4
+        )
+        assert serial.n_resumed == 5
+        assert_results_identical(pooled, serial)
+
+    def test_serial_checkpoint_resumes_in_pool(self, tmp_path):
+        blocks = make_blocks(5)
+        path = tmp_path / "ck.npz"
+        BatchRunner(BatchConfig(checkpoint_path=path)).run(
+            blocks[:3], SCHEDULE, seed=4
+        )
+        # A 3-block checkpoint belongs to a 3-block run; the 5-block
+        # pool run must refuse it rather than mis-resume.
+        with pytest.raises(ValueError, match="3 blocks"):
+            PoolRunner(
+                PoolConfig(batch=BatchConfig(checkpoint_path=path))
+            ).run(blocks, SCHEDULE, seed=4)
+
+    def test_pool_resumes_partial_checkpoint(self, tmp_path):
+        from repro.datasets.io import save_batch_checkpoint
+
+        blocks = make_blocks(5)
+        path = tmp_path / "ck.npz"
+        full_serial = BatchRunner(BatchConfig()).run(blocks, SCHEDULE, seed=4)
+        save_batch_checkpoint(
+            path,
+            {i: full_serial.results[i] for i in range(2)},
+            SCHEDULE,
+            meta={"seed": 4, "n_blocks": 5},
+        )
+        pooled = PoolRunner(
+            PoolConfig(batch=BatchConfig(checkpoint_path=path), n_workers=2)
+        ).run(blocks, SCHEDULE, seed=4)
+        assert pooled.n_resumed == 2
+        assert_results_identical(full_serial, pooled)
+
+
+class TestSupervision:
+    @pytest.mark.watchdog(120)
+    def test_hung_worker_is_killed_and_block_quarantined(self):
+        blocks = make_blocks(3) + [SleepsForever()]
+        config = PoolConfig(
+            n_workers=2,
+            block_deadline_s=1.0,
+            max_block_failures=1,
+        )
+        result = PoolRunner(config).run(blocks, SCHEDULE, seed=2)
+        assert len(result.measurements) == 3
+        [failure] = result.failures
+        assert failure.error_type == "WorkerLost"
+        assert "hung" in failure.message
+        assert failure.block_id == 777
+
+    @pytest.mark.watchdog(120)
+    def test_dead_worker_is_respawned_and_block_quarantined(self):
+        blocks = make_blocks(3) + [DiesInWorker()]
+        config = PoolConfig(n_workers=2, max_block_failures=2)
+        result = PoolRunner(config).run(blocks, SCHEDULE, seed=2)
+        assert len(result.measurements) == 3
+        [failure] = result.failures
+        assert failure.error_type == "WorkerLost"
+        assert failure.attempts == 2  # re-dispatched once before quarantine
+
+    @pytest.mark.watchdog(120)
+    def test_one_worker_death_does_not_change_results(self, tmp_path):
+        marker = tmp_path / "died-once"
+        blocks = make_blocks(4)
+        serial = BatchRunner(BatchConfig()).run(blocks, SCHEDULE, seed=9)
+        chaos_blocks = make_blocks(4)
+        chaos_blocks[2] = DiesOnceInWorker(2, marker)
+        pooled = PoolRunner(
+            PoolConfig(n_workers=2, max_block_failures=3)
+        ).run(chaos_blocks, SCHEDULE, seed=9)
+        assert marker.exists()  # the injected death really happened
+        assert not pooled.failures
+        assert_results_identical(serial, pooled)
+
+    @pytest.mark.watchdog(120)
+    def test_in_worker_exceptions_stay_block_failures(self):
+        # Plain exceptions are the per-block pipeline's job (retry then
+        # record), not an environment failure: no worker dies for them.
+        blocks = make_blocks(2) + [AlwaysBroken()]
+        config = PoolConfig(n_workers=2, breaker_threshold=None)
+        result = PoolRunner(config).run(blocks, SCHEDULE, seed=2)
+        [failure] = result.failures
+        assert failure.error_type == "RuntimeError"
+        assert failure.attempts == 2  # BatchConfig.max_retries default
+
+
+class TestCircuitBreaker:
+    @pytest.mark.watchdog(120)
+    def test_breaker_trips_on_consecutive_failures(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        blocks = make_blocks(2) + [AlwaysBroken() for _ in range(4)]
+        config = PoolConfig(
+            batch=BatchConfig(checkpoint_path=path),
+            n_workers=1,  # deterministic completion order
+            breaker_threshold=3,
+        )
+        with pytest.raises(CircuitOpenError, match="3 consecutive"):
+            PoolRunner(config).run(blocks, SCHEDULE, seed=2)
+        # Completed work was checkpointed before the abort.
+        entries, _, meta = load_batch_checkpoint(path)
+        assert meta["n_blocks"] == 6
+        assert len(entries) >= 3
+
+    @pytest.mark.watchdog(120)
+    def test_breaker_disabled_runs_to_completion(self):
+        blocks = [AlwaysBroken() for _ in range(4)]
+        config = PoolConfig(n_workers=2, breaker_threshold=None)
+        result = PoolRunner(config).run(blocks, SCHEDULE, seed=2)
+        assert len(result.failures) == 4
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_workers": 0},
+            {"block_deadline_s": 0},
+            {"max_block_failures": 0},
+            {"breaker_threshold": 0},
+            {"heartbeat_interval_s": 0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            PoolConfig(**kwargs)
