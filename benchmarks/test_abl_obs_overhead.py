@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.obs import (
+    EventLogger,
     MetricsRegistry,
     install_metrics,
     uninstall_metrics,
@@ -53,8 +54,8 @@ def workload():
     return times, values
 
 
-def run_engine(config, times, values, metrics=None):
-    engine = StreamEngine(config, metrics=metrics)
+def run_engine(config, times, values, metrics=None, events=None):
+    engine = StreamEngine(config, metrics=metrics, events=events)
     t0 = time.perf_counter()
     for block in range(N_BLOCKS):
         engine.ingest_many(block, times, values)
@@ -129,4 +130,63 @@ def test_abl_obs_overhead(benchmark, record_output):
         f"instrumentation overhead {overhead:.2%} exceeds "
         f"{MAX_OVERHEAD:.0%}: null {t_null * 1e3:.1f}ms, "
         f"instrumented {t_inst * 1e3:.1f}ms"
+    )
+
+
+def run_event_pairs(config, times, values, tmp_path):
+    """Back-to-back (null event log, live event log) timing pairs.
+
+    The event logger's hot-path contract: the per-observation cost of
+    "events on" is the null check on the late branch — clean
+    observations never build a record, and window-close records are
+    debug-level, filtered before serialization at the default info
+    sink.  This gate catches anyone moving record construction onto
+    the per-observation path.
+    """
+    pairs = []
+    log = None
+    for i in range(REPS):
+        t_null, _ = run_engine(config, times, values)
+        log = EventLogger(tmp_path / f"events-{i}.jsonl", level="info")
+        try:
+            t_events, _ = run_engine(config, times, values, events=log)
+        finally:
+            log.close()
+        pairs.append((t_null, t_events))
+    return pairs, log
+
+
+def test_abl_event_log_overhead(benchmark, record_output, tmp_path):
+    config = StreamConfig.for_days(2.0, hop_days=1.0, label_dwell=1)
+    times, values = workload()
+
+    def run():
+        run_engine(config, times, values)  # warm both paths
+        return run_event_pairs(config, times, values, tmp_path)
+
+    pairs, log = benchmark.pedantic(run, rounds=1, iterations=1)
+    t_null = min(t for t, _ in pairs)
+    t_events = min(t for _, t in pairs)
+    overhead = min(t_e / t_n for t_n, t_e in pairs) - 1.0
+    n_rounds = N_BLOCKS * int(N_DAYS * DAY / ROUND)
+
+    lines = [
+        f"{'path':>16}{'wall ms':>10}{'us/round':>10}",
+        f"{'null event log':>16}{t_null * 1e3:>10.1f}"
+        f"{t_null / n_rounds * 1e6:>10.2f}",
+        f"{'event log on':>16}{t_events * 1e3:>10.1f}"
+        f"{t_events / n_rounds * 1e6:>10.2f}",
+        "",
+        f"overhead: {overhead:+.2%} (budget {MAX_OVERHEAD:.0%}, "
+        f"best of {REPS})",
+    ]
+    record_output("abl_event_log_overhead", "\n".join(lines))
+
+    # A clean stream logs only the label transition of each block (a
+    # close-boundary record, not a per-observation one): the per-round
+    # cost must be the null checks alone.
+    assert log.n_records == N_BLOCKS
+    assert overhead < MAX_OVERHEAD, (
+        f"event-log overhead {overhead:.2%} exceeds {MAX_OVERHEAD:.0%}: "
+        f"null {t_null * 1e3:.1f}ms, events {t_events * 1e3:.1f}ms"
     )

@@ -44,6 +44,7 @@ from repro.core.timeseries import (
 )
 from repro.faults.crash import crashpoint
 from repro.net.blocks import Block24, ResponseOracle
+from repro.obs.events import NULL_EVENT_LOG
 from repro.obs.export import RunManifest
 from repro.obs.registry import NULL_REGISTRY
 from repro.obs.tracing import NULL_TRACER
@@ -563,8 +564,9 @@ class BatchRunner:
     substream spawned from the same child (deterministic but independent
     of the failed attempt).
 
-    ``metrics``/``tracer`` attach a :class:`repro.obs.MetricsRegistry` /
-    :class:`repro.obs.Tracer`; the defaults are the no-op null
+    ``metrics``/``tracer``/``events`` attach a
+    :class:`repro.obs.MetricsRegistry` / :class:`repro.obs.Tracer` /
+    :class:`repro.obs.EventLogger`; the defaults are the no-op null
     implementations.  Instrumentation never touches the RNG derivation
     or the measurement path, so instrumented runs stay bit-identical.
     """
@@ -574,10 +576,17 @@ class BatchRunner:
         config: BatchConfig | None = None,
         metrics=None,
         tracer=None,
+        events=None,
     ) -> None:
         self.config = config or BatchConfig()
         self.metrics = NULL_REGISTRY if metrics is None else metrics
         self.tracer = NULL_TRACER if tracer is None else tracer
+        events = NULL_EVENT_LOG if events is None else events
+        if events.enabled and self.tracer.enabled:
+            # Stamp every record with the active span so log lines
+            # resolve into the trace tree.
+            events = events.bind(tracer=self.tracer)
+        self.events = events
         self._m = _RunnerMetrics(self.metrics)
 
     def run(
@@ -587,7 +596,11 @@ class BatchRunner:
         seed: int = 0,
     ) -> BatchResult:
         with self.tracer.trace("batch.run", n_blocks=len(blocks), seed=seed):
+            self.events.info(
+                "run.start", kind="batch", n_blocks=len(blocks), seed=seed
+            )
             result = self._run(blocks, schedule, seed)
+            self.events.info("run.end", summary=result.summary())
         result.manifest = self._manifest(seed, len(blocks))
         return result
 
@@ -605,6 +618,7 @@ class BatchRunner:
         n_resumed = len(completed)
         if n_resumed:
             self._m.resumed.inc(n_resumed)
+            self.events.info("run.resumed", n_resumed=n_resumed)
         pending_since_flush = 0
 
         for index, (block, child) in enumerate(zip(blocks, children)):
@@ -668,7 +682,9 @@ class BatchRunner:
             return None
         from repro.faults.plan import FaultPlan
 
-        return FaultPlan(self.config.faults, metrics=self.metrics)
+        return FaultPlan(
+            self.config.faults, metrics=self.metrics, events=self.events
+        )
 
     def _measure_one(
         self,
@@ -691,6 +707,14 @@ class BatchRunner:
             self._m.attempts.inc()
             if attempt > 0:
                 self._m.retries.inc()
+                self.events.warning(
+                    "block.retry",
+                    index=index,
+                    block_id=int(getattr(block, "block_id", -1)),
+                    attempt=attempt,
+                    error_type=type(last_error).__name__,
+                    message=str(last_error),
+                )
             try:
                 with self.tracer.trace(
                     "batch.measure_block", index=index, attempt=attempt
@@ -710,13 +734,22 @@ class BatchRunner:
                 if config.fail_fast:
                     raise
         assert last_error is not None
-        return BlockFailure(
+        failure = BlockFailure(
             block_id=int(getattr(block, "block_id", -1)),
             index=index,
             error_type=type(last_error).__name__,
             message=str(last_error),
             attempts=attempts,
         )
+        self.events.error(
+            "block.failed",
+            index=index,
+            block_id=failure.block_id,
+            error_type=failure.error_type,
+            message=failure.message,
+            attempts=attempts,
+        )
+        return failure
 
     def _load_checkpoint(
         self, schedule: RoundSchedule, seed: int, n_blocks: int
@@ -772,6 +805,11 @@ class BatchRunner:
             )
             self._m.checkpoint_seconds.observe(time.perf_counter() - t0)
         self._m.checkpoints.inc()
+        self.events.info(
+            "checkpoint.saved",
+            n_entries=len(completed),
+            path=str(self.config.checkpoint_path),
+        )
 
 
 def measure_blocks(

@@ -28,15 +28,38 @@ pipeline across a pool of worker processes under a supervisor that:
 Checkpoints are shared with the serial runner (same file format, same
 resume semantics), so a campaign can move between serial and pooled
 execution across restarts.
+
+**Distributed telemetry.**  When any of ``metrics``/``tracer``/``events``
+is attached, each worker runs instrumented with a private
+:class:`~repro.obs.distributed.WorkerTelemetry` and ships a
+:class:`~repro.obs.distributed.TelemetryDelta` *with every result* over
+the existing pipe — metrics since the last cut, finished span trees
+(parented under the supervisor's dispatch span via a shipped
+:class:`~repro.obs.tracing.TraceContext`), and buffered structured
+events.  Riding the result channel makes telemetry exactly-once by
+construction: a killed worker's unsent delta dies with its unsent
+result, so the supervisor's :class:`~repro.obs.distributed.FleetView`
+totals always equal the work it actually received.  Supervisor-side,
+every dispatch, completion, retry, kill, quarantine, and breaker trip
+is a correlated record in the structured event log; per-worker
+:class:`~repro.obs.events.FlightRecorder` black boxes are dumped to
+``flight_recorder_dir`` on hung-worker kills, worker deaths, and
+breaker trips (workers additionally dump their own box at armed crash
+points, before ``os._exit``); and declarative
+:class:`~repro.obs.alerts.AlertRule`\\ s are evaluated over the live
+fleet aggregate each supervision cycle.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
+import uuid
 from collections import deque
 from dataclasses import asdict, dataclass, field
 from multiprocessing import connection
+from pathlib import Path
 from typing import Union
 
 import numpy as np
@@ -48,8 +71,11 @@ from repro.core.pipeline import (
     BlockFailure,
     BlockMeasurement,
 )
-from repro.faults.crash import crashpoint
+from repro.faults.crash import crashpoint, set_crash_observer
 from repro.net.blocks import Block24
+from repro.obs.alerts import AlertEngine
+from repro.obs.distributed import FleetView, WorkerTelemetry
+from repro.obs.events import NULL_EVENT_LOG, FlightRecorder
 from repro.obs.export import RunManifest
 from repro.obs.registry import NULL_REGISTRY
 from repro.obs.tracing import NULL_TRACER
@@ -104,6 +130,11 @@ class PoolConfig:
         mp_context: multiprocessing start method.  ``"fork"`` (default)
             inherits test doubles and armed crash points; ``"spawn"``
             requires everything dispatched to be importable.
+        flight_recorder_dir: where flight-recorder black boxes are
+            dumped on worker kills, quarantines, crash points, and
+            breaker trips; ``None`` disables dumping (recorders still
+            run in memory when telemetry is attached).
+        flight_recorder_capacity: events retained per worker's ring.
     """
 
     batch: BatchConfig = field(default_factory=BatchConfig)
@@ -113,6 +144,8 @@ class PoolConfig:
     breaker_threshold: int | None = 5
     heartbeat_interval_s: float = 0.05
     mp_context: str = "fork"
+    flight_recorder_dir: str | Path | None = None
+    flight_recorder_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -125,18 +158,58 @@ class PoolConfig:
             raise ValueError("breaker_threshold must be at least 1")
         if self.heartbeat_interval_s <= 0:
             raise ValueError("heartbeat_interval_s must be positive")
+        if self.flight_recorder_capacity < 1:
+            raise ValueError("flight_recorder_capacity must be at least 1")
 
 
-def _worker_main(conn, heartbeat, worker_id, batch_config, schedule) -> None:
-    """Worker loop: receive ``(index, block, child)``, send ``(index, result)``.
+def _worker_main(
+    conn,
+    heartbeat,
+    worker_id,
+    batch_config,
+    schedule,
+    telemetry=False,
+    flight_dir=None,
+) -> None:
+    """Worker loop: recv ``(index, block, child, ctx)``, send
+    ``(index, result, delta)``.
 
     Reuses :meth:`BatchRunner._measure_one` verbatim, so retry
     semantics and RNG substream derivation are *identical* to serial
     execution.  The heartbeat slot is refreshed at every task boundary
     and while idle; a worker wedged inside a block stops refreshing and
     the supervisor's deadline reaps it.
+
+    With ``telemetry``, the worker measures under a private
+    :class:`WorkerTelemetry` and cuts one delta per completed task,
+    shipped in the same message as the result.  The cut happens *after*
+    the ``pool.worker.task_done`` crash point: a worker killed there
+    loses result and telemetry together, never one without the other.
+    With ``flight_dir``, a crash-point firing dumps the worker's own
+    black box before the process dies.
     """
-    runner = BatchRunner(batch_config)
+    telem = None
+    if telemetry or flight_dir is not None:
+        recorder = (
+            FlightRecorder() if flight_dir is not None else None
+        )
+        telem = WorkerTelemetry(worker_id, recorder=recorder)
+        if recorder is not None:
+            def _on_crash(point: str, action: str) -> None:
+                recorder.dump(
+                    Path(flight_dir)
+                    / f"flight-w{worker_id}-p{os.getpid()}-crash.json",
+                    reason=f"crashpoint:{point}",
+                    worker_id=worker_id,
+                    action=action,
+                )
+
+            set_crash_observer(_on_crash)
+        runner = BatchRunner(
+            batch_config, telem.registry, telem.tracer, events=telem.events
+        )
+    else:
+        runner = BatchRunner(batch_config)
     fault_plan = runner._fault_plan()
     try:
         while True:
@@ -146,14 +219,28 @@ def _worker_main(conn, heartbeat, worker_id, batch_config, schedule) -> None:
             task = conn.recv()
             if task is None:
                 return
-            index, block, child = task
+            index, block, child, tctx = task
             heartbeat[worker_id] = time.monotonic()
             crashpoint("pool.worker.task_start")
-            result = runner._measure_one(
-                block, index, schedule, child, fault_plan
-            )
+            if telem is not None:
+                telem.registry.counter("pool_worker_tasks_total").inc()
+                with telem.tracer.trace(
+                    "worker.measure_block",
+                    parent_context=tctx,
+                    index=index,
+                    worker_id=worker_id,
+                    block_id=int(getattr(block, "block_id", -1)),
+                ):
+                    result = runner._measure_one(
+                        block, index, schedule, child, fault_plan
+                    )
+            else:
+                result = runner._measure_one(
+                    block, index, schedule, child, fault_plan
+                )
             crashpoint("pool.worker.task_done")
-            conn.send((index, result))
+            delta = telem.cut_delta() if telem is not None else None
+            conn.send((index, result, delta))
             heartbeat[worker_id] = time.monotonic()
     except (EOFError, OSError, KeyboardInterrupt):
         return
@@ -170,13 +257,15 @@ class _Worker:
     conn: connection.Connection
     task: tuple | None = None
     dispatched_at: float = 0.0
+    span: object = None  # detached pool.dispatch span while a task is out
 
 
 class _PoolMetrics:
     """Pre-bound pool supervision metrics (null registry by default)."""
 
     __slots__ = ("dispatched", "hung", "crashed", "quarantined",
-                 "breaker_trips", "workers")
+                 "breaker_trips", "workers", "deltas", "failure_ratio",
+                 "heartbeat_age")
 
     def __init__(self, registry) -> None:
         self.dispatched = registry.counter("pool_tasks_dispatched_total")
@@ -187,6 +276,9 @@ class _PoolMetrics:
         self.quarantined = registry.counter("pool_blocks_quarantined_total")
         self.breaker_trips = registry.counter("pool_breaker_trips_total")
         self.workers = registry.gauge("pool_workers")
+        self.deltas = registry.counter("pool_telemetry_deltas_total")
+        self.failure_ratio = registry.gauge("pool_block_failure_ratio")
+        self.heartbeat_age = registry.gauge("pool_heartbeat_age_seconds")
 
 
 class PoolRunner:
@@ -195,7 +287,17 @@ class PoolRunner:
     Drop-in alternative to :class:`BatchRunner.run` — same arguments,
     same :class:`BatchResult`, bit-identical results for the same seed —
     that additionally survives hung and dying workers.  See the module
-    docstring for the supervision policy.
+    docstring for the supervision policy and the distributed-telemetry
+    data flow.
+
+    ``events`` is a :class:`repro.obs.EventLogger` (every supervision
+    decision and every worker-shipped record lands in it, correlated by
+    ``run_id``/``worker_id``/``trace_id``); ``alert_rules`` is an
+    iterable of :class:`repro.obs.AlertRule` evaluated against the live
+    fleet aggregate each supervision cycle.  After a run, ``fleet``
+    holds the per-worker and aggregate metric view, ``alerts`` the rule
+    engine with its firing state, and ``recorders`` the per-worker
+    flight recorders.
     """
 
     def __init__(
@@ -203,15 +305,32 @@ class PoolRunner:
         config: PoolConfig | None = None,
         metrics=None,
         tracer=None,
+        events=None,
+        alert_rules=None,
     ) -> None:
         self.config = config or PoolConfig()
         self.metrics = NULL_REGISTRY if metrics is None else metrics
         self.tracer = NULL_TRACER if tracer is None else tracer
+        events = NULL_EVENT_LOG if events is None else events
+        if events.enabled and self.tracer.enabled:
+            events = events.bind(tracer=self.tracer)
+        self.events = events
+        self._alert_rules = tuple(alert_rules) if alert_rules else ()
+        self.alerts: AlertEngine | None = None
+        self.fleet = FleetView()
+        self.recorders: dict[int, FlightRecorder] = {}
+        self.run_id: str | None = None
         self._m = _PoolMetrics(self.metrics)
+        self._telemetry = bool(
+            self.metrics.enabled or self.tracer.enabled or events.enabled
+        )
+        self._last_stats: dict = {}
         # Checkpoint IO and outcome counting are delegated to a serial
         # runner so the two execution modes share one format and one
         # metric family.
-        self._serial = BatchRunner(self.config.batch, metrics, tracer)
+        self._serial = BatchRunner(
+            self.config.batch, metrics, tracer, events=events
+        )
 
     def run(
         self,
@@ -219,13 +338,47 @@ class PoolRunner:
         schedule: RoundSchedule,
         seed: int = 0,
     ) -> BatchResult:
-        with self.tracer.trace(
-            "pool.run",
-            n_blocks=len(blocks),
-            seed=seed,
-            n_workers=self.config.n_workers,
-        ):
-            result = self._run(blocks, schedule, seed)
+        self.run_id = uuid.uuid4().hex[:12]
+        self.fleet = FleetView()
+        self.recorders = {}
+        events = self.events.bind(run_id=self.run_id)
+        self._serial.events = events
+        self.alerts = (
+            AlertEngine(self._alert_rules, events=events, metrics=self.metrics)
+            if self._alert_rules
+            else None
+        )
+        self._last_stats = {
+            "respawns_hung": 0,
+            "respawns_crashed": 0,
+            "blocks_quarantined": 0,
+            "breaker_trips": 0,
+            "alerts_fired": 0,
+            "flight_dumps": 0,
+        }
+        try:
+            with self.tracer.trace(
+                "pool.run",
+                n_blocks=len(blocks),
+                seed=seed,
+                n_workers=self.config.n_workers,
+            ) as root:
+                events.info(
+                    "run.start",
+                    kind="pool",
+                    n_blocks=len(blocks),
+                    seed=seed,
+                    n_workers=self.config.n_workers,
+                )
+                result = self._run(blocks, schedule, seed, root, events)
+                events.info("run.end", summary=result.summary())
+        except BaseException as error:
+            events.error(
+                "run.aborted",
+                error_type=type(error).__name__,
+                message=str(error),
+            )
+            raise
         result.manifest = self._manifest(seed, len(blocks))
         return result
 
@@ -254,6 +407,16 @@ class PoolRunner:
             block_deadline_s=self.config.block_deadline_s,
             max_block_failures=self.config.max_block_failures,
             breaker_threshold=self.config.breaker_threshold,
+            run_id=self.run_id,
+            pool_stats=dict(self._last_stats),
+            telemetry={
+                "n_deltas": self.fleet.n_deltas,
+                "workers_heard": len(self.fleet.worker_ids()),
+                "events_logged": getattr(self.events, "n_records", 0),
+                "alerts_fired": (
+                    self.alerts.n_fired if self.alerts is not None else 0
+                ),
+            },
         )
 
     def _run(
@@ -261,13 +424,15 @@ class PoolRunner:
         blocks: list[Block24],
         schedule: RoundSchedule,
         seed: int,
+        root,
+        events,
     ) -> BatchResult:
-        config = self.config
         children = np.random.SeedSequence(seed).spawn(len(blocks))
         completed = self._serial._load_checkpoint(schedule, seed, len(blocks))
         n_resumed = len(completed)
         if n_resumed:
             self._serial._m.resumed.inc(n_resumed)
+            events.info("run.resumed", n_resumed=n_resumed)
 
         pending = deque(
             (index, blocks[index], children[index])
@@ -275,7 +440,9 @@ class PoolRunner:
             if index not in completed
         )
         if pending:
-            self._supervise(pending, completed, blocks, schedule, seed)
+            self._supervise(
+                pending, completed, blocks, schedule, seed, root, events
+            )
         results = [completed[i] for i in range(len(blocks))]
         return BatchResult(results=results, n_resumed=n_resumed)
 
@@ -286,27 +453,117 @@ class PoolRunner:
         blocks: list[Block24],
         schedule: RoundSchedule,
         seed: int,
+        root,
+        events,
     ) -> None:
         config = self.config
         ctx = multiprocessing.get_context(config.mp_context)
         heartbeat = ctx.Array("d", config.n_workers, lock=False)
+        fr_dir = (
+            Path(config.flight_recorder_dir)
+            if config.flight_recorder_dir is not None
+            else None
+        )
+        if fr_dir is not None:
+            fr_dir.mkdir(parents=True, exist_ok=True)
         workers = [
             self._spawn(ctx, wid, heartbeat, schedule)
             for wid in range(config.n_workers)
         ]
         self._m.workers.set(len(workers))
+        fleet = self.fleet
+        alerts = self.alerts
+        stats = self._last_stats
+        recorders = self.recorders
         env_failures: dict[int, int] = {}
-        state = {"consecutive": 0, "pending_since_flush": 0}
+        state = {
+            "consecutive": 0,
+            "pending_since_flush": 0,
+            "n_done": 0,
+            "n_failed": 0,
+        }
         n_blocks = len(blocks)
+        # Per-worker bound loggers tee into that worker's flight
+        # recorder, which outlives respawns: the black box is about the
+        # worker *slot*, and a replacement's history continues it.
+        wlogs: dict[int, object] = {}
+
+        def recorder(wid: int) -> FlightRecorder:
+            rec = recorders.get(wid)
+            if rec is None:
+                rec = recorders[wid] = FlightRecorder(
+                    capacity=config.flight_recorder_capacity
+                )
+            return rec
+
+        def wlog(wid: int):
+            logger = wlogs.get(wid)
+            if logger is None:
+                if events.enabled or fr_dir is not None:
+                    logger = events.bind(ring=recorder(wid), worker_id=wid)
+                else:
+                    logger = events  # fully dark: no ring, no recorder
+                wlogs[wid] = logger
+            return logger
+
+        def dump_flight(wid: int, reason: str, **extra) -> None:
+            if fr_dir is None or wid not in recorders:
+                return
+            stats["flight_dumps"] += 1
+            path = fr_dir / f"flight-w{wid}-{stats['flight_dumps']:03d}.json"
+            out = recorders[wid].dump(
+                path,
+                reason=reason,
+                run_id=self.run_id,
+                worker_id=wid,
+                **extra,
+            )
+            events.info(
+                "flight.dumped", worker_id=wid, reason=reason, path=str(out)
+            )
+
+        def span_fields(span) -> dict:
+            if span is None:
+                return {}
+            return {"trace_id": span.trace_id, "span_id": span.span_id}
+
+        def ingest_delta(delta, span) -> None:
+            if delta is None or not fleet.apply(delta):
+                return
+            self._m.deltas.inc()
+            for span_data in delta.spans:
+                self.tracer.graft(span_data, parent=span)
+            rec = recorder(delta.worker_id)
+            for record_ in delta.events:
+                events.emit(record_)
+                rec.append(record_)
+            if delta.metrics:
+                rec.sample(
+                    {
+                        "worker_id": delta.worker_id,
+                        "seq": delta.seq,
+                        "pid": delta.pid,
+                        "metrics": delta.metrics,
+                    }
+                )
+
+        def evaluate_alerts() -> None:
+            if alerts is None:
+                return
+            alerts.evaluate(fleet.aggregate(self.metrics))
+            stats["alerts_fired"] = alerts.n_fired
 
         def record(index, outcome) -> None:
             completed[index] = outcome
             self._serial._count_outcome(outcome)
             crashpoint("pool.block_done")
+            state["n_done"] += 1
             if isinstance(outcome, BlockFailure):
                 state["consecutive"] += 1
+                state["n_failed"] += 1
             else:
                 state["consecutive"] = 0
+            self._m.failure_ratio.set(state["n_failed"] / state["n_done"])
             state["pending_since_flush"] += 1
             if (
                 config.batch.checkpoint_path is not None
@@ -322,6 +579,17 @@ class PoolRunner:
         def reap(worker: _Worker, reason: str) -> _Worker:
             """Kill/bury one worker, requeue or quarantine its block."""
             (self._m.hung if reason == "hung" else self._m.crashed).inc()
+            stats[
+                "respawns_hung" if reason == "hung" else "respawns_crashed"
+            ] += 1
+            wid = worker.worker_id
+            index = worker.task[0] if worker.task is not None else None
+            wlog(wid).warning(
+                f"worker.{reason}",
+                pid=worker.process.pid,
+                index=index,
+                **span_fields(worker.span),
+            )
             if worker.process.is_alive():
                 worker.process.terminate()
             worker.process.join(timeout=5.0)
@@ -334,9 +602,20 @@ class PoolRunner:
                 pass
             if worker.task is not None:
                 index, block, child = worker.task
+                if worker.span is not None:
+                    worker.span.attrs["outcome"] = reason
+                self.tracer.end(worker.span, parent=root)
+                worker.span = None
                 env_failures[index] = env_failures.get(index, 0) + 1
                 if env_failures[index] >= config.max_block_failures:
                     self._m.quarantined.inc()
+                    stats["blocks_quarantined"] += 1
+                    wlog(wid).error(
+                        "block.quarantined",
+                        index=index,
+                        block_id=int(getattr(block, "block_id", -1)),
+                        failures=env_failures[index],
+                    )
                     record(
                         index,
                         BlockFailure(
@@ -355,10 +634,16 @@ class PoolRunner:
                     # Same pickled child ⇒ the retry is bit-identical
                     # to what an undisturbed worker would have produced.
                     pending.appendleft(worker.task)
-            replacement = self._spawn(
-                ctx, worker.worker_id, heartbeat, schedule
-            )
-            workers[worker.worker_id] = replacement
+                    wlog(wid).info(
+                        "task.requeued",
+                        index=index,
+                        failures=env_failures[index],
+                    )
+            dump_flight(wid, reason=f"worker {reason}", index=index)
+            replacement = self._spawn(ctx, wid, heartbeat, schedule)
+            workers[wid] = replacement
+            wlog(wid).info("worker.respawned", pid=replacement.process.pid)
+            evaluate_alerts()
             return replacement
 
         try:
@@ -368,6 +653,19 @@ class PoolRunner:
                     and state["consecutive"] >= config.breaker_threshold
                 ):
                     self._m.breaker_trips.inc()
+                    stats["breaker_trips"] += 1
+                    events.error(
+                        "breaker.open",
+                        consecutive=state["consecutive"],
+                        checkpoint_path=(
+                            str(config.batch.checkpoint_path)
+                            if config.batch.checkpoint_path is not None
+                            else None
+                        ),
+                    )
+                    evaluate_alerts()
+                    for wid in sorted(recorders):
+                        dump_flight(wid, reason="breaker open")
                     if (
                         config.batch.checkpoint_path is not None
                         and state["pending_since_flush"]
@@ -383,15 +681,30 @@ class PoolRunner:
                 for worker in workers:
                     if worker.task is None and pending:
                         task = pending.popleft()
+                        index = task[0]
+                        span = self.tracer.begin(
+                            "pool.dispatch",
+                            index=index,
+                            worker_id=worker.worker_id,
+                            parent=root,
+                        )
+                        tctx = span.context if span is not None else None
                         try:
-                            worker.conn.send(task)
+                            worker.conn.send((*task, tctx))
                         except (OSError, ValueError):
                             worker.task = task  # requeued by reap
+                            worker.span = span
                             reap(worker, "crashed")
                             continue
                         worker.task = task
+                        worker.span = span
                         worker.dispatched_at = time.monotonic()
                         self._m.dispatched.inc()
+                        wlog(worker.worker_id).debug(
+                            "task.dispatched",
+                            index=index,
+                            **span_fields(span),
+                        )
 
                 handles: dict[object, tuple[_Worker, str]] = {}
                 for worker in workers:
@@ -408,19 +721,48 @@ class PoolRunner:
                         continue
                     if kind == "conn":
                         try:
-                            index, outcome = worker.conn.recv()
+                            index, outcome, delta = worker.conn.recv()
                         except (EOFError, OSError):
                             reap(worker, "crashed")
                             replaced.add(worker.worker_id)
                             continue
+                        span = worker.span
                         worker.task = None
+                        worker.span = None
+                        ingest_delta(delta, span)
+                        if span is not None:
+                            span.attrs["outcome"] = "completed"
+                        self.tracer.end(span, parent=root)
+                        wlog(worker.worker_id).debug(
+                            "task.completed",
+                            index=index,
+                            **span_fields(span),
+                        )
+                        if isinstance(outcome, BlockFailure):
+                            wlog(worker.worker_id).warning(
+                                "block.failed",
+                                index=index,
+                                block_id=outcome.block_id,
+                                error_type=outcome.error_type,
+                                message=outcome.message,
+                                attempts=outcome.attempts,
+                                **span_fields(span),
+                            )
                         record(index, outcome)
+                        evaluate_alerts()
                     else:  # sentinel: the process died
                         reap(worker, "crashed")
                         replaced.add(worker.worker_id)
 
+                now = time.monotonic()
+                busy_ages = [
+                    now
+                    - max(worker.dispatched_at, heartbeat[worker.worker_id])
+                    for worker in workers
+                    if worker.task is not None
+                ]
+                self._m.heartbeat_age.set(max(busy_ages, default=0.0))
                 if config.block_deadline_s is not None:
-                    now = time.monotonic()
                     for worker in list(workers):
                         if worker.task is None:
                             continue
@@ -435,7 +777,10 @@ class PoolRunner:
                 config.batch.checkpoint_path is not None
                 and state["pending_since_flush"]
             ):
-                self._serial._save_checkpoint(completed, schedule, seed, n_blocks)
+                self._serial._save_checkpoint(
+                    completed, schedule, seed, n_blocks
+                )
+            evaluate_alerts()
         finally:
             for worker in workers:
                 try:
@@ -452,6 +797,7 @@ class PoolRunner:
                 except OSError:
                     pass
             self._m.workers.set(0)
+            self._m.heartbeat_age.set(0.0)
 
     def _spawn(self, ctx, worker_id: int, heartbeat, schedule) -> _Worker:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -464,6 +810,12 @@ class PoolRunner:
                 worker_id,
                 self.config.batch,
                 schedule,
+                self._telemetry,
+                (
+                    str(self.config.flight_recorder_dir)
+                    if self.config.flight_recorder_dir is not None
+                    else None
+                ),
             ),
             daemon=True,
             name=f"pool-worker-{worker_id}",

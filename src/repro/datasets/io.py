@@ -39,6 +39,7 @@ from repro.simulation.internet import InternetWorld
 __all__ = [
     "CheckpointVersionError",
     "CorruptCheckpointError",
+    "atomic_write_text",
     "ensure_measurement",
     "iter_observation_stream",
     "load_batch_checkpoint",
@@ -194,6 +195,20 @@ def _atomic_write(path: Path, kind: str, writer) -> None:
     os.replace(tmp, path)
     crashpoint(f"io.{kind}.replaced")
     _fsync_dir(path.parent)
+
+
+def atomic_write_text(path: str | Path, text: str, kind: str = "text") -> Path:
+    """Crash-safe text file publication (temp + fsync + rename).
+
+    The all-or-nothing counterpart of :func:`Path.write_text`, used for
+    telemetry artifacts that must never be observed torn — flight
+    recorder dumps, manifests written at failure points.  ``kind``
+    names the crash-point family (``io.<kind>.begin`` etc.) so chaos
+    tests can kill the writer inside the publication window.
+    """
+    path = Path(path)
+    _atomic_write(path, kind, lambda handle: handle.write(text.encode("utf-8")))
+    return path
 
 
 def _save_npz(path: str | Path, kind: str, version: int, arrays: dict) -> Path:

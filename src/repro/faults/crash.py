@@ -42,6 +42,7 @@ __all__ = [
     "crashpoint",
     "disarm",
     "fired",
+    "set_crash_observer",
 ]
 
 _EXIT_CODE = 17  # distinctive, so tests can assert the death was injected
@@ -68,6 +69,22 @@ class _ArmedPoint:
 # Module-global armed table.  Empty (falsy) outside chaos tests, so the
 # hot-path cost of an unarmed crashpoint() is one dict identity check.
 _armed: dict[str, _ArmedPoint] = {}
+
+# Called as observer(point, action) just before an armed point fires —
+# the process's last chance to dump a flight recorder before ``exit``
+# (which skips every atexit/finally).  One per process; pool workers
+# install theirs after the fork.
+_observer = None
+
+
+def set_crash_observer(observer) -> None:
+    """Install (or, with None, remove) the pre-crash callback.
+
+    The observer runs after the firing decision is final, so it cannot
+    prevent the crash; its exceptions are swallowed for the same reason.
+    """
+    global _observer
+    _observer = observer
 
 
 def arm(point: str, hits: int = 1, action: str = "raise",
@@ -134,6 +151,11 @@ def crashpoint(point: str) -> None:
     if entry.marker is not None and not _claim_marker(entry.marker):
         return
     entry.fired += 1
+    if _observer is not None:
+        try:
+            _observer(point, entry.action)
+        except Exception:  # noqa: BLE001 — observing must not alter the crash
+            pass
     if entry.action == "exit":
         os._exit(_EXIT_CODE)
     raise InjectedCrash(point)

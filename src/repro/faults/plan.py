@@ -27,6 +27,7 @@ from repro.faults.injectors import (
     RoundDropInjector,
     RoundDuplicateInjector,
 )
+from repro.obs.events import NULL_EVENT_LOG
 from repro.obs.registry import NULL_REGISTRY
 from repro.probing.rounds import RoundSchedule
 
@@ -67,7 +68,9 @@ class FaultPlan:
     receives injected-event counters — observations removed/added per
     injector, crash restarts, lost probe responses — so fault ablations
     can assert that every injected fault was observed downstream.
-    Counting never consumes randomness: toggling metrics cannot change
+    ``events`` (a :class:`repro.obs.EventLogger`; null by default) gets
+    a debug record per injection, correlated with the block's trace.
+    Neither consumes randomness: toggling observability cannot change
     the faults a seed produces.
     """
 
@@ -76,10 +79,12 @@ class FaultPlan:
         config: FaultConfig,
         entropy: tuple[int, ...] = (),
         metrics=None,
+        events=None,
     ) -> None:
         self.config = config
         self.entropy = tuple(int(e) for e in entropy)
         self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self.events = NULL_EVENT_LOG if events is None else events
         self.injectors = _build_injectors(config)
         for injector in self.injectors:
             injector.metrics = self.metrics
@@ -94,6 +99,7 @@ class FaultPlan:
             self.config,
             entropy=(*self.entropy, int(index)),
             metrics=self.metrics,
+            events=self.events,
         )
 
     def _rng(self, injector_idx: int, stream: int) -> np.random.Generator:
@@ -119,6 +125,12 @@ class FaultPlan:
                     "faults_crash_restarts_total",
                     injector=type(injector).__name__,
                 ).inc(len(injected))
+                self.events.debug(
+                    "fault.crash_rounds",
+                    injector=type(injector).__name__,
+                    n_restarts=int(len(injected)),
+                    entropy=list(self.entropy),
+                )
             rounds.append(injected)
         if not rounds:
             return np.zeros(0, dtype=np.int64)
@@ -152,6 +164,13 @@ class FaultPlan:
                     "faults_observations_added_total",
                     injector=type(injector).__name__,
                 ).inc(delta)
+            if delta:
+                self.events.debug(
+                    "fault.stream_degraded",
+                    injector=type(injector).__name__,
+                    delta_observations=int(delta),
+                    entropy=list(self.entropy),
+                )
         stream = stream.sorted()
         return stream.times, stream.values
 

@@ -1,14 +1,33 @@
-"""Observability: metrics, tracing, and run telemetry for the pipeline.
+"""Observability: metrics, tracing, events, and fleet telemetry.
 
 ``registry``
     :class:`MetricsRegistry` — thread-safe counters, gauges,
     fixed-bucket histograms, and EWMA rate meters (paper gain
-    conventions).  :data:`NULL_REGISTRY` is the allocation-free default
-    every hot path binds when observability is off.
+    conventions), plus plain-data ``state()``/``merge()`` and
+    :func:`diff_states` for cross-process transfer.
+    :data:`NULL_REGISTRY` is the allocation-free default every hot path
+    binds when observability is off.
 ``tracing``
     :class:`Tracer` — nested wall-time spans per pipeline stage
     (``with tracer.trace("classify", block=...)``), with per-stage
-    aggregates; :data:`NULL_TRACER` is the no-op default.
+    aggregates, :class:`TraceContext` carriers for cross-process
+    parenting, and detached ``begin``/``end`` spans for async dispatch
+    windows; :data:`NULL_TRACER` is the no-op default.
+``events``
+    :class:`EventLogger` — leveled JSON-lines structured logging with
+    bound correlation fields and automatic trace stamping;
+    :class:`FlightRecorder` — the bounded black box dumped on crashes;
+    :data:`NULL_EVENT_LOG` is the no-op default.
+``distributed``
+    :class:`WorkerTelemetry` / :class:`TelemetryDelta` /
+    :class:`FleetView` — worker-side delta cutting and the
+    supervisor-side live fleet registry, exactly-once over the result
+    channel.
+``alerts``
+    :class:`AlertRule` / :class:`AlertEngine` — declarative threshold
+    and EWMA-drift rules over any registry, emitting typed alert events
+    into the same log; :func:`default_pool_rules` for the supervised
+    pool.
 ``export``
     :func:`prometheus_text`, :func:`json_snapshot` /
     :func:`write_json_snapshot`, and :class:`RunManifest` — the per-run
@@ -19,13 +38,34 @@
     wiring of the module-level instruments in ``repro.core.classify``,
     ``repro.core.timeseries``, and ``repro.datasets.io``.
 
-The contract instrumentation must honour everywhere: metrics and spans
-*observe* the pipeline, they never influence it — an instrumented run is
-bit-identical to an uninstrumented one (``tests/test_obs_parity.py``),
-and the null defaults keep uninstrumented hot paths free of locks and
+The contract instrumentation must honour everywhere: metrics, spans,
+and events *observe* the pipeline, they never influence it — an
+instrumented run is bit-identical to an uninstrumented one
+(``tests/test_obs_parity.py``, ``tests/test_pool_telemetry.py``), and
+the null defaults keep uninstrumented hot paths free of locks and
 allocations (``benchmarks/test_abl_obs_overhead.py``).
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    default_pool_rules,
+)
+from repro.obs.distributed import (
+    FleetView,
+    TelemetryDelta,
+    WorkerTelemetry,
+    aggregate_registries,
+)
+from repro.obs.events import (
+    EventLogger,
+    FlightRecorder,
+    LEVELS,
+    NULL_EVENT_LOG,
+    NullEventLogger,
+    read_event_log,
+)
 from repro.obs.export import (
     RunManifest,
     json_snapshot,
@@ -41,25 +81,50 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    diff_states,
+    escape_label_value,
 )
-from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+)
 
 __all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
     "Counter",
+    "EventLogger",
     "EwmaMeter",
+    "FleetView",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LEVELS",
     "MetricsRegistry",
+    "NULL_EVENT_LOG",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullEventLogger",
     "NullRegistry",
     "NullTracer",
     "RunManifest",
     "Span",
+    "TelemetryDelta",
+    "TraceContext",
     "Tracer",
+    "WorkerTelemetry",
+    "aggregate_registries",
+    "default_pool_rules",
+    "diff_states",
+    "escape_label_value",
     "install_metrics",
     "json_snapshot",
     "prometheus_text",
+    "read_event_log",
     "uninstall_metrics",
     "write_json_snapshot",
 ]

@@ -1,0 +1,318 @@
+"""Declarative alert rules evaluated over a metrics registry.
+
+An :class:`AlertRule` names a metric, a condition, and a severity; an
+:class:`AlertEngine` evaluates a rule set against any registry (the
+supervisor's own, or a :class:`~repro.obs.distributed.FleetView`
+aggregate) and turns threshold breaches into typed
+:class:`AlertEvent`\\ s with hysteresis:
+
+* a rule must breach ``for_cycles`` *consecutive* evaluations before it
+  fires (1 = immediate), so a single noisy sample doesn't page anyone;
+* a firing rule emits exactly one ``alert.fired`` event until it clears,
+  then one ``alert.resolved`` — state transitions, not level samples;
+* firings are counted in ``alerts_fired_total{rule=...,level=...}`` and
+  logged through the same structured event log as everything else, so
+  alerts are correlated records, not a side channel.
+
+Two rule kinds:
+
+``threshold``
+    Compare the metric's value (counter/gauge value, histogram count,
+    meter ``rate_short``) against ``threshold`` with ``op``.  When
+    several metrics match ``name`` + ``labels`` subset (e.g. a labeled
+    counter family), counter/gauge/histogram values are *summed* before
+    comparison.
+``ewma_drift``
+    For EWMA meters: fire when the fast view departs from the slow view
+    by more than ``threshold`` (relative): ``|short − long| >
+    threshold · max(|long|, drift_floor)``.  Requires ``min_count``
+    samples first, so a meter still warming up cannot drift-fire.
+
+Rules whose metric does not exist yet are skipped, not errored — a rule
+set can describe metrics that only appear under fault conditions.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+
+from repro.obs.events import NULL_EVENT_LOG
+from repro.obs.registry import Counter, EwmaMeter, Gauge, Histogram
+
+__all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "default_pool_rules",
+]
+
+_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+_LEVELS = ("warning", "critical")
+
+_LOG_LEVEL = {"warning": "warning", "critical": "error"}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule over one metric (family).
+
+    Attributes:
+        name: unique rule identifier (appears in events and counters).
+        metric: metric name to evaluate.
+        labels: label subset a metric must carry to match (empty
+            matches every label set of that name).
+        kind: ``"threshold"`` or ``"ewma_drift"``.
+        op: comparison for threshold rules.
+        threshold: threshold value (or relative drift for drift rules).
+        for_cycles: consecutive breaching evaluations before firing.
+        min_count: drift rules only — meter samples required before the
+            rule is eligible.
+        drift_floor: drift rules only — denominator floor that keeps
+            the relative drift finite around zero.
+        level: ``"warning"`` or ``"critical"``.
+        description: operator-facing one-liner, carried on events.
+    """
+
+    name: str
+    metric: str
+    labels: dict = field(default_factory=dict)
+    kind: str = "threshold"
+    op: str = ">"
+    threshold: float = 0.0
+    for_cycles: int = 1
+    min_count: int = 2
+    drift_floor: float = 1e-9
+    level: str = "warning"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("threshold", "ewma_drift"):
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+        if self.op not in _OPS:
+            raise ValueError(
+                f"unknown op {self.op!r}; expected one of {sorted(_OPS)}"
+            )
+        if self.level not in _LEVELS:
+            raise ValueError(
+                f"unknown level {self.level!r}; expected one of {_LEVELS}"
+            )
+        if self.for_cycles < 1:
+            raise ValueError("for_cycles must be at least 1")
+        if self.min_count < 1:
+            raise ValueError("min_count must be at least 1")
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One alert state transition (fired or resolved)."""
+
+    rule: str
+    metric: str
+    level: str
+    kind: str  # "fired" | "resolved"
+    value: float
+    threshold: float
+    description: str = ""
+
+    @property
+    def fired(self) -> bool:
+        return self.kind == "fired"
+
+
+class _RuleState:
+    __slots__ = ("consecutive", "firing", "n_fired", "last_value")
+
+    def __init__(self) -> None:
+        self.consecutive = 0
+        self.firing = False
+        self.n_fired = 0
+        self.last_value: float | None = None
+
+
+class AlertEngine:
+    """Evaluate a rule set against a registry; emit transition events.
+
+    ``events`` is an :class:`~repro.obs.events.EventLogger` (alert
+    transitions become ``alert.fired`` / ``alert.resolved`` records);
+    ``metrics`` counts firings per rule into the supervising registry.
+    """
+
+    def __init__(self, rules, events=None, metrics=None) -> None:
+        self.rules = tuple(rules)
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+        self.events = NULL_EVENT_LOG if events is None else events
+        self._metrics = metrics
+        self._states = {r.name: _RuleState() for r in self.rules}
+
+    @property
+    def n_fired(self) -> int:
+        """Total firings across all rules since construction."""
+        return sum(s.n_fired for s in self._states.values())
+
+    def firing(self) -> list[str]:
+        """Names of rules currently in the firing state."""
+        return [
+            r.name for r in self.rules if self._states[r.name].firing
+        ]
+
+    def evaluate(self, registry) -> list[AlertEvent]:
+        """One evaluation cycle; returns the transitions it produced."""
+        transitions: list[AlertEvent] = []
+        for rule in self.rules:
+            value = self._value(rule, registry)
+            state = self._states[rule.name]
+            if value is None:
+                continue
+            state.last_value = value
+            breached = self._breached(rule, value)
+            state.consecutive = state.consecutive + 1 if breached else 0
+            if breached and not state.firing and (
+                state.consecutive >= rule.for_cycles
+            ):
+                state.firing = True
+                state.n_fired += 1
+                transitions.append(self._transition(rule, "fired", value))
+            elif not breached and state.firing:
+                state.firing = False
+                transitions.append(self._transition(rule, "resolved", value))
+        return transitions
+
+    def _transition(self, rule: AlertRule, kind: str, value: float):
+        event = AlertEvent(
+            rule=rule.name,
+            metric=rule.metric,
+            level=rule.level,
+            kind=kind,
+            value=value,
+            threshold=rule.threshold,
+            description=rule.description,
+        )
+        self.events.log(
+            _LOG_LEVEL[rule.level] if kind == "fired" else "info",
+            f"alert.{kind}",
+            rule=rule.name,
+            metric=rule.metric,
+            alert_level=rule.level,
+            value=value,
+            threshold=rule.threshold,
+            description=rule.description,
+        )
+        if self._metrics is not None and kind == "fired":
+            self._metrics.counter(
+                "alerts_fired_total", rule=rule.name, level=rule.level
+            ).inc()
+        return event
+
+    def _value(self, rule: AlertRule, registry) -> float | None:
+        matched = [
+            m for m in registry.collect()
+            if m.name == rule.metric
+            and all(m.labels.get(k) == str(v) for k, v in rule.labels.items())
+        ]
+        if not matched:
+            return None
+        if rule.kind == "ewma_drift":
+            meters = [m for m in matched if isinstance(m, EwmaMeter)]
+            if not meters:
+                return None
+            meter = meters[0]
+            if meter.count < rule.min_count:
+                return None
+            denom = max(abs(meter.rate_long), rule.drift_floor)
+            return abs(meter.rate_short - meter.rate_long) / denom
+        total = 0.0
+        for m in matched:
+            if isinstance(m, (Counter, Gauge)):
+                total += m.value
+            elif isinstance(m, Histogram):
+                total += m.count
+            elif isinstance(m, EwmaMeter):
+                total += m.rate_short
+        return total
+
+    def _breached(self, rule: AlertRule, value: float) -> bool:
+        if rule.kind == "ewma_drift":
+            return value > rule.threshold
+        return _OPS[rule.op](value, rule.threshold)
+
+
+def default_pool_rules(
+    max_heartbeat_age_s: float | None = None,
+    max_failure_ratio: float = 0.5,
+    max_journal_lag: float = 10_000.0,
+) -> tuple[AlertRule, ...]:
+    """The supervised-pool rule set the ISSUE's runbook starts from.
+
+    Covers the three fleet pathologies the supervisor can see coming:
+    blocks failing at a rate that suggests environment sickness, worker
+    heartbeats aging toward the kill deadline, and (when a journal's
+    metrics are installed) the write-ahead journal lagging its replay.
+    Quarantines and breaker trips alert unconditionally — those are
+    never routine.
+    """
+    rules = [
+        AlertRule(
+            name="pool-block-failure-ratio",
+            metric="pool_block_failure_ratio",
+            op=">",
+            threshold=max_failure_ratio,
+            for_cycles=2,
+            level="warning",
+            description=(
+                f"more than {max_failure_ratio:.0%} of completed blocks "
+                "are failing"
+            ),
+        ),
+        AlertRule(
+            name="pool-block-quarantined",
+            metric="pool_blocks_quarantined_total",
+            op=">",
+            threshold=0,
+            level="critical",
+            description="at least one poison block was quarantined",
+        ),
+        AlertRule(
+            name="pool-breaker-tripped",
+            metric="pool_breaker_trips_total",
+            op=">",
+            threshold=0,
+            level="critical",
+            description="the circuit breaker tripped",
+        ),
+        AlertRule(
+            name="journal-lag",
+            metric="journal_appends_total",
+            op=">",
+            threshold=max_journal_lag,
+            level="warning",
+            description=(
+                "journal has grown past its expected replay budget"
+            ),
+        ),
+    ]
+    if max_heartbeat_age_s is not None:
+        rules.append(
+            AlertRule(
+                name="pool-heartbeat-age",
+                metric="pool_heartbeat_age_seconds",
+                op=">",
+                threshold=max_heartbeat_age_s,
+                level="warning",
+                description=(
+                    f"a busy worker has not heartbeaten for "
+                    f"{max_heartbeat_age_s:g}s"
+                ),
+            )
+        )
+    return tuple(rules)

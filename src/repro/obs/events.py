@@ -1,0 +1,329 @@
+"""Structured, leveled, JSON-lines event logging + the flight recorder.
+
+Metrics say *how much*; spans say *how long*; this module says *what
+happened*.  An :class:`EventLogger` writes one JSON object per line,
+each record carrying a wall-clock timestamp, a level, an event name,
+and whatever correlation fields the caller bound (``run_id``,
+``worker_id``, ``block_id``) or stamped per call.  When a tracer is
+attached, every record is automatically stamped with the current
+span's ``trace_id``/``span_id``, so a line in the log resolves to a
+node in the span tree — the property the pool-telemetry tests assert.
+
+Three design rules keep it pipeline-safe:
+
+* **null by default** — :data:`NULL_EVENT_LOG` has the full interface
+  and does nothing; instrumented code logs unconditionally and the
+  bound logger decides the cost;
+* **binding, not formatting** — :meth:`EventLogger.bind` returns a
+  child logger sharing the same sink with extra fields baked in, so a
+  supervisor binds ``worker_id`` once instead of threading it through
+  every call site;
+* **rings see everything** — a logger can tee records into a
+  :class:`FlightRecorder` (a bounded ring buffer).  The ring captures
+  *below-threshold* records too: the black box wants the debug chatter
+  from just before the crash even when the log file only keeps info+.
+
+:class:`FlightRecorder` additionally holds recent metric samples and
+dumps the whole box atomically (via :func:`repro.datasets.io.
+atomic_write_text`) when something dies — every chaos failure then
+comes with its last seconds of history.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+__all__ = [
+    "EventLogger",
+    "FlightRecorder",
+    "LEVELS",
+    "NULL_EVENT_LOG",
+    "NullEventLogger",
+    "read_event_log",
+]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _Sink:
+    """The shared, locked write side of one logger family."""
+
+    __slots__ = ("lock", "handle", "owns_handle", "clock", "n_records")
+
+    def __init__(self, sink, clock) -> None:
+        self.lock = threading.Lock()
+        self.clock = clock
+        self.n_records = 0
+        if sink is None:
+            self.handle = None
+            self.owns_handle = False
+        elif hasattr(sink, "write"):
+            self.handle = sink
+            self.owns_handle = False
+        else:
+            path = Path(sink)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self.handle = open(path, "a", encoding="utf-8")
+            self.owns_handle = True
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self.lock:
+            self.n_records += 1
+            if self.handle is not None:
+                self.handle.write(line + "\n")
+                # Flush per record: the log must be tail-able while the
+                # run is live, and must survive the process dying next.
+                self.handle.flush()
+
+    def close(self) -> None:
+        with self.lock:
+            if self.owns_handle and self.handle is not None:
+                self.handle.close()
+                self.handle = None
+
+
+class EventLogger:
+    """Leveled JSONL logger with bound fields and optional ring tee.
+
+    ``sink`` is a path (opened append), an open file-like, or ``None``
+    (ring/counter only).  ``level`` is the sink threshold; rings attached
+    via ``ring`` (or :meth:`bind`) receive records at every level.
+    ``tracer`` enables automatic ``trace_id``/``span_id`` stamping from
+    the tracer's current span.  Keyword ``bound`` fields are merged into
+    every record (explicit per-call fields win).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink=None,
+        *,
+        level: str = "info",
+        ring=None,
+        tracer=None,
+        clock=time.time,
+        _sink_state: _Sink | None = None,
+        **bound,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown level {level!r}; expected one of {sorted(LEVELS)}"
+            )
+        self._sink = (
+            _sink_state if _sink_state is not None else _Sink(sink, clock)
+        )
+        self._level_no = LEVELS[level]
+        self._level = level
+        self._rings = tuple(r for r in [ring] if r is not None)
+        self._tracer = tracer
+        self._bound = dict(bound)
+
+    @property
+    def n_records(self) -> int:
+        """Records written to the sink (bound children share the count)."""
+        return self._sink.n_records
+
+    def bind(
+        self, *, ring=None, level: str | None = None, tracer=None, **fields
+    ) -> "EventLogger":
+        """A child logger: same sink, extra bound fields/rings."""
+        child = EventLogger(
+            level=level if level is not None else self._level,
+            tracer=tracer if tracer is not None else self._tracer,
+            _sink_state=self._sink,
+            **{**self._bound, **fields},
+        )
+        child._rings = self._rings + tuple(
+            r for r in [ring] if r is not None
+        )
+        return child
+
+    def log(self, level: str, event: str, **fields) -> None:
+        level_no = LEVELS[level]
+        to_sink = level_no >= self._level_no
+        if not to_sink and not self._rings:
+            return
+        record = {
+            "ts": self._sink.clock(),
+            "level": level,
+            "event": event,
+            **self._bound,
+            **fields,
+        }
+        if self._tracer is not None and "trace_id" not in record:
+            ctx = self._tracer.current_context()
+            if ctx is not None:
+                record["trace_id"] = ctx.trace_id
+                record["span_id"] = ctx.span_id
+        for ring in self._rings:
+            ring.append(record)
+        if to_sink:
+            self._sink.write(record)
+
+    def emit(self, record: dict) -> None:
+        """Write a pre-formed record (e.g. one shipped from a worker).
+
+        The record keeps its own timestamp and correlation ids; bound
+        fields are merged underneath it (the record wins), and level
+        filtering and ring tees apply exactly as for :meth:`log`.
+        """
+        level_no = LEVELS.get(record.get("level"), LEVELS["info"])
+        to_sink = level_no >= self._level_no
+        if not to_sink and not self._rings:
+            return
+        if self._bound:
+            record = {**self._bound, **record}
+        for ring in self._rings:
+            ring.append(record)
+        if to_sink:
+            self._sink.write(record)
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+    def close(self) -> None:
+        self._sink.close()
+
+    def __enter__(self) -> "EventLogger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class NullEventLogger:
+    """Event logging off: full interface, no behaviour, no allocation."""
+
+    enabled = False
+    n_records = 0
+
+    def bind(self, **fields) -> "NullEventLogger":
+        return self
+
+    def log(self, level: str, event: str, **fields) -> None:
+        pass
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def debug(self, event: str, **fields) -> None:
+        pass
+
+    def info(self, event: str, **fields) -> None:
+        pass
+
+    def warning(self, event: str, **fields) -> None:
+        pass
+
+    def error(self, event: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullEventLogger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_EVENT_LOG = NullEventLogger()
+
+
+def read_event_log(path) -> list[dict]:
+    """Parse a JSONL event log; a torn final line is tolerated.
+
+    A process killed mid-write can leave a truncated last line — that is
+    damage to exactly one record, so everything before it is returned
+    and the tail is dropped (same torn-tail semantics as the stream
+    journal).  A bad line *followed by* good lines is real corruption
+    and raises.
+    """
+    records: list[dict] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break
+            raise
+    return records
+
+
+class FlightRecorder:
+    """Bounded black box: recent events + recent metric samples.
+
+    ``append(record)`` is the ring interface :class:`EventLogger` tees
+    into; :meth:`sample` stores an arbitrary plain-data payload on the
+    metric ring (a registry snapshot, a worker's shipped delta, ...).
+    Both rings evict oldest-first at their capacity, so memory is O(1)
+    no matter how long the run.  :meth:`dump` serializes the whole
+    recorder to disk atomically — called at crash points, hung-worker
+    kills, and circuit breaks so the failure ships its own evidence.
+    """
+
+    def __init__(self, capacity: int = 256, metric_capacity: int = 64) -> None:
+        if capacity < 1 or metric_capacity < 1:
+            raise ValueError("flight recorder capacities must be positive")
+        self.capacity = capacity
+        self.metric_capacity = metric_capacity
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=capacity)
+        self._samples: deque = deque(maxlen=metric_capacity)
+        self.n_events_total = 0
+        self.n_samples_total = 0
+        self.n_dumps = 0
+
+    def append(self, record: dict) -> None:
+        with self._lock:
+            self._events.append(record)
+            self.n_events_total += 1
+
+    def sample(self, payload: dict) -> None:
+        with self._lock:
+            self._samples.append(payload)
+            self.n_samples_total += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "events": list(self._events),
+                "metric_samples": list(self._samples),
+                "n_events_total": self.n_events_total,
+                "n_samples_total": self.n_samples_total,
+            }
+
+    def dump(self, path, reason: str = "", **context) -> Path:
+        """Atomically write the black box to ``path``; returns the path."""
+        from repro.datasets.io import atomic_write_text
+
+        payload = {
+            "reason": reason,
+            "dumped_unix": time.time(),
+            **context,
+            **self.snapshot(),
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+        out = atomic_write_text(path, text + "\n", kind="flight")
+        self.n_dumps += 1
+        return out

@@ -36,6 +36,8 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
+    "diff_states",
+    "escape_label_value",
     "render_labels",
 ]
 
@@ -54,12 +56,32 @@ PAPER_ALPHA_SHORT = 0.1
 PAPER_ALPHA_LONG = 0.01
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and line feed are the three characters the
+    format reserves inside a quoted label value; anything else passes
+    through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def render_labels(labels: dict) -> str:
-    """Render a label set the Prometheus way: ``{a="x",b="y"}`` (sorted)."""
+    """Render a label set the Prometheus way: ``{a="x",b="y"}`` (sorted).
+
+    Label *values* are escaped per the exposition format, so a value
+    containing ``"``, ``\\``, or a newline still yields one parseable
+    line.
+    """
     if not labels:
         return ""
     inner = ",".join(
-        f'{k}="{v}"' for k, v in sorted(labels.items())
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())
     )
     return "{" + inner + "}"
 
@@ -312,6 +334,88 @@ class MetricsRegistry:
         with self._lock:
             return [self._metrics[k] for k in sorted(self._metrics)]
 
+    def state(self) -> list[dict]:
+        """Raw, plain-data state of every metric — the unit of transfer.
+
+        Unlike :meth:`snapshot` (a human/JSON view), ``state`` preserves
+        enough structure to reconstruct or merge each metric exactly:
+        histogram bucket counts stay non-cumulative, meters keep their
+        gains and both EWMA levels.  :func:`diff_states` subtracts two
+        states into a delta and :meth:`merge` applies state to another
+        registry — together they move telemetry across process
+        boundaries (see :mod:`repro.obs.distributed`).
+        """
+        out: list[dict] = []
+        for metric in self.collect():
+            entry = {
+                "name": metric.name,
+                "labels": dict(metric.labels),
+                "kind": metric.kind,
+            }
+            if isinstance(metric, (Counter, Gauge)):
+                entry["value"] = metric.value
+            elif isinstance(metric, Histogram):
+                with metric._lock:
+                    entry["counts"] = list(metric._counts)
+                    entry["sum"] = metric._sum
+                    entry["count"] = metric._count
+                entry["bounds"] = list(metric.bounds)
+            elif isinstance(metric, EwmaMeter):
+                with metric._lock:
+                    entry.update(
+                        alpha_short=metric.alpha_short,
+                        alpha_long=metric.alpha_long,
+                        short=metric._short,
+                        long=metric._long,
+                        count=metric._count,
+                        last=metric._last,
+                    )
+            out.append(entry)
+        return out
+
+    def merge(self, state: list[dict]) -> None:
+        """Apply a :meth:`state` (or :func:`diff_states` delta) here.
+
+        Merge semantics per kind: **counters** and **histograms** add
+        (so applying a chain of deltas reconstructs the source's exact
+        totals), **gauges** are set (a level's latest value wins), and
+        **meters** are replaced wholesale (an EWMA has one writer; its
+        latest state *is* the merge).  Metrics are created on demand, so
+        merging into a fresh registry clones the source.
+        """
+        for entry in state:
+            labels = entry["labels"]
+            kind = entry["kind"]
+            name = entry["name"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(entry["value"])
+            elif kind == "histogram":
+                hist = self.histogram(
+                    name, buckets=tuple(entry["bounds"]), **labels
+                )
+                counts = entry["counts"]
+                with hist._lock:
+                    for i, n in enumerate(counts):
+                        hist._counts[i] += n
+                    hist._sum += entry["sum"]
+                    hist._count += entry["count"]
+            elif kind == "meter":
+                meter = self.meter(
+                    name,
+                    alpha_short=entry["alpha_short"],
+                    alpha_long=entry["alpha_long"],
+                    **labels,
+                )
+                with meter._lock:
+                    meter._short = entry["short"]
+                    meter._long = entry["long"]
+                    meter._count = entry["count"]
+                    meter._last = entry["last"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} in state")
+
     def snapshot(self) -> dict:
         """Plain-data view of every metric (JSON-ready)."""
         out: dict[str, dict] = {
@@ -340,6 +444,51 @@ class MetricsRegistry:
                     "rate_long": metric.rate_long,
                 }
         return out
+
+
+def _state_key(entry: dict) -> tuple:
+    return (entry["name"], tuple(sorted(entry["labels"].items())))
+
+
+def diff_states(new: list[dict], old: list[dict]) -> list[dict]:
+    """The delta that turns state ``old`` into state ``new``.
+
+    Counters and histograms become increments (what happened since
+    ``old``); gauges and meters carry their latest absolute state, and
+    are included only when they changed.  Metrics absent from ``old``
+    appear whole.  Applying the result with
+    :meth:`MetricsRegistry.merge` after ``old`` reproduces ``new``
+    exactly — the invariant the cross-process shipping relies on.
+    """
+    base = {_state_key(entry): entry for entry in old}
+    delta: list[dict] = []
+    for entry in new:
+        prev = base.get(_state_key(entry))
+        if prev is None:
+            delta.append(entry)
+            continue
+        kind = entry["kind"]
+        if kind == "counter":
+            change = entry["value"] - prev["value"]
+            if change:
+                delta.append({**entry, "value": change})
+        elif kind == "gauge":
+            if entry["value"] != prev["value"]:
+                delta.append(entry)
+        elif kind == "histogram":
+            if entry["count"] != prev["count"]:
+                delta.append({
+                    **entry,
+                    "counts": [
+                        n - p for n, p in zip(entry["counts"], prev["counts"])
+                    ],
+                    "sum": entry["sum"] - prev["sum"],
+                    "count": entry["count"] - prev["count"],
+                })
+        elif kind == "meter":
+            if entry["count"] != prev["count"]:
+                delta.append(entry)
+    return delta
 
 
 class _NullMetric:
@@ -396,6 +545,12 @@ class NullRegistry:
 
     def collect(self) -> list:
         return []
+
+    def state(self) -> list:
+        return []
+
+    def merge(self, state) -> None:
+        pass
 
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}, "meters": {}}

@@ -10,6 +10,17 @@ Besides the tree (finished root spans, bounded by ``max_roots``), the
 tracer aggregates per-stage timing statistics; :meth:`Tracer.
 stage_timings` is what :class:`repro.obs.export.RunManifest` embeds.
 
+Spans also carry identity for *distributed* correlation: every span gets
+a process-unique ``span_id`` and inherits (or mints) a ``trace_id``.  A
+:class:`TraceContext` is the picklable carrier that crosses a process
+boundary: the supervisor opens a dispatch span, ships its context to the
+worker, and the worker opens its spans with ``parent_context=ctx`` — the
+worker's roots then name the supervisor's span as their parent, and
+:meth:`Tracer.graft` reattaches the serialized worker tree under the
+dispatch span when the result comes home.  Detached spans
+(:meth:`Tracer.begin` / :meth:`Tracer.end`) cover the supervisor's
+asynchronous dispatch window, which no ``with`` block can span.
+
 :class:`NullTracer` is the default everywhere: ``trace`` hands back a
 shared reusable no-op context manager, so untraced hot paths pay one
 call and no allocation.
@@ -17,6 +28,8 @@ call and no allocation.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -25,24 +38,57 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Span",
+    "TraceContext",
     "Tracer",
 ]
+
+_span_counter = itertools.count(1)
+
+
+def _new_id() -> str:
+    """A process-unique span id (pid-prefixed so forks never collide)."""
+    return f"{os.getpid():x}-{next(_span_counter):x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable identity of one live span, for cross-process parenting."""
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
 
 
 @dataclass
 class Span:
-    """One timed stage: name, attributes, duration, children."""
+    """One timed stage: name, attributes, duration, children.
+
+    ``trace_id`` groups every span of one logical operation across
+    processes; ``span_id`` is unique per span; ``parent_span_id`` is set
+    for children (including remote children whose parent lives in
+    another process).
+    """
 
     name: str
     attrs: dict
     start_s: float = 0.0
     duration_s: float = 0.0
     children: list = field(default_factory=list)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str | None = None
 
     @property
     def self_s(self) -> float:
         """Time spent in this span minus its direct children."""
         return self.duration_s - sum(c.duration_s for c in self.children)
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's identity as a shippable :class:`TraceContext`."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
 
     def walk(self):
         """Yield this span and every descendant, depth-first."""
@@ -55,8 +101,24 @@ class Span:
             "name": self.name,
             "attrs": self.attrs,
             "duration_s": self.duration_s,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
             "children": [c.to_dict() for c in self.children],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree serialized by :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            attrs=dict(data.get("attrs", {})),
+            duration_s=float(data.get("duration_s", 0.0)),
+            trace_id=data.get("trace_id", ""),
+            span_id=data.get("span_id", ""),
+            parent_span_id=data.get("parent_span_id"),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
 
 
 class _SpanContext:
@@ -97,8 +159,89 @@ class Tracer:
         # name -> [count, total_s, max_s]
         self._stages: dict[str, list] = {}
 
-    def trace(self, name: str, **attrs) -> _SpanContext:
-        return _SpanContext(self, Span(name=name, attrs=attrs))
+    def trace(
+        self,
+        name: str,
+        parent_context: TraceContext | None = None,
+        **attrs,
+    ) -> _SpanContext:
+        span = Span(name=name, attrs=attrs)
+        if parent_context is not None:
+            span.trace_id = parent_context.trace_id
+            span.parent_span_id = parent_context.span_id
+        return _SpanContext(self, span)
+
+    def current_context(self) -> TraceContext | None:
+        """The innermost active span's context on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        return stack[-1].context
+
+    def begin(
+        self,
+        name: str,
+        parent: Span | None = None,
+        parent_context: TraceContext | None = None,
+        **attrs,
+    ) -> Span:
+        """Start a detached span (not on the thread-local stack).
+
+        For operations whose start and end happen in different stack
+        frames — e.g. the supervisor's dispatch window, opened when a
+        task is sent and closed when its result (or corpse) comes back.
+        Finish it with :meth:`end`.
+        """
+        span = Span(name=name, attrs=attrs)
+        span.span_id = _new_id()
+        if parent is not None:
+            span.trace_id = parent.trace_id
+            span.parent_span_id = parent.span_id
+        elif parent_context is not None:
+            span.trace_id = parent_context.trace_id
+            span.parent_span_id = parent_context.span_id
+        if not span.trace_id:
+            span.trace_id = span.span_id
+        span.start_s = time.perf_counter()
+        return span
+
+    def end(self, span: Span | None, parent: Span | None = None) -> None:
+        """Finish a detached span, attaching it under ``parent`` (or as
+        a root).  ``None`` is accepted (and ignored) so callers can hold
+        a null tracer's span without branching."""
+        if span is None:
+            return
+        span.duration_s = time.perf_counter() - span.start_s
+        self._record(span, parent)
+
+    def graft(self, span_data, parent: Span | None = None) -> Span:
+        """Attach a remote (serialized) span tree under a local parent.
+
+        ``span_data`` is a :class:`Span` or a :meth:`Span.to_dict`
+        payload shipped from another process.  The remote tree's stage
+        durations are folded into :meth:`stage_timings` so fleet-level
+        aggregates cover worker time too.
+        """
+        span = (
+            span_data
+            if isinstance(span_data, Span)
+            else Span.from_dict(span_data)
+        )
+        with self._lock:
+            for s in span.walk():
+                self._stage_stats(s)
+            self._attach(span, parent)
+        return span
+
+    def resolve(self, span_id: str) -> Span | None:
+        """Find a finished span by id (depth-first over the root trees)."""
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            for span in root.walk():
+                if span.span_id == span_id:
+                    return span
+        return None
 
     def _stack(self) -> list:
         stack = getattr(self._local, "stack", None)
@@ -107,7 +250,16 @@ class Tracer:
         return stack
 
     def _push(self, span: Span) -> None:
-        self._stack().append(span)
+        stack = self._stack()
+        if not span.span_id:
+            span.span_id = _new_id()
+        if not span.trace_id:
+            if stack:
+                span.trace_id = stack[-1].trace_id
+                span.parent_span_id = stack[-1].span_id
+            else:
+                span.trace_id = span.span_id
+        stack.append(span)
 
     def _pop(self, span: Span) -> None:
         stack = self._stack()
@@ -119,20 +271,29 @@ class Tracer:
                 del stack[i]
                 break
         parent = stack[-1] if stack else None
+        self._record(span, parent)
+
+    def _record(self, span: Span, parent: Span | None) -> None:
         with self._lock:
-            stats = self._stages.get(span.name)
-            if stats is None:
-                self._stages[span.name] = [1, span.duration_s, span.duration_s]
-            else:
-                stats[0] += 1
-                stats[1] += span.duration_s
-                stats[2] = max(stats[2], span.duration_s)
-            if parent is not None:
-                parent.children.append(span)
-            elif len(self.roots) < self.max_roots:
-                self.roots.append(span)
-            else:
-                self.n_dropped_roots += 1
+            self._stage_stats(span)
+            self._attach(span, parent)
+
+    def _stage_stats(self, span: Span) -> None:
+        stats = self._stages.get(span.name)
+        if stats is None:
+            self._stages[span.name] = [1, span.duration_s, span.duration_s]
+        else:
+            stats[0] += 1
+            stats[1] += span.duration_s
+            stats[2] = max(stats[2], span.duration_s)
+
+    def _attach(self, span: Span, parent: Span | None) -> None:
+        if parent is not None:
+            parent.children.append(span)
+        elif len(self.roots) < self.max_roots:
+            self.roots.append(span)
+        else:
+            self.n_dropped_roots += 1
 
     def stage_timings(self) -> dict:
         """Per-stage aggregates: count, total, mean, and max seconds."""
@@ -169,8 +330,26 @@ class NullTracer:
     enabled = False
     roots: list = []
 
-    def trace(self, name: str, **attrs) -> _NullSpanContext:
+    def trace(
+        self, name: str, parent_context=None, **attrs
+    ) -> _NullSpanContext:
         return _NULL_SPAN_CONTEXT
+
+    def current_context(self) -> None:
+        return None
+
+    def begin(self, name: str, parent=None, parent_context=None,
+              **attrs) -> None:
+        return None
+
+    def end(self, span, parent=None) -> None:
+        pass
+
+    def graft(self, span_data, parent=None) -> None:
+        return None
+
+    def resolve(self, span_id: str) -> None:
+        return None
 
     def stage_timings(self) -> dict:
         return {}

@@ -57,6 +57,7 @@ from repro.core.timeseries import (
     clean_observations,
     round_index,
 )
+from repro.obs.events import NULL_EVENT_LOG
 from repro.obs.registry import NULL_REGISTRY
 from repro.obs.tracing import NULL_TRACER
 from repro.probing.rounds import ROUND_SECONDS
@@ -288,20 +289,30 @@ class _EngineMetrics:
 class StreamEngine:
     """Consume per-round observations, maintain verdicts, emit events.
 
-    ``metrics``/``tracer`` attach a :class:`repro.obs.MetricsRegistry` /
-    :class:`repro.obs.Tracer`; by default the null implementations keep
-    every code path allocation-free.  Instrumentation is strictly
+    ``metrics``/``tracer``/``events`` attach a
+    :class:`repro.obs.MetricsRegistry` / :class:`repro.obs.Tracer` /
+    :class:`repro.obs.EventLogger`; by default the null implementations
+    keep every code path allocation-free.  Instrumentation is strictly
     observational — verdicts, events, and state are bit-identical with
-    or without it (``tests/test_obs_parity.py``).
+    or without it (``tests/test_obs_parity.py``).  The structured event
+    log mirrors the typed bus events that matter operationally: late
+    drops, quality degradation/restoration, label transitions, and
+    (at debug level, for flight recorders) every window close.
     """
 
     def __init__(
-        self, config: StreamConfig, sinks=(), metrics=None, tracer=None
+        self,
+        config: StreamConfig,
+        sinks=(),
+        metrics=None,
+        tracer=None,
+        events=None,
     ) -> None:
         self.config = config
         self.bus = EventBus(sinks)
         self.metrics = NULL_REGISTRY if metrics is None else metrics
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self.events = NULL_EVENT_LOG if events is None else events
         self._m = _EngineMetrics(self.metrics)
         self._since_close = 0
         # Hot-path event tallies are plain ints, synced to the registry
@@ -350,6 +361,12 @@ class StreamEngine:
                     value=float(value),
                     lag_rounds=state.watermark - r,
                 )
+            )
+            self.events.warning(
+                "stream.late_drop",
+                block_id=block_id,
+                round_index=r,
+                lag_rounds=state.watermark - r,
             )
             return
         if r >= state.ring.base + state.ring.capacity:
@@ -634,6 +651,14 @@ class StreamEngine:
         state.last_report = report
         state.n_closed += 1
         (self._m.partial_closes if partial else self._m.closes).inc()
+        self.events.debug(
+            "stream.window_closed",
+            block_id=block_id,
+            end_round=end_round,
+            n_rounds=n_rounds,
+            partial=partial,
+            label=report.label.value,
+        )
         self._quality_events(state, block_id, end_round, report, quality)
         self._hysteresis(state, block_id, end_round, report)
         state.next_close_start = (
@@ -673,6 +698,12 @@ class StreamEngine:
                     reason=reason,
                 )
             )
+            self.events.warning(
+                "stream.quality_degraded",
+                block_id=block_id,
+                end_round=end_round,
+                reason=reason,
+            )
         elif not degraded_now and state.degraded:
             state.degraded = False
             self.bus.publish(
@@ -682,6 +713,11 @@ class StreamEngine:
                     time_s=self._round_time(end_round),
                     quality=quality,
                 )
+            )
+            self.events.info(
+                "stream.quality_restored",
+                block_id=block_id,
+                end_round=end_round,
             )
 
     def _hysteresis(
@@ -705,6 +741,14 @@ class StreamEngine:
                     report=report,
                     dwell=dwell,
                 )
+            )
+            self.events.info(
+                "stream.label_transition",
+                block_id=block_id,
+                end_round=end_round,
+                old_label=old.value if old is not None else None,
+                new_label=label.value,
+                dwell=dwell,
             )
 
         if state.stable_label is None:

@@ -1,0 +1,205 @@
+"""Declarative alert rules over a metrics registry (repro.obs.alerts)."""
+
+import pytest
+
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    default_pool_rules,
+)
+from repro.obs.events import EventLogger, read_event_log
+from repro.obs.registry import MetricsRegistry
+
+
+def engine_for(rule, **kwargs):
+    return AlertEngine([rule], **kwargs)
+
+
+class TestRuleValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "sliding"},
+            {"op": "~"},
+            {"level": "fatal"},
+            {"for_cycles": 0},
+            {"min_count": 0},
+        ],
+    )
+    def test_rejects_bad_rule(self, kwargs):
+        with pytest.raises(ValueError):
+            AlertRule(name="r", metric="m", **kwargs)
+
+    def test_rejects_duplicate_rule_names(self):
+        rule = AlertRule(name="r", metric="m")
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine([rule, AlertRule(name="r", metric="other")])
+
+
+class TestThresholdRules:
+    def test_fire_and_resolve_are_single_transitions(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+        engine = engine_for(AlertRule(name="deep", metric="depth",
+                                      op=">", threshold=5.0))
+        gauge.set(3.0)
+        assert engine.evaluate(reg) == []
+
+        gauge.set(9.0)
+        [fired] = engine.evaluate(reg)
+        assert fired.fired and fired.rule == "deep" and fired.value == 9.0
+        # Still breached: firing state holds, no repeat event.
+        assert engine.evaluate(reg) == []
+        assert engine.firing() == ["deep"]
+
+        gauge.set(1.0)
+        [resolved] = engine.evaluate(reg)
+        assert resolved.kind == "resolved"
+        assert engine.firing() == []
+        assert engine.n_fired == 1
+
+    def test_for_cycles_hysteresis(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("ratio")
+        engine = engine_for(AlertRule(name="r", metric="ratio",
+                                      op=">", threshold=0.5, for_cycles=3))
+        gauge.set(0.9)
+        assert engine.evaluate(reg) == []
+        assert engine.evaluate(reg) == []
+        [fired] = engine.evaluate(reg)  # third consecutive breach
+        assert fired.fired
+
+    def test_blip_resets_consecutive_count(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("ratio")
+        engine = engine_for(AlertRule(name="r", metric="ratio",
+                                      op=">", threshold=0.5, for_cycles=2))
+        gauge.set(0.9)
+        assert engine.evaluate(reg) == []
+        gauge.set(0.1)  # one healthy sample between the breaches
+        assert engine.evaluate(reg) == []
+        gauge.set(0.9)
+        assert engine.evaluate(reg) == []
+        assert engine.evaluate(reg) != []
+
+    def test_label_subset_matches_and_family_sums(self):
+        reg = MetricsRegistry()
+        reg.counter("restarts_total", reason="hung").inc(2)
+        reg.counter("restarts_total", reason="crashed").inc(3)
+        any_reason = engine_for(AlertRule(name="any", metric="restarts_total",
+                                          op=">", threshold=4))
+        [fired] = any_reason.evaluate(reg)
+        assert fired.value == 5  # whole family summed
+
+        only_hung = engine_for(AlertRule(
+            name="hung", metric="restarts_total",
+            labels={"reason": "hung"}, op=">", threshold=4,
+        ))
+        assert only_hung.evaluate(reg) == []
+
+    def test_histogram_counts_and_missing_metric_skipped(self):
+        reg = MetricsRegistry()
+        engine = engine_for(AlertRule(name="slow", metric="lat",
+                                      op=">=", threshold=2))
+        assert engine.evaluate(reg) == []  # metric absent: skip, not error
+        hist = reg.histogram("lat", buckets=(1.0,))
+        hist.observe(0.5)
+        assert engine.evaluate(reg) == []
+        hist.observe(3.0)
+        [fired] = engine.evaluate(reg)
+        assert fired.value == 2  # histogram contributes its count
+
+
+class TestDriftRules:
+    def rule(self, **kwargs):
+        return AlertRule(name="drift", metric="rate", kind="ewma_drift",
+                         threshold=0.5, **kwargs)
+
+    def test_warmup_guard(self):
+        reg = MetricsRegistry()
+        reg.meter("rate").observe(100.0)
+        engine = engine_for(self.rule(min_count=3))
+        assert engine.evaluate(reg) == []  # still warming up
+
+    def test_fires_when_short_departs_long(self):
+        reg = MetricsRegistry()
+        meter = reg.meter("rate", alpha_short=0.9, alpha_long=0.01)
+        for _ in range(5):
+            meter.observe(10.0)
+        engine = engine_for(self.rule(min_count=2))
+        assert engine.evaluate(reg) == []  # steady stream: no drift
+        for _ in range(5):
+            meter.observe(1000.0)  # step change: fast view runs ahead
+        [fired] = engine.evaluate(reg)
+        assert fired.fired and fired.value > 0.5
+
+
+class TestEngineOutputs:
+    def test_transitions_logged_and_counted(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+        with EventLogger(path) as log:
+            engine = AlertEngine(
+                [AlertRule(name="deep", metric="depth", op=">",
+                           threshold=1.0, level="critical",
+                           description="too deep")],
+                events=log,
+                metrics=reg,
+            )
+            gauge.set(2.0)
+            engine.evaluate(reg)
+            gauge.set(0.0)
+            engine.evaluate(reg)
+        fired, resolved = read_event_log(path)
+        assert fired["event"] == "alert.fired"
+        assert fired["level"] == "error"  # critical alerts log at error
+        assert fired["rule"] == "deep"
+        assert fired["description"] == "too deep"
+        assert resolved["event"] == "alert.resolved"
+        assert resolved["level"] == "info"
+        assert (
+            reg.counter("alerts_fired_total",
+                        rule="deep", level="critical").value == 1
+        )
+
+    def test_warning_rules_log_at_warning(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(2.0)
+        with EventLogger(path) as log:
+            AlertEngine(
+                [AlertRule(name="deep", metric="depth", op=">",
+                           threshold=1.0, level="warning")],
+                events=log,
+            ).evaluate(reg)
+        [record] = read_event_log(path)
+        assert record["level"] == "warning"
+
+
+class TestDefaultPoolRules:
+    def test_quarantine_and_breaker_fire_immediately(self):
+        reg = MetricsRegistry()
+        engine = AlertEngine(default_pool_rules())
+        assert engine.evaluate(reg) == []
+        reg.counter("pool_blocks_quarantined_total").inc()
+        reg.counter("pool_breaker_trips_total").inc()
+        fired = {e.rule for e in engine.evaluate(reg) if e.fired}
+        assert fired == {"pool-block-quarantined", "pool-breaker-tripped"}
+        assert all(
+            r.level == "critical" for r in engine.rules if r.name in fired
+        )
+
+    def test_failure_ratio_needs_two_cycles(self):
+        reg = MetricsRegistry()
+        reg.gauge("pool_block_failure_ratio").set(0.8)
+        engine = AlertEngine(default_pool_rules(max_failure_ratio=0.5))
+        assert engine.evaluate(reg) == []
+        [fired] = engine.evaluate(reg)
+        assert fired.rule == "pool-block-failure-ratio"
+
+    def test_heartbeat_rule_is_optional(self):
+        names = {r.name for r in default_pool_rules()}
+        assert "pool-heartbeat-age" not in names
+        names = {r.name for r in default_pool_rules(max_heartbeat_age_s=5.0)}
+        assert "pool-heartbeat-age" in names

@@ -1,0 +1,228 @@
+"""Structured event log + flight recorder (repro.obs.events)."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    LEVELS,
+    NULL_EVENT_LOG,
+    EventLogger,
+    FlightRecorder,
+    read_event_log,
+)
+from repro.obs.tracing import Tracer
+
+
+class TestEventLogger:
+    def test_writes_jsonl_records(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogger(path) as log:
+            log.info("run.start", n_blocks=3)
+            log.warning("block.retry", index=1)
+        records = read_event_log(path)
+        assert [r["event"] for r in records] == ["run.start", "block.retry"]
+        assert records[0]["level"] == "info"
+        assert records[0]["n_blocks"] == 3
+        assert records[0]["ts"] > 0
+
+    def test_level_threshold_filters_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogger(path, level="warning") as log:
+            log.debug("noise")
+            log.info("also-noise")
+            log.warning("signal")
+            log.error("loud-signal")
+        assert [r["event"] for r in read_event_log(path)] == [
+            "signal", "loud-signal",
+        ]
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown level"):
+            EventLogger(level="loud")
+        with pytest.raises(KeyError):
+            EventLogger().log("shout", "x")
+
+    def test_bound_fields_merged_into_every_record(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogger(path, run_id="r1") as log:
+            log.info("a")
+            log.info("b", run_id="override")
+        records = read_event_log(path)
+        assert records[0]["run_id"] == "r1"
+        # Explicit per-call fields win over bound ones.
+        assert records[1]["run_id"] == "override"
+
+    def test_bind_shares_sink_and_count(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogger(path) as log:
+            child = log.bind(worker_id=3)
+            grandchild = child.bind(block_id=9)
+            log.info("parent")
+            child.info("child")
+            grandchild.info("grandchild")
+            assert log.n_records == child.n_records == 3
+        records = read_event_log(path)
+        assert "worker_id" not in records[0]
+        assert records[1]["worker_id"] == 3
+        assert records[2]["worker_id"] == 3 and records[2]["block_id"] == 9
+
+    def test_ring_sees_below_threshold_records(self):
+        ring: list = []
+        log = EventLogger(level="error", ring=ring)
+        log.debug("chatter")
+        log.error("boom")
+        # The black box wants the debug chatter from before the crash
+        # even when the sink only keeps errors.
+        assert [r["event"] for r in ring] == ["chatter", "boom"]
+        assert log.n_records == 1  # only the error passed the threshold
+
+    def test_bind_adds_ring_keeps_parents(self):
+        outer: list = []
+        inner: list = []
+        log = EventLogger(ring=outer)
+        child = log.bind(ring=inner)
+        child.info("x")
+        assert len(outer) == len(inner) == 1
+
+    def test_tracer_stamps_current_span(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tracer = Tracer()
+        with EventLogger(path, tracer=tracer) as log:
+            with tracer.trace("stage") as span:
+                log.info("inside")
+            log.info("outside")
+        inside, outside = read_event_log(path)
+        assert inside["trace_id"] == span.trace_id
+        assert inside["span_id"] == span.span_id
+        assert "trace_id" not in outside
+
+    def test_explicit_trace_id_not_overwritten(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tracer = Tracer()
+        with EventLogger(path, tracer=tracer) as log:
+            with tracer.trace("stage"):
+                log.info("shipped", trace_id="remote-1", span_id="remote-2")
+        [record] = read_event_log(path)
+        assert record["trace_id"] == "remote-1"
+        assert record["span_id"] == "remote-2"
+
+    def test_emit_preserves_record_and_merges_bound(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogger(path, run_id="r1", worker_id=0) as log:
+            log.emit({
+                "ts": 123.0, "level": "warning", "event": "block.retry",
+                "worker_id": 2,
+            })
+        [record] = read_event_log(path)
+        assert record["ts"] == 123.0  # shipped timestamp kept
+        assert record["run_id"] == "r1"  # bound field merged underneath
+        assert record["worker_id"] == 2  # the record wins
+
+    def test_emit_respects_threshold_and_rings(self):
+        ring: list = []
+        log = EventLogger(level="error", ring=ring)
+        log.emit({"level": "debug", "event": "chatter"})
+        assert log.n_records == 0
+        assert [r["event"] for r in ring] == ["chatter"]
+
+    def test_emit_defaults_missing_level_to_info(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogger(path, level="info") as log:
+            log.emit({"event": "bare"})
+        assert len(read_event_log(path)) == 1
+
+    def test_file_like_sink_not_closed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        handle = open(path, "a", encoding="utf-8")
+        log = EventLogger(handle)
+        log.info("x")
+        log.close()
+        assert not handle.closed
+        handle.close()
+
+    def test_null_logger_full_interface(self):
+        with NULL_EVENT_LOG as log:
+            assert log.bind(worker_id=1) is log
+            log.debug("x")
+            log.info("x")
+            log.warning("x")
+            log.error("x")
+            log.emit({"event": "x"})
+            assert log.n_records == 0
+            assert not log.enabled
+
+    def test_levels_are_ordered(self):
+        assert (
+            LEVELS["debug"] < LEVELS["info"]
+            < LEVELS["warning"] < LEVELS["error"]
+        )
+
+
+class TestReadEventLog:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogger(path) as log:
+            log.info("a")
+            log.info("b")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "torn", "le')  # killed mid-write
+        records = read_event_log(path)
+        assert [r["event"] for r in records] == ["a", "b"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a"}\ngarbage\n{"event": "c"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_event_log(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a"}\n\n{"event": "b"}\n')
+        assert len(read_event_log(path)) == 2
+
+
+class TestFlightRecorder:
+    def test_rings_evict_oldest_first(self):
+        rec = FlightRecorder(capacity=3, metric_capacity=2)
+        for i in range(5):
+            rec.append({"event": f"e{i}"})
+            rec.sample({"seq": i})
+        snap = rec.snapshot()
+        assert [r["event"] for r in snap["events"]] == ["e2", "e3", "e4"]
+        assert [s["seq"] for s in snap["metric_samples"]] == [3, 4]
+        # Totals keep counting past the ring capacity.
+        assert snap["n_events_total"] == 5
+        assert snap["n_samples_total"] == 5
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError, match="positive"):
+            FlightRecorder(metric_capacity=0)
+
+    def test_logger_tee(self):
+        rec = FlightRecorder()
+        log = EventLogger(level="error", ring=rec)
+        log.debug("pre-crash chatter")
+        assert rec.snapshot()["events"][0]["event"] == "pre-crash chatter"
+
+    def test_dump_writes_full_box(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        rec.append({"event": "a"})
+        rec.sample({"seq": 1})
+        out = rec.dump(
+            tmp_path / "flight.json", reason="worker crashed", worker_id=2
+        )
+        payload = json.loads(out.read_text())
+        assert payload["reason"] == "worker crashed"
+        assert payload["worker_id"] == 2
+        assert payload["events"] == [{"event": "a"}]
+        assert payload["metric_samples"] == [{"seq": 1}]
+        assert payload["dumped_unix"] > 0
+        assert rec.n_dumps == 1
+
+    def test_dump_creates_parent_dirs(self, tmp_path):
+        rec = FlightRecorder()
+        out = rec.dump(tmp_path / "deep" / "nested" / "f.json", reason="x")
+        assert out.exists()

@@ -1,6 +1,7 @@
 """Tests for repro.obs.export: Prometheus text, JSON snapshots, manifests."""
 
 import json
+import re
 
 import pytest
 
@@ -10,7 +11,11 @@ from repro.obs.export import (
     prometheus_text,
     write_json_snapshot,
 )
-from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.registry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    escape_label_value,
+)
 from repro.obs.tracing import Tracer
 
 
@@ -165,6 +170,73 @@ def test_negative_infinity_format():
     reg = MetricsRegistry()
     reg.gauge("g").set(float("-inf"))
     assert "g -Inf" in prometheus_text(reg)
+
+
+# One exposition line: name, optional {label="value",...}, space, value.
+# Label values may contain anything except raw ", \, or newline — those
+# must appear escaped (\" \\ \n), which is what the value charclass and
+# escape alternation below encode.
+_SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*")*\})?'
+    r' -?(\d+(\.\d+)?([eE][+-]?\d+)?|Inf|NaN)$'
+)
+
+
+class TestLabelEscaping:
+    def test_escape_label_value(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value(7) == "7"  # coerced like label storage
+
+    def test_nasty_values_render_one_parseable_line_each(self):
+        reg = MetricsRegistry()
+        nasty = {
+            "backslash": "C:\\temp\\probe",
+            "quote": 'block "A"',
+            "newline": "line one\nline two",
+            "all-three": '\\"\n',
+        }
+        for name, value in nasty.items():
+            reg.counter("nasty_total", kind=name, path=value).inc()
+        text = prometheus_text(reg)
+        sample_lines = [
+            line for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(sample_lines) == len(nasty)  # no line got split
+        for line in sample_lines:
+            assert _SAMPLE_LINE.match(line), line
+
+    def test_grammar_lint_full_exposition(self):
+        reg = populated_registry()
+        reg.counter("escaped_total", path='a\\b"c\nd').inc(2)
+        for line in prometheus_text(reg).splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert re.match(
+                    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+                    r"(counter|gauge|histogram)$",
+                    line,
+                ), line
+            else:
+                assert _SAMPLE_LINE.match(line), line
+
+    def test_escaping_round_trips(self):
+        # Unescaping the rendered value must recover the original, i.e.
+        # escaping is injective — two different raw values can never
+        # collide into the same exposition bytes.
+        raw = 'a\\b"c\nd\\\\e'
+        rendered = escape_label_value(raw)
+        assert (
+            rendered
+            .replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        ) == raw
 
 
 def test_load_rejects_unknown_fields(tmp_path):
