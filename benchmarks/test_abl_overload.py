@@ -1,0 +1,182 @@
+"""Ablation: the admission controller under 1x/4x/10x offered load.
+
+Two contracts, one table.  *Under overload* the bounded ingest queue
+must hold service rate steady and memory flat while the shedder drops
+the excess (shed ratio tracks ``1 - 1/load``): a 10x storm costs
+observations — explicitly, deterministically — never gigabytes or a
+crash.  *Unloaded*, :meth:`AdmissionController.ingest` with an empty
+queue must be a pass-through, priced under the same <5% hot-path gate
+the observability layer answers to.
+
+Each level reports sustained serviced-observations/sec, shed ratio,
+queue ceiling, and process peak RSS; the run also writes
+``abl_overload.json`` so the CI chaos job uploads the measured numbers
+as an artifact.
+"""
+
+import json
+import resource
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.stream import (
+    AdmissionController,
+    OverloadConfig,
+    StreamConfig,
+    StreamEngine,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_BLOCKS = 4
+N_DAYS = 8
+SEED = 46
+ROUND = 660.0
+DAY = 86400.0
+REPS = 7
+MAX_OVERHEAD = 0.05
+LOADS = (1, 4, 10)
+CAPACITY = 1024
+
+
+def workload():
+    rng = np.random.default_rng(SEED)
+    n = int(N_DAYS * DAY / ROUND)
+    times = np.arange(n) * ROUND
+    series = [
+        0.5
+        + 0.4 * np.sin(2 * np.pi * times / DAY + phase)
+        + 0.02 * rng.standard_normal(n)
+        for phase in rng.uniform(0.0, 2 * np.pi, N_BLOCKS)
+    ]
+    return times, series
+
+
+def peak_rss_kb():
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def run_load(multiplier, times, series, config):
+    """Offer ``multiplier`` observations per service slot; drain; flush."""
+    engine = StreamEngine(config)
+    controller = AdmissionController(
+        engine,
+        OverloadConfig(capacity=CAPACITY, seed=SEED, shed_log_capacity=1),
+    )
+    credit = 0.0
+    t0 = time.perf_counter()
+    for r in range(len(times)):
+        for b in range(N_BLOCKS):
+            controller.submit(b, times[r], series[b][r])
+            credit += 1.0 / multiplier
+            whole = int(credit)
+            if whole:
+                controller.pump(whole)
+                credit -= whole
+    while controller.depth:
+        controller.pump(256)
+    controller.flush()
+    wall = time.perf_counter() - t0
+    return wall, controller
+
+
+def run_unloaded(config, times, series, with_controller):
+    engine = StreamEngine(config)
+    if with_controller:
+        target = AdmissionController(engine).ingest
+    else:
+        target = engine.ingest
+    t0 = time.perf_counter()
+    for b in range(N_BLOCKS):
+        values = series[b]
+        for r in range(len(times)):
+            target(b, times[r], values[r])
+    engine.flush()
+    return time.perf_counter() - t0
+
+
+def run_overhead_pairs(config, times, series):
+    """Interleaved (bare engine, admission fast path) timing pairs."""
+    pairs = []
+    for _ in range(REPS):
+        t_bare = run_unloaded(config, times, series, with_controller=False)
+        t_admit = run_unloaded(config, times, series, with_controller=True)
+        pairs.append((t_bare, t_admit))
+    return pairs
+
+
+def run_ablation():
+    config = StreamConfig.for_days(2.0, hop_days=1.0, label_dwell=1)
+    times, series = workload()
+    run_unloaded(config, times, series, with_controller=True)  # warm
+    levels = []
+    for load in LOADS:
+        wall, controller = run_load(load, times, series, config)
+        levels.append(
+            {
+                "offered_load": load,
+                "offered_obs": controller.n_submitted,
+                "serviced_per_s": controller.n_serviced / wall,
+                "shed_ratio": controller.shed_ratio,
+                "max_depth": controller.max_depth,
+                "episodes": controller.n_episodes,
+                "wall_s": wall,
+                "peak_rss_kb": peak_rss_kb(),
+            }
+        )
+    pairs = run_overhead_pairs(config, times, series)
+    return levels, pairs
+
+
+def test_abl_overload(benchmark, record_output):
+    levels, pairs = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    overhead = min(t_a / t_b for t_b, t_a in pairs) - 1.0
+
+    artifact = RESULTS_DIR / "abl_overload.json"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artifact.write_text(
+        json.dumps(
+            {"levels": levels, "unloaded_overhead": overhead}, indent=2
+        )
+    )
+
+    lines = [
+        f"{'load':>6}{'serviced/s':>12}{'shed':>8}{'max depth':>11}"
+        f"{'rss MB':>9}",
+    ]
+    for row in levels:
+        lines.append(
+            f"{row['offered_load']:>5}x"
+            f"{row['serviced_per_s']:>12.0f}"
+            f"{row['shed_ratio']:>8.2%}"
+            f"{row['max_depth']:>11}"
+            f"{row['peak_rss_kb'] / 1024:>9.0f}"
+        )
+    lines += [
+        "",
+        f"unloaded admission overhead: {overhead:+.2%} "
+        f"(budget {MAX_OVERHEAD:.0%}, best of {REPS})",
+        f"artifact: {artifact.name}",
+    ]
+    record_output("abl_overload", "\n".join(lines))
+
+    by_load = {row["offered_load"]: row for row in levels}
+    # Balanced load sheds nothing; the queue never engages.
+    assert by_load[1]["shed_ratio"] == 0.0
+    # Overload sheds roughly the excess and never exceeds the cap.
+    assert 0.5 < by_load[10]["shed_ratio"] < 1.0
+    assert by_load[4]["shed_ratio"] < by_load[10]["shed_ratio"]
+    for row in levels:
+        assert row["max_depth"] <= CAPACITY + 1
+    # Bounded memory: 10x offered load may not cost a growing queue.
+    # ru_maxrss is process-monotonic, so the growth across levels is an
+    # upper bound on what overload itself added.
+    rss_growth_kb = by_load[10]["peak_rss_kb"] - by_load[1]["peak_rss_kb"]
+    assert rss_growth_kb < 256 * 1024, f"RSS grew {rss_growth_kb} KB"
+    # Unloaded, admission is a pass-through under the hot-path gate.
+    assert overhead < MAX_OVERHEAD, (
+        f"unloaded admission overhead {overhead:.2%} exceeds "
+        f"{MAX_OVERHEAD:.0%}"
+    )

@@ -84,6 +84,7 @@ from repro.core.pipeline import (
     measure_blocks,
     classify_ground_truth,
 )
+from repro.core.retry import RetryPolicy
 from repro.core.supervisor import (
     CircuitOpenError,
     PoolConfig,
@@ -110,6 +111,7 @@ __all__ = [
     "PoolRunner",
     "QualityReport",
     "RestartPolicy",
+    "RetryPolicy",
     "Spectrum",
     "circular_hour_difference",
     "classify_ground_truth",

@@ -36,6 +36,7 @@ from repro.core.classify import (
     classify_series,
 )
 from repro.core.estimator import AvailabilityEstimator, EstimatorConfig
+from repro.core.retry import RetryPolicy
 from repro.core.timeseries import (
     QualityReport,
     clean_observations,
@@ -434,6 +435,10 @@ class BatchConfig:
             independent fault substream keyed by its batch index.
         max_retries: additional attempts per block after the first
             failure, each with a fresh deterministic seed substream.
+        retry: full backoff policy for those attempts; ``None`` derives
+            an instant-retry :class:`~repro.core.retry.RetryPolicy` from
+            ``max_retries`` (bit-identical to the legacy loop).  When
+            set, its ``max_retries`` takes precedence.
         fail_fast: re-raise the original exception instead of recording a
             :class:`BlockFailure` (legacy ``measure_blocks`` semantics).
         checkpoint_path: where to persist partial results; ``None``
@@ -445,6 +450,7 @@ class BatchConfig:
     measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
     faults: "FaultConfig | None" = None
     max_retries: int = 1
+    retry: RetryPolicy | None = None
     fail_fast: bool = False
     checkpoint_path: str | Path | None = None
     checkpoint_every: int = 1000
@@ -454,6 +460,13 @@ class BatchConfig:
             raise ValueError("max_retries must be non-negative")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be at least 1")
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The effective policy (``retry``, or instant ``max_retries``)."""
+        if self.retry is not None:
+            return self.retry
+        return RetryPolicy(max_retries=self.max_retries)
 
 
 @dataclass
@@ -695,10 +708,11 @@ class BatchRunner:
         fault_plan: "FaultPlan | None",
     ) -> Union[BlockMeasurement, BlockFailure]:
         config = self.config
+        policy = config.retry_policy
         plan = fault_plan.for_block(index) if fault_plan is not None else None
         last_error: Exception | None = None
         attempts = 0
-        for attempt in range(config.max_retries + 1):
+        for attempt in policy.attempts():
             # Attempt 0 consumes the child itself (legacy-compatible);
             # each retry spawns the next substream off the same child.
             stream = child if attempt == 0 else child.spawn(1)[0]
@@ -712,6 +726,7 @@ class BatchRunner:
                     index=index,
                     block_id=int(getattr(block, "block_id", -1)),
                     attempt=attempt,
+                    delay_s=policy.delay_s(attempt),
                     error_type=type(last_error).__name__,
                     message=str(last_error),
                 )

@@ -1,0 +1,155 @@
+"""One retry policy for every retry site in the system.
+
+Before this module, three ad-hoc retry/delay loops lived in three
+corners of the codebase: :class:`~repro.core.pipeline.BatchRunner`
+retried failed blocks immediately in a bare ``for`` loop, the
+:class:`~repro.core.supervisor.PoolRunner` respawned dead workers with
+no pacing at all (a crash-looping environment would fork as fast as the
+kernel allowed), and a journal whose file was briefly unopenable (NFS
+hiccup, quota race) failed permanently on first touch.  Each site had
+reinvented part of a retry policy and none had all of it.
+
+:class:`RetryPolicy` is the shared answer: exponential backoff with a
+cap, **deterministic** seeded jitter (the same ``(seed, attempt)`` pair
+always produces the same delay, so retry schedules are replayable in
+tests and identical across reruns — no wall-clock or global-RNG
+dependence), and an optional total deadline budget that bounds how long
+a caller can spend waiting across all attempts.
+
+The default policy (``base_delay_s=0``) degenerates to "retry
+immediately", which is bit-identical to the legacy behavior of every
+call site — production configs opt into real backoff.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["RetryPolicy"]
+
+
+def _unit_interval(seed: int, attempt: int) -> float:
+    """A deterministic draw in [0, 1) keyed by (seed, attempt).
+
+    CRC32 of the packed pair: cheap, stateless, stable across platforms
+    and Python versions (unlike ``hash``), and independent of NumPy's
+    global RNG — jitter must never perturb the measurement streams.
+    """
+    h = zlib.crc32(struct.pack("<qq", seed, attempt))
+    return h / 2**32
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff with jitter and a deadline budget.
+
+    Attributes:
+        max_retries: additional attempts after the first (0 = one shot).
+        base_delay_s: delay before the first retry; 0 retries instantly.
+        multiplier: exponential growth factor per subsequent retry.
+        max_delay_s: cap on any single delay (pre-jitter).
+        jitter: +/- fraction of the delay randomized deterministically
+            from ``seed`` (0 disables, 1 allows the full [0, 2x] range).
+        deadline_s: total budget across all waits; a retry whose delay
+            would exceed the remaining budget is not attempted.
+            ``None`` means unbounded.
+        seed: jitter seed; same seed, same schedule, every run.
+    """
+
+    max_retries: int = 1
+    base_delay_s: float = 0.0
+    multiplier: float = 2.0
+    max_delay_s: float = 30.0
+    jitter: float = 0.0
+    deadline_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if self.max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError("deadline_s must be non-negative")
+
+    def delay_s(self, attempt: int) -> float:
+        """The backoff before retry ``attempt`` (1-based; 0 means none).
+
+        ``min(base * multiplier**(attempt-1), max_delay)``, then spread
+        by the deterministic jitter draw for this ``(seed, attempt)``.
+        """
+        if attempt < 1 or self.base_delay_s == 0.0:
+            return 0.0
+        delay = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+        if self.jitter:
+            u = _unit_interval(self.seed, attempt)
+            delay *= 1.0 - self.jitter + 2.0 * self.jitter * u
+        return delay
+
+    def schedule(self) -> list[float]:
+        """Every delay this policy would sleep, in order (for logs/tests)."""
+        return [self.delay_s(k) for k in range(1, self.max_retries + 1)]
+
+    def attempts(
+        self,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> Iterator[int]:
+        """Yield attempt indices ``0..max_retries``, sleeping in between.
+
+        The caller breaks out on success.  A retry whose delay would
+        blow the remaining ``deadline_s`` budget is withheld — the
+        generator simply ends, and the caller treats its last failure
+        as final.
+        """
+        start = clock()
+        yield 0
+        for attempt in range(1, self.max_retries + 1):
+            delay = self.delay_s(attempt)
+            if (
+                self.deadline_s is not None
+                and (clock() - start) + delay > self.deadline_s
+            ):
+                return
+            if delay > 0:
+                sleep(delay)
+            yield attempt
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        retry_on: tuple = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ):
+        """Run ``fn`` under this policy; return its first success.
+
+        Only exceptions matching ``retry_on`` are retried; anything else
+        propagates immediately.  ``on_retry(attempt, error)`` is invoked
+        before each retry sleep (for structured logging).  When every
+        attempt fails, the last error is re-raised.
+        """
+        last: BaseException | None = None
+        for attempt in self.attempts(sleep=sleep):
+            if attempt > 0 and on_retry is not None:
+                assert last is not None
+                on_retry(attempt, last)
+            try:
+                return fn()
+            except retry_on as error:
+                last = error
+        assert last is not None
+        raise last

@@ -71,6 +71,7 @@ from repro.core.pipeline import (
     BlockFailure,
     BlockMeasurement,
 )
+from repro.core.retry import RetryPolicy
 from repro.faults.crash import crashpoint, set_crash_observer
 from repro.net.blocks import Block24
 from repro.obs.alerts import AlertEngine
@@ -127,6 +128,11 @@ class PoolConfig:
             :class:`CircuitOpenError`; ``None`` disables the breaker.
         heartbeat_interval_s: how often idle workers refresh their
             heartbeat; also the supervisor's poll granularity.
+        respawn_backoff: pacing for consecutive respawns of the same
+            worker slot (a crash-looping environment should not fork as
+            fast as the kernel allows).  The streak resets when the
+            slot's worker completes a task; the default zero-delay
+            policy respawns instantly (legacy behavior).
         mp_context: multiprocessing start method.  ``"fork"`` (default)
             inherits test doubles and armed crash points; ``"spawn"``
             requires everything dispatched to be importable.
@@ -143,6 +149,7 @@ class PoolConfig:
     max_block_failures: int = 2
     breaker_threshold: int | None = 5
     heartbeat_interval_s: float = 0.05
+    respawn_backoff: RetryPolicy = field(default_factory=RetryPolicy)
     mp_context: str = "fork"
     flight_recorder_dir: str | Path | None = None
     flight_recorder_capacity: int = 256
@@ -265,10 +272,11 @@ class _PoolMetrics:
 
     __slots__ = ("dispatched", "hung", "crashed", "quarantined",
                  "breaker_trips", "workers", "deltas", "failure_ratio",
-                 "heartbeat_age")
+                 "heartbeat_age", "dispatch_pauses")
 
     def __init__(self, registry) -> None:
         self.dispatched = registry.counter("pool_tasks_dispatched_total")
+        self.dispatch_pauses = registry.counter("pool_dispatch_pauses_total")
         self.hung = registry.counter("pool_worker_restarts_total",
                                      reason="hung")
         self.crashed = registry.counter("pool_worker_restarts_total",
@@ -298,6 +306,14 @@ class PoolRunner:
     holds the per-worker and aggregate metric view, ``alerts`` the rule
     engine with its firing state, and ``recorders`` the per-worker
     flight recorders.
+
+    ``backpressure`` is an optional zero-argument callable (typically
+    :meth:`repro.stream.overload.AdmissionController.backpressure` of a
+    downstream consumer): while it returns true the dispatch loop stops
+    handing new blocks to idle workers — in-flight blocks still
+    complete — so an overloaded consumer slows the producer instead of
+    forcing it to shed.  Pause/resume transitions are logged and counted
+    (``pool_dispatch_pauses_total``, ``stats["dispatch_pauses"]``).
     """
 
     def __init__(
@@ -307,6 +323,7 @@ class PoolRunner:
         tracer=None,
         events=None,
         alert_rules=None,
+        backpressure=None,
     ) -> None:
         self.config = config or PoolConfig()
         self.metrics = NULL_REGISTRY if metrics is None else metrics
@@ -315,6 +332,7 @@ class PoolRunner:
         if events.enabled and self.tracer.enabled:
             events = events.bind(tracer=self.tracer)
         self.events = events
+        self.backpressure = backpressure
         self._alert_rules = tuple(alert_rules) if alert_rules else ()
         self.alerts: AlertEngine | None = None
         self.fleet = FleetView()
@@ -355,6 +373,7 @@ class PoolRunner:
             "breaker_trips": 0,
             "alerts_fired": 0,
             "flight_dumps": 0,
+            "dispatch_pauses": 0,
         }
         try:
             with self.tracer.trace(
@@ -476,6 +495,8 @@ class PoolRunner:
         stats = self._last_stats
         recorders = self.recorders
         env_failures: dict[int, int] = {}
+        respawn_streak: dict[int, int] = {}
+        bp_active = False
         state = {
             "consecutive": 0,
             "pending_since_flush": 0,
@@ -640,6 +661,17 @@ class PoolRunner:
                         failures=env_failures[index],
                     )
             dump_flight(wid, reason=f"worker {reason}", index=index)
+            streak = respawn_streak.get(wid, 0) + 1
+            respawn_streak[wid] = streak
+            delay = config.respawn_backoff.delay_s(streak)
+            if delay > 0:
+                # Pace consecutive respawns of the same slot: a sick
+                # environment (OOM storm, bad deploy) otherwise turns
+                # the supervisor into a fork bomb.
+                wlog(wid).warning(
+                    "worker.respawn_backoff", streak=streak, delay_s=delay
+                )
+                time.sleep(delay)
             replacement = self._spawn(ctx, wid, heartbeat, schedule)
             workers[wid] = replacement
             wlog(wid).info("worker.respawned", pid=replacement.process.pid)
@@ -678,8 +710,22 @@ class PoolRunner:
                         state["consecutive"], config.batch.checkpoint_path
                     )
 
+                paused = bool(
+                    self.backpressure is not None
+                    and pending
+                    and self.backpressure()
+                )
+                if paused and not bp_active:
+                    self._m.dispatch_pauses.inc()
+                    stats["dispatch_pauses"] += 1
+                    events.warning(
+                        "pool.dispatch_paused", queued=len(pending)
+                    )
+                elif bp_active and not paused:
+                    events.info("pool.dispatch_resumed", queued=len(pending))
+                bp_active = paused
                 for worker in workers:
-                    if worker.task is None and pending:
+                    if worker.task is None and pending and not paused:
                         task = pending.popleft()
                         index = task[0]
                         span = self.tracer.begin(
@@ -729,6 +775,7 @@ class PoolRunner:
                         span = worker.span
                         worker.task = None
                         worker.span = None
+                        respawn_streak.pop(worker.worker_id, None)
                         ingest_delta(delta, span)
                         if span is not None:
                             span.attrs["outcome"] = "completed"

@@ -251,13 +251,18 @@ def default_pool_rules(
     max_heartbeat_age_s: float | None = None,
     max_failure_ratio: float = 0.5,
     max_journal_lag: float = 10_000.0,
+    max_shed_ratio: float = 0.05,
+    max_ingest_queue_depth: float | None = None,
 ) -> tuple[AlertRule, ...]:
     """The supervised-pool rule set the ISSUE's runbook starts from.
 
-    Covers the three fleet pathologies the supervisor can see coming:
-    blocks failing at a rate that suggests environment sickness, worker
-    heartbeats aging toward the kill deadline, and (when a journal's
-    metrics are installed) the write-ahead journal lagging its replay.
+    Covers the fleet pathologies the supervisor can see coming: blocks
+    failing at a rate that suggests environment sickness, worker
+    heartbeats aging toward the kill deadline, (when a journal's
+    metrics are installed) the write-ahead journal lagging its replay,
+    and (when an admission controller's metrics are installed) the
+    ingest path shedding more than ``max_shed_ratio`` of offered
+    observations or holding a queue past ``max_ingest_queue_depth``.
     Quarantines and breaker trips alert unconditionally — those are
     never routine.
     """
@@ -300,7 +305,34 @@ def default_pool_rules(
                 "journal has grown past its expected replay budget"
             ),
         ),
+        AlertRule(
+            name="stream-shed-ratio",
+            metric="stream_shed_ratio",
+            op=">",
+            threshold=max_shed_ratio,
+            for_cycles=2,
+            level="critical",
+            description=(
+                f"overload shedder is dropping more than "
+                f"{max_shed_ratio:.0%} of offered observations"
+            ),
+        ),
     ]
+    if max_ingest_queue_depth is not None:
+        rules.append(
+            AlertRule(
+                name="stream-ingest-queue-depth",
+                metric="stream_ingest_queue_depth",
+                op=">",
+                threshold=max_ingest_queue_depth,
+                for_cycles=2,
+                level="warning",
+                description=(
+                    f"ingest queue has stayed above "
+                    f"{max_ingest_queue_depth:g} observations"
+                ),
+            )
+        )
     if max_heartbeat_age_s is not None:
         rules.append(
             AlertRule(

@@ -17,6 +17,11 @@
     :class:`StreamJournal` — a CRC-framed write-ahead log for
     observations, with torn-tail recovery on open and idempotent
     sequence-numbered replay (:func:`replay_journal`).
+``overload``
+    :class:`AdmissionController` — bounded ingest queue with watermark
+    hysteresis, a backpressure signal for producers, and deterministic
+    priority load-shedding under sustained overload
+    (:func:`paced_replay` is the backpressure-honoring producer loop).
 
 The correctness anchor is *batch parity*: every window-close report is
 bit-identical to :func:`repro.core.classify.classify_series` over the
@@ -33,9 +38,11 @@ from repro.stream.events import (
     ClassificationTransition,
     EventBus,
     LateObservation,
+    ObservationShed,
     PhaseEdge,
     QualityDegraded,
     QualityRestored,
+    ShedDegraded,
     StreamEvent,
     WindowClosed,
 )
@@ -45,6 +52,12 @@ from repro.stream.journal import (
     StreamJournal,
     read_journal,
     replay_journal,
+)
+from repro.stream.overload import (
+    AdmissionController,
+    OverloadConfig,
+    ShedRecord,
+    paced_replay,
 )
 from repro.stream.sinks import (
     CallbackSink,
@@ -58,6 +71,7 @@ from repro.stream.sliding_dft import SlidingDFT
 from repro.stream.window import RoundWindow
 
 __all__ = [
+    "AdmissionController",
     "CallbackSink",
     "ClassificationTransition",
     "CountingSink",
@@ -68,12 +82,16 @@ __all__ = [
     "JournalRecord",
     "LateObservation",
     "ListSink",
+    "ObservationShed",
+    "OverloadConfig",
     "PhaseEdge",
     "ProvisionalEstimate",
     "QualityDegraded",
     "QualityRestored",
     "RecoveryReport",
     "RoundWindow",
+    "ShedDegraded",
+    "ShedRecord",
     "SlidingDFT",
     "StreamConfig",
     "StreamEngine",
@@ -81,6 +99,7 @@ __all__ = [
     "StreamJournal",
     "WindowClosed",
     "batch_window_report",
+    "paced_replay",
     "read_journal",
     "replay_journal",
 ]

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from math import isfinite
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -221,6 +222,8 @@ class _BlockState:
         "stable_label",
         "candidate",
         "candidate_count",
+        "stable_run",
+        "last_edge_round",
         "degraded",
         "level",
         "last_report",
@@ -242,6 +245,8 @@ class _BlockState:
         self.stable_label: DiurnalClass | None = None
         self.candidate: DiurnalClass | None = None
         self.candidate_count = 0
+        self.stable_run = 0
+        self.last_edge_round: int | None = None
         self.degraded = False
         self.level: str | None = None
         self.last_report: DiurnalReport | None = None
@@ -258,9 +263,9 @@ class _EngineMetrics:
     a few milliseconds.
     """
 
-    __slots__ = ("enabled", "ingested", "late", "frozen", "reseeds",
-                 "closes", "partial_closes", "transitions", "blocks",
-                 "close_seconds", "ingest_rate")
+    __slots__ = ("enabled", "ingested", "late", "invalid", "frozen",
+                 "reseeds", "closes", "partial_closes", "transitions",
+                 "blocks", "close_seconds", "ingest_rate")
 
     _CLOSE_BUCKETS = (
         1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 5e-3, 2.5e-2, 0.1,
@@ -270,6 +275,7 @@ class _EngineMetrics:
         self.enabled = registry.enabled
         self.ingested = registry.counter("stream_observations_total")
         self.late = registry.counter("stream_late_observations_total")
+        self.invalid = registry.counter("stream_invalid_observations_total")
         self.frozen = registry.counter("stream_rounds_frozen_total")
         self.reseeds = registry.counter("stream_dft_reseeds_total")
         self.closes = registry.counter(
@@ -322,7 +328,9 @@ class StreamEngine:
         # every observation point (after ``flush`` or a window close).
         self._pending_ingested = 0
         self._pending_late = 0
+        self._pending_invalid = 0
         self._pending_frozen = 0
+        self._n_invalid = 0
         self._states: dict[int, _BlockState] = {}
         n = config.window_rounds
         n_bins = n // 2 + 1
@@ -347,7 +355,26 @@ class StreamEngine:
     # -- ingestion ---------------------------------------------------------
 
     def ingest(self, block_id: int, time_s: float, value: float) -> None:
-        """Process one observation (any order within the lateness slack)."""
+        """Process one observation (any order within the lateness slack).
+
+        Non-finite ``time_s``/``value`` (NaN, +/-inf — a corrupt frame,
+        a broken sensor) are dropped before they can poison the ring:
+        NaN times grid to garbage rounds and NaN values defeat the
+        fill/quality accounting.  Each drop is a structured
+        ``stream.invalid_observation`` event and a
+        ``stream_invalid_observations_total`` count, never an exception
+        — invalid input is an operational condition, not a bug.
+        """
+        if not (isfinite(time_s) and isfinite(value)):
+            self._pending_invalid += 1
+            self._n_invalid += 1
+            self.events.warning(
+                "stream.invalid_observation",
+                block_id=block_id,
+                time_s=repr(float(time_s)),
+                value=repr(float(value)),
+            )
+            return
         state = self._state(block_id)
         r = int(round_index(time_s, self.config.round_s, self.config.start_s))
         if r < 0 or r <= state.watermark:
@@ -442,6 +469,36 @@ class StreamEngine:
     def n_late(self, block_id: int) -> int:
         return self._states[block_id].n_late
 
+    @property
+    def n_invalid(self) -> int:
+        """Observations dropped for non-finite time/value, all blocks."""
+        return self._n_invalid
+
+    def tracked(self, block_id: int) -> bool:
+        """Whether the engine has any state for this block yet."""
+        return block_id in self._states
+
+    def stable_run(self, block_id: int) -> int:
+        """Consecutive closes agreeing with the current stable label.
+
+        0 before the first close (or right after a dissenting close);
+        large values mean the block has been boringly stable for many
+        windows — exactly the blocks the overload shedder can afford to
+        thin out first.  Unknown blocks report 0.
+        """
+        state = self._states.get(block_id)
+        return 0 if state is None else state.stable_run
+
+    def last_edge_round(self, block_id: int) -> int | None:
+        """The round of the block's most recent sleep/wake phase edge."""
+        state = self._states.get(block_id)
+        return None if state is None else state.last_edge_round
+
+    def next_close_start(self, block_id: int) -> int:
+        """First round of the next window this block will close."""
+        state = self._states.get(block_id)
+        return 0 if state is None else state.next_close_start
+
     def provisional(self, block_id: int) -> ProvisionalEstimate:
         """The current trailing-window spectral state (O(tracked bins))."""
         state = self._states[block_id]
@@ -502,6 +559,9 @@ class StreamEngine:
         if self._pending_late:
             self._m.late.inc(self._pending_late)
             self._pending_late = 0
+        if self._pending_invalid:
+            self._m.invalid.inc(self._pending_invalid)
+            self._pending_invalid = 0
         if self._pending_frozen:
             self._m.frozen.inc(self._pending_frozen)
             self._pending_frozen = 0
@@ -579,6 +639,7 @@ class StreamEngine:
             return
         if level != state.level:
             state.level = level
+            state.last_edge_round = f
             self.bus.publish(
                 PhaseEdge(
                     block_id=block_id,
@@ -753,11 +814,14 @@ class StreamEngine:
 
         if state.stable_label is None:
             state.stable_label = label
+            state.stable_run = 1
             publish(None, 1)
         elif label == state.stable_label:
             state.candidate = None
             state.candidate_count = 0
+            state.stable_run += 1
         else:
+            state.stable_run = 0
             if label == state.candidate:
                 state.candidate_count += 1
             else:
@@ -766,6 +830,7 @@ class StreamEngine:
             if state.candidate_count >= self.config.label_dwell:
                 old = state.stable_label
                 state.stable_label = label
+                state.stable_run = 1
                 publish(old, state.candidate_count)
                 state.candidate = None
                 state.candidate_count = 0

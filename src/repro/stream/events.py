@@ -24,9 +24,11 @@ __all__ = [
     "ClassificationTransition",
     "EventBus",
     "LateObservation",
+    "ObservationShed",
     "PhaseEdge",
     "QualityDegraded",
     "QualityRestored",
+    "ShedDegraded",
     "StreamEvent",
     "WindowClosed",
 ]
@@ -126,6 +128,43 @@ class LateObservation(StreamEvent):
 
     value: float
     lag_rounds: int
+
+
+@dataclass(frozen=True)
+class ObservationShed(StreamEvent):
+    """The overload shedder dropped this observation before ingestion.
+
+    ``tier`` is the value class the shedder assigned (0 = mid-window
+    sample of a long-stable block, 1 = near a phase edge, 2 =
+    provisional/unknown block — higher tiers are only shed when the
+    queue holds nothing cheaper); ``depth`` is the queue depth at the
+    moment the shed episode triggered; ``seq`` is the submission
+    sequence number, which makes shed sets comparable across runs.
+    """
+
+    value: float
+    tier: int
+    depth: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class ShedDegraded(StreamEvent):
+    """A window closed whose observations were partially shed.
+
+    Published immediately after the corresponding :class:`WindowClosed`
+    so consumers can tell a verdict degraded by deliberate load-shedding
+    from one degraded by upstream data loss: ``n_shed`` observations
+    that would have landed in ``[window_start_round,
+    window_start_round + n_rounds)`` were dropped by the overload
+    shedder, and the close's quality report already accounts for the
+    resulting gaps (heavily shed windows fail the quality gate and
+    close as ``insufficient-data`` rather than silently wrong).
+    """
+
+    window_start_round: int
+    n_rounds: int
+    n_shed: int
 
 
 class EventBus:

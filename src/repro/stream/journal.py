@@ -42,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.retry import RetryPolicy
 from repro.faults.crash import any_armed, crashpoint
 from repro.obs.registry import NULL_REGISTRY
 
@@ -163,6 +164,13 @@ class StreamJournal:
     writes the header.  Appends are buffered — call :meth:`flush` (or
     rely on ``sync_every``) to make them durable; ``close`` always
     flushes.  Usable as a context manager.
+
+    ``open_retry`` retries the open/recover step on :class:`OSError`
+    under a :class:`~repro.core.retry.RetryPolicy` — a journal on
+    network storage that hiccups at open time (stale handle, quota
+    race) should back off and try again rather than fail the whole
+    resume.  Corruption errors (bad magic, wrong version) are never
+    retried; they need an operator, not patience.
     """
 
     def __init__(
@@ -170,6 +178,7 @@ class StreamJournal:
         path: str | Path,
         sync_every: int | None = None,
         metrics=None,
+        open_retry: RetryPolicy | None = None,
     ) -> None:
         if sync_every is not None and sync_every < 1:
             raise ValueError("sync_every must be positive")
@@ -180,7 +189,12 @@ class StreamJournal:
         )
         self._since_sync = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.recovery = self._open_and_recover()
+        if open_retry is None:
+            self.recovery = self._open_and_recover()
+        else:
+            self.recovery = open_retry.call(
+                self._open_and_recover, retry_on=(OSError,)
+            )
         self.next_seq = self.recovery.last_seq + 1
 
     def _open_and_recover(self) -> RecoveryReport:
@@ -357,6 +371,7 @@ def replay_journal(
     engine,
     after_seq: int = 0,
     metrics=None,
+    retry: RetryPolicy | None = None,
 ) -> int:
     """Replay journaled observations into an engine, idempotently.
 
@@ -367,9 +382,18 @@ def replay_journal(
     replaying the same journal into the same engine again with the
     returned value is a no-op.  Returns the last applied sequence
     number (``after_seq`` when nothing new was found).
+
+    ``retry`` applies a :class:`~repro.core.retry.RetryPolicy` to the
+    journal *read* (transient :class:`OSError` only); the replay itself
+    runs once, since the records are already in memory.
     """
     m = _JournalMetrics(NULL_REGISTRY if metrics is None else metrics)
-    records, _ = read_journal(path)
+    if retry is None:
+        records, _ = read_journal(path)
+    else:
+        records, _ = retry.call(
+            lambda: read_journal(path), retry_on=(OSError,)
+        )
     last = after_seq
     for record in records:
         if record.seq <= last:

@@ -8,8 +8,10 @@ from repro.core import (
     BatchRunner,
     BlockFailure,
     BlockMeasurement,
+    RetryPolicy,
     measure_blocks,
 )
+from repro.obs import EventLogger, read_event_log
 from repro.datasets.io import load_batch_checkpoint, save_batch_checkpoint
 from repro.faults import FaultConfig
 from repro.net import Block24, make_always_on, make_dead, make_diurnal, merge_behaviors
@@ -186,6 +188,41 @@ class TestRetry:
         assert not np.array_equal(
             a.results[0].a_short, clean.results[0].a_short
         )
+
+    def test_explicit_policy_overrides_max_retries(self):
+        block = FailsOnce(1, diurnal_block(1).behavior)
+        config = BatchConfig(
+            max_retries=0, retry=RetryPolicy(max_retries=2)
+        )
+        result = BatchRunner(config).run([block], SCHEDULE, seed=0)
+        assert len(result.measurements) == 1
+        assert block.calls == 2
+
+    def test_zero_delay_policy_is_bit_identical_to_legacy(self):
+        legacy = BatchRunner(BatchConfig(max_retries=1)).run(
+            [FailsOnce(1, diurnal_block(1).behavior)], SCHEDULE, seed=0
+        )
+        policied = BatchRunner(
+            BatchConfig(retry=RetryPolicy(max_retries=1))
+        ).run([FailsOnce(1, diurnal_block(1).behavior)], SCHEDULE, seed=0)
+        assert_measurements_identical(legacy.results[0], policied.results[0])
+
+    def test_retry_event_carries_policy_delay(self, tmp_path):
+        events = EventLogger(tmp_path / "events.jsonl", level="debug")
+        config = BatchConfig(
+            retry=RetryPolicy(max_retries=1, base_delay_s=0.01)
+        )
+        BatchRunner(config, events=events).run(
+            [FailsOnce(1, diurnal_block(1).behavior)], SCHEDULE, seed=0
+        )
+        events.close()
+        [retry] = [
+            e
+            for e in read_event_log(tmp_path / "events.jsonl")
+            if e["event"] == "block.retry"
+        ]
+        assert retry["attempt"] == 1
+        assert retry["delay_s"] == pytest.approx(0.01)
 
 
 class TestCheckpointResume:

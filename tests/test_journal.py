@@ -77,6 +77,78 @@ class TestRoundTrip:
             StreamJournal(tmp_path / "wal", sync_every=0)
 
 
+class FlakyReadBytes:
+    """Patchable ``Path.read_bytes`` that fails its first ``n`` calls."""
+
+    def __init__(self, n_failures):
+        import pathlib
+
+        self.real = pathlib.Path.read_bytes
+        self.left = n_failures
+        self.calls = 0
+
+    def __call__(self, path):
+        self.calls += 1
+        if self.left > 0:
+            self.left -= 1
+            raise OSError("transient I/O")
+        return self.real(path)
+
+
+class TestOpenRetry:
+    def test_open_retry_survives_transient_oserror(self, tmp_path, monkeypatch):
+        import pathlib
+
+        from repro.core import RetryPolicy
+
+        path = write_records(tmp_path / "wal", 3)
+        flaky = FlakyReadBytes(1)
+        monkeypatch.setattr(pathlib.Path, "read_bytes", lambda p: flaky(p))
+        with StreamJournal(path, open_retry=RetryPolicy(max_retries=2)) as j:
+            assert j.recovery.n_records == 3
+        assert flaky.calls == 2
+
+    def test_without_policy_oserror_propagates(self, tmp_path, monkeypatch):
+        import pathlib
+
+        path = write_records(tmp_path / "wal", 3)
+        flaky = FlakyReadBytes(1)
+        monkeypatch.setattr(pathlib.Path, "read_bytes", lambda p: flaky(p))
+        with pytest.raises(OSError, match="transient"):
+            StreamJournal(path)
+        assert flaky.calls == 1
+
+    def test_replay_retry_survives_transient_oserror(
+        self, tmp_path, monkeypatch
+    ):
+        import pathlib
+
+        from repro.core import RetryPolicy
+
+        path = write_records(tmp_path / "wal", 4)
+        engine = RecordingEngine()
+        flaky = FlakyReadBytes(1)
+        monkeypatch.setattr(pathlib.Path, "read_bytes", lambda p: flaky(p))
+        replay_journal(path, engine, retry=RetryPolicy(max_retries=1))
+        assert len(engine.seen) == 4
+        assert flaky.calls == 2
+
+    def test_corruption_is_never_retried(self, tmp_path, monkeypatch):
+        # Bad magic is a ValueError — structural damage, not transient
+        # I/O — and must fail fast no matter how generous the policy.
+        import pathlib
+
+        from repro.core import RetryPolicy
+
+        path = tmp_path / "wal"
+        path.write_bytes(b"definitely not a journal")
+        flaky = FlakyReadBytes(0)
+        monkeypatch.setattr(pathlib.Path, "read_bytes", lambda p: flaky(p))
+        with pytest.raises(ValueError, match="bad magic"):
+            StreamJournal(path, open_retry=RetryPolicy(max_retries=5))
+        assert flaky.calls == 1
+
+
 class TestTornTailRecovery:
     def test_torn_tail_is_truncated_on_open(self, tmp_path):
         path = write_records(tmp_path / "wal", 10)

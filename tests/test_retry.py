@@ -1,0 +1,173 @@
+"""Tests for the unified retry policy (repro.core.retry).
+
+The properties that matter: schedules are deterministic (seeded jitter,
+no wall clock, no global RNG), the deadline budget withholds retries it
+cannot afford, and the default zero-delay policy is bit-identical to
+the legacy instant-retry loops it replaced.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.retry import RetryPolicy
+
+
+class TestConfig:
+    def test_defaults_are_instant(self):
+        policy = RetryPolicy()
+        assert policy.schedule() == [0.0]
+        assert policy.delay_s(1) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(max_retries=-1), "max_retries"),
+            (dict(base_delay_s=-0.1), "base_delay_s"),
+            (dict(multiplier=0.5), "multiplier"),
+            (dict(max_delay_s=-1.0), "max_delay_s"),
+            (dict(jitter=1.5), "jitter"),
+            (dict(jitter=-0.1), "jitter"),
+            (dict(deadline_s=-1.0), "deadline_s"),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RetryPolicy(**kwargs)
+
+
+class TestSchedule:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            max_retries=6, base_delay_s=1.0, multiplier=2.0, max_delay_s=10.0
+        )
+        assert policy.schedule() == [1.0, 2.0, 4.0, 8.0, 10.0, 10.0]
+
+    def test_attempt_zero_has_no_delay(self):
+        policy = RetryPolicy(max_retries=2, base_delay_s=1.0)
+        assert policy.delay_s(0) == 0.0
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(max_retries=5, base_delay_s=1.0, jitter=0.5, seed=42)
+        b = RetryPolicy(max_retries=5, base_delay_s=1.0, jitter=0.5, seed=42)
+        assert a.schedule() == b.schedule()
+
+    def test_jitter_varies_with_seed(self):
+        schedules = {
+            tuple(
+                RetryPolicy(
+                    max_retries=4, base_delay_s=1.0, jitter=0.9, seed=s
+                ).schedule()
+            )
+            for s in range(8)
+        }
+        assert len(schedules) > 1
+
+    @given(
+        seed=st.integers(0, 2**31),
+        jitter=st.floats(0.0, 1.0),
+        base=st.floats(0.001, 10.0),
+    )
+    def test_jitter_stays_in_band(self, seed, jitter, base):
+        policy = RetryPolicy(
+            max_retries=4,
+            base_delay_s=base,
+            max_delay_s=1e9,
+            jitter=jitter,
+            seed=seed,
+        )
+        for attempt in range(1, 5):
+            raw = base * policy.multiplier ** (attempt - 1)
+            delay = policy.delay_s(attempt)
+            assert raw * (1 - jitter) - 1e-9 <= delay
+            assert delay <= raw * (1 + jitter) + 1e-9
+
+
+class TestAttempts:
+    def test_yields_all_attempts_with_sleeps(self):
+        policy = RetryPolicy(max_retries=3, base_delay_s=1.0)
+        slept = []
+        attempts = list(policy.attempts(sleep=slept.append, clock=lambda: 0.0))
+        assert attempts == [0, 1, 2, 3]
+        assert slept == [1.0, 2.0, 4.0]
+
+    def test_zero_delay_never_sleeps(self):
+        policy = RetryPolicy(max_retries=3)
+        slept = []
+        attempts = list(policy.attempts(sleep=slept.append))
+        assert attempts == [0, 1, 2, 3]
+        assert slept == []
+
+    def test_deadline_withholds_unaffordable_retry(self):
+        # Budget of 2.5s affords the 1s and 2s... no: 1 + 2 = 3 > 2.5,
+        # so only the first retry fits.
+        policy = RetryPolicy(max_retries=3, base_delay_s=1.0, deadline_s=2.5)
+        clock = iter([0.0, 0.0, 1.0, 3.0]).__next__
+        slept = []
+        attempts = list(policy.attempts(sleep=slept.append, clock=clock))
+        assert attempts == [0, 1]
+        assert slept == [1.0]
+
+    def test_zero_deadline_means_one_shot(self):
+        policy = RetryPolicy(max_retries=5, base_delay_s=1.0, deadline_s=0.0)
+        attempts = list(
+            policy.attempts(sleep=lambda _: None, clock=lambda: 0.0)
+        )
+        assert attempts == [0]
+
+
+class TestCall:
+    def test_returns_first_success(self):
+        policy = RetryPolicy(max_retries=3)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert policy.call(flaky, retry_on=(OSError,)) == "ok"
+        assert len(calls) == 3
+
+    def test_reraises_last_error_when_exhausted(self):
+        policy = RetryPolicy(max_retries=2)
+        with pytest.raises(OSError, match="always"):
+            policy.call(
+                self._always_fail, retry_on=(OSError,), sleep=lambda _: None
+            )
+
+    @staticmethod
+    def _always_fail():
+        raise OSError("always")
+
+    def test_unmatched_error_propagates_immediately(self):
+        policy = RetryPolicy(max_retries=5)
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(bad, retry_on=(OSError,))
+        assert len(calls) == 1
+
+    def test_on_retry_sees_attempt_and_error(self):
+        policy = RetryPolicy(max_retries=2)
+        seen = []
+
+        def flaky():
+            if len(seen) < 1:
+                raise OSError("boom")
+            return 7
+
+        assert (
+            policy.call(
+                flaky,
+                retry_on=(OSError,),
+                on_retry=lambda a, e: seen.append((a, str(e))),
+            )
+            == 7
+        )
+        assert seen == [(1, "boom")]

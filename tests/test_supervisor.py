@@ -12,7 +12,9 @@ from repro.core import (
     CircuitOpenError,
     PoolConfig,
     PoolRunner,
+    RetryPolicy,
 )
+from repro.obs import EventLogger, MetricsRegistry, read_event_log
 from repro.datasets.io import load_batch_checkpoint
 from repro.probing import RoundSchedule
 from tests.test_batch_runner import (
@@ -219,6 +221,100 @@ class TestCircuitBreaker:
         config = PoolConfig(n_workers=2, breaker_threshold=None)
         result = PoolRunner(config).run(blocks, SCHEDULE, seed=2)
         assert len(result.failures) == 4
+
+
+class Gate:
+    """Backpressure signal that asserts for its first ``n`` polls."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def __call__(self):
+        if self.n > 0:
+            self.n -= 1
+            return True
+        return False
+
+
+class TestBackpressure:
+    @pytest.mark.watchdog(120)
+    def test_paused_dispatch_resumes_with_identical_results(self, tmp_path):
+        blocks = make_blocks(4)
+        serial = BatchRunner(BatchConfig()).run(blocks, SCHEDULE, seed=11)
+        registry = MetricsRegistry()
+        events = EventLogger(tmp_path / "events.jsonl", level="debug")
+        pooled = PoolRunner(
+            PoolConfig(n_workers=2),
+            metrics=registry,
+            events=events,
+            backpressure=Gate(3),
+        ).run(blocks, SCHEDULE, seed=11)
+        events.close()
+        # The pause delayed dispatch but changed nothing about the work.
+        assert_results_identical(serial, pooled)
+        stats = pooled.manifest.extra["pool_stats"]
+        assert stats["dispatch_pauses"] == 1
+        assert registry.counter("pool_dispatch_pauses_total").value == 1
+        names = [e["event"] for e in read_event_log(tmp_path / "events.jsonl")]
+        paused = names.index("pool.dispatch_paused")
+        resumed = names.index("pool.dispatch_resumed")
+        assert paused < resumed < names.index("run.end")
+
+    @pytest.mark.watchdog(120)
+    def test_signal_never_polled_when_queue_is_empty(self):
+        # An idle pool must not count pauses: the signal matters only
+        # while there are blocks waiting to dispatch.
+        calls = []
+
+        def noisy_gate():
+            calls.append(1)
+            return True
+
+        result = PoolRunner(
+            PoolConfig(n_workers=2), backpressure=noisy_gate
+        ).run([], SCHEDULE, seed=0)
+        assert not result.results
+        assert not calls
+
+
+class TestRespawnBackoff:
+    @pytest.mark.watchdog(120)
+    def test_crash_loop_respawns_are_paced(self, tmp_path):
+        events = EventLogger(tmp_path / "events.jsonl", level="debug")
+        blocks = make_blocks(2) + [DiesInWorker()]
+        config = PoolConfig(
+            n_workers=1,
+            max_block_failures=2,
+            respawn_backoff=RetryPolicy(max_retries=4, base_delay_s=0.05),
+        )
+        result = PoolRunner(config, events=events).run(
+            blocks, SCHEDULE, seed=2
+        )
+        events.close()
+        assert len(result.measurements) == 2
+        [failure] = result.failures
+        assert failure.error_type == "WorkerLost"
+        backoffs = [
+            e
+            for e in read_event_log(tmp_path / "events.jsonl")
+            if e["event"] == "worker.respawn_backoff"
+        ]
+        # The poison block killed its worker twice; the second respawn
+        # of the same slot waited longer than the first.
+        assert [b["streak"] for b in backoffs] == [1, 2]
+        assert backoffs[0]["delay_s"] == pytest.approx(0.05)
+        assert backoffs[1]["delay_s"] == pytest.approx(0.10)
+
+    @pytest.mark.watchdog(120)
+    def test_default_policy_respawns_instantly(self, tmp_path):
+        events = EventLogger(tmp_path / "events.jsonl", level="debug")
+        blocks = make_blocks(2) + [DiesInWorker()]
+        PoolRunner(
+            PoolConfig(n_workers=1, max_block_failures=2), events=events
+        ).run(blocks, SCHEDULE, seed=2)
+        events.close()
+        records = read_event_log(tmp_path / "events.jsonl")
+        assert not [e for e in records if e["event"] == "worker.respawn_backoff"]
 
 
 class TestConfigValidation:
