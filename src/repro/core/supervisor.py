@@ -82,7 +82,89 @@ from repro.obs.registry import NULL_REGISTRY
 from repro.obs.tracing import NULL_TRACER
 from repro.probing.rounds import RoundSchedule
 
-__all__ = ["CircuitOpenError", "PoolConfig", "PoolRunner"]
+__all__ = [
+    "CircuitOpenError",
+    "PoolConfig",
+    "PoolRunner",
+    "SlotSupervisor",
+]
+
+
+class SlotSupervisor:
+    """Liveness tracking and paced respawn for long-running worker slots.
+
+    :class:`PoolRunner` reaps and respawns workers inside its dispatch
+    loop, which is batch-shaped: every slot's life ends with the run.
+    An always-on service (``repro.serve``) needs the same machinery —
+    heartbeat staleness detection, respawn pacing under the shared
+    :class:`~repro.core.retry.RetryPolicy`, streak reset once a
+    replacement proves healthy — detached from any dispatch loop, plus
+    a **rejoin hook**: a callback invoked after each successful respawn
+    so the owner can return the recovered slot to service (the serve
+    layer re-marks the shard healthy in its hash ring).
+
+    The class is policy-only: it never touches processes itself.  The
+    owner reports heartbeats (:meth:`beat`), asks which slots are stale
+    (:meth:`stale`), asks how long to pace the next respawn of a slot
+    (:meth:`respawn_delay`, which advances that slot's streak), and
+    reports outcomes (:meth:`respawned`, :meth:`mark_alive`).
+    """
+
+    def __init__(
+        self,
+        deadline_s: float | None = None,
+        backoff: RetryPolicy | None = None,
+        rejoin=None,
+        clock=time.monotonic,
+    ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self.deadline_s = deadline_s
+        self.backoff = backoff if backoff is not None else RetryPolicy()
+        self.rejoin = rejoin
+        self._clock = clock
+        self._beats: dict = {}
+        self._streaks: dict = {}
+        self.n_respawns = 0
+
+    def beat(self, slot, at: float | None = None) -> None:
+        """Record a sign of life for ``slot`` (``at`` defaults to now)."""
+        self._beats[slot] = self._clock() if at is None else at
+
+    def age(self, slot) -> float:
+        """Seconds since the slot's last recorded heartbeat."""
+        beat = self._beats.get(slot)
+        return float("inf") if beat is None else self._clock() - beat
+
+    def stale(self, slot) -> bool:
+        """Whether the slot's heartbeat has aged past the deadline."""
+        return self.deadline_s is not None and self.age(slot) > self.deadline_s
+
+    def streak(self, slot) -> int:
+        """Consecutive respawns of this slot without a healthy period."""
+        return self._streaks.get(slot, 0)
+
+    def respawn_delay(self, slot) -> float:
+        """Advance the slot's respawn streak; return the paced delay."""
+        streak = self._streaks.get(slot, 0) + 1
+        self._streaks[slot] = streak
+        self.n_respawns += 1
+        return self.backoff.delay_s(streak)
+
+    def respawned(self, slot) -> None:
+        """A replacement is up: restart its heartbeat, fire the rejoin hook."""
+        self.beat(slot)
+        if self.rejoin is not None:
+            self.rejoin(slot)
+
+    def mark_alive(self, slot) -> None:
+        """The slot proved healthy; its respawn streak resets."""
+        self._streaks.pop(slot, None)
+
+    def forget(self, slot) -> None:
+        """Drop all state for a retired slot."""
+        self._beats.pop(slot, None)
+        self._streaks.pop(slot, None)
 
 
 class CircuitOpenError(RuntimeError):

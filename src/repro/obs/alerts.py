@@ -45,6 +45,7 @@ __all__ = [
     "AlertEvent",
     "AlertRule",
     "default_pool_rules",
+    "default_service_rules",
 ]
 
 _OPS = {
@@ -348,3 +349,67 @@ def default_pool_rules(
             )
         )
     return tuple(rules)
+
+
+def default_service_rules(
+    max_respawns: float = 3.0,
+    max_rejected: float = 10_000.0,
+    max_shed_ratio: float = 0.05,
+) -> tuple[AlertRule, ...]:
+    """The always-on service's rule set (``repro.serve``).
+
+    Evaluated by the :class:`~repro.serve.runner.ServiceRunner`'s
+    supervision thread over the fleet-aggregate registry each cycle.
+    A shard briefly out of the ring is routine (the supervisor is
+    respawning it); a shard *staying* out, a respawn streak, or a
+    sustained rejection/shed rate is an operator page.
+    """
+    return (
+        AlertRule(
+            name="service-shard-unhealthy",
+            metric="service_shards_unhealthy",
+            op=">",
+            threshold=0,
+            for_cycles=3,
+            level="warning",
+            description=(
+                "a shard has been out of the ring for several "
+                "supervision cycles"
+            ),
+        ),
+        AlertRule(
+            name="service-respawn-storm",
+            metric="service_shard_respawns_total",
+            op=">",
+            threshold=max_respawns,
+            level="critical",
+            description=(
+                f"shards have been respawned more than "
+                f"{max_respawns:g} times — likely crash-looping"
+            ),
+        ),
+        AlertRule(
+            name="service-ingest-rejections",
+            metric="service_ingest_rejected_total",
+            op=">",
+            threshold=max_rejected,
+            for_cycles=2,
+            level="warning",
+            description=(
+                f"more than {max_rejected:g} observations rejected "
+                "(backpressure or dead owners)"
+            ),
+        ),
+        AlertRule(
+            name="service-shed-ratio",
+            metric="stream_shed_ratio",
+            op=">",
+            threshold=max_shed_ratio,
+            for_cycles=2,
+            level="critical",
+            description=(
+                f"shard admission queues are shedding more than "
+                f"{max_shed_ratio:.0%} of offered observations"
+            ),
+        ),
+    )

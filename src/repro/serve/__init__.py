@@ -1,0 +1,57 @@
+"""Sharded always-on diurnal service.
+
+The batch pipeline answers "which blocks were asleep last month"; this
+package answers "which blocks are asleep *right now*".  It runs the
+streaming diurnal engine as a long-lived sharded service:
+
+``ring``
+    :class:`HashRing` — a seeded consistent-hash ring mapping block
+    keys onto shard workers with minimal key movement on membership
+    change (removing a node reproduces exactly the ring that never had
+    it, so only the removed node's keys move).
+``shard``
+    The shard worker process: each shard owns a
+    :class:`~repro.stream.engine.StreamEngine` behind an
+    :class:`~repro.stream.overload.AdmissionController` and writes a
+    per-shard :class:`~repro.stream.journal.StreamJournal` *before*
+    admitting observations, so a crashed shard recovers by journal
+    replay.  :class:`ShardClient` is the supervisor-side RPC handle.
+``runner``
+    :class:`ServiceRunner` — spawns the shards, routes ingest and
+    queries through the ring, supervises heartbeats (dead or hung
+    shards are reaped, respawned, journal-replayed, and rejoined to
+    the ring), aggregates fleet telemetry, and drains gracefully
+    (admission queues pumped dry, windows closed, journals fsynced,
+    final manifest written) on shutdown.
+``api``
+    :class:`ServiceAPI` — a stdlib-only asyncio HTTP layer: ``POST
+    /observations`` (429 + Retry-After under backpressure), ``GET
+    /blocks/{key}/state``, ``GET /phase-map``, ``GET /fleet``, ``GET
+    /metrics`` (Prometheus or JSON), ``GET /healthz``.
+
+``python -m repro.serve`` launches the whole stack from the command
+line; the correctness anchor is unchanged from the rest of the repo:
+every served verdict is bit-identical to
+:func:`repro.core.classify.classify_series` over the same window, even
+across a shard kill/respawn/replay cycle.
+"""
+
+from repro.serve.api import ServiceAPI
+from repro.serve.ring import HashRing
+from repro.serve.runner import (
+    ServiceConfig,
+    ServiceRunner,
+    ShardDownError,
+)
+from repro.serve.shard import ShardClient, ShardConfig, snapshot_to_dict
+
+__all__ = [
+    "HashRing",
+    "ServiceAPI",
+    "ServiceConfig",
+    "ServiceRunner",
+    "ShardClient",
+    "ShardConfig",
+    "ShardDownError",
+    "snapshot_to_dict",
+]

@@ -1,0 +1,241 @@
+"""``python -m repro.serve`` — launch the sharded diurnal service.
+
+Runs the full stack: shard worker processes behind a seeded hash
+ring, a supervision thread that respawns dead shards from their
+journals, and the asyncio HTTP API.  SIGTERM/SIGINT trigger the
+graceful drain (queues pumped dry, windows closed, journals fsynced,
+final manifest written) before exit.
+
+``--smoke`` runs a self-contained end-to-end check instead of serving
+forever: bind an ephemeral port, ingest a synthetic diurnal burst over
+HTTP, verify block-state and phase-map queries answer, drain, and exit
+0 — the CI service job's entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import signal
+import sys
+from http.client import HTTPConnection
+
+from repro.obs.alerts import default_service_rules
+from repro.obs.events import EventLogger
+from repro.obs.registry import MetricsRegistry
+from repro.serve.api import ServiceAPI
+from repro.serve.runner import ServiceConfig, ServiceRunner
+from repro.stream.engine import StreamConfig
+from repro.stream.overload import OverloadConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Always-on sharded diurnal classification service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8000,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="shard worker processes (each owns a ring arc + journal)",
+    )
+    parser.add_argument(
+        "--journal-dir", default="service-journals",
+        help="directory for per-shard write-ahead journals + manifest",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="ring placement + shed-policy seed",
+    )
+    parser.add_argument(
+        "--window-days", type=float, default=7.0,
+        help="classification window span in days",
+    )
+    parser.add_argument(
+        "--hop-days", type=float, default=None,
+        help="window hop in days (default: tumbling)",
+    )
+    parser.add_argument(
+        "--round-s", type=float, default=660.0,
+        help="probing round duration in seconds (paper: 660)",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=4096,
+        help="per-shard admission queue capacity",
+    )
+    parser.add_argument(
+        "--shard-deadline-s", type=float, default=5.0,
+        help="heartbeat staleness before a wedged shard is respawned",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the end-to-end smoke check and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress structured event output on stderr",
+    )
+    return parser
+
+
+def _service_config(args) -> ServiceConfig:
+    stream = StreamConfig.for_days(
+        args.window_days, hop_days=args.hop_days, round_s=args.round_s
+    )
+    return ServiceConfig(
+        stream=stream,
+        journal_dir=args.journal_dir,
+        n_shards=args.shards,
+        overload=OverloadConfig(capacity=args.capacity, seed=args.seed),
+        seed=args.seed,
+        shard_deadline_s=args.shard_deadline_s,
+    )
+
+
+def _build_runner(args) -> ServiceRunner:
+    events = (
+        EventLogger() if args.quiet
+        else EventLogger(sink=sys.stderr)
+    )
+    return ServiceRunner(
+        _service_config(args),
+        metrics=MetricsRegistry(),
+        events=events,
+        alert_rules=default_service_rules(),
+    )
+
+
+async def _serve(args) -> int:
+    runner = _build_runner(args)
+    runner.start()
+    api = ServiceAPI(runner, host=args.host, port=args.port)
+    await api.start()
+    print(
+        f"serving on http://{args.host}:{api.port} "
+        f"({args.shards} shards, journals in {args.journal_dir})",
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+    await stop.wait()
+    print("draining...", flush=True)
+    await api.stop()
+    report = await loop.run_in_executor(None, runner.stop)
+    if report is not None:
+        print(f"final manifest: {report['manifest_path']}", flush=True)
+    return 0
+
+
+def _smoke_ingest_payload(n_blocks: int, hours: int, round_s: float) -> list:
+    """Synthetic fleet: even blocks diurnal, odd blocks flat."""
+    observations = []
+    per_hour = max(1, int(3600 / round_s))
+    for hour in range(hours):
+        for slot in range(per_hour):
+            t = hour * 3600.0 + slot * round_s
+            day_phase = 2.0 * math.pi * (t / 86400.0)
+            for block in range(n_blocks):
+                if block % 2 == 0:
+                    value = 60.0 + 25.0 * math.cos(day_phase)
+                else:
+                    value = 60.0
+                observations.append([block, t, value])
+    return observations
+
+
+def _smoke(args) -> int:
+    """End-to-end check over real HTTP; exit 0 only on full success."""
+    args = argparse.Namespace(**vars(args))
+    args.round_s = 3600.0
+    args.window_days = 1.0
+    args.hop_days = None
+    runner = _build_runner(args)
+    runner.start()
+    api = ServiceAPI(runner, host=args.host, port=0)
+
+    async def _run() -> int:
+        await api.start()
+        loop = asyncio.get_running_loop()
+
+        def request(method, path, body=None):
+            conn = HTTPConnection(args.host, api.port, timeout=30)
+            try:
+                conn.request(
+                    method, path,
+                    body=json.dumps(body) if body is not None else None,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                return response.status, response.read()
+            finally:
+                conn.close()
+
+        failures = []
+        observations = _smoke_ingest_payload(
+            n_blocks=8, hours=30, round_s=3600.0
+        )
+        status, raw = await loop.run_in_executor(
+            None, request, "POST", "/observations",
+            {"observations": observations},
+        )
+        report = json.loads(raw)
+        if status != 200 or report["accepted"] != len(observations):
+            failures.append(f"ingest: status={status} report={report}")
+        await loop.run_in_executor(None, runner.flush)
+        status, raw = await loop.run_in_executor(
+            None, request, "GET", "/blocks/0/state"
+        )
+        state = json.loads(raw)
+        if status != 200 or state.get("stable_label") is None:
+            failures.append(f"block state: status={status} state={state}")
+        status, raw = await loop.run_in_executor(
+            None, request, "GET", "/phase-map"
+        )
+        phase_map = json.loads(raw)
+        if status != 200 or not phase_map["blocks"]:
+            failures.append(f"phase map: status={status} map={phase_map}")
+        status, raw = await loop.run_in_executor(
+            None, request, "GET", "/metrics"
+        )
+        if status != 200 or b"stream_observations_total" not in raw:
+            failures.append(f"metrics: status={status}")
+        status, _raw = await loop.run_in_executor(
+            None, request, "GET", "/healthz"
+        )
+        if status != 200:
+            failures.append(f"healthz: status={status}")
+        await api.stop()
+        report = await loop.run_in_executor(None, runner.stop)
+        if report is None or not all(
+            shard.get("drained") for shard in report["shards"].values()
+        ):
+            failures.append(f"drain: report={report}")
+        for failure in failures:
+            print(f"SMOKE FAIL {failure}", file=sys.stderr)
+        if not failures:
+            print(
+                f"smoke ok: {len(observations)} observations, "
+                f"{args.shards} shards, clean drain", flush=True,
+            )
+        return 1 if failures else 0
+
+    return asyncio.run(_run())
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.smoke:
+        return _smoke(args)
+    return asyncio.run(_serve(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

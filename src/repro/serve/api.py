@@ -1,0 +1,310 @@
+"""Stdlib-asyncio HTTP front-end for the sharded diurnal service.
+
+No third-party web framework is available (or needed): the protocol
+surface is five small JSON/text endpoints, served by
+:func:`asyncio.start_server` with a hand-rolled HTTP/1.1 request
+parser.  Keep-alive is supported; bodies are bounded; every runner
+call (a blocking pipe RPC to a shard process) is pushed onto the
+default executor so the event loop never stalls behind a shard.
+
+Endpoints:
+
+* ``POST /observations`` — body ``{"observations": [[block_id,
+  time_s, value], ...]}``.  200 with the admission report when every
+  observation was accepted; **429 + Retry-After** when a shard's
+  admission queue asserted backpressure (the report says which); 503 +
+  Retry-After when an owner shard is out of the ring mid-respawn.
+* ``GET /blocks/{key}/state`` — the owning shard's live snapshot of
+  one block (watermark, closed-window verdicts, provisional estimate).
+  404 for untracked blocks, 503 + Retry-After while the owner is down.
+* ``GET /phase-map`` — merged diurnal phase map across shards;
+  ``partial`` flags an answer missing dead shards' blocks.
+* ``GET /fleet`` — ring, per-shard health/stats, respawn counts.
+* ``GET /metrics`` — fleet-aggregate metrics as Prometheus text
+  (``?format=json`` for the JSON snapshot).
+* ``GET /healthz`` — 200 when every shard is in the ring, else 503.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve.runner import ServiceRunner, ShardDownError
+
+__all__ = ["ServiceAPI"]
+
+_MAX_BODY_BYTES = 32 * 1024 * 1024
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+class _HTTPError(Exception):
+    """Terminate request handling with a specific status."""
+
+    def __init__(self, status: int, message: str, retry_after_s=None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServiceAPI:
+    """Bind a :class:`~repro.serve.runner.ServiceRunner` to HTTP.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start` (the test and smoke paths rely on this).
+    """
+
+    def __init__(
+        self,
+        runner: ServiceRunner,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+    ) -> None:
+        self.runner = runner
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.runner.events.info(
+            "service.api_listening", host=self.host, port=self.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, query, headers, body = request
+                try:
+                    status, payload, content_type, extra = (
+                        await self._dispatch(method, path, query, body)
+                    )
+                except _HTTPError as error:
+                    status = error.status
+                    payload = json.dumps({"error": error.message}).encode()
+                    content_type = "application/json"
+                    extra = {}
+                    if error.retry_after_s is not None:
+                        extra["Retry-After"] = _retry_after(
+                            error.retry_after_s
+                        )
+                except Exception as error:  # pragma: no cover - safety net
+                    status = 500
+                    payload = json.dumps(
+                        {"error": f"{type(error).__name__}: {error}"}
+                    ).encode()
+                    content_type = "application/json"
+                    extra = {}
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                self._write_response(
+                    writer, status, payload, content_type, extra, keep_alive
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one HTTP/1.1 request; None on clean EOF."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None
+            raise
+        except asyncio.LimitOverrunError:
+            raise _HTTPError(413, "header block too large")
+        if len(head) > _MAX_HEADER_BYTES:
+            raise _HTTPError(413, "header block too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise _HTTPError(400, f"malformed request line: {lines[0]!r}")
+        method, target, _version = parts
+        path, _, query = target.partition("?")
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            raise _HTTPError(413, f"body of {length} bytes exceeds limit")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, query, headers, body
+
+    def _write_response(
+        self, writer, status, payload, content_type, extra, keep_alive
+    ) -> None:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        head.extend(f"{name}: {value}" for name, value in extra.items())
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
+        )
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, method, path, query, body):
+        segments = [s for s in path.split("/") if s]
+        if segments == ["observations"]:
+            if method != "POST":
+                raise _HTTPError(405, "use POST /observations")
+            return await self._post_observations(body)
+        if len(segments) == 3 and segments[0] == "blocks" \
+                and segments[2] == "state":
+            if method != "GET":
+                raise _HTTPError(405, "use GET /blocks/{key}/state")
+            return await self._get_block_state(segments[1])
+        if method != "GET":
+            raise _HTTPError(405, f"no {method} routes at {path}")
+        if segments == ["phase-map"]:
+            return await self._get_json(self.runner.phase_map)
+        if segments == ["fleet"]:
+            return await self._get_json(self.runner.fleet_snapshot)
+        if segments == ["metrics"]:
+            return await self._get_metrics(query)
+        if segments == ["healthz"]:
+            return self._get_healthz()
+        raise _HTTPError(404, f"no route for {path}")
+
+    async def _offload(self, fn, *args):
+        """Run a blocking runner call without stalling the event loop."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, fn, *args
+        )
+
+    async def _post_observations(self, body: bytes):
+        try:
+            parsed = json.loads(body or b"{}")
+        except json.JSONDecodeError as error:
+            raise _HTTPError(400, f"invalid JSON body: {error}")
+        observations = parsed.get("observations")
+        if not isinstance(observations, list):
+            raise _HTTPError(
+                400, 'body must be {"observations": [[block_id, t, v], ...]}'
+            )
+        for triple in observations:
+            if not isinstance(triple, (list, tuple)) or len(triple) != 3:
+                raise _HTTPError(
+                    400, f"observation {triple!r} is not a [block, t, v] triple"
+                )
+        report = await self._offload(self.runner.ingest, observations)
+        retry_after = self.runner.config.retry_after_s
+        if report["rejected"] > 0 and report["backpressure"]:
+            raise _HTTPError(
+                429,
+                f"admission queue full: {report['rejected']} of "
+                f"{len(observations)} observations rejected",
+                retry_after_s=retry_after,
+            )
+        if report["rejected"] > 0 and report["down"]:
+            raise _HTTPError(
+                503,
+                f"owner shard down: {report['rejected']} of "
+                f"{len(observations)} observations rejected",
+                retry_after_s=retry_after,
+            )
+        return 200, _json_bytes(report), "application/json", {}
+
+    async def _get_block_state(self, raw_key: str):
+        try:
+            block_id = int(raw_key)
+        except ValueError:
+            raise _HTTPError(400, f"block key {raw_key!r} is not an integer")
+        try:
+            snapshot = await self._offload(self.runner.query_block, block_id)
+        except ShardDownError as error:
+            raise _HTTPError(
+                503, str(error),
+                retry_after_s=self.runner.config.retry_after_s,
+            )
+        if snapshot is None:
+            raise _HTTPError(404, f"block {block_id} is not tracked")
+        return 200, _json_bytes(snapshot), "application/json", {}
+
+    async def _get_json(self, fn):
+        payload = await self._offload(fn)
+        return 200, _json_bytes(payload), "application/json", {}
+
+    async def _get_metrics(self, query: str):
+        if "format=json" in query:
+            snap = await self._offload(self.runner.metrics_json)
+            return 200, _json_bytes(snap), "application/json", {}
+        text = await self._offload(self.runner.metrics_text)
+        return (
+            200,
+            text.encode(),
+            "text/plain; version=0.0.4; charset=utf-8",
+            {},
+        )
+
+    def _get_healthz(self):
+        if self.runner.healthy:
+            return 200, _json_bytes({"status": "ok"}), "application/json", {}
+        fleet = {
+            str(s.shard_id): s.healthy for s in self.runner._slots
+        }
+        payload = _json_bytes({"status": "degraded", "shards": fleet})
+        return 503, payload, "application/json", {}
+
+
+def _json_bytes(payload) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode()
+
+
+def _retry_after(seconds: float) -> str:
+    return str(max(1, int(round(seconds))))

@@ -1,0 +1,166 @@
+"""Seeded consistent-hash ring for block-to-shard placement.
+
+A sharded service needs a placement function with three properties:
+
+* **deterministic** — every router instance, across restarts and
+  processes, must agree where a block lives.  Python's built-in
+  ``hash`` is salted per process, so points come from
+  :func:`hashlib.blake2b` keyed by an explicit seed instead;
+* **balanced** — each node owns many small arcs (``replicas`` virtual
+  points per node), so key load spreads within a few percent of even;
+* **minimal movement** — the point set of a node is a pure function of
+  ``(seed, node)``, independent of the other members.  Removing a node
+  therefore yields *exactly* the ring that never contained it, and the
+  only keys that move on a membership change are the ones owned by the
+  arcs that appeared or vanished — the classic ≤ K/N consistent-hashing
+  bound (``tests/test_serve_ring.py`` proves both properties).
+
+Keys and nodes are arbitrary ints or strings; lookups are
+``O(log(nodes × replicas))`` bisections.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import struct
+
+__all__ = ["HashRing"]
+
+_SPACE_BITS = 64
+
+
+def _hash64(seed: int, payload: bytes) -> int:
+    """64-bit position in the ring space, keyed by the seed."""
+    digest = hashlib.blake2b(
+        payload,
+        digest_size=8,
+        key=struct.pack("<q", seed),
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _encode(value: int | str) -> bytes:
+    """Stable byte encoding; ints and strings live in disjoint spaces."""
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise TypeError(
+            f"ring keys/nodes must be int or str, got {type(value).__name__}"
+        )
+    if isinstance(value, int):
+        return b"i" + value.to_bytes(16, "little", signed=True)
+    return b"s" + value.encode("utf-8")
+
+
+class HashRing:
+    """Consistent-hash ring over a set of nodes.
+
+    Attributes:
+        seed: hash seed; two rings with the same seed, replicas, and
+            membership agree on every lookup.
+        replicas: virtual points per node (more points, better balance,
+            larger point table).
+    """
+
+    def __init__(self, nodes=(), replicas: int = 128, seed: int = 0) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self.seed = seed
+        self.replicas = replicas
+        self._nodes: set = set()
+        # Sorted, parallel: _points[i] is owned by _owners[i].
+        self._points: list[int] = []
+        self._owners: list = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership --------------------------------------------------------
+
+    def _node_points(self, node) -> list[tuple[int, object]]:
+        base = _encode(node)
+        return [
+            (_hash64(self.seed, base + struct.pack("<I", replica)), node)
+            for replica in range(self.replicas)
+        ]
+
+    def add(self, node) -> None:
+        """Add a member; its points are independent of other members."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already in the ring")
+        self._nodes.add(node)
+        merged = sorted(
+            list(zip(self._points, self._owners)) + self._node_points(node),
+            key=lambda pair: (pair[0], _encode(pair[1])),
+        )
+        self._points = [point for point, _ in merged]
+        self._owners = [owner for _, owner in merged]
+
+    def remove(self, node) -> None:
+        """Remove a member; the result equals a ring never containing it."""
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} is not in the ring")
+        self._nodes.remove(node)
+        kept = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _ in kept]
+        self._owners = [owner for _, owner in kept]
+
+    @property
+    def nodes(self) -> list:
+        """Current members, sorted by their encoded identity."""
+        return sorted(self._nodes, key=_encode)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node) -> bool:
+        return node in self._nodes
+
+    # -- lookups -----------------------------------------------------------
+
+    def key_point(self, key) -> int:
+        """The key's position in the 64-bit ring space."""
+        return _hash64(self.seed, b"k" + _encode(key))
+
+    def lookup(self, key):
+        """The node owning ``key`` (first point clockwise of its hash)."""
+        if not self._points:
+            raise LookupError("cannot look up a key in an empty ring")
+        i = bisect.bisect_right(self._points, self.key_point(key))
+        if i == len(self._points):
+            i = 0  # wrap: the first point owns the top arc
+        return self._owners[i]
+
+    def lookup_chain(self, key, n: int) -> list:
+        """The first ``n`` *distinct* nodes clockwise of ``key``.
+
+        Preference order for replicated placement: entry 0 is
+        :meth:`lookup`'s owner, later entries are the successors a
+        replica (or a failover read) would use.
+        """
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        if not self._points:
+            raise LookupError("cannot look up a key in an empty ring")
+        start = bisect.bisect_right(self._points, self.key_point(key))
+        chain: list = []
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in chain:
+                chain.append(owner)
+                if len(chain) == n or len(chain) == len(self._nodes):
+                    break
+        return chain
+
+    def assignments(self, keys) -> dict:
+        """Map each key to its owner (convenience for tests/rebalance)."""
+        return {key: self.lookup(key) for key in keys}
+
+    def load(self, keys) -> dict:
+        """Keys-per-node histogram over ``keys`` (every member present)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts

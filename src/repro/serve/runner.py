@@ -1,0 +1,759 @@
+"""ServiceRunner: shards, routing, supervision, drain — the service core.
+
+The runner is everything between the HTTP layer and the shard worker
+processes:
+
+* **placement** — a seeded :class:`~repro.serve.ring.HashRing` maps
+  every block id to the shard that owns its streaming state.  The ring
+  is fixed at start; a dead shard is marked *unhealthy* (its keys
+  answer 503) rather than remapped, because its state lives in its
+  journal and moving the keys would strand it.  Respawn + replay +
+  rejoin restores the same placement with the same state.
+* **supervision** — a daemon thread checks process liveness and
+  heartbeat staleness every cycle using the
+  :class:`~repro.core.supervisor.SlotSupervisor` policy: a dead or
+  wedged shard is reaped, its replacement is paced by the shared
+  :class:`~repro.core.retry.RetryPolicy`, recovers by journal replay
+  *before* reporting ready, and only then rejoins the ring.  Alert
+  rules are evaluated over the live fleet aggregate each cycle.
+* **telemetry** — every shard reply carries a
+  :class:`~repro.obs.distributed.TelemetryDelta`; the runner folds
+  them into a :class:`~repro.obs.distributed.FleetView`, so ``GET
+  /metrics`` serves one aggregate registry (shards + the runner's own
+  service metrics) through the existing Prometheus/JSON exporters.
+* **graceful drain** — :meth:`stop` (the SIGTERM path) first stops the
+  supervision thread (so the shutdown is not "healed"), then drains
+  every shard in the documented order — admission queue pumped dry,
+  due windows closed, journal flushed and fsynced — writes a final
+  :class:`~repro.obs.export.RunManifest` checkpoint next to the
+  journals, and only then tells workers to exit.  A clean stop never
+  leaves a torn journal tail.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.retry import RetryPolicy
+from repro.core.supervisor import SlotSupervisor
+from repro.obs.alerts import AlertEngine
+from repro.obs.distributed import FleetView
+from repro.obs.events import NULL_EVENT_LOG
+from repro.obs.export import RunManifest, json_snapshot, prometheus_text
+from repro.obs.registry import NULL_REGISTRY
+from repro.serve.ring import HashRing
+from repro.serve.shard import (
+    ShardClient,
+    ShardConfig,
+    ShardDownError,
+    ShardTimeoutError,
+    _shard_main,
+)
+from repro.stream.engine import StreamConfig
+from repro.stream.overload import OverloadConfig
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceRunner",
+    "ShardDownError",
+    "ShardTimeoutError",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The always-on service's knobs.
+
+    Attributes:
+        stream: engine configuration shared by every shard (verdicts
+            must not depend on placement).
+        journal_dir: directory holding one write-ahead journal per
+            shard (``shard-NN.journal``) plus the final manifest.
+        n_shards: shard worker processes.
+        overload: per-shard admission queue bounds and shed policy.
+        ring_replicas: virtual points per shard on the hash ring.
+        seed: ring placement seed (also the default overload seed).
+        shard_deadline_s: heartbeat staleness past which a live-but-
+            wedged shard is reaped; ``None`` disables (death is still
+            detected via the process sentinel).
+        heartbeat_interval_s: supervision poll period.
+        stable_after_s: seconds a respawned shard must survive before
+            its respawn streak resets (crash-looping shards keep
+            backing off); defaults to ``4 × shard_deadline_s`` or 1 s.
+        respawn_backoff: pacing for consecutive respawns of one shard.
+        request_timeout_s: per-RPC answer deadline.
+        max_batch: largest observation batch per ingest RPC (bigger
+            router batches are chunked, keeping worker heartbeats
+            fresh and pipe frames bounded).
+        pump_budget: see :class:`~repro.serve.shard.ShardConfig`.
+        journal_sync_every: see :class:`~repro.serve.shard.ShardConfig`.
+        retry_after_s: the Retry-After hint served with 429/503.
+        telemetry: instrument shards and ship deltas.
+        mp_context: multiprocessing start method.
+    """
+
+    stream: StreamConfig
+    journal_dir: str | Path
+    n_shards: int = 2
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
+    ring_replicas: int = 128
+    seed: int = 0
+    shard_deadline_s: float | None = 5.0
+    heartbeat_interval_s: float = 0.05
+    stable_after_s: float | None = None
+    respawn_backoff: RetryPolicy = field(default_factory=RetryPolicy)
+    request_timeout_s: float = 30.0
+    max_batch: int = 4096
+    pump_budget: int = 2048
+    journal_sync_every: int | None = 256
+    retry_after_s: float = 1.0
+    telemetry: bool = True
+    mp_context: str = "fork"
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if self.shard_deadline_s is not None and self.shard_deadline_s <= 0:
+            raise ValueError("shard_deadline_s must be positive")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.retry_after_s <= 0:
+            raise ValueError("retry_after_s must be positive")
+
+    @property
+    def settle_s(self) -> float:
+        """Healthy-streak reset horizon (see ``stable_after_s``)."""
+        if self.stable_after_s is not None:
+            return self.stable_after_s
+        if self.shard_deadline_s is not None:
+            return 4.0 * self.shard_deadline_s
+        return 1.0
+
+    def shard_config(self) -> ShardConfig:
+        return ShardConfig(
+            stream=self.stream,
+            overload=self.overload,
+            journal_sync_every=self.journal_sync_every,
+            pump_budget=self.pump_budget,
+            telemetry=self.telemetry,
+        )
+
+    def journal_path(self, shard_id: int) -> Path:
+        return Path(self.journal_dir) / f"shard-{shard_id:02d}.journal"
+
+
+class _Slot:
+    """Supervisor-side state for one shard slot."""
+
+    __slots__ = (
+        "shard_id",
+        "client",
+        "healthy",
+        "paused",
+        "respawns",
+        "respawned_at",
+        "settled",
+        "lock",
+    )
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.client: ShardClient | None = None
+        self.healthy = False
+        self.paused = False
+        self.respawns = 0
+        self.respawned_at = 0.0
+        self.settled = True
+        self.lock = threading.Lock()
+
+
+class _ServiceMetrics:
+    """Pre-bound runner metrics (null registry by default)."""
+
+    __slots__ = ("enabled", "ingested", "rejected_bp", "rejected_down",
+                 "queries", "respawns_crashed", "respawns_hung",
+                 "shards", "unhealthy")
+
+    def __init__(self, registry) -> None:
+        self.enabled = registry.enabled
+        self.ingested = registry.counter("service_ingest_observations_total")
+        self.rejected_bp = registry.counter(
+            "service_ingest_rejected_total", reason="backpressure"
+        )
+        self.rejected_down = registry.counter(
+            "service_ingest_rejected_total", reason="shard_down"
+        )
+        self.queries = registry.counter("service_queries_total")
+        self.respawns_crashed = registry.counter(
+            "service_shard_respawns_total", reason="crashed"
+        )
+        self.respawns_hung = registry.counter(
+            "service_shard_respawns_total", reason="hung"
+        )
+        self.shards = registry.gauge("service_shards")
+        self.unhealthy = registry.gauge("service_shards_unhealthy")
+
+
+class ServiceRunner:
+    """Own the shard fleet; route ingest and queries; survive deaths.
+
+    ``metrics``/``events`` attach the usual registry/structured log;
+    ``alert_rules`` (see
+    :func:`repro.obs.alerts.default_service_rules`) are evaluated over
+    the live fleet aggregate every supervision cycle.  The runner is
+    thread-safe: the asyncio API layer calls it from executor threads
+    while the supervision thread respawns shards underneath.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        metrics=None,
+        events=None,
+        alert_rules=None,
+    ) -> None:
+        self.config = config
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self.events = NULL_EVENT_LOG if events is None else events
+        self._m = _ServiceMetrics(self.metrics)
+        self._alert_rules = tuple(alert_rules) if alert_rules else ()
+        self.alerts: AlertEngine | None = None
+        self.fleet = FleetView()
+        self.ring = HashRing(
+            range(config.n_shards),
+            replicas=config.ring_replicas,
+            seed=config.seed,
+        )
+        self.run_id: str | None = None
+        self.started_monotonic: float | None = None
+        self._slots = [_Slot(i) for i in range(config.n_shards)]
+        self._ctx = multiprocessing.get_context(config.mp_context)
+        self._heartbeat = self._ctx.Array(
+            "d", config.n_shards, lock=False
+        )
+        self._supervisor = SlotSupervisor(
+            deadline_s=config.shard_deadline_s,
+            backoff=config.respawn_backoff,
+            rejoin=self._rejoin,
+        )
+        self._fleet_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._running = False
+        self.drain_report: dict | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> dict:
+        """Spawn and recover every shard; start supervision.
+
+        Returns per-shard ready info (journal recovery counts) — a
+        restarted service reports how much state each shard replayed.
+        """
+        if self._running:
+            raise RuntimeError("service is already running")
+        self.run_id = uuid.uuid4().hex[:12]
+        self.events = self.events.bind(run_id=self.run_id)
+        self.alerts = (
+            AlertEngine(self._alert_rules, events=self.events,
+                        metrics=self.metrics)
+            if self._alert_rules
+            else None
+        )
+        Path(self.config.journal_dir).mkdir(parents=True, exist_ok=True)
+        ready: dict[int, dict] = {}
+        for slot in self._slots:
+            slot.client = self._spawn(slot.shard_id)
+            info = slot.client.wait_ready()
+            slot.healthy = True
+            self._supervisor.beat(slot.shard_id)
+            ready[slot.shard_id] = info
+            self.events.info(
+                "service.shard_ready",
+                shard_id=slot.shard_id,
+                pid=info["pid"],
+                n_replayed=info["n_replayed"],
+                truncated_bytes=info["truncated_bytes"],
+            )
+        self._m.shards.set(self.config.n_shards)
+        self._m.unhealthy.set(0)
+        self._running = True
+        self.started_monotonic = time.monotonic()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._supervise_loop,
+            name="service-supervisor",
+            daemon=True,
+        )
+        self._thread.start()
+        self.events.info(
+            "service.started",
+            n_shards=self.config.n_shards,
+            seed=self.config.seed,
+            journal_dir=str(self.config.journal_dir),
+        )
+        return ready
+
+    def stop(self, drain: bool = True) -> dict | None:
+        """SIGTERM path: supervision off, drain, manifest, workers out.
+
+        The ordering is the graceful-shutdown contract: (1) the
+        supervision thread stops first so it cannot respawn shards the
+        shutdown is retiring; (2) each shard drains — admission queue
+        pumped dry, due windows closed, journal flushed and fsynced —
+        and reports its final stats; (3) the final service manifest is
+        written next to the journals; (4) only then do workers exit.
+        """
+        if not self._running:
+            return self.drain_report
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        report: dict | None = None
+        if drain:
+            report = self.drain()
+        for slot in self._slots:
+            with slot.lock:
+                slot.healthy = False
+                if slot.client is not None:
+                    slot.client.stop()
+        self._m.shards.set(0)
+        self._running = False
+        self.events.info("service.stopped", drained=drain)
+        return report
+
+    def drain(self) -> dict:
+        """Drain every healthy shard; write the final manifest."""
+        shards: dict[int, dict] = {}
+        for slot in self._slots:
+            with slot.lock:
+                if not slot.healthy or slot.client is None:
+                    shards[slot.shard_id] = {"drained": False}
+                    continue
+                try:
+                    stats = slot.client.drain()
+                except (ShardDownError, ShardTimeoutError) as error:
+                    slot.healthy = False
+                    shards[slot.shard_id] = {
+                        "drained": False, "error": str(error)
+                    }
+                    continue
+            stats["drained"] = True
+            shards[slot.shard_id] = stats
+            self.events.info(
+                "service.shard_drained",
+                shard_id=slot.shard_id,
+                depth=stats["depth"],
+                journal_last_seq=stats["journal_last_seq"],
+            )
+        manifest = self.manifest(shards={str(k): v for k, v in shards.items()})
+        manifest_path = Path(self.config.journal_dir) / "service-manifest.json"
+        manifest.save(manifest_path)
+        self.drain_report = {
+            "shards": shards,
+            "manifest_path": str(manifest_path),
+        }
+        return self.drain_report
+
+    def manifest(self, **extra) -> RunManifest:
+        """Telemetry manifest over the fleet aggregate."""
+        return RunManifest.capture(
+            kind="service",
+            registry=self.fleet_registry(),
+            seed=self.config.seed,
+            n_blocks=None,
+            quality_gates={},
+            run_id=self.run_id,
+            n_shards=self.config.n_shards,
+            journal_dir=str(self.config.journal_dir),
+            respawns=self._supervisor.n_respawns,
+            **extra,
+        )
+
+    # -- routing and ingest ------------------------------------------------
+
+    def owner(self, block_id: int) -> int:
+        """The shard id the ring assigns this block."""
+        return self.ring.lookup(int(block_id))
+
+    def ingest(self, observations) -> dict:
+        """Route ``(block_id, time_s, value)`` triples to their shards.
+
+        Returns an admission report: per-shard accepted counts, plus
+        ``backpressure``/``down`` flags when any observation was
+        rejected.  A shard whose admission queue asserted backpressure
+        on a previous batch rejects whole batches (the HTTP layer turns
+        that into 429 + Retry-After) until its queue drains below the
+        low watermark; a shard that is down rejects with 503 semantics.
+        Within a shard, arrival order is preserved.
+        """
+        obs = list(observations)
+        by_shard: dict[int, list] = {}
+        for triple in obs:
+            by_shard.setdefault(self.owner(triple[0]), []).append(triple)
+        report = {
+            "accepted": 0,
+            "rejected": 0,
+            "backpressure": False,
+            "down": False,
+            "shards": {},
+        }
+        for shard_id in sorted(by_shard):
+            batch = by_shard[shard_id]
+            shard_report = self._ingest_shard(shard_id, batch)
+            report["accepted"] += shard_report["accepted"]
+            report["rejected"] += shard_report["rejected"]
+            report["backpressure"] |= shard_report["reason"] == "backpressure"
+            report["down"] |= shard_report["reason"] == "shard_down"
+            report["shards"][shard_id] = shard_report
+        return report
+
+    def _ingest_shard(self, shard_id: int, batch: list) -> dict:
+        slot = self._slots[shard_id]
+        n = len(batch)
+        if not slot.healthy:
+            self._m.rejected_down.inc(n)
+            return {"accepted": 0, "rejected": n, "reason": "shard_down"}
+        if slot.paused:
+            # Honor the shard's standing backpressure signal without
+            # another round trip; the supervision cycle (and the next
+            # accepted batch) refresh it when the queue drains.
+            self._refresh_paused(slot)
+            if slot.paused:
+                self._m.rejected_bp.inc(n)
+                return {
+                    "accepted": 0, "rejected": n, "reason": "backpressure"
+                }
+        ids = np.fromiter((t[0] for t in batch), dtype=np.int64, count=n)
+        times = np.fromiter((t[1] for t in batch), dtype=np.float64, count=n)
+        values = np.fromiter((t[2] for t in batch), dtype=np.float64, count=n)
+        accepted = 0
+        ack: dict | None = None
+        try:
+            with slot.lock:
+                if not slot.healthy or slot.client is None:
+                    raise ShardDownError(f"shard {shard_id} is down")
+                for start in range(0, n, self.config.max_batch):
+                    end = start + self.config.max_batch
+                    ack = slot.client.ingest(
+                        ids[start:end], times[start:end], values[start:end]
+                    )
+                    accepted += ack["accepted"]
+        except (ShardDownError, ShardTimeoutError):
+            slot.healthy = False
+            self._m.ingested.inc(accepted)
+            self._m.rejected_down.inc(n - accepted)
+            return {
+                "accepted": accepted,
+                "rejected": n - accepted,
+                "reason": "shard_down",
+            }
+        slot.paused = bool(ack["paused"]) if ack is not None else False
+        self._m.ingested.inc(accepted)
+        return {
+            "accepted": accepted,
+            "rejected": 0,
+            "reason": None,
+            "depth": ack["depth"] if ack is not None else 0,
+            "paused": slot.paused,
+        }
+
+    def _refresh_paused(self, slot: _Slot) -> None:
+        try:
+            with slot.lock:
+                if not slot.healthy or slot.client is None:
+                    return
+                stats = slot.client.stats()
+            slot.paused = bool(stats["paused"])
+        except (ShardDownError, ShardTimeoutError):
+            slot.healthy = False
+
+    # -- queries -----------------------------------------------------------
+
+    def query_block(self, block_id: int) -> dict | None:
+        """The owning shard's live snapshot (None for untracked blocks).
+
+        Raises :class:`ShardDownError` while the owner is out of the
+        ring — the caller serves 503 + Retry-After rather than a stale
+        or empty answer.
+        """
+        shard_id = self.owner(block_id)
+        slot = self._slots[shard_id]
+        self._m.queries.inc()
+        with slot.lock:
+            if not slot.healthy or slot.client is None:
+                raise ShardDownError(
+                    f"shard {shard_id} (owner of block {block_id}) is down"
+                )
+            try:
+                return slot.client.query_block(block_id)
+            except (ShardDownError, ShardTimeoutError):
+                slot.healthy = False
+                raise ShardDownError(
+                    f"shard {shard_id} (owner of block {block_id}) is down"
+                )
+
+    def phase_map(self) -> dict:
+        """Merged diurnal phase map across healthy shards.
+
+        ``partial`` is true when any shard could not answer — the map
+        is still served (an outage monitor prefers a flagged partial
+        answer over none), with the missing shards named.
+        """
+        self._m.queries.inc()
+        blocks: dict[int, dict] = {}
+        missing: list[int] = []
+        for slot in self._slots:
+            with slot.lock:
+                if not slot.healthy or slot.client is None:
+                    missing.append(slot.shard_id)
+                    continue
+                try:
+                    shard_map = slot.client.phase_map()
+                except (ShardDownError, ShardTimeoutError):
+                    slot.healthy = False
+                    missing.append(slot.shard_id)
+                    continue
+            blocks.update(shard_map)
+        return {
+            "blocks": blocks,
+            "partial": bool(missing),
+            "missing_shards": missing,
+        }
+
+    def fleet_snapshot(self) -> dict:
+        """Operational view: ring, per-shard health/stats, respawns."""
+        shards = {}
+        for slot in self._slots:
+            entry: dict = {
+                "healthy": slot.healthy,
+                "respawns": slot.respawns,
+                "paused": slot.paused,
+            }
+            with slot.lock:
+                client = slot.client
+                if slot.healthy and client is not None:
+                    entry["pid"] = client.pid
+                    try:
+                        entry["stats"] = client.stats()
+                    except (ShardDownError, ShardTimeoutError):
+                        slot.healthy = False
+                        entry["healthy"] = False
+            shards[str(slot.shard_id)] = entry
+        return {
+            "run_id": self.run_id,
+            "n_shards": self.config.n_shards,
+            "ring_replicas": self.config.ring_replicas,
+            "seed": self.config.seed,
+            "uptime_s": (
+                time.monotonic() - self.started_monotonic
+                if self.started_monotonic is not None
+                else 0.0
+            ),
+            "respawns": self._supervisor.n_respawns,
+            "alerts_firing": (
+                self.alerts.firing() if self.alerts is not None else []
+            ),
+            "shards": shards,
+        }
+
+    def flush(self, close_partial: bool = False) -> dict:
+        """Close every due window on every healthy shard (test/admin)."""
+        out = {}
+        for slot in self._slots:
+            with slot.lock:
+                if slot.healthy and slot.client is not None:
+                    out[slot.shard_id] = slot.client.flush(close_partial)
+        return out
+
+    @property
+    def healthy(self) -> bool:
+        return self._running and all(s.healthy for s in self._slots)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- telemetry ---------------------------------------------------------
+
+    def fleet_registry(self):
+        """Aggregate registry: every shard plus the runner's own."""
+        with self._fleet_lock:
+            return self.fleet.aggregate(self.metrics)
+
+    def metrics_text(self) -> str:
+        return prometheus_text(self.fleet_registry())
+
+    def metrics_json(self) -> dict:
+        snap = json_snapshot(self.fleet_registry())
+        snap["service"] = {
+            "run_id": self.run_id,
+            "respawns": self._supervisor.n_respawns,
+            "n_deltas": self.fleet.n_deltas,
+        }
+        return snap
+
+    def _on_delta(self, delta) -> None:
+        with self._fleet_lock:
+            applied = self.fleet.apply(delta)
+        if applied:
+            for record in delta.events:
+                self.events.emit(record)
+
+    # -- supervision -------------------------------------------------------
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Chaos hook: hard-kill one shard (no drain, no journal flush).
+
+        The supervision loop observes the death, respawns the worker,
+        replays its journal, and rejoins it to the ring — exactly the
+        path a production OOM kill takes.
+        """
+        slot = self._slots[shard_id]
+        with slot.lock:
+            slot.healthy = False
+            if slot.client is not None:
+                slot.client.kill()
+        self.events.warning("service.shard_killed", shard_id=shard_id)
+
+    def wait_healthy(self, timeout_s: float = 30.0) -> bool:
+        """Block until every shard is back in the ring (tests/smoke)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.healthy:
+                return True
+            time.sleep(0.02)
+        return self.healthy
+
+    def _rejoin(self, shard_id: int) -> None:
+        """SlotSupervisor rejoin hook: the shard is back in the ring."""
+        self.events.info("service.shard_rejoined", shard_id=shard_id)
+
+    def _supervise_loop(self) -> None:
+        interval = self.config.heartbeat_interval_s
+        while not self._stop_event.wait(interval):
+            for slot in self._slots:
+                if self._stop_event.is_set():
+                    return
+                client = slot.client
+                if client is None:
+                    continue
+                if slot.healthy:
+                    self._supervisor.beat(
+                        slot.shard_id, at=self._heartbeat[slot.shard_id]
+                    )
+                dead = not client.alive
+                stale = (
+                    not dead
+                    and slot.healthy
+                    and self._supervisor.stale(slot.shard_id)
+                )
+                if dead or stale or not slot.healthy:
+                    # Unhealthy covers slots failed mid-RPC whose
+                    # process still runs: the pipe state is torn, so
+                    # reap and respawn either way.
+                    self._respawn(slot, "crashed" if dead else "hung")
+                elif (
+                    not slot.settled
+                    and time.monotonic() - slot.respawned_at
+                    > self.config.settle_s
+                ):
+                    slot.settled = True
+                    self._supervisor.mark_alive(slot.shard_id)
+            self._evaluate_alerts()
+
+    def _evaluate_alerts(self) -> None:
+        if self.alerts is None:
+            return
+        n_unhealthy = sum(1 for s in self._slots if not s.healthy)
+        self._m.unhealthy.set(n_unhealthy)
+        self.alerts.evaluate(self.fleet_registry())
+
+    def _respawn(self, slot: _Slot, reason: str) -> None:
+        shard_id = slot.shard_id
+        (self._m.respawns_crashed if reason == "crashed"
+         else self._m.respawns_hung).inc()
+        self.events.warning(
+            f"service.shard_{reason}",
+            shard_id=shard_id,
+            streak=self._supervisor.streak(shard_id) + 1,
+        )
+        with slot.lock:
+            slot.healthy = False
+            slot.paused = False
+            if slot.client is not None:
+                slot.client.kill()
+                slot.client = None
+        self._m.unhealthy.set(sum(1 for s in self._slots if not s.healthy))
+        delay = self._supervisor.respawn_delay(shard_id)
+        if delay > 0:
+            self.events.warning(
+                "service.respawn_backoff", shard_id=shard_id, delay_s=delay
+            )
+            if self._stop_event.wait(delay):
+                return
+        client = self._spawn(shard_id)
+        try:
+            info = client.wait_ready()
+        except (ShardDownError, ShardTimeoutError) as error:
+            # The replacement died during recovery; leave the slot
+            # unhealthy — the next supervision cycle tries again,
+            # paced by the growing backoff streak.
+            self.events.error(
+                "service.shard_recovery_failed",
+                shard_id=shard_id,
+                error=str(error),
+            )
+            with slot.lock:
+                slot.client = client  # dead client; alive=False re-triggers
+            return
+        with slot.lock:
+            slot.client = client
+            slot.healthy = True
+            slot.respawns += 1
+            slot.respawned_at = time.monotonic()
+            slot.settled = False
+        self._supervisor.respawned(shard_id)
+        self._m.unhealthy.set(sum(1 for s in self._slots if not s.healthy))
+        self.events.info(
+            "service.shard_respawned",
+            shard_id=shard_id,
+            reason=reason,
+            pid=info["pid"],
+            n_replayed=info["n_replayed"],
+        )
+
+    def _spawn(self, shard_id: int) -> ShardClient:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        self._heartbeat[shard_id] = time.monotonic()
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(
+                child_conn,
+                self._heartbeat,
+                shard_id,
+                self.config.shard_config(),
+                str(self.config.journal_path(shard_id)),
+            ),
+            daemon=True,
+            name=f"serve-shard-{shard_id}",
+        )
+        process.start()
+        child_conn.close()
+        return ShardClient(
+            shard_id,
+            process,
+            parent_conn,
+            timeout_s=self.config.request_timeout_s,
+            on_delta=self._on_delta if self.config.telemetry else None,
+        )

@@ -523,6 +523,64 @@ class StreamEngine:
             primed=state.trailing_missing == 0,
         )
 
+    def snapshot(self, block_id: int) -> dict | None:
+        """Queryable state of one block (``None`` when untracked).
+
+        This is the read surface the serving layer exposes per block:
+        the hysteresis-stable label, the last window-close report (the
+        bit-identical-to-batch verdict), the cheap provisional spectral
+        estimate, and the ingest bookkeeping an operator asks about
+        (watermark, late/observation counts).  Values are engine-native
+        objects — :func:`repro.serve.shard.snapshot_to_dict` flattens
+        them for JSON transport.
+        """
+        state = self._states.get(block_id)
+        if state is None:
+            return None
+        return {
+            "block_id": block_id,
+            "watermark": state.watermark,
+            "max_round": state.max_round,
+            "next_close_start": state.next_close_start,
+            "stable_label": state.stable_label,
+            "stable_run": state.stable_run,
+            "last_report": state.last_report,
+            "n_closed": state.n_closed,
+            "n_late": state.n_late,
+            "n_observations": state.n_observations,
+            "last_edge_round": state.last_edge_round,
+            "degraded": state.degraded,
+            "provisional": self.provisional(block_id),
+        }
+
+    def phase_map(self) -> dict[int, dict]:
+        """Diurnal phase per block whose last verdict is diurnal.
+
+        The live counterpart of the paper's Fig. 14 input: for every
+        block whose most recent window close was strictly or relaxed
+        diurnal, the winning bin, its FFT phase (radians), amplitude,
+        and the hysteresis-stable label.  Non-diurnal and unclassified
+        blocks are omitted — their phase is noise by definition.
+        """
+        out: dict[int, dict] = {}
+        for block_id, state in self._states.items():
+            report = state.last_report
+            if report is None or not report.label.is_diurnal:
+                continue
+            out[block_id] = {
+                "label": report.label.value,
+                "stable_label": (
+                    state.stable_label.value
+                    if state.stable_label is not None
+                    else None
+                ),
+                "diurnal_k": report.diurnal_k,
+                "phase": report.phase,
+                "amplitude": report.diurnal_amplitude,
+                "watermark": state.watermark,
+            }
+        return out
+
     def manifest(self, **extra) -> "RunManifest":
         """Telemetry manifest for this engine's run so far.
 

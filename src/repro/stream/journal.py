@@ -321,6 +321,18 @@ class StreamJournal:
             self.flush()
         return last
 
+    def settle(self) -> None:
+        """Push buffered frames to the OS without paying an fsync.
+
+        After ``settle`` the appended bytes live in the kernel page
+        cache: they survive the *process* dying (SIGKILL, OOM), which
+        is the failure a supervised worker plans for, but not the
+        machine dying — :meth:`flush` is the full-durability barrier.
+        A write-ahead acker must call one of the two before acking;
+        frames left in the user-space buffer die with the process.
+        """
+        self._handle.flush()
+
     def flush(self) -> None:
         """Make every appended frame durable (flush + fsync)."""
         self._handle.flush()

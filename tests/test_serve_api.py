@@ -1,0 +1,237 @@
+"""HTTP-layer tests for the service API (repro.serve.api).
+
+The API runs in a background event-loop thread; tests speak real
+HTTP/1.1 over ``http.client`` so the hand-rolled parser, keep-alive
+handling, and status/header semantics (404, 429 + Retry-After,
+503 + Retry-After) are exercised end to end against live shard
+processes.
+"""
+
+import asyncio
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.core.retry import RetryPolicy
+from repro.obs import MetricsRegistry
+from repro.serve import ServiceAPI, ServiceConfig, ServiceRunner
+from repro.stream.engine import StreamConfig
+from repro.stream.overload import OverloadConfig
+
+from tests.test_serve_service import ROUND, interleaved, N_BLOCKS, WINDOW
+
+
+class ApiHarness:
+    """A live runner + API on an ephemeral port, driven from tests."""
+
+    def __init__(self, runner: ServiceRunner) -> None:
+        self.runner = runner
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, name="api-loop", daemon=True
+        )
+        self.thread.start()
+        runner.start()
+        self.api = ServiceAPI(runner, port=0)
+        asyncio.run_coroutine_threadsafe(
+            self.api.start(), self.loop
+        ).result(timeout=10)
+
+    def request(self, method, path, body=None, conn=None):
+        own = conn is None
+        if own:
+            conn = HTTPConnection("127.0.0.1", self.api.port, timeout=30)
+        try:
+            conn.request(
+                method,
+                path,
+                body=json.dumps(body) if body is not None else None,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = response.read()
+            headers = dict(response.getheaders())
+            try:
+                payload = json.loads(payload)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                pass
+            return response.status, payload, headers
+        finally:
+            if own:
+                conn.close()
+
+    def close(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.api.stop(), self.loop
+        ).result(timeout=10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.runner.stop(drain=False)
+
+
+def make_harness(tmp_path, **config_overrides) -> ApiHarness:
+    defaults = dict(
+        stream=StreamConfig(window_rounds=WINDOW, round_s=ROUND),
+        journal_dir=tmp_path / "journals",
+        n_shards=2,
+        seed=11,
+    )
+    defaults.update(config_overrides)
+    runner = ServiceRunner(
+        ServiceConfig(**defaults), metrics=MetricsRegistry()
+    )
+    return ApiHarness(runner)
+
+
+@pytest.fixture
+def harness(tmp_path):
+    instance = make_harness(tmp_path)
+    yield instance
+    instance.close()
+
+
+@pytest.mark.watchdog(120)
+def test_ingest_and_block_state_roundtrip(harness):
+    observations = [list(t) for t in interleaved(2 * WINDOW)]
+    status, report, _ = harness.request(
+        "POST", "/observations", {"observations": observations}
+    )
+    assert status == 200
+    assert report["accepted"] == len(observations)
+    harness.runner.flush()
+    for block_id in range(N_BLOCKS):
+        status, state, _ = harness.request(
+            "GET", f"/blocks/{block_id}/state"
+        )
+        assert status == 200
+        # The HTTP payload is the runner's own snapshot, JSON-rendered.
+        assert state == harness.runner.query_block(block_id)
+        assert state["n_closed"] == 2
+        assert state["last_report"]["label"] is not None
+
+
+@pytest.mark.watchdog(120)
+def test_phase_map_fleet_metrics_healthz(harness):
+    observations = [list(t) for t in interleaved(2 * WINDOW)]
+    harness.request("POST", "/observations", {"observations": observations})
+    harness.runner.flush()
+
+    status, phase_map, _ = harness.request("GET", "/phase-map")
+    assert status == 200
+    assert not phase_map["partial"]
+    assert phase_map["blocks"]  # JSON object: str block ids
+    for entry in phase_map["blocks"].values():
+        assert entry["label"] in ("strict", "relaxed")
+
+    status, fleet, _ = harness.request("GET", "/fleet")
+    assert status == 200
+    assert fleet["n_shards"] == 2
+    assert all(s["healthy"] for s in fleet["shards"].values())
+
+    status, text, headers = harness.request("GET", "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    assert b"stream_observations_total" in text
+    assert b"service_ingest_observations_total" in text
+
+    status, snap, _ = harness.request("GET", "/metrics?format=json")
+    assert status == 200
+    assert snap["service"]["run_id"] == harness.runner.run_id
+
+    status, health, _ = harness.request("GET", "/healthz")
+    assert status == 200 and health["status"] == "ok"
+
+
+@pytest.mark.watchdog(120)
+def test_error_statuses(harness):
+    status, body, _ = harness.request("GET", "/blocks/12345/state")
+    assert status == 404 and "error" in body
+    status, body, _ = harness.request("GET", "/blocks/xyz/state")
+    assert status == 400
+    status, body, _ = harness.request("POST", "/observations", {"nope": 1})
+    assert status == 400
+    status, body, _ = harness.request(
+        "POST", "/observations", {"observations": [[1, 2]]}
+    )
+    assert status == 400
+    status, body, _ = harness.request("GET", "/no/such/route")
+    assert status == 404
+    status, body, _ = harness.request("GET", "/observations")
+    assert status == 405
+    status, body, _ = harness.request("POST", "/phase-map", {})
+    assert status == 405
+
+
+@pytest.mark.watchdog(120)
+def test_keep_alive_serves_multiple_requests(harness):
+    conn = HTTPConnection("127.0.0.1", harness.api.port, timeout=30)
+    try:
+        for _ in range(3):
+            status, health, _ = harness.request(
+                "GET", "/healthz", conn=conn
+            )
+            assert status == 200 and health["status"] == "ok"
+    finally:
+        conn.close()
+
+
+@pytest.mark.watchdog(120)
+def test_backpressure_answers_429_with_retry_after(tmp_path):
+    harness = make_harness(
+        tmp_path,
+        n_shards=1,
+        overload=OverloadConfig(
+            capacity=64, high_watermark=0.5, low_watermark=0.25
+        ),
+        pump_budget=1,
+        retry_after_s=2.0,
+    )
+    try:
+        burst = [[7, r * ROUND, 0.5] for r in range(60)]
+        status, _, _ = harness.request(
+            "POST", "/observations", {"observations": burst}
+        )
+        assert status == 200
+        status, body, headers = harness.request(
+            "POST", "/observations", {"observations": [[7, 61 * ROUND, 0.5]]}
+        )
+        assert status == 429
+        assert headers["Retry-After"] == "2"
+        assert "error" in body
+        harness.runner.flush()
+        status, _, _ = harness.request(
+            "POST", "/observations", {"observations": [[7, 61 * ROUND, 0.5]]}
+        )
+        assert status == 200
+    finally:
+        harness.close()
+
+
+@pytest.mark.watchdog(120)
+def test_down_shard_answers_503_with_retry_after(tmp_path):
+    harness = make_harness(
+        tmp_path,
+        respawn_backoff=RetryPolicy(base_delay_s=120.0),
+    )
+    try:
+        observations = [list(t) for t in interleaved(WINDOW)]
+        harness.request(
+            "POST", "/observations", {"observations": observations}
+        )
+        victim = harness.runner.owner(0)
+        harness.runner.kill_shard(victim)
+        status, body, headers = harness.request("GET", "/blocks/0/state")
+        assert status == 503
+        assert "Retry-After" in headers
+        status, body, _ = harness.request(
+            "POST", "/observations", {"observations": [[0, 999 * ROUND, 0.5]]}
+        )
+        assert status == 503
+        status, phase_map, _ = harness.request("GET", "/phase-map")
+        assert status == 200 and phase_map["partial"]
+        status, health, _ = harness.request("GET", "/healthz")
+        assert status == 503 and health["status"] == "degraded"
+    finally:
+        harness.close()
