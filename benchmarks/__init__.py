@@ -1,0 +1,8 @@
+"""Benchmark harness package.
+
+Package-ness exists so :mod:`benchmarks.trajectory` is importable from
+the ablations, the tier-1 unit tests, and the CI regression step
+(``python -m benchmarks.trajectory --check``) alike.  pytest still
+discovers the ``test_*`` modules here exactly as before; tier-1 runs
+exclude the directory via ``testpaths``.
+"""

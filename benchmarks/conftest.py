@@ -11,6 +11,7 @@ from pathlib import Path
 
 import pytest
 
+from benchmarks.trajectory import TrajectoryRecorder
 from repro.analysis import GlobalStudy
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -24,6 +25,21 @@ STUDY_SEED = 12
 def global_study() -> GlobalStudy:
     """The A12W-analogue measurement shared by the global benchmarks."""
     return GlobalStudy.run(n_blocks=STUDY_BLOCKS, seed=STUDY_SEED)
+
+
+@pytest.fixture(scope="session")
+def trajectory() -> TrajectoryRecorder:
+    """The session's perf-trajectory recorder.
+
+    Benchmarks ``trajectory.record(...)`` their headline numbers;
+    records append to the cumulative
+    ``results/BENCH_trajectory.json`` once, at session teardown, and
+    ``python -m benchmarks.trajectory --check`` (the CI step) diffs the
+    latest values against the committed ``BENCH_baseline.json``.
+    """
+    recorder = TrajectoryRecorder()
+    yield recorder
+    recorder.flush()
 
 
 @pytest.fixture()

@@ -93,7 +93,7 @@ def run_ablation():
     return pairs, registry
 
 
-def test_abl_obs_overhead(benchmark, record_output):
+def test_abl_obs_overhead(benchmark, record_output, trajectory):
     pairs, registry = benchmark.pedantic(
         run_ablation, rounds=1, iterations=1
     )
@@ -121,6 +121,14 @@ def test_abl_obs_overhead(benchmark, record_output):
         f"metrics snapshot: {snapshot_path.name}",
     ]
     record_output("abl_obs_overhead", "\n".join(lines))
+    trajectory.record(
+        "abl_obs_overhead", "metrics_overhead",
+        overhead, unit="fraction", kind="ratio",
+    )
+    trajectory.record(
+        "abl_obs_overhead", "instrumented_us_per_round",
+        t_inst / n_rounds * 1e6, unit="us", kind="latency",
+    )
 
     # The instrumented run counted what it processed...
     counters = registry.snapshot()["counters"]

@@ -99,7 +99,7 @@ def run_level(n_shards: int, observations: list, tmp_dir: Path) -> dict:
         runner.stop(drain=False)
 
 
-def test_service_shard_scaling(tmp_path):
+def test_service_shard_scaling(tmp_path, trajectory):
     observations = workload()
     levels = [run_level(n, observations, tmp_path) for n in SHARD_COUNTS]
 
@@ -129,6 +129,15 @@ def test_service_shard_scaling(tmp_path):
     (RESULTS_DIR / "abl_service.json").write_text(
         json.dumps(artifact, indent=2) + "\n"
     )
+    for level in levels:
+        trajectory.record(
+            "abl_service", f"obs_per_s_{level['n_shards']}shard",
+            level["obs_per_s"], unit="obs/s", kind="throughput",
+        )
+        trajectory.record(
+            "abl_service", f"query_p99_ms_{level['n_shards']}shard",
+            level["query_p99_ms"], unit="ms", kind="latency",
+        )
 
     by_shards = {level["n_shards"]: level for level in levels}
     for level in levels:

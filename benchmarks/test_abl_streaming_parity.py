@@ -137,7 +137,7 @@ def run_ablation():
     return clean_tally, faulted_tally, costs, registry
 
 
-def test_abl_streaming_parity(benchmark, record_output):
+def test_abl_streaming_parity(benchmark, record_output, trajectory):
     clean_tally, faulted_tally, costs, registry = benchmark.pedantic(
         run_ablation, rounds=1, iterations=1
     )
@@ -165,6 +165,14 @@ def test_abl_streaming_parity(benchmark, record_output):
     lines.append("")
     lines.append(f"speedup vs naive reclassify: {reclass_us / stream_us:.1f}x")
     record_output("abl_streaming_parity", "\n".join(lines))
+    trajectory.record(
+        "abl_streaming_parity", "stream_rounds_per_s",
+        1e6 / stream_us, unit="rounds/s", kind="throughput",
+    )
+    trajectory.record(
+        "abl_streaming_parity", "reclassify_speedup",
+        reclass_us / stream_us, unit="x", kind="ratio",
+    )
 
     # Parity is exact, not approximate: every window, clean and faulted.
     assert clean_tally[0] > 0 and clean_tally[1] == clean_tally[0]

@@ -1,0 +1,237 @@
+"""Perf trajectory: a cumulative, normalized benchmark history.
+
+Each ablation that measures something worth defending appends
+normalized records — ``{bench, metric, value, unit, kind, git_rev,
+recorded_at}`` — to ``benchmarks/results/BENCH_trajectory.json`` via
+the session-scoped ``trajectory`` fixture.  The file is cumulative
+across runs, so plotting it shows how throughput and latency moved
+across commits, not just whether today's run passed.
+
+``python -m benchmarks.trajectory --check`` is the CI regression gate:
+it compares the *latest* record of every metric named in the committed
+``benchmarks/BENCH_baseline.json`` against that baseline and fails on
+a >20% regression — lower for ``kind: throughput`` metrics, higher for
+``kind: latency`` ones.  Metrics in the trajectory but not the
+baseline are informational (new measurements need a baseline commit to
+become load-bearing); baseline metrics missing from the trajectory
+warn rather than fail, because partial benchmark runs are legitimate.
+
+Baselines are set deliberately conservative (well below measured local
+throughput, well above measured latency) so the gate catches
+regressions in kind — an accidental O(n²), a lock on the hot path —
+without flaking on shared-runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+__all__ = [
+    "BASELINE_PATH",
+    "MAX_REGRESSION",
+    "TRAJECTORY_PATH",
+    "TrajectoryRecorder",
+    "check_against_baseline",
+    "git_rev",
+    "latest_by_metric",
+    "load_records",
+]
+
+_BENCH_DIR = Path(__file__).resolve().parent
+TRAJECTORY_PATH = _BENCH_DIR / "results" / "BENCH_trajectory.json"
+BASELINE_PATH = _BENCH_DIR / "BENCH_baseline.json"
+MAX_REGRESSION = 0.20
+
+_KINDS = ("throughput", "latency", "ratio")
+
+
+def git_rev() -> str:
+    """The current short commit hash, or ``unknown`` outside git."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=_BENCH_DIR,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = result.stdout.strip()
+    return rev if result.returncode == 0 and rev else "unknown"
+
+
+class TrajectoryRecorder:
+    """Buffer normalized benchmark records; append them on flush.
+
+    One recorder serves a whole benchmark session (see the
+    ``trajectory`` fixture in ``benchmarks/conftest.py``): records
+    accumulate in memory and land in the cumulative JSON file once, at
+    teardown, so a crashed benchmark never leaves a half-written file
+    and concurrent tests never interleave writes.
+    """
+
+    def __init__(self, path: str | Path = TRAJECTORY_PATH) -> None:
+        self.path = Path(path)
+        self.records: list[dict] = []
+        self._rev = git_rev()
+
+    def record(
+        self,
+        bench: str,
+        metric: str,
+        value: float,
+        unit: str = "",
+        kind: str = "throughput",
+    ) -> dict:
+        """Queue one measurement.  ``kind`` sets regression polarity:
+        ``throughput`` regresses downward, ``latency`` upward,
+        ``ratio`` is informational only."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown kind {kind!r}; expected one of {_KINDS}")
+        entry = {
+            "bench": str(bench),
+            "metric": str(metric),
+            "value": float(value),
+            "unit": str(unit),
+            "kind": kind,
+            "git_rev": self._rev,
+            "recorded_at": time.time(),
+        }
+        self.records.append(entry)
+        return entry
+
+    def flush(self) -> Path | None:
+        """Append queued records to the cumulative trajectory file."""
+        if not self.records:
+            return None
+        existing = load_records(self.path)
+        payload = {"records": existing + self.records}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(payload, indent=2) + "\n")
+        self.records = []
+        return self.path
+
+
+def load_records(path: str | Path = TRAJECTORY_PATH) -> list[dict]:
+    """The trajectory's records; [] for a missing or unreadable file."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    records = payload.get("records", []) if isinstance(payload, dict) else []
+    return [r for r in records if isinstance(r, dict)]
+
+
+def latest_by_metric(records: list[dict]) -> dict[str, dict]:
+    """The last-recorded entry per ``bench/metric`` key, in file order."""
+    latest: dict[str, dict] = {}
+    for record in records:
+        key = f"{record.get('bench')}/{record.get('metric')}"
+        latest[key] = record
+    return latest
+
+
+def check_against_baseline(
+    trajectory_path: str | Path = TRAJECTORY_PATH,
+    baseline_path: str | Path = BASELINE_PATH,
+    max_regression: float = MAX_REGRESSION,
+) -> tuple[list[str], list[str]]:
+    """Compare the latest trajectory records against the baseline.
+
+    Returns ``(failures, warnings)``: failures are >20% regressions on
+    baseline metrics; warnings cover baseline metrics the trajectory
+    has no record for (partial runs) and malformed entries.
+    """
+    baseline_path = Path(baseline_path)
+    if not baseline_path.exists():
+        return [f"baseline file missing: {baseline_path}"], []
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except json.JSONDecodeError as error:
+        return [f"baseline file unreadable: {error}"], []
+    metrics = baseline.get("metrics", {})
+    latest = latest_by_metric(load_records(trajectory_path))
+    failures: list[str] = []
+    warnings: list[str] = []
+    for key, expect in sorted(metrics.items()):
+        kind = expect.get("kind", "throughput")
+        base_value = float(expect.get("value", 0.0))
+        record = latest.get(key)
+        if record is None:
+            warnings.append(f"{key}: no trajectory record (benchmark not run)")
+            continue
+        value = float(record.get("value", 0.0))
+        if kind == "throughput":
+            floor = base_value * (1.0 - max_regression)
+            if value < floor:
+                failures.append(
+                    f"{key}: throughput {value:.1f} is below "
+                    f"{floor:.1f} ({max_regression:.0%} under baseline "
+                    f"{base_value:.1f})"
+                )
+        elif kind == "latency":
+            ceiling = base_value * (1.0 + max_regression)
+            if value > ceiling:
+                failures.append(
+                    f"{key}: latency {value:.3f} is above "
+                    f"{ceiling:.3f} ({max_regression:.0%} over baseline "
+                    f"{base_value:.3f})"
+                )
+        else:
+            warnings.append(f"{key}: kind {kind!r} is informational only")
+    return failures, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.trajectory",
+        description="Benchmark trajectory tools.",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on a >20%% regression vs BENCH_baseline.json",
+    )
+    parser.add_argument(
+        "--trajectory", default=str(TRAJECTORY_PATH),
+        help="trajectory file to read",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH),
+        help="baseline file to compare against",
+    )
+    args = parser.parse_args(argv)
+    records = load_records(args.trajectory)
+    latest = latest_by_metric(records)
+    print(f"trajectory: {len(records)} records, {len(latest)} metrics")
+    for key, record in sorted(latest.items()):
+        unit = f" {record.get('unit')}" if record.get("unit") else ""
+        print(
+            f"  {key}: {record.get('value'):.4g}{unit} "
+            f"[{record.get('kind')}] @ {record.get('git_rev')}"
+        )
+    if not args.check:
+        return 0
+    failures, warnings = check_against_baseline(
+        args.trajectory, args.baseline
+    )
+    for warning in warnings:
+        print(f"WARN {warning}")
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("trajectory check ok: no regressions vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,11 @@
     :func:`write_json_snapshot`, and :class:`RunManifest` — the per-run
     record of seeds, fault plans, quality gates, stage timings, and
     final metrics.
+``profiler``
+    :class:`SamplingProfiler` / :func:`profile_for` — a thread-based
+    wall-clock stack sampler emitting flamegraph-ready collapsed
+    stacks, cheap enough (<5% gate) to leave reachable in production
+    (``GET /debug/profile`` on the service API).
 ``instrument``
     :func:`install_metrics` / :func:`uninstall_metrics` — process-wide
     wiring of the module-level instruments in ``repro.core.classify``,
@@ -51,6 +56,7 @@ from repro.obs.alerts import (
     AlertEvent,
     AlertRule,
     default_pool_rules,
+    default_service_rules,
 )
 from repro.obs.distributed import (
     FleetView,
@@ -73,6 +79,7 @@ from repro.obs.export import (
     write_json_snapshot,
 )
 from repro.obs.instrument import install_metrics, uninstall_metrics
+from repro.obs.profiler import SamplingProfiler, profile_for
 from repro.obs.registry import (
     Counter,
     EwmaMeter,
@@ -83,6 +90,7 @@ from repro.obs.registry import (
     NullRegistry,
     diff_states,
     escape_label_value,
+    histogram_quantile,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -90,6 +98,10 @@ from repro.obs.tracing import (
     Span,
     TraceContext,
     Tracer,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
 )
 
 __all__ = [
@@ -112,6 +124,7 @@ __all__ = [
     "NullRegistry",
     "NullTracer",
     "RunManifest",
+    "SamplingProfiler",
     "Span",
     "TelemetryDelta",
     "TraceContext",
@@ -119,10 +132,17 @@ __all__ = [
     "WorkerTelemetry",
     "aggregate_registries",
     "default_pool_rules",
+    "default_service_rules",
     "diff_states",
     "escape_label_value",
+    "format_traceparent",
+    "histogram_quantile",
     "install_metrics",
     "json_snapshot",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "profile_for",
     "prometheus_text",
     "read_event_log",
     "uninstall_metrics",

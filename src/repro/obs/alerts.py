@@ -355,6 +355,8 @@ def default_service_rules(
     max_respawns: float = 3.0,
     max_rejected: float = 10_000.0,
     max_shed_ratio: float = 0.05,
+    max_request_p99_s: float = 1.0,
+    max_error_ratio: float = 0.05,
 ) -> tuple[AlertRule, ...]:
     """The always-on service's rule set (``repro.serve``).
 
@@ -363,6 +365,14 @@ def default_service_rules(
     A shard briefly out of the ring is routine (the supervisor is
     respawning it); a shard *staying* out, a respawn streak, or a
     sustained rejection/shed rate is an operator page.
+
+    The two latency-SLO rules ride the gauges the runner derives each
+    supervision cycle from its request telemetry:
+    ``service_request_p99_seconds`` (the p99 of the per-route request
+    histograms, via :func:`~repro.obs.registry.histogram_quantile`)
+    and ``service_error_ratio`` (an EWMA meter fed the per-cycle 5xx
+    ratio — its fast view is the burn rate, so a sustained error
+    plateau fires while one unlucky cycle decays away).
     """
     return (
         AlertRule(
@@ -410,6 +420,30 @@ def default_service_rules(
             description=(
                 f"shard admission queues are shedding more than "
                 f"{max_shed_ratio:.0%} of offered observations"
+            ),
+        ),
+        AlertRule(
+            name="service-request-p99",
+            metric="service_request_p99_seconds",
+            op=">",
+            threshold=max_request_p99_s,
+            for_cycles=3,
+            level="warning",
+            description=(
+                f"request p99 latency has stayed above "
+                f"{max_request_p99_s:g}s for several supervision cycles"
+            ),
+        ),
+        AlertRule(
+            name="service-error-ratio",
+            metric="service_error_ratio",
+            op=">",
+            threshold=max_error_ratio,
+            for_cycles=2,
+            level="critical",
+            description=(
+                f"more than {max_error_ratio:.0%} of requests are "
+                "failing (5xx burn rate over the EWMA fast view)"
             ),
         ),
     )

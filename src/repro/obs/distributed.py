@@ -96,17 +96,21 @@ class WorkerTelemetry:
         if recorder is not None:
             self.events = self.events.bind(ring=recorder)
         self._last_state: list[dict] = []
-        self._n_roots_shipped = 0
         self._seq = 0
 
     def cut_delta(self) -> TelemetryDelta:
-        """Package everything recorded since the last cut."""
+        """Package everything recorded since the last cut.
+
+        Finished span trees are *drained* from the worker tracer, not
+        copied: once a tree ships with a result it lives supervisor-
+        side, and draining keeps a long-lived worker (an always-on
+        shard cuts a delta per RPC, forever) from exhausting the
+        tracer's ``max_roots`` retention budget on shipped history.
+        """
         state = self.registry.state()
         metrics = diff_states(state, self._last_state)
         self._last_state = state
-        roots = self.tracer.roots
-        spans = [s.to_dict() for s in roots[self._n_roots_shipped:]]
-        self._n_roots_shipped = len(roots)
+        spans = [s.to_dict() for s in self.tracer.drain_roots()]
         events = list(self._buffer)
         self._buffer.clear()
         self._seq += 1

@@ -1,0 +1,196 @@
+"""Sampling wall-clock profiler: collapsed stacks, flamegraph-ready.
+
+Metrics say how much, spans say how long each *instrumented* stage
+took — but when a latency SLO burns, the question is "where is the
+wall time actually going *right now*", including in code nobody
+thought to instrument.  That is a profiler's job, and a production
+service needs one it can afford to leave reachable: a **sampling**
+profiler observes the process from outside the hot path (a background
+thread snapshots every thread's Python stack at a fixed interval via
+``sys._current_frames``), so its cost is bounded by the sampling rate
+no matter how hot the workload — the same <5% overhead contract the
+metrics registry and event log already honour, gated by
+``benchmarks/test_abl_profiler_overhead.py``.
+
+Output is the *collapsed stack* format flamegraph tooling consumes
+(one line per unique stack, root first, semicolon-separated, trailing
+sample count)::
+
+    MainThread;api.py:_dispatch;runner.py:ingest;shard.py:request 42
+
+Each frame is ``file.py:function`` — function granularity, so stacks
+aggregate across lines and the output stays compact.  The sampler
+thread excludes itself; every other thread is sampled under its
+thread name, so an idle executor pool shows up honestly as
+``threading.py:wait`` rather than vanishing.
+
+Usage::
+
+    profiler = SamplingProfiler(interval_s=0.005)
+    profiler.start()
+    ...                       # run the suspect workload
+    profiler.stop()
+    print(profiler.collapsed())
+
+or one-shot: ``collapsed = profile_for(1.0)`` — which is exactly what
+``GET /debug/profile?seconds=N`` on the service API serves.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+__all__ = ["SamplingProfiler", "profile_for"]
+
+
+class SamplingProfiler:
+    """Thread-based stack sampler with start/stop and collapsed output.
+
+    Attributes:
+        interval_s: target wall-clock seconds between samples (the
+            sampler sleeps this long between snapshots; a busy GIL can
+            stretch it, never shrink it).
+        max_depth: stack frames kept per sample, deepest-first —
+            deeper tails are dropped so one pathological recursion
+            cannot bloat every key.
+        n_samples: snapshot rounds taken so far.
+        n_stacks: total (thread, stack) observations recorded.
+    """
+
+    def __init__(self, interval_s: float = 0.01, max_depth: int = 64) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.interval_s = interval_s
+        self.max_depth = max_depth
+        self.n_samples = 0
+        self.n_stacks = 0
+        self.started_at: float | None = None
+        self.duration_s = 0.0
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling in a daemon thread; idempotent while running."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self.started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="obs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop the sampler and wait for its thread to exit."""
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        if self.started_at is not None:
+            self.duration_s += time.perf_counter() - self.started_at
+            self.started_at = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            self._sample(own_id)
+
+    def _sample(self, own_id: int) -> None:
+        names = {t.ident: t.name for t in threading.enumerate()}
+        frames = sys._current_frames()
+        keys = []
+        for thread_id, frame in frames.items():
+            if thread_id == own_id:
+                continue
+            stack = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                code = frame.f_code
+                stack.append(
+                    f"{os.path.basename(code.co_filename)}:{code.co_name}"
+                )
+                frame = frame.f_back
+                depth += 1
+            stack.reverse()
+            thread_name = names.get(thread_id, f"thread-{thread_id}")
+            keys.append(";".join([thread_name, *stack]))
+        # One locked pass per snapshot round, not per thread: the lock
+        # is shared with collapsed()/snapshot() readers only.
+        with self._lock:
+            for key in keys:
+                self._counts[key] = self._counts.get(key, 0) + 1
+            self.n_samples += 1
+            self.n_stacks += len(keys)
+
+    def counts(self) -> dict[str, int]:
+        """Collapsed-stack sample counts (a copy; safe while running)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def collapsed(self) -> str:
+        """The profile in collapsed-stack format, hottest stacks first.
+
+        Ready for ``flamegraph.pl`` / speedscope / inferno as-is.
+        """
+        with self._lock:
+            items = sorted(
+                self._counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        return "\n".join(f"{stack} {count}" for stack, count in items)
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary: meta plus the collapsed stack counts."""
+        with self._lock:
+            return {
+                "interval_s": self.interval_s,
+                "n_samples": self.n_samples,
+                "n_stacks": self.n_stacks,
+                "duration_s": (
+                    self.duration_s
+                    + (
+                        time.perf_counter() - self.started_at
+                        if self.started_at is not None
+                        else 0.0
+                    )
+                ),
+                "stacks": dict(self._counts),
+            }
+
+
+def profile_for(
+    seconds: float, interval_s: float = 0.005, max_depth: int = 64
+) -> str:
+    """Sample this process for ``seconds`` and return collapsed stacks.
+
+    The convenience the debug endpoint uses: blocks the *calling*
+    thread (which the service API parks on an executor) while the
+    sampler thread does the work.
+    """
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    profiler = SamplingProfiler(interval_s=interval_s, max_depth=max_depth)
+    with profiler:
+        time.sleep(seconds)
+    return profiler.collapsed()

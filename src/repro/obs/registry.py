@@ -38,6 +38,7 @@ __all__ = [
     "NullRegistry",
     "diff_states",
     "escape_label_value",
+    "histogram_quantile",
     "render_labels",
 ]
 
@@ -489,6 +490,52 @@ def diff_states(new: list[dict], old: list[dict]) -> list[dict]:
             if entry["count"] != prev["count"]:
                 delta.append(entry)
     return delta
+
+
+def histogram_quantile(histograms, q: float) -> float:
+    """Estimate the ``q`` quantile across one or more histograms.
+
+    The Prometheus ``histogram_quantile`` estimator: merge the
+    cumulative bucket counts (every histogram must share bounds —
+    label variants of one family do by construction), find the bucket
+    the target rank lands in, and interpolate linearly inside it.
+    Observations in the ``+Inf`` bucket clamp to the highest finite
+    bound (the standard, deliberately pessimistic-but-finite answer).
+    Returns 0.0 for empty histograms — "no traffic" must read as "no
+    latency", not fire a latency alert.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    histograms = list(histograms)
+    if not histograms:
+        return 0.0
+    bounds = histograms[0].bounds
+    for hist in histograms[1:]:
+        if hist.bounds != bounds:
+            raise ValueError(
+                "histogram_quantile requires identical bucket bounds; "
+                f"got {bounds} and {hist.bounds}"
+            )
+    counts = [0] * (len(bounds) + 1)
+    for hist in histograms:
+        with hist._lock:
+            for i, n in enumerate(hist._counts):
+                counts[i] += n
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for i, n in enumerate(counts):
+        cumulative += n
+        if cumulative >= rank and n > 0:
+            if i >= len(bounds):
+                return bounds[-1]
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i]
+            within = rank - (cumulative - n)
+            return lower + (upper - lower) * (within / n)
+    return bounds[-1]
 
 
 class _NullMetric:

@@ -24,6 +24,15 @@ asynchronous dispatch window, which no ``with`` block can span.
 :class:`NullTracer` is the default everywhere: ``trace`` hands back a
 shared reusable no-op context manager, so untraced hot paths pay one
 call and no allocation.
+
+For *request* tracing across an HTTP boundary, the module also speaks
+the W3C Trace Context wire grammar: :func:`parse_traceparent` accepts
+an incoming ``traceparent`` header as a :class:`TraceContext`,
+:func:`format_traceparent` renders one back out, and
+:func:`new_trace_id` / :func:`new_span_id` mint wire-conformant hex
+identifiers for request root spans (internal child spans keep the
+cheaper pid-prefixed ids — only the ids that cross the HTTP boundary
+need the W3C shape).
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ import itertools
 import os
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -40,6 +50,10 @@ __all__ = [
     "Span",
     "TraceContext",
     "Tracer",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
 ]
 
 _span_counter = itertools.count(1)
@@ -48,6 +62,77 @@ _span_counter = itertools.count(1)
 def _new_id() -> str:
     """A process-unique span id (pid-prefixed so forks never collide)."""
     return f"{os.getpid():x}-{next(_span_counter):x}"
+
+
+def new_trace_id() -> str:
+    """A random 32-hex-digit trace id (the W3C ``trace-id`` field)."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A random 16-hex-digit span id (the W3C ``parent-id`` field)."""
+    return uuid.uuid4().hex[:16]
+
+
+_HEX = set("0123456789abcdef")
+
+
+def _is_hex(value: str) -> bool:
+    return bool(value) and all(c in _HEX for c in value)
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a W3C ``traceparent`` header into a :class:`TraceContext`.
+
+    Grammar (version 00): ``00-<32 hex trace-id>-<16 hex parent-id>-
+    <2 hex flags>``.  Unknown future versions are accepted as long as
+    the first four fields parse (per spec); anything malformed — wrong
+    lengths, non-hex digits, all-zero ids, the forbidden version
+    ``ff`` — returns ``None`` so the caller mints a fresh trace
+    instead of propagating garbage.
+    """
+    if not header:
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if len(version) != 2 or not _is_hex(version) or version == "ff":
+        return None
+    if version == "00" and len(parts) != 4:
+        return None
+    if len(trace_id) != 32 or not _is_hex(trace_id):
+        return None
+    if len(span_id) != 16 or not _is_hex(span_id):
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+def _wire_id(value: str, width: int) -> str:
+    """Coerce an id to ``width`` lowercase hex digits for the wire.
+
+    Request ids minted by :func:`new_trace_id`/:func:`new_span_id`
+    pass through untouched; an internal pid-prefixed id (which
+    contains ``-``) is defensively normalized so a caller can never
+    emit a header other parsers reject.
+    """
+    cleaned = "".join(c for c in value.lower() if c in _HEX)
+    if not cleaned:
+        cleaned = "1"
+    return cleaned[-width:].rjust(width, "0")
+
+
+def format_traceparent(context: TraceContext, sampled: bool = True) -> str:
+    """Render a :class:`TraceContext` as a W3C ``traceparent`` value."""
+    return (
+        f"00-{_wire_id(context.trace_id, 32)}"
+        f"-{_wire_id(context.span_id, 16)}"
+        f"-{'01' if sampled else '00'}"
+    )
 
 
 @dataclass(frozen=True)
@@ -183,6 +268,8 @@ class Tracer:
         name: str,
         parent: Span | None = None,
         parent_context: TraceContext | None = None,
+        trace_id: str | None = None,
+        span_id: str | None = None,
         **attrs,
     ) -> Span:
         """Start a detached span (not on the thread-local stack).
@@ -191,15 +278,21 @@ class Tracer:
         frames — e.g. the supervisor's dispatch window, opened when a
         task is sent and closed when its result (or corpse) comes back.
         Finish it with :meth:`end`.
+
+        ``trace_id``/``span_id`` override the minted identifiers —
+        the HTTP layer passes W3C-shaped ids here so the span named in
+        a ``traceparent`` response header is the span in the tree.
         """
         span = Span(name=name, attrs=attrs)
-        span.span_id = _new_id()
+        span.span_id = span_id if span_id else _new_id()
         if parent is not None:
             span.trace_id = parent.trace_id
             span.parent_span_id = parent.span_id
         elif parent_context is not None:
             span.trace_id = parent_context.trace_id
             span.parent_span_id = parent_context.span_id
+        if trace_id:
+            span.trace_id = trace_id
         if not span.trace_id:
             span.trace_id = span.span_id
         span.start_s = time.perf_counter()
@@ -242,6 +335,36 @@ class Tracer:
                 if span.span_id == span_id:
                     return span
         return None
+
+    def trace_spans(self, trace_id: str) -> list[Span]:
+        """Every finished span belonging to one trace, across roots.
+
+        A distributed request lands as several root trees (the local
+        request span plus grafted remote trees whose true parent
+        finished later); this gathers them so a caller can stitch the
+        full tree back together by ``parent_span_id``.
+        """
+        with self._lock:
+            roots = list(self.roots)
+        return [
+            span
+            for root in roots
+            for span in root.walk()
+            if span.trace_id == trace_id
+        ]
+
+    def drain_roots(self) -> list[Span]:
+        """Remove and return every finished root span.
+
+        Long-lived processes (shard workers, the service runner) ship
+        or export spans periodically; draining keeps the retained set
+        bounded without burning the ``max_roots`` budget on history
+        that has already left the process.
+        """
+        with self._lock:
+            roots = self.roots
+            self.roots = []
+        return roots
 
     def _stack(self) -> list:
         stack = getattr(self._local, "stack", None)
@@ -350,6 +473,12 @@ class NullTracer:
 
     def resolve(self, span_id: str) -> None:
         return None
+
+    def trace_spans(self, trace_id: str) -> list:
+        return []
+
+    def drain_roots(self) -> list:
+        return []
 
     def stage_timings(self) -> dict:
         return {}

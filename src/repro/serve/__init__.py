@@ -27,7 +27,12 @@ streaming diurnal engine as a long-lived sharded service:
     :class:`ServiceAPI` — a stdlib-only asyncio HTTP layer: ``POST
     /observations`` (429 + Retry-After under backpressure), ``GET
     /blocks/{key}/state``, ``GET /phase-map``, ``GET /fleet``, ``GET
-    /metrics`` (Prometheus or JSON), ``GET /healthz``.
+    /metrics`` (Prometheus or JSON), ``GET /healthz``, and the opt-in
+    ``GET /debug/profile`` (collapsed-stack sampling profiler).  Every
+    request is traced end to end (W3C ``traceparent`` in/out,
+    ``X-Request-Id`` on every response, ``http.request → route →
+    shard.rpc → engine.ingest`` as one span tree), counted into
+    per-route latency histograms, and access-logged.
 
 ``python -m repro.serve`` launches the whole stack from the command
 line; the correctness anchor is unchanged from the rest of the repo:

@@ -8,8 +8,14 @@ final manifest written) before exit.
 
 ``--smoke`` runs a self-contained end-to-end check instead of serving
 forever: bind an ephemeral port, ingest a synthetic diurnal burst over
-HTTP, verify block-state and phase-map queries answer, drain, and exit
-0 — the CI service job's entry point.
+HTTP (asserting the traced request comes back with ``X-Request-Id`` /
+``traceparent``), verify block-state and phase-map queries answer,
+pull a collapsed-stack profile when ``--profile`` is armed, drain, and
+exit 0 — the CI service job's entry point.
+
+``--event-log PATH`` appends the structured JSONL event stream
+(including per-request ``http.access`` records) to a file instead of
+stderr; ``--profile`` arms ``GET /debug/profile``.
 """
 
 from __future__ import annotations
@@ -21,10 +27,12 @@ import math
 import signal
 import sys
 from http.client import HTTPConnection
+from pathlib import Path
 
 from repro.obs.alerts import default_service_rules
 from repro.obs.events import EventLogger
 from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.serve.api import ServiceAPI
 from repro.serve.runner import ServiceConfig, ServiceRunner
 from repro.stream.engine import StreamConfig
@@ -81,6 +89,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress structured event output on stderr",
     )
+    parser.add_argument(
+        "--event-log", default=None, metavar="PATH",
+        help="append the structured JSONL event/access log to PATH "
+             "(default: stderr unless --quiet)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="arm GET /debug/profile (sampling wall-clock profiler)",
+    )
     return parser
 
 
@@ -99,22 +116,28 @@ def _service_config(args) -> ServiceConfig:
 
 
 def _build_runner(args) -> ServiceRunner:
-    events = (
-        EventLogger() if args.quiet
-        else EventLogger(sink=sys.stderr)
-    )
+    if args.event_log:
+        events = EventLogger(sink=args.event_log)
+    elif args.quiet:
+        events = EventLogger()
+    else:
+        events = EventLogger(sink=sys.stderr)
     return ServiceRunner(
         _service_config(args),
         metrics=MetricsRegistry(),
         events=events,
         alert_rules=default_service_rules(),
+        tracer=Tracer(),
     )
 
 
 async def _serve(args) -> int:
     runner = _build_runner(args)
     runner.start()
-    api = ServiceAPI(runner, host=args.host, port=args.port)
+    api = ServiceAPI(
+        runner, host=args.host, port=args.port,
+        enable_profiler=args.profile,
+    )
     await api.start()
     print(
         f"serving on http://{args.host}:{api.port} "
@@ -159,14 +182,16 @@ def _smoke(args) -> int:
     args.hop_days = None
     runner = _build_runner(args)
     runner.start()
-    api = ServiceAPI(runner, host=args.host, port=0)
+    api = ServiceAPI(
+        runner, host=args.host, port=0, enable_profiler=args.profile
+    )
 
     async def _run() -> int:
         await api.start()
         loop = asyncio.get_running_loop()
 
         def request(method, path, body=None):
-            conn = HTTPConnection(args.host, api.port, timeout=30)
+            conn = HTTPConnection(args.host, api.port, timeout=60)
             try:
                 conn.request(
                     method, path,
@@ -174,7 +199,11 @@ def _smoke(args) -> int:
                     headers={"Content-Type": "application/json"},
                 )
                 response = conn.getresponse()
-                return response.status, response.read()
+                return (
+                    response.status,
+                    response.read(),
+                    {k.lower(): v for k, v in response.getheaders()},
+                )
             finally:
                 conn.close()
 
@@ -182,42 +211,71 @@ def _smoke(args) -> int:
         observations = _smoke_ingest_payload(
             n_blocks=8, hours=30, round_s=3600.0
         )
-        status, raw = await loop.run_in_executor(
+        status, raw, headers = await loop.run_in_executor(
             None, request, "POST", "/observations",
             {"observations": observations},
         )
         report = json.loads(raw)
         if status != 200 or report["accepted"] != len(observations):
             failures.append(f"ingest: status={status} report={report}")
+        request_id = headers.get("x-request-id", "")
+        traceparent = headers.get("traceparent", "")
+        if len(request_id) != 16 or request_id not in traceparent:
+            failures.append(
+                f"tracing: request_id={request_id!r} "
+                f"traceparent={traceparent!r}"
+            )
         await loop.run_in_executor(None, runner.flush)
-        status, raw = await loop.run_in_executor(
+        status, raw, _ = await loop.run_in_executor(
             None, request, "GET", "/blocks/0/state"
         )
         state = json.loads(raw)
         if status != 200 or state.get("stable_label") is None:
             failures.append(f"block state: status={status} state={state}")
-        status, raw = await loop.run_in_executor(
+        status, raw, _ = await loop.run_in_executor(
             None, request, "GET", "/phase-map"
         )
         phase_map = json.loads(raw)
         if status != 200 or not phase_map["blocks"]:
             failures.append(f"phase map: status={status} map={phase_map}")
-        status, raw = await loop.run_in_executor(
+        status, raw, _ = await loop.run_in_executor(
             None, request, "GET", "/metrics"
         )
         if status != 200 or b"stream_observations_total" not in raw:
             failures.append(f"metrics: status={status}")
-        status, _raw = await loop.run_in_executor(
+        if b"service_request_seconds_bucket" not in raw:
+            failures.append("metrics: no service_request_seconds histogram")
+        status, _raw, _ = await loop.run_in_executor(
             None, request, "GET", "/healthz"
         )
         if status != 200:
             failures.append(f"healthz: status={status}")
+        if args.profile:
+            status, raw, _ = await loop.run_in_executor(
+                None, request, "GET", "/debug/profile?seconds=1"
+            )
+            collapsed = raw.decode()
+            if status != 200 or ";" not in collapsed:
+                failures.append(
+                    f"profile: status={status} bytes={len(raw)}"
+                )
+            else:
+                profile_path = Path(args.journal_dir) / "profile.collapsed"
+                profile_path.write_text(collapsed)
+                print(f"profile: {profile_path}", flush=True)
         await api.stop()
         report = await loop.run_in_executor(None, runner.stop)
         if report is None or not all(
             shard.get("drained") for shard in report["shards"].values()
         ):
             failures.append(f"drain: report={report}")
+        if args.event_log:
+            log_text = Path(args.event_log).read_text() \
+                if Path(args.event_log).exists() else ""
+            if '"event": "http.access"' not in log_text:
+                failures.append(
+                    f"event log: no http.access records in {args.event_log}"
+                )
         for failure in failures:
             print(f"SMOKE FAIL {failure}", file=sys.stderr)
         if not failures:

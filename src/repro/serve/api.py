@@ -1,7 +1,7 @@
 """Stdlib-asyncio HTTP front-end for the sharded diurnal service.
 
 No third-party web framework is available (or needed): the protocol
-surface is five small JSON/text endpoints, served by
+surface is a handful of small JSON/text endpoints, served by
 :func:`asyncio.start_server` with a hand-rolled HTTP/1.1 request
 parser.  Keep-alive is supported; bodies are bounded; every runner
 call (a blocking pipe RPC to a shard process) is pushed onto the
@@ -23,19 +23,64 @@ Endpoints:
 * ``GET /metrics`` — fleet-aggregate metrics as Prometheus text
   (``?format=json`` for the JSON snapshot).
 * ``GET /healthz`` — 200 when every shard is in the ring, else 503.
+* ``GET /debug/profile?seconds=N`` — opt-in (``enable_profiler``):
+  sample this process for N seconds and return flamegraph-ready
+  collapsed stacks as ``text/plain``.  404 when not enabled.
+
+Every request — including errors, 404s, and malformed framing — is
+observable end to end:
+
+* **Tracing.** An incoming W3C ``traceparent`` header is honoured (a
+  fresh trace is minted otherwise); the handler runs under an
+  ``http.request`` span whose 16-hex span id doubles as the request
+  id.  The span's context flows through
+  :meth:`~repro.serve.runner.ServiceRunner.ingest` into the shard RPC,
+  so one POST yields ``http.request → route → shard.rpc →
+  engine.ingest`` as a single resolvable trace.  Every response echoes
+  ``X-Request-Id`` and a ``traceparent`` naming the request span.
+* **Metrics.** ``service_requests_total{route,method,status}``
+  counters, a ``service_requests_in_flight`` gauge, and
+  ``service_request_seconds{route}`` latency histograms land in the
+  runner's registry (route labels are templates —
+  ``/blocks/{key}/state`` — never raw paths, so cardinality stays
+  bounded; unmatched paths share one ``unmatched`` label).  The
+  supervision cycle folds these into the
+  ``service_request_p99_seconds`` / ``service_error_ratio`` SLO
+  instruments the alert rules watch.
+* **Access log.** One ``http.access`` record per request in the
+  structured event log, carrying method, route, status, duration, and
+  the request/trace ids — greppable by the same id the client saw.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
+import urllib.parse
 
+from repro.obs.profiler import profile_for
+from repro.obs.tracing import (
+    TraceContext,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.serve.runner import ServiceRunner, ShardDownError
 
 __all__ = ["ServiceAPI"]
 
 _MAX_BODY_BYTES = 32 * 1024 * 1024
 _MAX_HEADER_BYTES = 64 * 1024
+_MAX_PROFILE_SECONDS = 30.0
+
+# Latency buckets tuned for a local-pipe service: sub-ms cache hits
+# through multi-second profile grabs.
+_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 class _HTTPError(Exception):
@@ -60,11 +105,34 @@ _STATUS_TEXT = {
 }
 
 
+def _route_label(segments: list[str]) -> str:
+    """The bounded-cardinality route template for a path."""
+    if segments == ["observations"]:
+        return "/observations"
+    if len(segments) == 3 and segments[0] == "blocks" \
+            and segments[2] == "state":
+        return "/blocks/{key}/state"
+    if segments == ["phase-map"]:
+        return "/phase-map"
+    if segments == ["fleet"]:
+        return "/fleet"
+    if segments == ["metrics"]:
+        return "/metrics"
+    if segments == ["healthz"]:
+        return "/healthz"
+    if segments == ["debug", "profile"]:
+        return "/debug/profile"
+    return "unmatched"
+
+
 class ServiceAPI:
     """Bind a :class:`~repro.serve.runner.ServiceRunner` to HTTP.
 
     ``port=0`` binds an ephemeral port; read :attr:`port` after
     :meth:`start` (the test and smoke paths rely on this).
+    ``enable_profiler`` arms ``GET /debug/profile`` — off by default
+    because a sampler anyone can start from the network is an
+    operator's decision, not a library's.
     """
 
     def __init__(
@@ -72,11 +140,14 @@ class ServiceAPI:
         runner: ServiceRunner,
         host: str = "127.0.0.1",
         port: int = 8000,
+        enable_profiler: bool = False,
     ) -> None:
         self.runner = runner
         self.host = host
         self.port = port
+        self.enable_profiler = enable_profiler
         self._server: asyncio.AbstractServer | None = None
+        self._in_flight = runner.metrics.gauge("service_requests_in_flight")
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -104,36 +175,29 @@ class ServiceAPI:
     async def _handle_connection(self, reader, writer) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _HTTPError as error:
+                    # Malformed framing: answer once (with a request id,
+                    # like every other response), then close — the byte
+                    # stream cannot be trusted past this point.
+                    response = self._framing_error_response(error)
+                    self._write_response(writer, *response, keep_alive=False)
+                    await writer.drain()
+                    break
                 if request is None:
                     break
                 method, path, query, headers, body = request
-                try:
-                    status, payload, content_type, extra = (
-                        await self._dispatch(method, path, query, body)
-                    )
-                except _HTTPError as error:
-                    status = error.status
-                    payload = json.dumps({"error": error.message}).encode()
-                    content_type = "application/json"
-                    extra = {}
-                    if error.retry_after_s is not None:
-                        extra["Retry-After"] = _retry_after(
-                            error.retry_after_s
-                        )
-                except Exception as error:  # pragma: no cover - safety net
-                    status = 500
-                    payload = json.dumps(
-                        {"error": f"{type(error).__name__}: {error}"}
-                    ).encode()
-                    content_type = "application/json"
-                    extra = {}
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 )
+                status, payload, content_type, extra = await self._process(
+                    method, path, query, headers, body
+                )
                 self._write_response(
-                    writer, status, payload, content_type, extra, keep_alive
+                    writer, status, payload, content_type, extra,
+                    keep_alive=keep_alive,
                 )
                 await writer.drain()
                 if not keep_alive:
@@ -150,6 +214,116 @@ class ServiceAPI:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _process(self, method, path, query, headers, body):
+        """Handle one parsed request with full observability.
+
+        Always returns a response tuple; every path through here — 200,
+        typed ``_HTTPError``, or an unexpected exception — stamps the
+        request id and traceparent headers, counts into the per-route
+        metrics, and writes one access-log record.
+        """
+        runner = self.runner
+        incoming = parse_traceparent(headers.get("traceparent"))
+        trace_id = incoming.trace_id if incoming is not None else \
+            new_trace_id()
+        request_id = new_span_id()
+        context = TraceContext(trace_id=trace_id, span_id=request_id)
+        segments = [s for s in path.split("/") if s]
+        route = _route_label(segments)
+        span = runner.tracer.begin(
+            "http.request",
+            parent_context=incoming,
+            trace_id=trace_id,
+            span_id=request_id,
+            method=method,
+            route=route,
+        )
+        self._in_flight.inc()
+        t0 = time.perf_counter()
+        try:
+            status, payload, content_type, extra = await self._dispatch(
+                method, segments, query, body, context
+            )
+        except _HTTPError as error:
+            status = error.status
+            payload = _json_bytes(
+                {"error": error.message, "request_id": request_id}
+            )
+            content_type = "application/json"
+            extra = {}
+            if error.retry_after_s is not None:
+                extra["Retry-After"] = _retry_after(error.retry_after_s)
+        except Exception as error:  # pragma: no cover - safety net
+            status = 500
+            payload = _json_bytes(
+                {
+                    "error": f"{type(error).__name__}: {error}",
+                    "request_id": request_id,
+                }
+            )
+            content_type = "application/json"
+            extra = {}
+        finally:
+            self._in_flight.dec()
+        duration_s = time.perf_counter() - t0
+        if span is not None:
+            span.attrs["status"] = status
+            runner.tracer.end(span)
+        self._observe(route, method, status, duration_s)
+        runner.events.info(
+            "http.access",
+            method=method,
+            path=path,
+            route=route,
+            status=status,
+            duration_s=duration_s,
+            n_bytes=len(payload),
+            request_id=request_id,
+            trace_id=trace_id,
+            span_id=request_id,
+        )
+        extra.setdefault("X-Request-Id", request_id)
+        extra.setdefault("traceparent", format_traceparent(context))
+        return status, payload, content_type, extra
+
+    def _framing_error_response(self, error: _HTTPError):
+        """The 400/413 answer for requests that never parsed."""
+        request_id = new_span_id()
+        self._observe("unmatched", "?", error.status, 0.0)
+        self.runner.events.info(
+            "http.access",
+            method="?",
+            path="?",
+            route="unmatched",
+            status=error.status,
+            duration_s=0.0,
+            n_bytes=0,
+            request_id=request_id,
+            trace_id=new_trace_id(),
+            span_id=request_id,
+        )
+        payload = _json_bytes(
+            {"error": error.message, "request_id": request_id}
+        )
+        return (
+            error.status,
+            payload,
+            "application/json",
+            {"X-Request-Id": request_id},
+        )
+
+    def _observe(self, route, method, status, duration_s) -> None:
+        metrics = self.runner.metrics
+        if not metrics.enabled:
+            return
+        metrics.counter(
+            "service_requests_total",
+            route=route, method=method, status=str(status),
+        ).inc()
+        metrics.histogram(
+            "service_request_seconds", buckets=_LATENCY_BUCKETS, route=route
+        ).observe(duration_s)
 
     async def _read_request(self, reader):
         """Parse one HTTP/1.1 request; None on clean EOF."""
@@ -198,17 +372,17 @@ class ServiceAPI:
 
     # -- routing -----------------------------------------------------------
 
-    async def _dispatch(self, method, path, query, body):
-        segments = [s for s in path.split("/") if s]
+    async def _dispatch(self, method, segments, query, body, context):
         if segments == ["observations"]:
             if method != "POST":
                 raise _HTTPError(405, "use POST /observations")
-            return await self._post_observations(body)
+            return await self._post_observations(body, context)
         if len(segments) == 3 and segments[0] == "blocks" \
                 and segments[2] == "state":
             if method != "GET":
                 raise _HTTPError(405, "use GET /blocks/{key}/state")
             return await self._get_block_state(segments[1])
+        path = "/" + "/".join(segments)
         if method != "GET":
             raise _HTTPError(405, f"no {method} routes at {path}")
         if segments == ["phase-map"]:
@@ -219,6 +393,8 @@ class ServiceAPI:
             return await self._get_metrics(query)
         if segments == ["healthz"]:
             return self._get_healthz()
+        if segments == ["debug", "profile"] and self.enable_profiler:
+            return await self._get_profile(query)
         raise _HTTPError(404, f"no route for {path}")
 
     async def _offload(self, fn, *args):
@@ -227,7 +403,7 @@ class ServiceAPI:
             None, fn, *args
         )
 
-    async def _post_observations(self, body: bytes):
+    async def _post_observations(self, body: bytes, context):
         try:
             parsed = json.loads(body or b"{}")
         except json.JSONDecodeError as error:
@@ -242,7 +418,9 @@ class ServiceAPI:
                 raise _HTTPError(
                     400, f"observation {triple!r} is not a [block, t, v] triple"
                 )
-        report = await self._offload(self.runner.ingest, observations)
+        report = await self._offload(
+            self.runner.ingest, observations, context
+        )
         retry_after = self.runner.config.retry_after_s
         if report["rejected"] > 0 and report["backpressure"]:
             raise _HTTPError(
@@ -289,6 +467,24 @@ class ServiceAPI:
             200,
             text.encode(),
             "text/plain; version=0.0.4; charset=utf-8",
+            {},
+        )
+
+    async def _get_profile(self, query: str):
+        params = urllib.parse.parse_qs(query)
+        raw = params.get("seconds", ["1.0"])[-1]
+        try:
+            seconds = float(raw)
+        except ValueError:
+            raise _HTTPError(400, f"seconds={raw!r} is not a number")
+        if not seconds > 0:
+            raise _HTTPError(400, "seconds must be positive")
+        seconds = min(seconds, _MAX_PROFILE_SECONDS)
+        collapsed = await self._offload(profile_for, seconds)
+        return (
+            200,
+            (collapsed + "\n").encode(),
+            "text/plain; charset=utf-8",
             {},
         )
 

@@ -47,7 +47,8 @@ from repro.obs.alerts import AlertEngine
 from repro.obs.distributed import FleetView
 from repro.obs.events import NULL_EVENT_LOG
 from repro.obs.export import RunManifest, json_snapshot, prometheus_text
-from repro.obs.registry import NULL_REGISTRY
+from repro.obs.registry import NULL_REGISTRY, histogram_quantile
+from repro.obs.tracing import NULL_TRACER
 from repro.serve.ring import HashRing
 from repro.serve.shard import (
     ShardClient,
@@ -181,7 +182,7 @@ class _ServiceMetrics:
 
     __slots__ = ("enabled", "ingested", "rejected_bp", "rejected_down",
                  "queries", "respawns_crashed", "respawns_hung",
-                 "shards", "unhealthy")
+                 "shards", "unhealthy", "request_p99", "error_ratio")
 
     def __init__(self, registry) -> None:
         self.enabled = registry.enabled
@@ -201,13 +202,19 @@ class _ServiceMetrics:
         )
         self.shards = registry.gauge("service_shards")
         self.unhealthy = registry.gauge("service_shards_unhealthy")
+        # SLO instruments, refreshed each supervision cycle from the
+        # HTTP layer's request histograms/counters (see _update_slos).
+        self.request_p99 = registry.gauge("service_request_p99_seconds")
+        self.error_ratio = registry.meter("service_error_ratio")
 
 
 class ServiceRunner:
     """Own the shard fleet; route ingest and queries; survive deaths.
 
-    ``metrics``/``events`` attach the usual registry/structured log;
-    ``alert_rules`` (see
+    ``metrics``/``events``/``tracer`` attach the usual registry,
+    structured log, and span tracer (the HTTP layer parents a ``route``
+    → ``shard.rpc`` → grafted ``engine.ingest`` chain under each
+    request); ``alert_rules`` (see
     :func:`repro.obs.alerts.default_service_rules`) are evaluated over
     the live fleet aggregate every supervision cycle.  The runner is
     thread-safe: the asyncio API layer calls it from executor threads
@@ -220,11 +227,16 @@ class ServiceRunner:
         metrics=None,
         events=None,
         alert_rules=None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.metrics = NULL_REGISTRY if metrics is None else metrics
         self.events = NULL_EVENT_LOG if events is None else events
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self._m = _ServiceMetrics(self.metrics)
+        # (errors, total) request counts at the last SLO cycle, so the
+        # error-ratio meter sees per-cycle deltas, not lifetime sums.
+        self._last_requests = (0.0, 0.0)
         self._alert_rules = tuple(alert_rules) if alert_rules else ()
         self.alerts: AlertEngine | None = None
         self.fleet = FleetView()
@@ -386,7 +398,7 @@ class ServiceRunner:
         """The shard id the ring assigns this block."""
         return self.ring.lookup(int(block_id))
 
-    def ingest(self, observations) -> dict:
+    def ingest(self, observations, parent_context=None) -> dict:
         """Route ``(block_id, time_s, value)`` triples to their shards.
 
         Returns an admission report: per-shard accepted counts, plus
@@ -396,6 +408,13 @@ class ServiceRunner:
         that into 429 + Retry-After) until its queue drains below the
         low watermark; a shard that is down rejects with 503 semantics.
         Within a shard, arrival order is preserved.
+
+        ``parent_context`` (a :class:`~repro.obs.tracing.TraceContext`,
+        normally the HTTP layer's ``http.request`` span) parents a
+        ``route`` span covering the fan-out, with one ``shard.rpc``
+        child per shard whose context rides the ingest RPC — the shard
+        worker's ``engine.ingest`` span comes home via telemetry delta
+        and grafts into the same trace.
         """
         obs = list(observations)
         by_shard: dict[int, list] = {}
@@ -408,17 +427,34 @@ class ServiceRunner:
             "down": False,
             "shards": {},
         }
+        route_span = self.tracer.begin(
+            "route", parent_context=parent_context,
+            n_obs=len(obs), n_shards=len(by_shard),
+        )
         for shard_id in sorted(by_shard):
             batch = by_shard[shard_id]
-            shard_report = self._ingest_shard(shard_id, batch)
+            shard_report = self._ingest_shard(shard_id, batch, route_span)
             report["accepted"] += shard_report["accepted"]
             report["rejected"] += shard_report["rejected"]
             report["backpressure"] |= shard_report["reason"] == "backpressure"
             report["down"] |= shard_report["reason"] == "shard_down"
             report["shards"][shard_id] = shard_report
+        self.tracer.end(route_span)
+        if route_span is not None:
+            self.events.info(
+                "service.route",
+                trace_id=route_span.trace_id,
+                span_id=route_span.span_id,
+                parent_span_id=route_span.parent_span_id,
+                n_obs=len(obs),
+                accepted=report["accepted"],
+                rejected=report["rejected"],
+            )
         return report
 
-    def _ingest_shard(self, shard_id: int, batch: list) -> dict:
+    def _ingest_shard(
+        self, shard_id: int, batch: list, route_span=None
+    ) -> dict:
         slot = self._slots[shard_id]
         n = len(batch)
         if not slot.healthy:
@@ -437,6 +473,10 @@ class ServiceRunner:
         ids = np.fromiter((t[0] for t in batch), dtype=np.int64, count=n)
         times = np.fromiter((t[1] for t in batch), dtype=np.float64, count=n)
         values = np.fromiter((t[2] for t in batch), dtype=np.float64, count=n)
+        rpc_span = self.tracer.begin(
+            "shard.rpc", parent=route_span, shard_id=shard_id, n=n
+        )
+        rpc_ctx = rpc_span.context.to_dict() if rpc_span is not None else None
         accepted = 0
         ack: dict | None = None
         try:
@@ -446,11 +486,13 @@ class ServiceRunner:
                 for start in range(0, n, self.config.max_batch):
                     end = start + self.config.max_batch
                     ack = slot.client.ingest(
-                        ids[start:end], times[start:end], values[start:end]
+                        ids[start:end], times[start:end], values[start:end],
+                        trace_context=rpc_ctx,
                     )
                     accepted += ack["accepted"]
         except (ShardDownError, ShardTimeoutError):
             slot.healthy = False
+            self.tracer.end(rpc_span, parent=route_span)
             self._m.ingested.inc(accepted)
             self._m.rejected_down.inc(n - accepted)
             return {
@@ -458,6 +500,17 @@ class ServiceRunner:
                 "rejected": n - accepted,
                 "reason": "shard_down",
             }
+        self.tracer.end(rpc_span, parent=route_span)
+        if rpc_span is not None:
+            self.events.info(
+                "service.shard_rpc",
+                trace_id=rpc_span.trace_id,
+                span_id=rpc_span.span_id,
+                parent_span_id=rpc_span.parent_span_id,
+                shard_id=shard_id,
+                n=n,
+                accepted=accepted,
+            )
         slot.paused = bool(ack["paused"]) if ack is not None else False
         self._m.ingested.inc(accepted)
         return {
@@ -607,6 +660,12 @@ class ServiceRunner:
         with self._fleet_lock:
             applied = self.fleet.apply(delta)
         if applied:
+            for span_data in delta.spans:
+                # Worker span trees (engine.ingest and friends) land as
+                # local roots; they already carry the request trace_id
+                # and name their shard.rpc parent, so trace_spans()
+                # stitches them back under the HTTP request.
+                self.tracer.graft(span_data)
             for record in delta.events:
                 self.events.emit(record)
 
@@ -673,11 +732,42 @@ class ServiceRunner:
             self._evaluate_alerts()
 
     def _evaluate_alerts(self) -> None:
+        self._update_slos()
         if self.alerts is None:
             return
         n_unhealthy = sum(1 for s in self._slots if not s.healthy)
         self._m.unhealthy.set(n_unhealthy)
         self.alerts.evaluate(self.fleet_registry())
+
+    def _update_slos(self) -> None:
+        """Fold request metrics into the SLO instruments, once per cycle.
+
+        ``service_request_p99_seconds`` is the Prometheus-style quantile
+        estimate over every ``service_request_seconds`` route histogram
+        the HTTP layer has registered (lifetime buckets — monotone and
+        cheap; the alert rule's ``for_cycles`` hysteresis supplies the
+        windowing).  ``service_error_ratio`` is an EWMA meter fed the
+        per-cycle 5xx/total delta — a burn rate, deliberately excluding
+        429s, which are the backpressure contract working, not an error
+        budget spend.
+        """
+        if not self._m.enabled:
+            return
+        hists = []
+        errors = total = 0.0
+        for metric in self.metrics.collect():
+            if metric.name == "service_request_seconds":
+                hists.append(metric)
+            elif metric.name == "service_requests_total":
+                total += metric.value
+                if str(metric.labels.get("status", "")).startswith("5"):
+                    errors += metric.value
+        self._m.request_p99.set(histogram_quantile(hists, 0.99))
+        d_errors = errors - self._last_requests[0]
+        d_total = total - self._last_requests[1]
+        self._last_requests = (errors, total)
+        if d_total > 0:
+            self._m.error_ratio.observe(d_errors / d_total)
 
     def _respawn(self, slot: _Slot, reason: str) -> None:
         shard_id = slot.shard_id

@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.classify import DiurnalClass, DiurnalReport
 from repro.faults.crash import crashpoint
 from repro.obs.distributed import WorkerTelemetry
+from repro.obs.tracing import NULL_TRACER, TraceContext
 from repro.stream.engine import ProvisionalEstimate, StreamConfig, StreamEngine
 from repro.stream.journal import StreamJournal, replay_journal
 from repro.stream.overload import AdmissionController, OverloadConfig
@@ -204,19 +205,45 @@ def _shard_main(
         )
         return stats
 
+    tracer = telem.tracer if telem is not None else NULL_TRACER
+
     def _handle(op: str, args: tuple):
         if op == "ingest":
-            block_ids, times, values = args
-            # Write-ahead: the batch must reach the OS before admission
-            # (settle), or a SIGKILL loses acked observations from the
-            # user-space buffer; fsync stays on the sync_every cadence.
-            journal.append_many(block_ids, times, values)
-            journal.settle()
-            crashpoint("serve.shard.journaled")
-            submit = controller.submit
-            for block_id, time_s, value in zip(block_ids, times, values):
-                submit(int(block_id), float(time_s), float(value))
-            controller.pump(config.pump_budget)
+            block_ids, times, values, trace_ctx = args
+            parent = (
+                TraceContext(**trace_ctx) if trace_ctx is not None else None
+            )
+            # The shard-side leaf of the request span tree: the ingest
+            # work (journal write-ahead + admission + pump) under the
+            # supervisor's shard.rpc span.  The span (and the event it
+            # stamps) ships home on this reply's telemetry delta.
+            with tracer.trace(
+                "engine.ingest",
+                parent_context=parent,
+                shard_id=shard_id,
+                n=int(len(times)),
+            ):
+                # Write-ahead: the batch must reach the OS before
+                # admission (settle), or a SIGKILL loses acked
+                # observations from the user-space buffer; fsync stays
+                # on the sync_every cadence.
+                journal.append_many(block_ids, times, values)
+                journal.settle()
+                crashpoint("serve.shard.journaled")
+                submit = controller.submit
+                for block_id, time_s, value in zip(block_ids, times, values):
+                    submit(int(block_id), float(time_s), float(value))
+                controller.pump(config.pump_budget)
+                if parent is not None and events is not None:
+                    # One correlated record per traced ingest RPC: the
+                    # event-log line whose span id resolves to the
+                    # engine.ingest node of the request's span tree.
+                    events.info(
+                        "shard.ingest",
+                        n=int(len(times)),
+                        depth=controller.depth,
+                        last_seq=journal.next_seq - 1,
+                    )
             return {
                 "accepted": int(len(times)),
                 "depth": controller.depth,
@@ -356,12 +383,16 @@ class ShardClient:
 
     # Typed wrappers -- one per protocol op.
 
-    def ingest(self, block_ids, times, values) -> dict:
+    def ingest(self, block_ids, times, values, trace_context=None) -> dict:
+        """Ship one observation batch; ``trace_context`` (a
+        :meth:`TraceContext.to_dict` payload or None) parents the
+        shard-side ``engine.ingest`` span under the caller's span."""
         return self.request(
             "ingest",
             np.ascontiguousarray(block_ids, dtype=np.int64),
             np.ascontiguousarray(times, dtype=np.float64),
             np.ascontiguousarray(values, dtype=np.float64),
+            trace_context,
         )
 
     def query_block(self, block_id: int) -> dict | None:

@@ -1,0 +1,194 @@
+"""Tests for the perf-trajectory recorder and CI regression gate
+(benchmarks.trajectory)."""
+
+import json
+
+import pytest
+
+from benchmarks.trajectory import (
+    TrajectoryRecorder,
+    check_against_baseline,
+    latest_by_metric,
+    load_records,
+    main,
+)
+
+
+def write_baseline(path, metrics):
+    path.write_text(json.dumps({"metrics": metrics}))
+    return path
+
+
+def write_trajectory(tmp_path, *entries):
+    """A trajectory file with one record per (bench, metric, value, kind)."""
+    path = tmp_path / "trajectory.json"
+    recorder = TrajectoryRecorder(path)
+    for bench, metric, value, kind in entries:
+        recorder.record(bench, metric, value, kind=kind)
+    recorder.flush()
+    return path
+
+
+class TestRecorder:
+    def test_record_flush_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "trajectory.json"  # parent is created
+        recorder = TrajectoryRecorder(path)
+        entry = recorder.record(
+            "abl_x", "obs_per_s", 1234.5, unit="obs/s", kind="throughput"
+        )
+        assert entry["bench"] == "abl_x" and entry["value"] == 1234.5
+        assert recorder.flush() == path
+        [record] = load_records(path)
+        assert set(record) == {
+            "bench", "metric", "value", "unit", "kind",
+            "git_rev", "recorded_at",
+        }
+        assert record["kind"] == "throughput" and record["unit"] == "obs/s"
+
+    def test_file_is_cumulative_across_flushes(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        for value in (1.0, 2.0):
+            recorder = TrajectoryRecorder(path)
+            recorder.record("b", "m", value)
+            recorder.flush()
+        values = [r["value"] for r in load_records(path)]
+        assert values == [1.0, 2.0]
+
+    def test_empty_flush_writes_nothing(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        assert TrajectoryRecorder(path).flush() is None
+        assert not path.exists()
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        recorder = TrajectoryRecorder(tmp_path / "t.json")
+        with pytest.raises(ValueError, match="kind"):
+            recorder.record("b", "m", 1.0, kind="goodput")
+
+    def test_load_records_tolerates_garbage(self, tmp_path):
+        assert load_records(tmp_path / "absent.json") == []
+        path = tmp_path / "t.json"
+        path.write_text("not json{")
+        assert load_records(path) == []
+
+    def test_latest_by_metric_last_wins(self):
+        records = [
+            {"bench": "b", "metric": "m", "value": 1.0},
+            {"bench": "b", "metric": "other", "value": 5.0},
+            {"bench": "b", "metric": "m", "value": 9.0},
+        ]
+        latest = latest_by_metric(records)
+        assert latest["b/m"]["value"] == 9.0
+        assert latest["b/other"]["value"] == 5.0
+
+
+class TestBaselineGate:
+    def test_within_budget_passes(self, tmp_path):
+        trajectory = write_trajectory(
+            tmp_path,
+            ("b", "rate", 90.0, "throughput"),
+            ("b", "p99", 1.1, "latency"),
+        )
+        baseline = write_baseline(tmp_path / "base.json", {
+            "b/rate": {"value": 100.0, "kind": "throughput"},
+            "b/p99": {"value": 1.0, "kind": "latency"},
+        })
+        failures, warnings = check_against_baseline(trajectory, baseline)
+        assert failures == [] and warnings == []
+
+    def test_throughput_regression_fails(self, tmp_path):
+        trajectory = write_trajectory(
+            tmp_path, ("b", "rate", 70.0, "throughput")
+        )
+        baseline = write_baseline(tmp_path / "base.json", {
+            "b/rate": {"value": 100.0, "kind": "throughput"},
+        })
+        failures, _ = check_against_baseline(trajectory, baseline)
+        assert len(failures) == 1 and "b/rate" in failures[0]
+
+    def test_latency_regression_fails(self, tmp_path):
+        trajectory = write_trajectory(tmp_path, ("b", "p99", 2.0, "latency"))
+        baseline = write_baseline(tmp_path / "base.json", {
+            "b/p99": {"value": 1.0, "kind": "latency"},
+        })
+        failures, _ = check_against_baseline(trajectory, baseline)
+        assert len(failures) == 1 and "latency" in failures[0]
+
+    def test_latest_record_is_what_counts(self, tmp_path):
+        # An old regression followed by a recovery must pass.
+        trajectory = write_trajectory(
+            tmp_path,
+            ("b", "rate", 10.0, "throughput"),
+            ("b", "rate", 120.0, "throughput"),
+        )
+        baseline = write_baseline(tmp_path / "base.json", {
+            "b/rate": {"value": 100.0, "kind": "throughput"},
+        })
+        failures, _ = check_against_baseline(trajectory, baseline)
+        assert failures == []
+
+    def test_missing_record_warns_not_fails(self, tmp_path):
+        trajectory = write_trajectory(
+            tmp_path, ("b", "rate", 100.0, "throughput")
+        )
+        baseline = write_baseline(tmp_path / "base.json", {
+            "b/rate": {"value": 100.0, "kind": "throughput"},
+            "b/not_run": {"value": 1.0, "kind": "latency"},
+        })
+        failures, warnings = check_against_baseline(trajectory, baseline)
+        assert failures == []
+        assert len(warnings) == 1 and "b/not_run" in warnings[0]
+
+    def test_ratio_kind_is_informational(self, tmp_path):
+        trajectory = write_trajectory(tmp_path, ("b", "speedup", 0.1, "ratio"))
+        baseline = write_baseline(tmp_path / "base.json", {
+            "b/speedup": {"value": 10.0, "kind": "ratio"},
+        })
+        failures, warnings = check_against_baseline(trajectory, baseline)
+        assert failures == [] and warnings  # never gates, always noted
+
+    def test_missing_baseline_file_fails(self, tmp_path):
+        trajectory = write_trajectory(
+            tmp_path, ("b", "rate", 100.0, "throughput")
+        )
+        failures, _ = check_against_baseline(
+            trajectory, tmp_path / "absent.json"
+        )
+        assert failures and "baseline" in failures[0]
+
+
+class TestCli:
+    def test_check_exit_codes(self, tmp_path, capsys):
+        trajectory = write_trajectory(
+            tmp_path, ("b", "rate", 70.0, "throughput")
+        )
+        baseline = write_baseline(tmp_path / "base.json", {
+            "b/rate": {"value": 100.0, "kind": "throughput"},
+        })
+        argv = [
+            "--check",
+            "--trajectory", str(trajectory),
+            "--baseline", str(baseline),
+        ]
+        assert main(argv) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+        write_baseline(tmp_path / "base.json", {
+            "b/rate": {"value": 70.0, "kind": "throughput"},
+        })
+        assert main(argv) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_listing_without_check_never_fails(self, tmp_path, capsys):
+        trajectory = write_trajectory(tmp_path, ("b", "p99", 99.0, "latency"))
+        assert main(["--trajectory", str(trajectory)]) == 0
+        out = capsys.readouterr().out
+        assert "b/p99" in out and "1 records" in out
+
+    def test_committed_baseline_matches_schema(self):
+        from benchmarks.trajectory import BASELINE_PATH
+
+        baseline = json.loads(BASELINE_PATH.read_text())
+        for key, expect in baseline["metrics"].items():
+            assert "/" in key  # bench/metric addressing
+            assert expect["kind"] in ("throughput", "latency", "ratio")
+            assert float(expect["value"]) > 0

@@ -203,3 +203,53 @@ class TestDefaultPoolRules:
         assert "pool-heartbeat-age" not in names
         names = {r.name for r in default_pool_rules(max_heartbeat_age_s=5.0)}
         assert "pool-heartbeat-age" in names
+
+
+class TestDefaultServiceRules:
+    def test_slo_rules_present(self):
+        from repro.obs.alerts import default_service_rules
+
+        by_name = {r.name: r for r in default_service_rules()}
+        p99 = by_name["service-request-p99"]
+        assert p99.metric == "service_request_p99_seconds"
+        assert p99.for_cycles == 3 and p99.level == "warning"
+        err = by_name["service-error-ratio"]
+        assert err.metric == "service_error_ratio"
+        assert err.for_cycles == 2 and err.level == "critical"
+
+    def test_request_p99_fires_after_sustained_breach(self):
+        from repro.obs.alerts import default_service_rules
+
+        reg = MetricsRegistry()
+        engine = AlertEngine(default_service_rules(max_request_p99_s=0.5))
+        gauge = reg.gauge("service_request_p99_seconds")
+        gauge.set(2.0)
+        assert engine.evaluate(reg) == []
+        assert engine.evaluate(reg) == []
+        [fired] = engine.evaluate(reg)
+        assert fired.rule == "service-request-p99" and fired.fired
+        # Latency recovers; the alert resolves on the next cycle.
+        gauge.set(0.1)
+        [resolved] = engine.evaluate(reg)
+        assert resolved.rule == "service-request-p99"
+        assert not resolved.fired
+
+    def test_error_ratio_rides_the_ewma_fast_view(self):
+        from repro.obs.alerts import default_service_rules
+
+        reg = MetricsRegistry()
+        engine = AlertEngine(default_service_rules(max_error_ratio=0.05))
+        meter = reg.meter("service_error_ratio")
+        # A healthy plateau never breaches...
+        meter.observe(0.0)
+        assert engine.evaluate(reg) == []
+        assert engine.evaluate(reg) == []
+        # ...a sustained 5xx plateau drives rate_short over threshold.
+        meter.observe(1.0)
+        meter.observe(1.0)
+        assert meter.rate_short > 0.05
+        engine.evaluate(reg)
+        events = engine.evaluate(reg)
+        assert any(
+            e.rule == "service-error-ratio" and e.fired for e in events
+        )

@@ -226,3 +226,54 @@ class TestFlightRecorder:
         rec = FlightRecorder()
         out = rec.dump(tmp_path / "deep" / "nested" / "f.json", reason="x")
         assert out.exists()
+
+
+class TestConcurrentWrites:
+    def test_no_torn_or_interleaved_records(self, tmp_path):
+        """Many threads, one sink: every JSONL line must parse whole.
+
+        The access log and the supervision thread (plus bound children
+        like per-shard loggers) all write through one ``_Sink``; a torn
+        or interleaved line would corrupt the record *and* every tool
+        that tails the log.  Writes serialize under the sink lock with
+        the full line built first, so exactly ``threads × records``
+        intact records must come back out.
+        """
+        import threading
+
+        path = tmp_path / "events.jsonl"
+        n_threads, n_records = 8, 200
+        payload = "x" * 512  # wide records make torn writes visible
+        with EventLogger(path) as log:
+            children = [
+                log.bind(worker=i) for i in range(n_threads)
+            ]
+            barrier = threading.Barrier(n_threads)
+
+            def writer(child, worker_id):
+                barrier.wait()
+                for seq in range(n_records):
+                    child.info(
+                        "concurrency.test", seq=seq, pad=payload
+                    )
+
+            threads = [
+                threading.Thread(target=writer, args=(children[i], i))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert log.n_records == n_threads * n_records
+        # Parse the raw file directly: read_event_log tolerates a torn
+        # *final* line, which is exactly what this test must not skip.
+        lines = path.read_text().splitlines()
+        assert len(lines) == n_threads * n_records
+        seen = set()
+        for line in lines:
+            record = json.loads(line)  # raises on any torn/mixed line
+            assert record["event"] == "concurrency.test"
+            assert record["pad"] == payload
+            seen.add((record["worker"], record["seq"]))
+        assert len(seen) == n_threads * n_records

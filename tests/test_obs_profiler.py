@@ -1,0 +1,130 @@
+"""Tests for repro.obs.profiler: sampling, collapsed output, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import SamplingProfiler, profile_for
+
+
+def spin_for(seconds: float) -> None:
+    """Busy-work with a recognizable frame for the sampler to catch."""
+    deadline = time.perf_counter() + seconds
+    x = 0
+    while time.perf_counter() < deadline:
+        x += 1
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        assert not profiler.running
+        profiler.start()
+        assert profiler.running
+        assert profiler.start() is profiler  # no second thread
+        profiler.stop()
+        assert not profiler.running
+        profiler.stop()  # stopping a stopped profiler is a no-op
+        assert profiler.duration_s > 0.0
+
+    def test_context_manager(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            assert profiler.running
+            spin_for(0.05)
+        assert not profiler.running
+        assert profiler.n_samples > 0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            SamplingProfiler(interval_s=0.0)
+        with pytest.raises(ValueError, match="max_depth"):
+            SamplingProfiler(max_depth=0)
+        with pytest.raises(ValueError, match="seconds"):
+            profile_for(0.0)
+
+
+class TestSampling:
+    def test_captures_busy_frames(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            spin_for(0.1)
+        collapsed = profiler.collapsed()
+        assert "test_obs_profiler.py:spin_for" in collapsed
+
+    def test_stacks_are_root_first_and_thread_prefixed(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            spin_for(0.1)
+        busy = [
+            stack for stack in profiler.counts()
+            if "spin_for" in stack and stack.startswith("MainThread;")
+        ]
+        assert busy
+        frames = busy[0].split(";")
+        # Root first: the thread name leads and the busy function is
+        # the leaf, with its callers (the pytest machinery) in between.
+        assert frames[0] == "MainThread"
+        assert frames[-1] == "test_obs_profiler.py:spin_for"
+        assert len(frames) > 2
+
+    def test_other_threads_sampled_under_their_name(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=stop.wait, name="obs-test-worker", daemon=True
+        )
+        worker.start()
+        try:
+            with SamplingProfiler(interval_s=0.001) as profiler:
+                spin_for(0.1)
+        finally:
+            stop.set()
+            worker.join()
+        assert any(
+            stack.startswith("obs-test-worker;")
+            for stack in profiler.counts()
+        )
+
+    def test_sampler_excludes_itself(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            spin_for(0.05)
+        assert not any(
+            stack.startswith("obs-profiler;")
+            for stack in profiler.counts()
+        )
+
+    def test_max_depth_truncates(self):
+        def recurse(n):
+            if n == 0:
+                spin_for(0.08)
+            else:
+                recurse(n - 1)
+
+        with SamplingProfiler(interval_s=0.001, max_depth=5) as profiler:
+            recurse(50)
+        for stack in profiler.counts():
+            # thread name + at most max_depth frames
+            assert len(stack.split(";")) <= 6
+
+
+class TestOutput:
+    def test_collapsed_sorted_hottest_first(self):
+        profiler = SamplingProfiler()
+        profiler._counts = {"t;x:f": 3, "t;y:g": 10, "t;z:h": 3}
+        lines = profiler.collapsed().splitlines()
+        assert lines[0] == "t;y:g 10"
+        assert [ln.rsplit(" ", 1)[1] for ln in lines] == ["10", "3", "3"]
+
+    def test_snapshot_shape(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            spin_for(0.05)
+        snap = profiler.snapshot()
+        assert snap["n_samples"] == profiler.n_samples
+        assert snap["duration_s"] > 0.0
+        assert snap["stacks"] == profiler.counts()
+
+    def test_profile_for_returns_collapsed_text(self):
+        collapsed = profile_for(0.05, interval_s=0.001)
+        assert collapsed  # this process is never fully idle
+        for line in collapsed.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack
+            assert int(count) >= 1

@@ -163,3 +163,118 @@ def test_span_defaults():
     assert span.duration_s == 0.0
     assert span.self_s == 0.0
     assert list(span.walk()) == [span]
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        from repro.obs.tracing import (
+            TraceContext,
+            format_traceparent,
+            parse_traceparent,
+        )
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        header = format_traceparent(ctx)
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        parsed = parse_traceparent(header)
+        assert parsed == ctx
+
+    def test_unsampled_flag(self):
+        from repro.obs.tracing import TraceContext, format_traceparent
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        assert format_traceparent(ctx, sampled=False).endswith("-00")
+
+    def test_minted_ids_are_wire_shaped(self):
+        from repro.obs.tracing import new_span_id, new_trace_id
+        trace_id, span_id = new_trace_id(), new_span_id()
+        assert len(trace_id) == 32 and len(span_id) == 16
+        int(trace_id, 16) and int(span_id, 16)  # hex-parseable
+        assert new_trace_id() != trace_id  # random, not counters
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "not-a-traceparent",
+            "00-short-span-01",
+            f"00-{'g' * 32}-{'a' * 16}-01",  # non-hex trace id
+            f"00-{'0' * 32}-{'a' * 16}-01",  # all-zero trace id
+            f"00-{'a' * 32}-{'0' * 16}-01",  # all-zero span id
+            f"ff-{'a' * 32}-{'b' * 16}-01",  # forbidden version
+            f"00-{'a' * 32}-{'b' * 16}-01-extra",  # v00 with extras
+            f"0-{'a' * 32}-{'b' * 16}-01",  # short version
+            f"00-{'a' * 32}-{'b' * 16}-1",  # short flags
+        ],
+    )
+    def test_malformed_headers_rejected(self, header):
+        from repro.obs.tracing import parse_traceparent
+        assert parse_traceparent(header) is None
+
+    def test_future_version_with_extra_fields_accepted(self):
+        from repro.obs.tracing import parse_traceparent
+        header = f"01-{'a' * 32}-{'b' * 16}-01-future-stuff"
+        ctx = parse_traceparent(header)
+        assert ctx is not None and ctx.trace_id == "a" * 32
+
+    def test_internal_ids_normalized_on_the_wire(self):
+        # Internal span ids are pid-prefixed ("1a2b-3") and would be
+        # rejected by other parsers verbatim; format_traceparent must
+        # always emit a parseable header.
+        from repro.obs.tracing import (
+            TraceContext,
+            format_traceparent,
+            parse_traceparent,
+        )
+        ctx = TraceContext(trace_id="1a2b-3", span_id="ZZ")
+        header = format_traceparent(ctx)
+        assert parse_traceparent(header) is not None
+
+
+class TestExplicitIds:
+    def test_begin_honours_wire_ids(self):
+        from repro.obs.tracing import new_span_id, new_trace_id
+        tracer = Tracer()
+        trace_id, span_id = new_trace_id(), new_span_id()
+        span = tracer.begin("http.request", trace_id=trace_id,
+                            span_id=span_id, route="/x")
+        tracer.end(span)
+        assert span.trace_id == trace_id
+        assert span.span_id == span_id
+        assert tracer.resolve(span_id) is span
+
+    def test_begin_explicit_trace_id_overrides_parent_inheritance(self):
+        from repro.obs.tracing import TraceContext
+        tracer = Tracer()
+        parent = TraceContext(trace_id="a" * 32, span_id="b" * 16)
+        span = tracer.begin("s", parent_context=parent, trace_id="c" * 32)
+        assert span.trace_id == "c" * 32
+        assert span.parent_span_id == "b" * 16
+
+    def test_trace_spans_gathers_across_roots(self):
+        tracer = Tracer()
+        a = tracer.begin("a", trace_id="t1" * 16)
+        tracer.end(a)
+        b = tracer.begin("b", trace_id="t1" * 16)
+        tracer.end(b)
+        other = tracer.begin("c", trace_id="t2" * 16)
+        tracer.end(other)
+        names = sorted(s.name for s in tracer.trace_spans("t1" * 16))
+        assert names == ["a", "b"]
+
+    def test_drain_roots_empties_and_preserves(self):
+        tracer = Tracer(max_roots=2)
+        for i in range(4):
+            with tracer.trace(f"s{i}"):
+                pass
+        drained = tracer.drain_roots()
+        assert [s.name for s in drained] == ["s0", "s1"]
+        assert tracer.roots == []
+        # The budget is free again: new roots are kept, not dropped.
+        with tracer.trace("s4"):
+            pass
+        assert [s.name for s in tracer.roots] == ["s4"]
+
+    def test_null_tracer_new_surface(self):
+        assert NULL_TRACER.trace_spans("x") == []
+        assert NULL_TRACER.drain_roots() == []
+        assert NULL_TRACER.begin("s", trace_id="a", span_id="b") is None
