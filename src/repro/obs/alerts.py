@@ -357,6 +357,8 @@ def default_service_rules(
     max_shed_ratio: float = 0.05,
     max_request_p99_s: float = 1.0,
     max_error_ratio: float = 0.05,
+    max_degraded: float = 0.0,
+    max_hint_backlog: float = 50_000.0,
 ) -> tuple[AlertRule, ...]:
     """The always-on service's rule set (``repro.serve``).
 
@@ -365,6 +367,14 @@ def default_service_rules(
     A shard briefly out of the ring is routine (the supervisor is
     respawning it); a shard *staying* out, a respawn streak, or a
     sustained rejection/shed rate is an operator page.
+
+    Two replication rules watch the hinted-handoff machinery: writes
+    landing on fewer than R replicas (quorum shrink —
+    ``service_ingest_degraded_total`` past ``max_degraded``) and the
+    hint backlog a dead replica is owed (``service_hint_backlog`` past
+    ``max_hint_backlog`` — the rejoin sync is losing the race with
+    offered load, or nothing is rejoining).  Both read zero forever at
+    ``replication=1``.
 
     The two latency-SLO rules ride the gauges the runner derives each
     supervision cycle from its request telemetry:
@@ -444,6 +454,30 @@ def default_service_rules(
             description=(
                 f"more than {max_error_ratio:.0%} of requests are "
                 "failing (5xx burn rate over the EWMA fast view)"
+            ),
+        ),
+        AlertRule(
+            name="service-quorum-shrink",
+            metric="service_ingest_degraded_total",
+            op=">",
+            threshold=max_degraded,
+            for_cycles=2,
+            level="critical",
+            description=(
+                "writes are landing on fewer than the configured "
+                "replica count (quorum shrunk; hinted handoff active)"
+            ),
+        ),
+        AlertRule(
+            name="service-hint-backlog",
+            metric="service_hint_backlog",
+            op=">",
+            threshold=max_hint_backlog,
+            for_cycles=2,
+            level="warning",
+            description=(
+                f"a dead replica is owed more than "
+                f"{max_hint_backlog:g} hinted observations"
             ),
         ),
     )

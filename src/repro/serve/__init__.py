@@ -8,21 +8,31 @@ streaming diurnal engine as a long-lived sharded service:
     :class:`HashRing` — a seeded consistent-hash ring mapping block
     keys onto shard workers with minimal key movement on membership
     change (removing a node reproduces exactly the ring that never had
-    it, so only the removed node's keys move).
+    it, so only the removed node's keys move).  ``lookup_chain`` walks
+    the same ring into a replica chain: the first R *distinct* shards
+    clockwise of a key, with a membership-stable prefix.
 ``shard``
     The shard worker process: each shard owns a
     :class:`~repro.stream.engine.StreamEngine` behind an
     :class:`~repro.stream.overload.AdmissionController` and writes a
     per-shard :class:`~repro.stream.journal.StreamJournal` *before*
     admitting observations, so a crashed shard recovers by journal
-    replay.  :class:`ShardClient` is the supervisor-side RPC handle.
+    replay.  Replicated batches carry destination-stream sequence
+    numbers that the worker masks against its journal high-water
+    (idempotent re-sends), and each worker keeps bounded hint queues
+    for dead peers.  :class:`ShardClient` is the supervisor-side RPC
+    handle.
 ``runner``
     :class:`ServiceRunner` — spawns the shards, routes ingest and
-    queries through the ring, supervises heartbeats (dead or hung
-    shards are reaped, respawned, journal-replayed, and rejoined to
-    the ring), aggregates fleet telemetry, and drains gracefully
-    (admission queues pumped dry, windows closed, journals fsynced,
-    final manifest written) on shutdown.
+    queries through the ring (``replication`` R fans every write to R
+    replicas in parallel, parks copies owed to dead replicas as hinted
+    handoff, and answers reads from the freshest replica with explicit
+    ``partial``/``stale`` degradation), supervises heartbeats (dead or
+    hung shards are reaped, respawned, journal-replayed, hint-synced,
+    and rejoined to the ring with zero client-visible downtime),
+    aggregates fleet telemetry, and drains gracefully (hint queues
+    flushed, admission queues pumped dry, windows closed, journals
+    fsynced, final manifest written) on shutdown.
 ``api``
     :class:`ServiceAPI` — a stdlib-only asyncio HTTP layer: ``POST
     /observations`` (429 + Retry-After under backpressure), ``GET

@@ -54,6 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard worker processes (each owns a ring arc + journal)",
     )
     parser.add_argument(
+        "--replication", type=int, default=1,
+        help="replicas per block (R); R > 1 keeps every key readable "
+             "and writable through R-1 shard deaths via quorum reads "
+             "and hinted handoff",
+    )
+    parser.add_argument(
         "--journal-dir", default="service-journals",
         help="directory for per-shard write-ahead journals + manifest",
     )
@@ -109,6 +115,7 @@ def _service_config(args) -> ServiceConfig:
         stream=stream,
         journal_dir=args.journal_dir,
         n_shards=args.shards,
+        replication=args.replication,
         overload=OverloadConfig(capacity=args.capacity, seed=args.seed),
         seed=args.seed,
         shard_deadline_s=args.shard_deadline_s,

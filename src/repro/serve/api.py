@@ -13,12 +13,21 @@ Endpoints:
   time_s, value], ...]}``.  200 with the admission report when every
   observation was accepted; **429 + Retry-After** when a shard's
   admission queue asserted backpressure (the report says which); 503 +
-  Retry-After when an owner shard is out of the ring mid-respawn.
-* ``GET /blocks/{key}/state`` — the owning shard's live snapshot of
-  one block (watermark, closed-window verdicts, provisional estimate).
-  404 for untracked blocks, 503 + Retry-After while the owner is down.
-* ``GET /phase-map`` — merged diurnal phase map across shards;
-  ``partial`` flags an answer missing dead shards' blocks.
+  Retry-After only when an observation's *entire* replica chain is out
+  of the ring (with ``replication`` R, that takes R simultaneous
+  deaths).  A 200 that landed on fewer than R replicas carries
+  ``X-Write-Degraded: 1`` — accepted, durable on the live replicas,
+  and owed to the dead one via hinted handoff.
+* ``GET /blocks/{key}/state`` — the freshest live snapshot of one
+  block across its replica chain (watermark, closed-window verdicts,
+  provisional estimate).  404 for untracked blocks, 503 + Retry-After
+  only when every replica is down.  Freshness headers on every
+  answer: ``X-Replication`` (chain width R), ``X-Replicas-Answered``,
+  ``X-Read-Partial`` (fewer than R answered) and ``X-Read-Stale``
+  (every answering replica has known-dropped hints).
+* ``GET /phase-map`` — merged diurnal phase map across shards, the
+  freshest replica entry winning each block; ``partial`` flags only
+  the case where a block may have lost its entire chain.
 * ``GET /fleet`` — ring, per-shard health/stats, respawn counts.
 * ``GET /metrics`` — fleet-aggregate metrics as Prometheus text
   (``?format=json`` for the JSON snapshot).
@@ -86,11 +95,14 @@ _LATENCY_BUCKETS = (
 class _HTTPError(Exception):
     """Terminate request handling with a specific status."""
 
-    def __init__(self, status: int, message: str, retry_after_s=None) -> None:
+    def __init__(
+        self, status: int, message: str, retry_after_s=None, headers=None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
         self.retry_after_s = retry_after_s
+        self.headers = headers or {}
 
 
 _STATUS_TEXT = {
@@ -251,7 +263,7 @@ class ServiceAPI:
                 {"error": error.message, "request_id": request_id}
             )
             content_type = "application/json"
-            extra = {}
+            extra = dict(error.headers)
             if error.retry_after_s is not None:
                 extra["Retry-After"] = _retry_after(error.retry_after_s)
         except Exception as error:  # pragma: no cover - safety net
@@ -432,11 +444,17 @@ class ServiceAPI:
         if report["rejected"] > 0 and report["down"]:
             raise _HTTPError(
                 503,
-                f"owner shard down: {report['rejected']} of "
+                f"every replica down: {report['rejected']} of "
                 f"{len(observations)} observations rejected",
                 retry_after_s=retry_after,
             )
-        return 200, _json_bytes(report), "application/json", {}
+        extra = {}
+        if report.get("degraded"):
+            # Accepted and durable, but on fewer than R replicas; the
+            # missing copies ride hinted handoff.  Clients that care
+            # about full redundancy can see it without parsing the body.
+            extra["X-Write-Degraded"] = "1"
+        return 200, _json_bytes(report), "application/json", extra
 
     async def _get_block_state(self, raw_key: str):
         try:
@@ -444,15 +462,24 @@ class ServiceAPI:
         except ValueError:
             raise _HTTPError(400, f"block key {raw_key!r} is not an integer")
         try:
-            snapshot = await self._offload(self.runner.query_block, block_id)
+            result = await self._offload(self.runner.query_block_ex, block_id)
         except ShardDownError as error:
             raise _HTTPError(
                 503, str(error),
                 retry_after_s=self.runner.config.retry_after_s,
             )
-        if snapshot is None:
-            raise _HTTPError(404, f"block {block_id} is not tracked")
-        return 200, _json_bytes(snapshot), "application/json", {}
+        headers = {
+            "X-Replication": str(result["replication"]),
+            "X-Replicas-Answered": str(result["replicas_answered"]),
+            "X-Read-Partial": "1" if result["partial"] else "0",
+            "X-Read-Stale": "1" if result["stale"] else "0",
+        }
+        if result["snapshot"] is None:
+            raise _HTTPError(
+                404, f"block {block_id} is not tracked", headers=headers
+            )
+        return 200, _json_bytes(result["snapshot"]), "application/json", \
+            headers
 
     async def _get_json(self, fn):
         payload = await self._offload(fn)

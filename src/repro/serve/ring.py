@@ -138,7 +138,17 @@ class HashRing:
 
         Preference order for replicated placement: entry 0 is
         :meth:`lookup`'s owner, later entries are the successors a
-        replica (or a failover read) would use.
+        replica (or a failover read) would use.  Distinctness is over
+        *physical* nodes — a node's many virtual points can never make
+        it appear twice.  The walk is a pure function of ``(seed,
+        membership, key)``, and because each node's point set is
+        independent of the others, removing a node that is *not* in a
+        key's chain leaves that chain untouched, while removing a
+        member that is simply deletes its entry and pulls the next
+        successor in — the prefix before it is stable
+        (``tests/test_serve_ring.py`` proves both properties).  When
+        ``n`` exceeds the membership the whole membership is returned:
+        a chain is a preference order, never padded.
         """
         if n < 1:
             raise ValueError("n must be at least 1")
@@ -146,9 +156,11 @@ class HashRing:
             raise LookupError("cannot look up a key in an empty ring")
         start = bisect.bisect_right(self._points, self.key_point(key))
         chain: list = []
+        seen: set = set()
         for step in range(len(self._points)):
             owner = self._owners[(start + step) % len(self._points)]
-            if owner not in chain:
+            if owner not in seen:
+                seen.add(owner)
                 chain.append(owner)
                 if len(chain) == n or len(chain) == len(self._nodes):
                     break

@@ -4,11 +4,23 @@ The runner is everything between the HTTP layer and the shard worker
 processes:
 
 * **placement** — a seeded :class:`~repro.serve.ring.HashRing` maps
-  every block id to the shard that owns its streaming state.  The ring
-  is fixed at start; a dead shard is marked *unhealthy* (its keys
-  answer 503) rather than remapped, because its state lives in its
-  journal and moving the keys would strand it.  Respawn + replay +
-  rejoin restores the same placement with the same state.
+  every block id to the ``replication`` distinct shards of its replica
+  chain (``lookup_chain``); entry 0 is the classic single owner.  The
+  ring is fixed at start; a dead shard is marked *unhealthy* rather
+  than remapped, because its state lives in its journal and moving the
+  keys would strand it.  Respawn + replay + rejoin restores the same
+  placement with the same state.
+* **replication** (``replication > 1``) — every accepted observation
+  fans out to all live replicas in its chain, each copy carrying a
+  sequence number from the *destination* shard's stream (workers mask
+  seqs at or below their journal high-water, so re-sends are
+  idempotent).  Copies owed to a dead replica park as **hinted
+  handoff** in the first live replica of the chain; a respawned shard
+  replays its journal, then anti-entropy syncs the hints (final round
+  gated against concurrent writes) before it turns healthy — failover
+  and rejoin are both invisible to clients.  Reads assemble a quorum
+  across the chain and pick the freshest answer by applied-observation
+  count, degrading explicitly (``partial``/``stale``), never silently.
 * **supervision** — a daemon thread checks process liveness and
   heartbeat staleness every cycle using the
   :class:`~repro.core.supervisor.SlotSupervisor` policy: a dead or
@@ -36,6 +48,7 @@ import multiprocessing
 import threading
 import time
 import uuid
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -58,6 +71,7 @@ from repro.serve.shard import (
     _shard_main,
 )
 from repro.stream.engine import StreamConfig
+from repro.stream.journal import StreamJournal
 from repro.stream.overload import OverloadConfig
 
 __all__ = [
@@ -78,6 +92,13 @@ class ServiceConfig:
         journal_dir: directory holding one write-ahead journal per
             shard (``shard-NN.journal``) plus the final manifest.
         n_shards: shard worker processes.
+        replication: replicas per block (``lookup_chain`` width).  1 is
+            the classic single-owner service; R > 1 fans every write to
+            R distinct shards, keeps serving through R−1 failures, and
+            catches dead replicas up via hinted handoff on rejoin.
+        hint_capacity: hinted observations one surviving shard will
+            hold for dead peers before marking them stale (explicit
+            degradation instead of unbounded memory).
         overload: per-shard admission queue bounds and shed policy.
         ring_replicas: virtual points per shard on the hash ring.
         seed: ring placement seed (also the default overload seed).
@@ -103,6 +124,8 @@ class ServiceConfig:
     stream: StreamConfig
     journal_dir: str | Path
     n_shards: int = 2
+    replication: int = 1
+    hint_capacity: int = 65536
     overload: OverloadConfig = field(default_factory=OverloadConfig)
     ring_replicas: int = 128
     seed: int = 0
@@ -121,6 +144,13 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ValueError("n_shards must be at least 1")
+        if self.replication < 1:
+            raise ValueError("replication must be at least 1")
+        if self.replication > self.n_shards:
+            raise ValueError(
+                f"replication {self.replication} needs {self.replication} "
+                f"distinct shards but n_shards is {self.n_shards}"
+            )
         if self.shard_deadline_s is not None and self.shard_deadline_s <= 0:
             raise ValueError("shard_deadline_s must be positive")
         if self.heartbeat_interval_s <= 0:
@@ -145,6 +175,7 @@ class ServiceConfig:
             overload=self.overload,
             journal_sync_every=self.journal_sync_every,
             pump_budget=self.pump_budget,
+            hint_capacity=self.hint_capacity,
             telemetry=self.telemetry,
         )
 
@@ -160,6 +191,7 @@ class _Slot:
         "client",
         "healthy",
         "paused",
+        "stale",
         "respawns",
         "respawned_at",
         "settled",
@@ -171,6 +203,11 @@ class _Slot:
         self.client: ShardClient | None = None
         self.healthy = False
         self.paused = False
+        # Sticky: hints owed to this shard were dropped (capacity or a
+        # holder died), so its copy of some blocks is permanently
+        # behind until an out-of-band anti-entropy pass.  Reads served
+        # *only* by stale replicas carry an explicit stale flag.
+        self.stale = False
         self.respawns = 0
         self.respawned_at = 0.0
         self.settled = True
@@ -181,6 +218,9 @@ class _ServiceMetrics:
     """Pre-bound runner metrics (null registry by default)."""
 
     __slots__ = ("enabled", "ingested", "rejected_bp", "rejected_down",
+                 "degraded", "hints_stored", "hints_replayed",
+                 "hints_dropped", "hint_backlog", "reads_partial",
+                 "reads_stale", "syncing",
                  "queries", "respawns_crashed", "respawns_hung",
                  "shards", "unhealthy", "request_p99", "error_ratio")
 
@@ -193,6 +233,28 @@ class _ServiceMetrics:
         self.rejected_down = registry.counter(
             "service_ingest_rejected_total", reason="shard_down"
         )
+        # The third leg of the write-outcome accounting: accepted, but
+        # on fewer than R live replicas (the missing copies are hinted).
+        self.degraded = registry.counter("service_ingest_degraded_total")
+        self.hints_stored = registry.counter(
+            "service_hints_total", outcome="stored"
+        )
+        self.hints_replayed = registry.counter(
+            "service_hints_total", outcome="replayed"
+        )
+        self.hints_dropped = registry.counter(
+            "service_hints_total", outcome="dropped"
+        )
+        # Replication lag, measured in observations a dead replica is
+        # owed; drained back to zero by the rejoin sync.
+        self.hint_backlog = registry.gauge("service_hint_backlog")
+        self.reads_partial = registry.counter(
+            "service_reads_degraded_total", mode="partial"
+        )
+        self.reads_stale = registry.counter(
+            "service_reads_degraded_total", mode="stale"
+        )
+        self.syncing = registry.gauge("service_replicas_syncing")
         self.queries = registry.counter("service_queries_total")
         self.respawns_crashed = registry.counter(
             "service_shard_respawns_total", reason="crashed"
@@ -262,6 +324,22 @@ class ServiceRunner:
         self._thread: threading.Thread | None = None
         self._running = False
         self.drain_report: dict | None = None
+        # Replication state (all no-ops at replication=1).  The ingest
+        # lock serializes seq assignment *and* dispatch, so every
+        # shard sees every destination stream in assignment order; the
+        # rejoin sync takes the same lock for its final hint round, so
+        # a healing shard can never miss a concurrent write.
+        self._ingest_lock = threading.Lock()
+        self._next_seq: dict[int, int] = {}
+        # block id -> replica chain; the ring is fixed at start, so the
+        # cache is append-only and safe to share across threads.
+        self._chains: dict[int, tuple[int, ...]] = {}
+        # (holder, target) -> hints parked at holder for target; the
+        # runner initiates every store and ack, so this mirror is exact
+        # while holders live (a reaped holder zeroes its rows and marks
+        # the targets stale).
+        self._hint_counts: dict[tuple[int, int], int] = {}
+        self._pool: ThreadPoolExecutor | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -289,12 +367,24 @@ class ServiceRunner:
             slot.healthy = True
             self._supervisor.beat(slot.shard_id)
             ready[slot.shard_id] = info
+            # Every destination stream resumes past its journal
+            # high-water, so a restarted service never assigns a seq
+            # the worker's idempotence mask would silently drop.
+            self._next_seq[slot.shard_id] = int(info["last_seq"]) + 1
             self.events.info(
                 "service.shard_ready",
                 shard_id=slot.shard_id,
                 pid=info["pid"],
                 n_replayed=info["n_replayed"],
                 truncated_bytes=info["truncated_bytes"],
+            )
+        if self.config.replication > 1:
+            # Fan-out RPCs block on journal write-ahead + admission per
+            # replica; dispatching them in parallel keeps the R-way
+            # ingest cost near the slowest replica, not the sum.
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.n_shards,
+                thread_name_prefix="service-fanout",
             )
         self._m.shards.set(self.config.n_shards)
         self._m.unhealthy.set(0)
@@ -339,13 +429,26 @@ class ServiceRunner:
                 slot.healthy = False
                 if slot.client is not None:
                     slot.client.stop()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         self._m.shards.set(0)
         self._running = False
         self.events.info("service.stopped", drained=drain)
         return report
 
     def drain(self) -> dict:
-        """Drain every healthy shard; write the final manifest."""
+        """Drain every healthy shard; write the final manifest.
+
+        Under replication the hint queues flush *first* — forwarded
+        through the normal ingest path when the owed shard is alive,
+        appended straight into its journal file when it is dead — so
+        the final manifest never strands an acked observation copy in
+        a worker's memory.
+        """
+        hints_flushed: dict[int, int] = {}
+        if self.config.replication > 1:
+            hints_flushed = self._flush_all_hints()
         shards: dict[int, dict] = {}
         for slot in self._slots:
             with slot.lock:
@@ -373,6 +476,7 @@ class ServiceRunner:
         manifest.save(manifest_path)
         self.drain_report = {
             "shards": shards,
+            "hints_flushed": hints_flushed,
             "manifest_path": str(manifest_path),
         }
         return self.drain_report
@@ -395,19 +499,34 @@ class ServiceRunner:
     # -- routing and ingest ------------------------------------------------
 
     def owner(self, block_id: int) -> int:
-        """The shard id the ring assigns this block."""
+        """The shard id the ring assigns this block (chain entry 0)."""
         return self.ring.lookup(int(block_id))
+
+    def owners(self, block_id: int) -> tuple[int, ...]:
+        """The block's replica chain: ``replication`` distinct shards."""
+        return self._chain(int(block_id))
+
+    def _chain(self, block_id: int) -> tuple[int, ...]:
+        chain = self._chains.get(block_id)
+        if chain is None:
+            chain = tuple(
+                self.ring.lookup_chain(block_id, self.config.replication)
+            )
+            self._chains[block_id] = chain
+        return chain
 
     def ingest(self, observations, parent_context=None) -> dict:
         """Route ``(block_id, time_s, value)`` triples to their shards.
 
         Returns an admission report: per-shard accepted counts, plus
-        ``backpressure``/``down`` flags when any observation was
-        rejected.  A shard whose admission queue asserted backpressure
-        on a previous batch rejects whole batches (the HTTP layer turns
+        ``backpressure``/``down``/``degraded`` flags when any
+        observation was rejected or landed on fewer than R replicas.
+        A shard whose admission queue asserted backpressure on a
+        previous batch rejects whole batches (the HTTP layer turns
         that into 429 + Retry-After) until its queue drains below the
-        low watermark; a shard that is down rejects with 503 semantics.
-        Within a shard, arrival order is preserved.
+        low watermark; an observation whose *entire* replica chain is
+        down rejects with 503 semantics.  Within a shard, arrival
+        order is preserved.
 
         ``parent_context`` (a :class:`~repro.obs.tracing.TraceContext`,
         normally the HTTP layer's ``http.request`` span) parents a
@@ -417,6 +536,9 @@ class ServiceRunner:
         and grafts into the same trace.
         """
         obs = list(observations)
+        if self.config.replication > 1:
+            with self._ingest_lock:
+                return self._ingest_replicated(obs, parent_context)
         by_shard: dict[int, list] = {}
         for triple in obs:
             by_shard.setdefault(self.owner(triple[0]), []).append(triple)
@@ -425,6 +547,7 @@ class ServiceRunner:
             "rejected": 0,
             "backpressure": False,
             "down": False,
+            "degraded": False,
             "shards": {},
         }
         route_span = self.tracer.begin(
@@ -531,35 +654,365 @@ class ServiceRunner:
         except (ShardDownError, ShardTimeoutError):
             slot.healthy = False
 
+    # -- replicated ingest (called under _ingest_lock) ---------------------
+
+    def _ingest_replicated(self, obs: list, parent_context=None) -> dict:
+        """R-way fan-out: plan seqs, dispatch in parallel, hint the dead.
+
+        Three write outcomes, all explicit: *accepted* (at least one
+        live replica acked the copy; missing replicas are hinted and
+        the write counts as *degraded* when fewer than R acked),
+        *backpressure* (some live replica of the chain is paused — the
+        whole observation is rejected so replicas never diverge), and
+        *shard_down* (every replica of the chain is dead).
+        """
+        R = self.config.replication
+        report = {
+            "accepted": 0,
+            "rejected": 0,
+            "hinted": 0,
+            "backpressure": False,
+            "down": False,
+            "degraded": False,
+            "shards": {},
+        }
+        per_shard = report["shards"]
+
+        def shard_entry(sid: int) -> dict:
+            return per_shard.setdefault(
+                sid, {"accepted": 0, "rejected": 0, "reason": None}
+            )
+
+        # Plan: one pass in arrival order, assigning each copy a seq
+        # from its destination shard's stream (dead destinations
+        # included — their copies become hints carrying the seq the
+        # journal will expect).
+        sends: dict[int, dict] = {}
+        pending_hints: list[tuple] = []  # (target, seq, b, t, v, chain)
+        positions: list[list[tuple[int, int]] | None] = [None] * len(obs)
+        paused_checked: set[int] = set()
+        for i, triple in enumerate(obs):
+            block_id = int(triple[0])
+            chain = self._chain(block_id)
+            live = [s for s in chain if self._slots[s].healthy]
+            if not live:
+                report["rejected"] += 1
+                report["down"] = True
+                entry = shard_entry(chain[0])
+                entry["rejected"] += 1
+                entry["reason"] = "shard_down"
+                self._m.rejected_down.inc()
+                continue
+            blocker = None
+            for sid in live:
+                slot = self._slots[sid]
+                if slot.paused and sid not in paused_checked:
+                    self._refresh_paused(slot)
+                    paused_checked.add(sid)
+                if slot.paused:
+                    blocker = sid
+                    break
+            if blocker is not None:
+                # Rejecting the whole observation (not just the paused
+                # replica's copy) keeps live replicas bit-identical;
+                # hinting *through* backpressure would let a client
+                # outrun the admission contract via dead shards.
+                report["rejected"] += 1
+                report["backpressure"] = True
+                entry = shard_entry(blocker)
+                entry["rejected"] += 1
+                entry["reason"] = "backpressure"
+                self._m.rejected_bp.inc()
+                continue
+            time_s = float(triple[1])
+            value = float(triple[2])
+            pos_list: list[tuple[int, int]] = []
+            for sid in chain:
+                seq = self._next_seq[sid]
+                self._next_seq[sid] = seq + 1
+                if sid in live:
+                    batch = sends.setdefault(
+                        sid,
+                        {"idx": [], "seqs": [], "ids": [],
+                         "times": [], "vals": []},
+                    )
+                    pos_list.append((sid, len(batch["seqs"])))
+                    batch["idx"].append(i)
+                    batch["seqs"].append(seq)
+                    batch["ids"].append(block_id)
+                    batch["times"].append(time_s)
+                    batch["vals"].append(value)
+                else:
+                    pending_hints.append(
+                        (sid, seq, block_id, time_s, value, chain)
+                    )
+            positions[i] = pos_list
+
+        route_span = self.tracer.begin(
+            "route", parent_context=parent_context,
+            n_obs=len(obs), n_shards=len(sends), replication=R,
+        )
+        results: dict[int, dict] = {}
+        if len(sends) > 1 and self._pool is not None:
+            futures = {
+                sid: self._pool.submit(
+                    self._send_replica_batch, sid, batch, route_span
+                )
+                for sid, batch in sends.items()
+            }
+            results = {sid: f.result() for sid, f in futures.items()}
+        else:
+            results = {
+                sid: self._send_replica_batch(sid, batch, route_span)
+                for sid, batch in sends.items()
+            }
+
+        # Per-observation resolution: accepted iff at least one live
+        # copy was acked; degraded when fewer than R copies were.
+        for i, pos_list in enumerate(positions):
+            if pos_list is None:
+                continue
+            n_ok = sum(
+                1 for sid, pos in pos_list if results[sid]["acked"] > pos
+            )
+            if n_ok > 0:
+                report["accepted"] += 1
+                self._m.ingested.inc()
+                if n_ok < R:
+                    report["degraded"] = True
+                    self._m.degraded.inc()
+            else:
+                report["rejected"] += 1
+                report["down"] = True
+                self._m.rejected_down.inc()
+
+        # Retro-hints: the un-acked tail of a batch whose replica died
+        # mid-dispatch.  The worker may have journaled a prefix of it
+        # before dying — the seq mask on replay/forward makes the
+        # overlap idempotent, so hinting the whole tail is safe.
+        for sid, res in results.items():
+            batch = sends[sid]
+            n = len(batch["seqs"])
+            entry = shard_entry(sid)
+            entry["accepted"] += res["acked"]
+            if res["failed"]:
+                entry["rejected"] += n - res["acked"]
+                entry["reason"] = "shard_down"
+                chain_of = self._chain
+                for k in range(res["acked"], n):
+                    pending_hints.append(
+                        (sid, batch["seqs"][k], batch["ids"][k],
+                         batch["times"][k], batch["vals"][k],
+                         chain_of(batch["ids"][k]))
+                    )
+            else:
+                entry["depth"] = res["depth"]
+                entry["paused"] = res["paused"]
+
+        report["hinted"] = self._store_hints(pending_hints)
+
+        self.tracer.end(route_span)
+        if route_span is not None:
+            self.events.info(
+                "service.route",
+                trace_id=route_span.trace_id,
+                span_id=route_span.span_id,
+                parent_span_id=route_span.parent_span_id,
+                n_obs=len(obs),
+                accepted=report["accepted"],
+                rejected=report["rejected"],
+                hinted=report["hinted"],
+            )
+        return report
+
+    def _send_replica_batch(
+        self, shard_id: int, batch: dict, route_span=None
+    ) -> dict:
+        """One replica's ingest RPCs (runs on the fan-out pool)."""
+        slot = self._slots[shard_id]
+        n = len(batch["seqs"])
+        ids = np.asarray(batch["ids"], dtype=np.int64)
+        times = np.asarray(batch["times"], dtype=np.float64)
+        values = np.asarray(batch["vals"], dtype=np.float64)
+        seqs = np.asarray(batch["seqs"], dtype=np.int64)
+        rpc_span = self.tracer.begin(
+            "shard.rpc", parent=route_span, shard_id=shard_id, n=n
+        )
+        rpc_ctx = rpc_span.context.to_dict() if rpc_span is not None else None
+        acked = 0
+        ack: dict | None = None
+        failed = False
+        try:
+            with slot.lock:
+                if not slot.healthy or slot.client is None:
+                    raise ShardDownError(f"shard {shard_id} is down")
+                for start in range(0, n, self.config.max_batch):
+                    end = min(start + self.config.max_batch, n)
+                    ack = slot.client.ingest(
+                        ids[start:end], times[start:end], values[start:end],
+                        seqs=seqs[start:end], trace_context=rpc_ctx,
+                    )
+                    acked += end - start
+        except (ShardDownError, ShardTimeoutError):
+            slot.healthy = False
+            failed = True
+        self.tracer.end(rpc_span, parent=route_span)
+        if rpc_span is not None:
+            self.events.info(
+                "service.shard_rpc",
+                trace_id=rpc_span.trace_id,
+                span_id=rpc_span.span_id,
+                parent_span_id=rpc_span.parent_span_id,
+                shard_id=shard_id,
+                n=n,
+                accepted=acked,
+            )
+        if not failed and ack is not None:
+            slot.paused = bool(ack["paused"])
+        return {
+            "acked": acked,
+            "failed": failed,
+            "depth": ack["depth"] if ack is not None else 0,
+            "paused": slot.paused,
+        }
+
+    def _store_hints(self, pending: list[tuple]) -> int:
+        """Park copies owed to dead replicas at their chain's first
+        live shard; a copy with no live holder is *dropped* and its
+        target marked stale (never silently lost)."""
+        if not pending:
+            return 0
+        batches: dict[tuple[int, int], list] = {}
+        for target, seq, block_id, time_s, value, chain in pending:
+            holder = next(
+                (s for s in chain
+                 if s != target and self._slots[s].healthy),
+                None,
+            )
+            if holder is None:
+                self._m.hints_dropped.inc()
+                self._slots[target].stale = True
+                continue
+            batches.setdefault((holder, target), []).append(
+                (seq, block_id, time_s, value)
+            )
+        stored_total = 0
+        for (holder_id, target), entries in sorted(batches.items()):
+            entries.sort()
+            holder = self._slots[holder_id]
+            try:
+                with holder.lock:
+                    if not holder.healthy or holder.client is None:
+                        raise ShardDownError(f"shard {holder_id} is down")
+                    res = holder.client.store_hints(
+                        target,
+                        [e[1] for e in entries],
+                        [e[2] for e in entries],
+                        [e[3] for e in entries],
+                        [e[0] for e in entries],
+                    )
+            except (ShardDownError, ShardTimeoutError):
+                holder.healthy = False
+                self._m.hints_dropped.inc(len(entries))
+                self._slots[target].stale = True
+                continue
+            stored_total += res["stored"]
+            self._m.hints_stored.inc(res["stored"])
+            if res["dropped"]:
+                # Holder at capacity: the tail is gone for good, the
+                # target will be behind even after its rejoin sync.
+                self._m.hints_dropped.inc(res["dropped"])
+                self._slots[target].stale = True
+                self.events.warning(
+                    "service.hints_dropped",
+                    holder=holder_id,
+                    target=target,
+                    dropped=res["dropped"],
+                )
+            key = (holder_id, target)
+            self._hint_counts[key] = (
+                self._hint_counts.get(key, 0) + res["stored"]
+            )
+        self._m.hint_backlog.set(sum(self._hint_counts.values()))
+        return stored_total
+
     # -- queries -----------------------------------------------------------
 
     def query_block(self, block_id: int) -> dict | None:
-        """The owning shard's live snapshot (None for untracked blocks).
+        """The freshest live snapshot (None for untracked blocks).
 
-        Raises :class:`ShardDownError` while the owner is out of the
-        ring — the caller serves 503 + Retry-After rather than a stale
-        or empty answer.
+        Raises :class:`ShardDownError` only when *every* replica in
+        the block's chain is out of the ring — the caller serves 503 +
+        Retry-After rather than a stale or empty answer.
         """
-        shard_id = self.owner(block_id)
-        slot = self._slots[shard_id]
+        return self.query_block_ex(block_id)["snapshot"]
+
+    def query_block_ex(self, block_id: int) -> dict:
+        """Quorum read across the block's replica chain.
+
+        Every live replica is asked; the freshest answer wins, where
+        freshness is the per-block applied-observation count (replica
+        seq streams are per-shard and not comparable).  The result is
+        explicit about degradation: ``partial`` when fewer than R
+        replicas answered, ``stale`` when every answering replica has
+        known-dropped hints (its copy may be behind forever).  A
+        replica that answered ``None`` simply does not track the block
+        yet — a data answer from any replica outranks it.
+        """
+        chain = self._chain(int(block_id))
         self._m.queries.inc()
-        with slot.lock:
-            if not slot.healthy or slot.client is None:
-                raise ShardDownError(
-                    f"shard {shard_id} (owner of block {block_id}) is down"
-                )
-            try:
-                return slot.client.query_block(block_id)
-            except (ShardDownError, ShardTimeoutError):
-                slot.healthy = False
-                raise ShardDownError(
-                    f"shard {shard_id} (owner of block {block_id}) is down"
-                )
+        answers: list[tuple[int, dict | None, bool]] = []
+        for shard_id in chain:
+            slot = self._slots[shard_id]
+            with slot.lock:
+                if not slot.healthy or slot.client is None:
+                    continue
+                try:
+                    snap = slot.client.query_block(block_id)
+                except (ShardDownError, ShardTimeoutError):
+                    slot.healthy = False
+                    continue
+            answers.append((shard_id, snap, slot.stale))
+        if not answers:
+            raise ShardDownError(
+                f"all {len(chain)} replicas of block {block_id} "
+                f"(shards {list(chain)}) are down"
+            )
+        # Prefer fresh (non-stale) replicas; fall back to stale ones
+        # with the stale flag raised.
+        fresh = [a for a in answers if not a[2]]
+        candidates = fresh or answers
+        best: dict | None = None
+        for _, snap, _ in candidates:
+            if snap is None:
+                continue
+            if best is None or (
+                snap.get("n_observations", 0)
+                > best.get("n_observations", 0)
+            ):
+                best = snap
+        partial = len(answers) < len(chain)
+        stale = not fresh
+        if partial:
+            self._m.reads_partial.inc()
+        if stale:
+            self._m.reads_stale.inc()
+        return {
+            "snapshot": best,
+            "replication": len(chain),
+            "replicas_answered": len(answers),
+            "partial": partial,
+            "stale": stale,
+        }
 
     def phase_map(self) -> dict:
         """Merged diurnal phase map across healthy shards.
 
-        ``partial`` is true when any shard could not answer — the map
+        Under replication a block appears on every live replica of its
+        chain; the freshest entry (highest applied-observation count)
+        wins the merge, so one dead shard costs nothing.  ``partial``
+        is true only when enough shards are missing that some block
+        may have lost its *entire* chain (``missing >= R``) — the map
         is still served (an outage monitor prefers a flagged partial
         answer over none), with the missing shards named.
         """
@@ -577,11 +1030,18 @@ class ServiceRunner:
                     slot.healthy = False
                     missing.append(slot.shard_id)
                     continue
-            blocks.update(shard_map)
+            for block_id, entry in shard_map.items():
+                current = blocks.get(block_id)
+                if current is None or (
+                    entry.get("n_observations", 0)
+                    > current.get("n_observations", 0)
+                ):
+                    blocks[block_id] = entry
         return {
             "blocks": blocks,
-            "partial": bool(missing),
+            "partial": len(missing) >= self.config.replication,
             "missing_shards": missing,
+            "replication": self.config.replication,
         }
 
     def fleet_snapshot(self) -> dict:
@@ -592,6 +1052,7 @@ class ServiceRunner:
                 "healthy": slot.healthy,
                 "respawns": slot.respawns,
                 "paused": slot.paused,
+                "stale": slot.stale,
             }
             with slot.lock:
                 client = slot.client
@@ -606,6 +1067,8 @@ class ServiceRunner:
         return {
             "run_id": self.run_id,
             "n_shards": self.config.n_shards,
+            "replication": self.config.replication,
+            "hint_backlog": sum(self._hint_counts.values()),
             "ring_replicas": self.config.ring_replicas,
             "seed": self.config.seed,
             "uptime_s": (
@@ -698,6 +1161,220 @@ class ServiceRunner:
         """SlotSupervisor rejoin hook: the shard is back in the ring."""
         self.events.info("service.shard_rejoined", shard_id=shard_id)
 
+    # -- hinted handoff ----------------------------------------------------
+
+    def _sync_hints(self, slot: _Slot, client: ShardClient) -> dict:
+        """Drain every hint owed to a respawned shard, then heal it.
+
+        Free-running rounds forward the bulk without blocking writers;
+        the final round holds ``_ingest_lock`` so nothing can slip in
+        between the last peek and the shard turning healthy — writers
+        see a latency blip, never an error.  Forwards go through the
+        normal ingest RPC, so the seq mask drops anything the shard's
+        journal already had (e.g. the journaled prefix of a half-acked
+        batch that was retro-hinted).
+        """
+        shard_id = slot.shard_id
+        self._m.syncing.set(1)
+        self.events.info("service.hint_sync_started", shard_id=shard_id)
+        replayed = rounds = 0
+        try:
+            while rounds < 64:
+                rounds += 1
+                n = self._forward_hints(shard_id, client)
+                replayed += n
+                if n == 0:
+                    break
+            with self._ingest_lock:
+                while True:
+                    n = self._forward_hints(shard_id, client)
+                    replayed += n
+                    if n == 0:
+                        break
+                with slot.lock:
+                    slot.healthy = True
+                    slot.paused = False
+        finally:
+            self._m.syncing.set(0)
+        self.events.info(
+            "service.hint_sync_done",
+            shard_id=shard_id,
+            replayed=replayed,
+            rounds=rounds,
+        )
+        return {"replayed": replayed, "rounds": rounds}
+
+    def _forward_hints(self, target: int, client: ShardClient) -> int:
+        """One sync round: peek every holder, merge by seq, forward,
+        then ack (destructive only after the forward succeeded)."""
+        collected: list[tuple[int, int, float, float]] = []
+        acks: list[tuple[_Slot, int, int]] = []  # (holder, upto, count)
+        for holder in self._slots:
+            if holder.shard_id == target:
+                continue
+            with holder.lock:
+                if not holder.healthy or holder.client is None:
+                    continue
+                try:
+                    peek = holder.client.peek_hints(
+                        target, self.config.max_batch
+                    )
+                except (ShardDownError, ShardTimeoutError):
+                    holder.healthy = False
+                    continue
+            if peek["seqs"]:
+                collected.extend(
+                    zip(peek["seqs"], peek["block_ids"],
+                        peek["times"], peek["values"])
+                )
+                acks.append((holder, peek["seqs"][-1], len(peek["seqs"])))
+        if not collected:
+            return 0
+        collected.sort()
+        n = len(collected)
+        ids = np.asarray([c[1] for c in collected], dtype=np.int64)
+        times = np.asarray([c[2] for c in collected], dtype=np.float64)
+        values = np.asarray([c[3] for c in collected], dtype=np.float64)
+        seqs = np.asarray([c[0] for c in collected], dtype=np.int64)
+        for start in range(0, n, self.config.max_batch):
+            end = min(start + self.config.max_batch, n)
+            client.ingest(
+                ids[start:end], times[start:end], values[start:end],
+                seqs=seqs[start:end],
+            )
+        for holder, upto, count in acks:
+            try:
+                with holder.lock:
+                    if not holder.healthy or holder.client is None:
+                        continue
+                    holder.client.ack_hints(target, upto)
+            except (ShardDownError, ShardTimeoutError):
+                holder.healthy = False
+                continue
+            key = (holder.shard_id, target)
+            self._hint_counts[key] = max(
+                0, self._hint_counts.get(key, 0) - count
+            )
+        self._m.hints_replayed.inc(n)
+        self._m.hint_backlog.set(sum(self._hint_counts.values()))
+        return n
+
+    def _reap_held_hints(self, shard_id: int) -> None:
+        """A dying shard takes its *held* hints with it: zero the
+        mirror rows and mark the owed targets stale (their catch-up
+        data is gone until an out-of-band anti-entropy pass)."""
+        for (holder, target), count in list(self._hint_counts.items()):
+            if holder != shard_id or count == 0:
+                continue
+            self._m.hints_dropped.inc(count)
+            self._slots[target].stale = True
+            self._hint_counts[(holder, target)] = 0
+            self.events.warning(
+                "service.hints_lost_with_holder",
+                holder=holder,
+                target=target,
+                dropped=count,
+            )
+        self._m.hint_backlog.set(sum(self._hint_counts.values()))
+
+    def _flush_all_hints(self) -> dict[int, int]:
+        """Drain-time flush: no hint survives only in worker memory.
+
+        Live targets get their hints through the normal ingest path
+        (then drain their own journals as usual); dead targets get
+        them appended straight into their on-disk journal with the
+        seqs the runner already assigned, so the next start's replay
+        recovers them.  Runs after supervision has stopped — no
+        respawn can race the direct journal append.
+        """
+        flushed: dict[int, int] = {}
+        for slot in self._slots:
+            target = slot.shard_id
+            total = 0
+            alive = slot.healthy and slot.client is not None
+            if alive:
+                while True:
+                    try:
+                        n = self._forward_hints(target, slot.client)
+                    except (ShardDownError, ShardTimeoutError):
+                        slot.healthy = False
+                        alive = False
+                        break
+                    total += n
+                    if n == 0:
+                        break
+            if not alive:
+                total += self._append_hints_to_journal(target)
+            if total:
+                flushed[target] = total
+                self.events.info(
+                    "service.hints_flushed", shard_id=target, n=total
+                )
+        return flushed
+
+    def _append_hints_to_journal(self, target: int) -> int:
+        """Write a dead shard's owed hints into its journal file.
+
+        The worker is gone, so the file is free; the journal's own
+        recovery truncates any torn tail and reports the high-water,
+        and only seqs past it are appended — replay on the next start
+        is then exactly the uninterrupted stream.
+        """
+        collected: list[tuple[int, int, float, float]] = []
+        acks: list[tuple[_Slot, int, int]] = []
+        for holder in self._slots:
+            if holder.shard_id == target:
+                continue
+            with holder.lock:
+                if not holder.healthy or holder.client is None:
+                    continue
+                try:
+                    peek = holder.client.peek_hints(
+                        target, self.config.hint_capacity
+                    )
+                except (ShardDownError, ShardTimeoutError):
+                    holder.healthy = False
+                    continue
+            if peek["seqs"]:
+                collected.extend(
+                    zip(peek["seqs"], peek["block_ids"],
+                        peek["times"], peek["values"])
+                )
+                acks.append((holder, peek["seqs"][-1], len(peek["seqs"])))
+        if not collected:
+            return 0
+        collected.sort()
+        journal = StreamJournal(
+            self.config.journal_path(target), sync_every=None
+        )
+        try:
+            keep = [c for c in collected if c[0] > journal.next_seq - 1]
+            if keep:
+                journal.append_many(
+                    np.asarray([c[1] for c in keep], dtype=np.int64),
+                    np.asarray([c[2] for c in keep], dtype=np.float64),
+                    np.asarray([c[3] for c in keep], dtype=np.float64),
+                    seqs=np.asarray([c[0] for c in keep], dtype=np.int64),
+                )
+            journal.flush()
+        finally:
+            journal.close()
+        for holder, upto, count in acks:
+            try:
+                with holder.lock:
+                    if holder.healthy and holder.client is not None:
+                        holder.client.ack_hints(target, upto)
+            except (ShardDownError, ShardTimeoutError):
+                holder.healthy = False
+                continue
+            key = (holder.shard_id, target)
+            self._hint_counts[key] = max(
+                0, self._hint_counts.get(key, 0) - count
+            )
+        self._m.hints_replayed.inc(len(collected))
+        self._m.hint_backlog.set(sum(self._hint_counts.values()))
+        return len(collected)
+
     def _supervise_loop(self) -> None:
         interval = self.config.heartbeat_interval_s
         while not self._stop_event.wait(interval):
@@ -784,6 +1461,7 @@ class ServiceRunner:
             if slot.client is not None:
                 slot.client.kill()
                 slot.client = None
+        self._reap_held_hints(shard_id)
         self._m.unhealthy.set(sum(1 for s in self._slots if not s.healthy))
         delay = self._supervisor.respawn_delay(shard_id)
         if delay > 0:
@@ -807,9 +1485,29 @@ class ServiceRunner:
             with slot.lock:
                 slot.client = client  # dead client; alive=False re-triggers
             return
+        if self.config.replication > 1:
+            # Anti-entropy before rejoin: journal replay restored the
+            # pre-kill state; the hints parked at surviving replicas
+            # carry everything accepted since.  The shard turns
+            # healthy *inside* the sync's final write-gated round, so
+            # rejoin is zero-downtime and loses nothing.
+            with slot.lock:
+                slot.client = client  # sync RPCs need it; still unhealthy
+            try:
+                sync = self._sync_hints(slot, client)
+            except (ShardDownError, ShardTimeoutError) as error:
+                self.events.error(
+                    "service.hint_sync_failed",
+                    shard_id=shard_id,
+                    error=str(error),
+                )
+                return  # dead/wedged client re-triggers the respawn path
+        else:
+            sync = None
+            with slot.lock:
+                slot.client = client
+                slot.healthy = True
         with slot.lock:
-            slot.client = client
-            slot.healthy = True
             slot.respawns += 1
             slot.respawned_at = time.monotonic()
             slot.settled = False
@@ -821,6 +1519,7 @@ class ServiceRunner:
             reason=reason,
             pid=info["pid"],
             n_replayed=info["n_replayed"],
+            hints_replayed=sync["replayed"] if sync is not None else 0,
         )
 
     def _spawn(self, shard_id: int) -> ShardClient:

@@ -12,8 +12,21 @@ path, and because an unloaded controller is a direct delegation, the
 recovered engine state is bit-identical to an uninterrupted run over
 the same admitted observations.
 
+Under replication the runner assigns every observation copy a sequence
+number from the *destination* shard's stream and ships it with the
+batch; the worker masks any seq at or below its journal high-water
+before journaling, so a retried or re-forwarded batch (hinted handoff,
+a retro-hinted tail of a half-acked RPC) is idempotent — duplicates
+are dropped exactly where the durability record lives.  Each worker
+also keeps bounded in-memory **hint queues**: observation copies owed
+to a dead peer shard, stored here because this worker is the first
+live replica in that observation's chain.  The supervisor drains them
+with ``peek_hints`` / ``ack_hints`` (destructive only after the
+forward succeeded) when the peer rejoins.
+
 The worker speaks a small pickled request/response protocol over the
 supervisor pipe (``ingest`` / ``query_block`` / ``phase_map`` /
+``store_hints`` / ``peek_hints`` / ``ack_hints`` /
 ``stats`` / ``flush`` / ``drain`` / ``stop``), refreshes a shared
 heartbeat slot every loop so the supervisor's staleness deadline can
 reap a wedged shard, and ships a
@@ -79,6 +92,10 @@ class ShardConfig:
             backpressure.
         heartbeat_interval_s: worker loop poll granularity (and the
             rate the shared heartbeat slot refreshes at).
+        hint_capacity: total hinted observations this worker will hold
+            for dead peers before refusing further stores (the runner
+            marks the starved peer stale — degradation is explicit,
+            never silent memory growth).
         telemetry: run the shard instrumented and ship deltas.
     """
 
@@ -87,6 +104,7 @@ class ShardConfig:
     journal_sync_every: int | None = 256
     pump_budget: int = 2048
     heartbeat_interval_s: float = 0.05
+    hint_capacity: int = 65536
     telemetry: bool = True
 
     def __post_init__(self) -> None:
@@ -96,6 +114,8 @@ class ShardConfig:
             raise ValueError("pump_budget must be positive")
         if self.heartbeat_interval_s <= 0:
             raise ValueError("heartbeat_interval_s must be positive")
+        if self.hint_capacity < 1:
+            raise ValueError("hint_capacity must be positive")
 
 
 def _clean_float(value) -> float | None:
@@ -179,6 +199,24 @@ def _shard_main(
         metrics=registry,
     )
     n_replayed = replay_journal(journal_path, controller)
+    # Hinted handoff: observation copies owed to dead peer shards,
+    # keyed by the peer's shard id, each entry (seq, block, time,
+    # value) in the peer's own sequence stream.  Memory-resident by
+    # design — the copy is already durable in *this* shard's journal;
+    # the hint only shortens the peer's catch-up (see DESIGN.md for
+    # the double-failure caveat).
+    hints: dict[int, list[tuple[int, int, float, float]]] = {}
+    hint_gauge = (
+        registry.gauge("shard_hint_backlog") if registry is not None else None
+    )
+
+    def _hint_backlog() -> int:
+        return sum(len(bucket) for bucket in hints.values())
+
+    def _set_hint_gauge() -> None:
+        if hint_gauge is not None:
+            hint_gauge.set(_hint_backlog())
+
     conn.send(
         (
             "ready",
@@ -202,6 +240,7 @@ def _shard_main(
             n_invalid=engine.n_invalid,
             journal_last_seq=journal.next_seq - 1,
             n_replayed=n_replayed,
+            hint_backlog=_hint_backlog(),
         )
         return stats
 
@@ -209,10 +248,24 @@ def _shard_main(
 
     def _handle(op: str, args: tuple):
         if op == "ingest":
-            block_ids, times, values, trace_ctx = args
+            block_ids, times, values, seqs, trace_ctx = args
             parent = (
                 TraceContext(**trace_ctx) if trace_ctx is not None else None
             )
+            n_duplicates = 0
+            if seqs is not None:
+                # Idempotence mask: anything at or below the journal
+                # high-water is already durable here (a half-acked RPC
+                # the runner retro-hinted, or a hint replayed twice).
+                # Dropping it *before* the write-ahead keeps replay and
+                # the live engine in exact agreement.
+                keep = np.asarray(seqs, dtype=np.int64) > journal.next_seq - 1
+                n_duplicates = int(len(seqs) - keep.sum())
+                if n_duplicates:
+                    block_ids = block_ids[keep]
+                    times = times[keep]
+                    values = values[keep]
+                    seqs = np.asarray(seqs, dtype=np.int64)[keep]
             # The shard-side leaf of the request span tree: the ingest
             # work (journal write-ahead + admission + pump) under the
             # supervisor's shard.rpc span.  The span (and the event it
@@ -227,7 +280,7 @@ def _shard_main(
                 # admission (settle), or a SIGKILL loses acked
                 # observations from the user-space buffer; fsync stays
                 # on the sync_every cadence.
-                journal.append_many(block_ids, times, values)
+                journal.append_many(block_ids, times, values, seqs=seqs)
                 journal.settle()
                 crashpoint("serve.shard.journaled")
                 submit = controller.submit
@@ -246,11 +299,64 @@ def _shard_main(
                     )
             return {
                 "accepted": int(len(times)),
+                "n_duplicates": n_duplicates,
                 "depth": controller.depth,
                 "paused": controller.backpressure(),
                 "n_shed": controller.n_shed,
                 "last_seq": journal.next_seq - 1,
             }
+        if op == "store_hints":
+            target, h_ids, h_times, h_values, h_seqs = args
+            bucket = hints.setdefault(int(target), [])
+            room = config.hint_capacity - _hint_backlog()
+            incoming = list(
+                zip(
+                    (int(s) for s in h_seqs),
+                    (int(b) for b in h_ids),
+                    (float(t) for t in h_times),
+                    (float(v) for v in h_values),
+                )
+            )
+            stored = incoming[: max(0, room)]
+            if stored:
+                # Stores normally arrive in seq order per target (the
+                # runner assigns under its ingest lock); a retro-hinted
+                # tail after a flap is the one case that can land out
+                # of order, so re-sort only when it actually did.
+                out_of_order = bool(bucket) and bucket[-1][0] > stored[0][0]
+                bucket.extend(stored)
+                if out_of_order:
+                    bucket.sort()
+            _set_hint_gauge()
+            return {
+                "stored": len(stored),
+                "dropped": len(incoming) - len(stored),
+                "backlog": _hint_backlog(),
+            }
+        if op == "peek_hints":
+            target, max_n = args
+            bucket = hints.get(int(target), [])
+            batch = bucket[: int(max_n)]
+            return {
+                "seqs": [h[0] for h in batch],
+                "block_ids": [h[1] for h in batch],
+                "times": [h[2] for h in batch],
+                "values": [h[3] for h in batch],
+                "remaining": len(bucket) - len(batch),
+            }
+        if op == "ack_hints":
+            target, upto_seq = args
+            bucket = hints.get(int(target))
+            acked = 0
+            if bucket:
+                kept = [h for h in bucket if h[0] > int(upto_seq)]
+                acked = len(bucket) - len(kept)
+                if kept:
+                    hints[int(target)] = kept
+                else:
+                    del hints[int(target)]
+                _set_hint_gauge()
+            return {"acked": acked, "backlog": _hint_backlog()}
         if op == "query_block":
             (block_id,) = args
             snapshot = snapshot_to_dict(engine.snapshot(block_id))
@@ -383,17 +489,39 @@ class ShardClient:
 
     # Typed wrappers -- one per protocol op.
 
-    def ingest(self, block_ids, times, values, trace_context=None) -> dict:
+    def ingest(
+        self, block_ids, times, values, seqs=None, trace_context=None
+    ) -> dict:
         """Ship one observation batch; ``trace_context`` (a
         :meth:`TraceContext.to_dict` payload or None) parents the
-        shard-side ``engine.ingest`` span under the caller's span."""
+        shard-side ``engine.ingest`` span under the caller's span.
+        ``seqs`` (replicated routing) carries the runner-assigned
+        destination-stream sequence numbers; the worker masks any at
+        or below its journal high-water, making re-sends idempotent."""
         return self.request(
             "ingest",
             np.ascontiguousarray(block_ids, dtype=np.int64),
             np.ascontiguousarray(times, dtype=np.float64),
             np.ascontiguousarray(values, dtype=np.float64),
+            None if seqs is None
+            else np.ascontiguousarray(seqs, dtype=np.int64),
             trace_context,
         )
+
+    def store_hints(self, target: int, block_ids, times, values, seqs) -> dict:
+        """Park observation copies owed to dead shard ``target`` here."""
+        return self.request(
+            "store_hints", int(target),
+            list(block_ids), list(times), list(values), list(seqs),
+        )
+
+    def peek_hints(self, target: int, max_n: int = 4096) -> dict:
+        """Read (without removing) up to ``max_n`` hints for ``target``."""
+        return self.request("peek_hints", int(target), int(max_n))
+
+    def ack_hints(self, target: int, upto_seq: int) -> dict:
+        """Drop hints for ``target`` up to ``upto_seq`` (forward done)."""
+        return self.request("ack_hints", int(target), int(upto_seq))
 
     def query_block(self, block_id: int) -> dict | None:
         return self.request("query_block", int(block_id))

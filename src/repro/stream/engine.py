@@ -578,6 +578,10 @@ class StreamEngine:
                 "phase": report.phase,
                 "amplitude": report.diurnal_amplitude,
                 "watermark": state.watermark,
+                # Freshness key for replicated serving: two replicas of
+                # the same block compare applied-observation counts to
+                # decide whose entry wins a merge.
+                "n_observations": state.n_observations,
             }
         return out
 

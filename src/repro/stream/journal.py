@@ -25,7 +25,14 @@ Durability properties:
 * **idempotent replay** — every record carries a monotonically
   increasing sequence number, so :func:`replay_journal` can skip
   records at or below a resume point and re-running a replay applies
-  nothing twice.
+  nothing twice;
+* **caller-assigned sequences** — :meth:`StreamJournal.append` /
+  :meth:`StreamJournal.append_many` accept explicit ``seq`` values so a
+  replicated router can journal every replica of an observation under
+  one per-replica-stream sequence number.  Sequences must stay strictly
+  increasing but may be *gapped* (a shard journals only the subsequence
+  of its stream that it owns); replay and torn-tail recovery only rely
+  on monotonicity, never density.
 
 Crash points (``journal.append.begin`` / ``journal.mid_append`` /
 ``journal.append.done``) let the chaos harness kill a writer halfway
@@ -245,9 +252,22 @@ class StreamJournal:
             reason="torn file header" if truncated else "",
         )
 
-    def append(self, block_id: int, time_s: float, value: float) -> int:
-        """Durably frame one observation; returns its sequence number."""
-        seq = self.next_seq
+    def append(
+        self, block_id: int, time_s: float, value: float, seq: int | None = None
+    ) -> int:
+        """Durably frame one observation; returns its sequence number.
+
+        ``seq`` overrides the self-assigned sequence (replicated
+        streams journal under the router's per-replica numbering); it
+        must exceed every sequence already journaled.
+        """
+        if seq is None:
+            seq = self.next_seq
+        elif seq < self.next_seq:
+            raise ValueError(
+                f"seq {seq} is not past the journal high-water "
+                f"{self.next_seq - 1}"
+            )
         payload = _PAYLOAD.pack(seq, int(block_id), float(time_s), float(value))
         frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
         if any_armed():
@@ -269,7 +289,7 @@ class StreamJournal:
         crashpoint("journal.append.done")
         return seq
 
-    def append_many(self, block_ids, times, values) -> int:
+    def append_many(self, block_ids, times, values, seqs=None) -> int:
         """Append aligned observation arrays; returns the last seq.
 
         ``block_ids`` broadcasts against ``times``/``values``, so one
@@ -279,24 +299,47 @@ class StreamJournal:
         built vectorized and written in one call, which is what keeps
         journaling affordable on the streaming hot path (see
         ``benchmarks/test_abl_pool_runner.py``).
+
+        ``seqs`` journals under caller-assigned sequence numbers (a
+        replicated router's per-replica stream); they must be strictly
+        increasing and start past the journal's high-water mark, but
+        may be gapped.
         """
         times = np.asarray(times, dtype=np.float64)
         values = np.asarray(values, dtype=np.float64)
         n = len(times)
         if n == 0:
             return self.next_seq - 1
+        if seqs is not None:
+            seqs = np.asarray(seqs, dtype=np.uint64)
+            if seqs.shape != times.shape:
+                raise ValueError("seqs must align with times/values")
+            if int(seqs[0]) < self.next_seq or (
+                n > 1 and bool((np.diff(seqs.astype(np.int64)) <= 0).any())
+            ):
+                raise ValueError(
+                    "caller-assigned seqs must be strictly increasing and "
+                    f"past the journal high-water {self.next_seq - 1}"
+                )
         if any_armed():
             # Chaos mode: per-record appends so every crash point and
             # torn-frame window is exercised exactly as documented.
             seq = self.next_seq - 1
             ids = np.broadcast_to(np.asarray(block_ids), times.shape)
-            for block_id, time_s, value in zip(ids, times, values):
-                seq = self.append(block_id, time_s, value)
+            for i, (block_id, time_s, value) in enumerate(
+                zip(ids, times, values)
+            ):
+                seq = self.append(
+                    block_id, time_s, value,
+                    seq=None if seqs is None else int(seqs[i]),
+                )
             return seq
         frames = np.empty(n, dtype=_FRAME_DTYPE)
         frames["length"] = _PAYLOAD.size
-        frames["seq"] = np.arange(
-            self.next_seq, self.next_seq + n, dtype=np.uint64
+        frames["seq"] = (
+            np.arange(self.next_seq, self.next_seq + n, dtype=np.uint64)
+            if seqs is None
+            else seqs
         )
         frames["block_id"] = block_ids
         frames["time_s"] = times
@@ -313,7 +356,7 @@ class StreamJournal:
             count=n,
         )
         self._handle.write(frames.tobytes())
-        last = self.next_seq + n - 1
+        last = int(frames["seq"][-1])
         self.next_seq = last + 1
         self._m.appends.inc(n)
         self._since_sync += n

@@ -171,3 +171,72 @@ def test_int_and_str_spaces_are_disjoint():
     assert len(ring) == 2
     load = ring.load(range(2_000))
     assert load[1] > 0 and load["1"] > 0
+
+
+# -- replica chains (lookup_chain) --------------------------------------------
+#
+# The replicated service stands on three chain properties: R *distinct*
+# physical shards per key (virtual points of one shard never double-
+# count), placement determinism under the seed, and prefix stability
+# across membership changes (a join/leave never reshuffles the
+# survivors' relative order within a chain).
+
+
+@settings(max_examples=50, deadline=None)
+@given(nodes=_nodes, keys=_keys, seed=_seeds, n=st.integers(1, 6))
+def test_chain_nodes_are_distinct_physical_members(nodes, keys, seed, n):
+    ring = HashRing(nodes, replicas=16, seed=seed)
+    for key in keys:
+        chain = ring.lookup_chain(key, n)
+        assert len(chain) == len(set(chain)), chain
+        assert len(chain) == min(n, len(nodes))
+        assert all(node in nodes for node in chain)
+        assert chain[0] == ring.lookup(key)
+
+
+@settings(max_examples=50, deadline=None)
+@given(nodes=_nodes, keys=_keys, seed=_seeds, n=st.integers(1, 6))
+def test_chain_is_deterministic_under_seed(nodes, keys, seed, n):
+    ordered = sorted(nodes, key=repr)
+    a = HashRing(ordered, replicas=16, seed=seed)
+    b = HashRing(reversed(ordered), replicas=16, seed=seed)
+    for key in keys:
+        assert a.lookup_chain(key, n) == b.lookup_chain(key, n)
+
+
+@settings(max_examples=50, deadline=None)
+@given(nodes=_nodes, keys=_keys, seed=_seeds, n=st.integers(1, 6))
+def test_chain_prefix_is_stable_across_leaves(nodes, keys, seed, n):
+    """Removing a member deletes its chain entry and appends successors;
+    the surviving prefix (and the survivors' relative order) is stable —
+    the chain filtered to survivors is a prefix of the new chain."""
+    if len(nodes) < 2:
+        return
+    victim = sorted(nodes, key=repr)[0]
+    ring = HashRing(nodes, replicas=16, seed=seed)
+    before = {key: ring.lookup_chain(key, n) for key in keys}
+    ring.remove(victim)
+    for key in keys:
+        after = ring.lookup_chain(key, n)
+        survivors = [node for node in before[key] if node != victim]
+        assert after[: len(survivors)] == survivors, (
+            before[key], after, victim
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(nodes=_nodes, keys=_keys, seed=_seeds, n=st.integers(1, 6))
+def test_chain_join_only_inserts_the_newcomer(nodes, keys, seed, n):
+    """A join may insert the newcomer into a chain (displacing the
+    tail) but never reorders the incumbents around it."""
+    newcomer = "newcomer-node"
+    nodes = nodes - {newcomer}
+    ring = HashRing(nodes, replicas=16, seed=seed)
+    before = {key: ring.lookup_chain(key, n) for key in keys}
+    ring.add(newcomer)
+    for key in keys:
+        after = ring.lookup_chain(key, n)
+        without_newcomer = [node for node in after if node != newcomer]
+        assert without_newcomer == before[key][: len(without_newcomer)], (
+            before[key], after
+        )
