@@ -28,11 +28,24 @@
     and EWMA-drift rules over any registry, emitting typed alert events
     into the same log; :func:`default_pool_rules` for the supervised
     pool.
+``history``
+    :class:`HistoryConfig` / :class:`MetricsHistory` — the bounded
+    time-series store behind the service: fixed-capacity raw rings
+    with 1-min/15-min min/max/mean/last rollups, windowed queries
+    (``range``/``rate``/``quantile_over_time``/``window_aggregate``),
+    and bit-identical JSONL save/load across drain/restart.
+``incidents``
+    :class:`IncidentConfig` / :class:`IncidentRecorder` — alert-fired
+    forensic capture: an atomic ``incidents/<ts>-<rule>/`` bundle of
+    history windows, event-ring tail, flight-recorder snapshots,
+    metric values, trace ids, and (optionally) a short CPU profile,
+    deduplicated per firing episode.
 ``export``
     :func:`prometheus_text`, :func:`json_snapshot` /
-    :func:`write_json_snapshot`, and :class:`RunManifest` — the per-run
+    :func:`write_json_snapshot`, :class:`RunManifest` — the per-run
     record of seeds, fault plans, quality gates, stage timings, and
-    final metrics.
+    final metrics — and :func:`sparkline_svg`, the server-rendered
+    dashboard primitive.
 ``profiler``
     :class:`SamplingProfiler` / :func:`profile_for` — a thread-based
     wall-clock stack sampler emitting flamegraph-ready collapsed
@@ -76,8 +89,11 @@ from repro.obs.export import (
     RunManifest,
     json_snapshot,
     prometheus_text,
+    sparkline_svg,
     write_json_snapshot,
 )
+from repro.obs.history import HistoryConfig, MetricsHistory
+from repro.obs.incidents import IncidentConfig, IncidentRecorder
 from repro.obs.instrument import install_metrics, uninstall_metrics
 from repro.obs.profiler import SamplingProfiler, profile_for
 from repro.obs.registry import (
@@ -91,6 +107,7 @@ from repro.obs.registry import (
     diff_states,
     escape_label_value,
     histogram_quantile,
+    quantile_from_counts,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -115,7 +132,11 @@ __all__ = [
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "HistoryConfig",
+    "IncidentConfig",
+    "IncidentRecorder",
     "LEVELS",
+    "MetricsHistory",
     "MetricsRegistry",
     "NULL_EVENT_LOG",
     "NULL_REGISTRY",
@@ -144,7 +165,9 @@ __all__ = [
     "parse_traceparent",
     "profile_for",
     "prometheus_text",
+    "quantile_from_counts",
     "read_event_log",
+    "sparkline_svg",
     "uninstall_metrics",
     "write_json_snapshot",
 ]

@@ -28,6 +28,16 @@ Two rule kinds:
     threshold · max(|long|, drift_floor)``.  Requires ``min_count``
     samples first, so a meter still warming up cannot drift-fire.
 
+A rule can also look *backwards*: setting ``window_s`` evaluates the
+rule against a :class:`~repro.obs.history.MetricsHistory` window
+instead of the instantaneous registry value — aggregated by
+``window_agg`` (``mean``/``max``/``min``/``last``/``delta``/``rate``)
+or, with ``trend`` set, as a signed change over the window
+(``rising`` compares the window delta against ``threshold``,
+``falling`` the negated delta), so "shed ratio has been climbing for
+ten minutes" is one declarative rule, not a monitoring script.
+Windowed rules are skipped when the engine is given no history.
+
 Rules whose metric does not exist yet are skipped, not errored — a rule
 set can describe metrics that only appear under fault conditions.
 """
@@ -61,6 +71,10 @@ _LEVELS = ("warning", "critical")
 
 _LOG_LEVEL = {"warning": "warning", "critical": "error"}
 
+_WINDOW_AGGS = ("min", "max", "mean", "last", "delta", "rate")
+
+_TRENDS = ("rising", "falling")
+
 
 @dataclass(frozen=True)
 class AlertRule:
@@ -81,6 +95,13 @@ class AlertRule:
             the relative drift finite around zero.
         level: ``"warning"`` or ``"critical"``.
         description: operator-facing one-liner, carried on events.
+        window_s: > 0 makes this a *history* rule — the value compared
+            comes from a :class:`~repro.obs.history.MetricsHistory`
+            window of this many seconds instead of the live registry.
+        window_agg: how the window collapses to one number
+            (threshold-kind history rules only).
+        trend: ``"rising"``/``"falling"`` — compare the signed window
+            delta against ``threshold`` instead of ``window_agg``.
     """
 
     name: str
@@ -94,6 +115,9 @@ class AlertRule:
     drift_floor: float = 1e-9
     level: str = "warning"
     description: str = ""
+    window_s: float = 0.0
+    window_agg: str = "mean"
+    trend: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("threshold", "ewma_drift"):
@@ -110,6 +134,23 @@ class AlertRule:
             raise ValueError("for_cycles must be at least 1")
         if self.min_count < 1:
             raise ValueError("min_count must be at least 1")
+        if self.window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if self.window_agg not in _WINDOW_AGGS:
+            raise ValueError(
+                f"unknown window_agg {self.window_agg!r}; "
+                f"expected one of {_WINDOW_AGGS}"
+            )
+        if self.trend is not None and self.trend not in _TRENDS:
+            raise ValueError(
+                f"unknown trend {self.trend!r}; expected one of {_TRENDS}"
+            )
+        if (self.window_s > 0 or self.trend is not None) and (
+            self.kind != "threshold"
+        ):
+            raise ValueError("window/trend predicates require kind='threshold'")
+        if self.trend is not None and self.window_s <= 0:
+            raise ValueError("trend rules require window_s > 0")
 
 
 @dataclass(frozen=True)
@@ -167,11 +208,20 @@ class AlertEngine:
             r.name for r in self.rules if self._states[r.name].firing
         ]
 
-    def evaluate(self, registry) -> list[AlertEvent]:
-        """One evaluation cycle; returns the transitions it produced."""
+    def evaluate(self, registry, history=None) -> list[AlertEvent]:
+        """One evaluation cycle; returns the transitions it produced.
+
+        ``history`` is an optional
+        :class:`~repro.obs.history.MetricsHistory`; rules with
+        ``window_s`` set evaluate against it (and are skipped — not
+        errored — when no history is wired in).
+        """
         transitions: list[AlertEvent] = []
         for rule in self.rules:
-            value = self._value(rule, registry)
+            if rule.window_s > 0:
+                value = self._window_value(rule, history)
+            else:
+                value = self._value(rule, registry)
             state = self._states[rule.name]
             if value is None:
                 continue
@@ -214,6 +264,21 @@ class AlertEngine:
                 "alerts_fired_total", rule=rule.name, level=rule.level
             ).inc()
         return event
+
+    def _window_value(self, rule: AlertRule, history) -> float | None:
+        """A history rule's comparison value (None skips the rule)."""
+        if history is None:
+            return None
+        if rule.trend is not None:
+            delta = history.window_aggregate(
+                rule.metric, rule.labels, rule.window_s, "delta"
+            )
+            if delta is None:
+                return None
+            return delta if rule.trend == "rising" else -delta
+        return history.window_aggregate(
+            rule.metric, rule.labels, rule.window_s, rule.window_agg
+        )
 
     def _value(self, rule: AlertRule, registry) -> float | None:
         matched = [
@@ -383,6 +448,12 @@ def default_service_rules(
     and ``service_error_ratio`` (an EWMA meter fed the per-cycle 5xx
     ratio — its fast view is the burn rate, so a sustained error
     plateau fires while one unlucky cycle decays away).
+
+    One rule is history-aware: ``service-shed-ratio-rising`` watches
+    the shed ratio's *trend* over a 10-minute window (firing while the
+    instantaneous ``service-shed-ratio`` threshold may still look
+    acceptable), and silently skips when the runner has no
+    :class:`~repro.obs.history.MetricsHistory` wired in.
     """
     return (
         AlertRule(
@@ -430,6 +501,20 @@ def default_service_rules(
             description=(
                 f"shard admission queues are shedding more than "
                 f"{max_shed_ratio:.0%} of offered observations"
+            ),
+        ),
+        AlertRule(
+            name="service-shed-ratio-rising",
+            metric="stream_shed_ratio",
+            op=">",
+            threshold=0.01,
+            window_s=600.0,
+            trend="rising",
+            for_cycles=2,
+            level="warning",
+            description=(
+                "shed ratio has risen over the last 10 minutes — "
+                "overload is building, not transient"
             ),
         ),
         AlertRule(

@@ -12,6 +12,10 @@ Three consumers, three formats:
   batch or streaming campaign's seeds, fault plan, quality gates, stage
   timings, and final metric values, serialized as JSON next to the
   checkpoint it describes.
+* :func:`sparkline_svg` — a dependency-free inline-SVG sparkline over
+  history points, the rendering primitive behind the service's
+  ``/dashboard`` page (server-side, no scripts, styled by CSS custom
+  properties so light/dark theming stays in the embedding page).
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ __all__ = [
     "RunManifest",
     "json_snapshot",
     "prometheus_text",
+    "sparkline_svg",
     "write_json_snapshot",
 ]
 
@@ -187,3 +192,91 @@ class RunManifest:
     def load(cls, path) -> "RunManifest":
         data = json.loads(Path(path).read_text())
         return cls(**data)
+
+
+def sparkline_svg(
+    points,
+    width: int = 240,
+    height: int = 48,
+    value_key: str = "mean",
+    band: bool = True,
+) -> str:
+    """Render history points as one inline SVG sparkline.
+
+    ``points`` is a :meth:`~repro.obs.history.MetricsHistory.range`
+    result's point list (``{t, min, max, mean, last, count}``).  The
+    main trace is a 2px polyline of ``value_key``; when ``band`` is
+    set and any point's min/max straddle its mean (i.e. the window
+    includes rollup buckets), a translucent min→max band is drawn
+    behind it so compacted spikes stay visible.
+
+    Colors come from CSS custom properties (``--series-1``,
+    ``--muted``) so the embedding page owns light/dark theming; the
+    SVG itself is theme-neutral and dependency-free.
+    """
+    points = [
+        p for p in points
+        if _finite(p.get(value_key)) and _finite(p.get("t"))
+    ]
+    if len(points) < 2:
+        return (
+            f'<svg class="spark" viewBox="0 0 {width} {height}" '
+            f'width="{width}" height="{height}" role="img" '
+            f'aria-label="no data">'
+            f'<line x1="0" y1="{height / 2:g}" x2="{width}" '
+            f'y2="{height / 2:g}" stroke="var(--muted, #898781)" '
+            'stroke-width="1" stroke-dasharray="2 4"/></svg>'
+        )
+    t0 = points[0]["t"]
+    t1 = points[-1]["t"]
+    span = (t1 - t0) or 1.0
+    lo = min(min(p["min"] for p in points), 0.0)
+    hi = max(p["max"] for p in points)
+    if hi == lo:
+        hi = lo + 1.0
+    pad = 3.0
+    usable = height - 2 * pad
+
+    def x(t: float) -> float:
+        return (t - t0) / span * width
+
+    def y(v: float) -> float:
+        return pad + (1.0 - (v - lo) / (hi - lo)) * usable
+
+    def fmt(v: float) -> str:
+        return f"{v:.2f}".rstrip("0").rstrip(".") or "0"
+
+    trace = " ".join(
+        f"{fmt(x(p['t']))},{fmt(y(p[value_key]))}" for p in points
+    )
+    parts = [
+        f'<svg class="spark" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" '
+        f'aria-label="sparkline, latest {points[-1][value_key]:g}">'
+    ]
+    if band and any(p["max"] > p["min"] for p in points):
+        upper = [f"{fmt(x(p['t']))},{fmt(y(p['max']))}" for p in points]
+        lower = [
+            f"{fmt(x(p['t']))},{fmt(y(p['min']))}"
+            for p in reversed(points)
+        ]
+        parts.append(
+            f'<polygon points="{" ".join(upper + lower)}" '
+            'fill="var(--series-1, #2a78d6)" fill-opacity="0.15" '
+            'stroke="none"/>'
+        )
+    parts.append(
+        f'<polyline points="{trace}" fill="none" '
+        'stroke="var(--series-1, #2a78d6)" stroke-width="2" '
+        'stroke-linejoin="round" stroke-linecap="round"/>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _finite(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and value == value
+        and value not in (float("inf"), float("-inf"))
+    )

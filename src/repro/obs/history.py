@@ -1,0 +1,656 @@
+"""Bounded in-memory metrics time series with tiered downsampling.
+
+The registry answers "what is the value *now*"; this module answers
+"how did it get there".  A :class:`MetricsHistory` is fed one sample
+per supervision cycle from a registry snapshot (normally the service
+runner's fleet aggregate) and retains, per series:
+
+* a **raw ring** of the most recent samples (full resolution);
+* a **1-minute rollup ring** of closed buckets carrying
+  ``min/max/mean/last/count`` — spikes survive compaction because the
+  bucket keeps its extremes, not just an average;
+* a **15-minute rollup ring** behind that, same shape.
+
+Every ring is a fixed-capacity deque and the series count is capped
+(``max_series``, overflow tracked — never silent), so memory is
+deterministically bounded no matter how long the service runs.
+
+Histogram series keep raw ``(t, bucket_counts, sum, count)`` samples
+instead: cumulative counts are monotone, so the *last* sample in any
+window carries everything the window needs and
+:meth:`MetricsHistory.quantile_over_time` can difference two samples
+to get the exact distribution of observations between them.
+
+Windowed queries — :meth:`~MetricsHistory.range` (tier-stitched
+points, optionally resampled onto a fixed step), :meth:`rate`
+(counter increase per second), :meth:`quantile_over_time`, and
+:meth:`window_aggregate` (the history-aware alert predicate hook) —
+all read a stitched view: raw where raw still covers, 1-min buckets
+behind it, 15-min buckets behind those.
+
+Persistence is one JSONL file (header line + one line per series)
+written through :func:`repro.datasets.io.atomic_write_text`; a
+``save → load → save`` round trip is bit-identical, which is how the
+service proves drained history survives a restart unharmed.
+
+Like every ``repro.obs`` instrument, history *observes*: it never
+mutates the registry it samples, and empty windows answer ``nan`` (or
+``None``), never raise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.obs.registry import render_labels, quantile_from_counts
+
+__all__ = [
+    "HistoryConfig",
+    "MetricsHistory",
+]
+
+# Rollup tier widths (seconds): raw -> 1-minute -> 15-minute.
+ROLLUP_WIDTHS = (60.0, 900.0)
+
+
+@dataclass(frozen=True)
+class HistoryConfig:
+    """Ring capacities and sampling bounds (all deterministic).
+
+    Attributes:
+        raw_capacity: full-resolution samples kept per scalar series.
+        rollup_capacity: closed 1-minute buckets kept per series.
+        coarse_capacity: closed 15-minute buckets kept per series
+            (192 buckets = 48 hours).
+        histogram_capacity: raw histogram samples kept per series.
+        max_series: series the store will track; later series are
+            dropped and counted, never silently absorbed.
+        sample_min_interval_s: minimum seconds between accepted
+            :meth:`MetricsHistory.sample` calls (0 = every call).  The
+            supervision loop runs far faster than telemetry moves;
+            throttling here bounds the history cost per cycle without
+            slowing the loop itself.
+    """
+
+    raw_capacity: int = 512
+    rollup_capacity: int = 256
+    coarse_capacity: int = 192
+    histogram_capacity: int = 256
+    max_series: int = 512
+    sample_min_interval_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("raw_capacity", "rollup_capacity", "coarse_capacity",
+                     "histogram_capacity", "max_series"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+        if self.sample_min_interval_s < 0:
+            raise ValueError("sample_min_interval_s must be >= 0")
+
+
+class _Rollup:
+    """One downsampling tier: closed buckets + the open bucket.
+
+    A bucket is ``[start, min, max, sum, count, last]``; ``start`` is
+    ``floor(t / width) * width``.  Buckets close when a sample crosses
+    the boundary, so the open bucket is always the newest.
+    """
+
+    __slots__ = ("width", "closed", "open")
+
+    def __init__(self, width: float, capacity: int) -> None:
+        self.width = width
+        self.closed: deque = deque(maxlen=capacity)
+        self.open: list | None = None
+
+    def add(self, t: float, value: float) -> None:
+        start = math.floor(t / self.width) * self.width
+        bucket = self.open
+        if bucket is not None and bucket[0] == start:
+            if value < bucket[1]:
+                bucket[1] = value
+            if value > bucket[2]:
+                bucket[2] = value
+            bucket[3] += value
+            bucket[4] += 1
+            bucket[5] = value
+            return
+        if bucket is not None:
+            self.closed.append(bucket)
+        self.open = [start, value, value, value, 1, value]
+
+    def buckets(self) -> list[list]:
+        out = list(self.closed)
+        if self.open is not None:
+            out.append(self.open)
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "width": self.width,
+            "closed": [list(b) for b in self.closed],
+            "open": list(self.open) if self.open is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, capacity: int) -> "_Rollup":
+        rollup = cls(float(data["width"]), capacity)
+        for bucket in data["closed"]:
+            rollup.closed.append(list(bucket))
+        if data["open"] is not None:
+            rollup.open = list(data["open"])
+        return rollup
+
+
+def _bucket_point(bucket: list) -> dict:
+    return {
+        "t": bucket[0],
+        "min": bucket[1],
+        "max": bucket[2],
+        "mean": bucket[3] / bucket[4],
+        "last": bucket[5],
+        "count": bucket[4],
+    }
+
+
+class _ScalarSeries:
+    """Raw ring + two rollup tiers for one counter/gauge/meter series."""
+
+    __slots__ = ("name", "labels", "kind", "raw", "rollups")
+
+    def __init__(self, name: str, labels: dict, kind: str,
+                 config: HistoryConfig) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.kind = kind
+        self.raw: deque = deque(maxlen=config.raw_capacity)
+        self.rollups = (
+            _Rollup(ROLLUP_WIDTHS[0], config.rollup_capacity),
+            _Rollup(ROLLUP_WIDTHS[1], config.coarse_capacity),
+        )
+
+    def add(self, t: float, value: float) -> None:
+        self.raw.append((t, value))
+        for rollup in self.rollups:
+            rollup.add(t, value)
+
+    def stitched(self) -> list[dict]:
+        """Points ascending in t: coarse tier where only it reaches,
+        then the 1-min tier, then raw.  A bucket joins only when it
+        ends at or before the finer tier's coverage starts, so no
+        observation is ever represented twice (double-counting would
+        corrupt count-weighted means and window rates); the sub-width
+        gap this can leave at each seam is the price of exactness.
+        """
+        points = [
+            {"t": t, "min": v, "max": v, "mean": v, "last": v, "count": 1}
+            for t, v in self.raw
+        ]
+        cut = points[0]["t"] if points else math.inf
+        mid = [
+            _bucket_point(b)
+            for b in self.rollups[0].buckets()
+            if b[0] + self.rollups[0].width <= cut
+        ]
+        if mid:
+            cut = mid[0]["t"]
+        coarse = [
+            _bucket_point(b)
+            for b in self.rollups[1].buckets()
+            if b[0] + self.rollups[1].width <= cut
+        ]
+        return coarse + mid + points
+
+    def n_points(self) -> int:
+        return (len(self.raw)
+                + sum(len(r.closed) + (r.open is not None)
+                      for r in self.rollups))
+
+    def to_dict(self, key: str) -> dict:
+        return {
+            "series": key,
+            "name": self.name,
+            "labels": self.labels,
+            "kind": self.kind,
+            "raw": [[t, v] for t, v in self.raw],
+            "rollups": [r.to_dict() for r in self.rollups],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, config: HistoryConfig) -> "_ScalarSeries":
+        series = cls(data["name"], data["labels"], data["kind"], config)
+        for t, v in data["raw"]:
+            series.raw.append((t, v))
+        capacities = (config.rollup_capacity, config.coarse_capacity)
+        series.rollups = tuple(
+            _Rollup.from_dict(r, cap)
+            for r, cap in zip(data["rollups"], capacities)
+        )
+        return series
+
+
+class _HistogramSeries:
+    """Raw ``(t, counts, sum, count)`` samples for one histogram series.
+
+    Cumulative counts are monotone, so rollup tiers would only need
+    ``last`` — which the raw ring's own samples already are.  One ring
+    suffices; windows difference two of its samples.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "raw")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict, bounds: tuple,
+                 config: HistoryConfig) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.bounds = tuple(float(b) for b in bounds)
+        self.raw: deque = deque(maxlen=config.histogram_capacity)
+
+    def add(self, t: float, counts: tuple, total_sum: float,
+            count: int) -> None:
+        self.raw.append((t, tuple(counts), total_sum, count))
+
+    def stitched(self) -> list[dict]:
+        return [
+            {"t": t, "min": c, "max": c, "mean": c, "last": c,
+             "count": 1}
+            for t, _counts, _sum, c in self.raw
+        ]
+
+    def n_points(self) -> int:
+        return len(self.raw)
+
+    def to_dict(self, key: str) -> dict:
+        return {
+            "series": key,
+            "name": self.name,
+            "labels": self.labels,
+            "kind": "histogram",
+            "bounds": list(self.bounds),
+            "raw": [
+                [t, list(counts), s, c] for t, counts, s, c in self.raw
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict,
+                  config: HistoryConfig) -> "_HistogramSeries":
+        series = cls(data["name"], data["labels"], tuple(data["bounds"]),
+                     config)
+        for t, counts, s, c in data["raw"]:
+            series.raw.append((t, tuple(counts), s, c))
+        return series
+
+
+_AGGS = ("min", "max", "mean", "last", "delta", "rate")
+
+
+class MetricsHistory:
+    """The bounded store; one instance per service runner.
+
+    Thread-safe: the supervision thread samples while API executor
+    threads query and the drain path saves.
+    """
+
+    def __init__(self, config: HistoryConfig | None = None) -> None:
+        self.config = config or HistoryConfig()
+        self._lock = threading.Lock()
+        self._series: dict[str, object] = {}
+        self._dropped: set[str] = set()
+        self.n_samples = 0
+        self._last_sample_t: float | None = None
+
+    # -- ingest ------------------------------------------------------------
+
+    def sample(self, registry, t: float, force: bool = False) -> bool:
+        """Record one snapshot of every metric in ``registry`` at ``t``.
+
+        Counters and gauges record their value, meters their fast EWMA
+        view (the "current rate"), histograms their cumulative bucket
+        counts.  Returns False when the sample was skipped by the
+        ``sample_min_interval_s`` throttle; ``force`` bypasses the
+        throttle (the drain path's final state capture).
+        """
+        with self._lock:
+            last = self._last_sample_t
+            if (not force and last is not None
+                    and t - last < self.config.sample_min_interval_s):
+                return False
+            self._last_sample_t = t
+            for metric in registry.collect():
+                kind = metric.kind
+                key = metric.name + render_labels(metric.labels)
+                if kind == "histogram":
+                    series = self._get_histogram(
+                        key, metric.name, metric.labels, metric.bounds
+                    )
+                    if series is None:
+                        continue
+                    with metric._lock:
+                        counts = tuple(metric._counts)
+                        total_sum = metric._sum
+                        count = metric._count
+                    series.add(t, counts, total_sum, count)
+                    continue
+                if kind == "meter":
+                    value = metric.rate_short
+                elif kind in ("counter", "gauge"):
+                    value = metric.value
+                else:
+                    continue
+                series = self._get_scalar(
+                    key, metric.name, metric.labels, kind
+                )
+                if series is not None:
+                    series.add(t, value)
+            self.n_samples += 1
+            return True
+
+    def append(self, name: str, t: float, value: float,
+               labels: dict | None = None, kind: str = "gauge") -> None:
+        """Record one point on a derived scalar series (e.g. the
+        runner's per-shard health flags, which exist nowhere in the
+        fleet registry because worker metrics are unlabeled sums)."""
+        labels = {str(k): str(v) for k, v in (labels or {}).items()}
+        key = name + render_labels(labels)
+        with self._lock:
+            series = self._get_scalar(key, name, labels, kind)
+            if series is not None:
+                series.add(t, float(value))
+
+    def _get_scalar(self, key, name, labels, kind):
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.config.max_series:
+                self._dropped.add(key)
+                return None
+            series = _ScalarSeries(name, labels, kind, self.config)
+            self._series[key] = series
+        return series
+
+    def _get_histogram(self, key, name, labels, bounds):
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.config.max_series:
+                self._dropped.add(key)
+                return None
+            series = _HistogramSeries(name, labels, bounds, self.config)
+            self._series[key] = series
+        return series
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_dropped_series(self) -> int:
+        return len(self._dropped)
+
+    def point_count(self) -> int:
+        """Total retained points — the deterministic-memory assertion."""
+        with self._lock:
+            return sum(s.n_points() for s in self._series.values())
+
+    def series(self) -> list[dict]:
+        """Catalog of every tracked series (sorted by key)."""
+        with self._lock:
+            out = []
+            for key in sorted(self._series):
+                s = self._series[key]
+                points = s.stitched()
+                out.append({
+                    "series": key,
+                    "name": s.name,
+                    "labels": dict(s.labels),
+                    "kind": s.kind,
+                    "points": s.n_points(),
+                    "oldest": points[0]["t"] if points else None,
+                    "newest": points[-1]["t"] if points else None,
+                })
+            return out
+
+    def latest(self, series: str) -> float | None:
+        """The newest recorded value of a scalar series (None if unknown)."""
+        with self._lock:
+            s = self._series.get(series)
+            if s is None or isinstance(s, _HistogramSeries):
+                return None
+            if s.raw:
+                return s.raw[-1][1]
+            points = s.stitched()
+            return points[-1]["last"] if points else None
+
+    def range(self, series: str, window_s: float,
+              now: float | None = None,
+              step_s: float | None = None) -> dict:
+        """Tier-stitched points of one series over ``[now - window, now]``.
+
+        Each point is ``{t, min, max, mean, last, count}``; raw points
+        have ``min == max == mean == last``.  ``step_s`` re-buckets
+        the stitched points onto a fixed grid (empty steps are
+        omitted, not interpolated — a gap in history is information).
+        """
+        with self._lock:
+            s = self._series.get(series)
+            if s is None:
+                return {"series": series, "kind": None, "points": []}
+            points = s.stitched()
+            kind = s.kind
+        if now is None:
+            now = points[-1]["t"] if points else 0.0
+        start = now - window_s
+        points = [p for p in points if start <= p["t"] <= now]
+        if step_s and step_s > 0:
+            points = _resample(points, step_s)
+        return {"series": series, "kind": kind, "points": points}
+
+    def rate(self, series: str, window_s: float,
+             now: float | None = None) -> float:
+        """Per-second increase of a (counter-like) series over the window.
+
+        ``nan`` when the series is unknown, has fewer than two points
+        in the window, spans no time, or decreased (a reset — the rate
+        across it is meaningless, and ``nan`` is the honest answer).
+        """
+        points = self.range(series, window_s, now=now)["points"]
+        if len(points) < 2:
+            return float("nan")
+        dt = points[-1]["t"] - points[0]["t"]
+        dv = points[-1]["last"] - points[0]["last"]
+        if dt <= 0 or dv < 0:
+            return float("nan")
+        return dv / dt
+
+    def quantile_over_time(self, series: str, q: float, window_s: float,
+                           now: float | None = None) -> float:
+        """The ``q`` quantile of a histogram's observations in a window.
+
+        Differences the cumulative bucket counts between the window's
+        edges (baseline = the last sample at or before the window
+        start, else the first sample inside it), then interpolates
+        with the same estimator as
+        :func:`~repro.obs.registry.histogram_quantile`.  ``nan`` for
+        unknown series, non-histograms, or windows with no
+        observations — idle never throws.
+        """
+        with self._lock:
+            s = self._series.get(series)
+            if not isinstance(s, _HistogramSeries):
+                return float("nan")
+            samples = list(s.raw)
+            bounds = s.bounds
+        if not samples:
+            return float("nan")
+        if now is None:
+            now = samples[-1][0]
+        start = now - window_s
+        in_window = [smp for smp in samples if start <= smp[0] <= now]
+        if not in_window:
+            return float("nan")
+        end_counts = in_window[-1][1]
+        baseline = None
+        for smp in reversed(samples):
+            if smp[0] < start:
+                baseline = smp[1]
+                break
+        if baseline is None:
+            baseline = in_window[0][1]
+        delta = [e - b for e, b in zip(end_counts, baseline)]
+        if any(d < 0 for d in delta):
+            # Counter reset inside the window (worker restart): the
+            # difference is not a distribution.
+            return float("nan")
+        return quantile_from_counts(bounds, delta, q)
+
+    def window_aggregate(self, metric: str, labels: dict,
+                         window_s: float, agg: str,
+                         now: float | None = None) -> float | None:
+        """Aggregate every scalar series matching ``metric`` + label
+        subset over the window — the alert engine's history predicate.
+
+        ``agg``: ``min``/``max`` over all points, count-weighted
+        ``mean``, ``last`` (summed across matching series, mirroring
+        instantaneous rule matching), ``delta`` (summed last − first),
+        or ``rate`` (summed per-series delta/dt).  ``None`` when
+        nothing matches or no window has points — a skipped rule, not
+        an error.
+        """
+        if agg not in _AGGS:
+            raise ValueError(
+                f"unknown aggregate {agg!r}; expected one of {_AGGS}"
+            )
+        with self._lock:
+            matched = [
+                s for s in self._series.values()
+                if s.name == metric
+                and not isinstance(s, _HistogramSeries)
+                and all(s.labels.get(k) == str(v)
+                        for k, v in labels.items())
+            ]
+            windows = []
+            for s in matched:
+                points = s.stitched()
+                end = now if now is not None else (
+                    points[-1]["t"] if points else 0.0
+                )
+                start = end - window_s
+                points = [p for p in points if start <= p["t"] <= end]
+                if points:
+                    windows.append(points)
+        if not windows:
+            return None
+        if agg == "min":
+            return min(p["min"] for pts in windows for p in pts)
+        if agg == "max":
+            return max(p["max"] for pts in windows for p in pts)
+        if agg == "mean":
+            total = sum(p["mean"] * p["count"]
+                        for pts in windows for p in pts)
+            count = sum(p["count"] for pts in windows for p in pts)
+            return total / count
+        if agg == "last":
+            return sum(pts[-1]["last"] for pts in windows)
+        if agg == "delta":
+            return sum(pts[-1]["last"] - pts[0]["last"] for pts in windows)
+        # rate
+        total = 0.0
+        for pts in windows:
+            dt = pts[-1]["t"] - pts[0]["t"]
+            if dt > 0:
+                total += (pts[-1]["last"] - pts[0]["last"]) / dt
+        return total
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> Path:
+        """Write the whole store as JSONL (atomic write + fsync).
+
+        Deterministic: sorted series, sorted keys, exact float
+        round-trip — ``save(load(save(x)))`` is byte-identical.
+        """
+        from repro.datasets.io import atomic_write_text
+
+        with self._lock:
+            header = {
+                "kind": "metrics-history",
+                "version": 1,
+                "config": asdict(self.config),
+                "n_samples": self.n_samples,
+                "last_sample_t": self._last_sample_t,
+                "dropped": sorted(self._dropped),
+            }
+            lines = [_json_line(header)]
+            for key in sorted(self._series):
+                lines.append(_json_line(self._series[key].to_dict(key)))
+        return atomic_write_text(
+            path, "\n".join(lines) + "\n", kind="history"
+        )
+
+    @classmethod
+    def load(cls, path, config: HistoryConfig | None = None
+             ) -> "MetricsHistory":
+        """Rebuild a store from :meth:`save` output.
+
+        ``config`` overrides the persisted capacities (rings are
+        trimmed oldest-first if smaller); by default the file's own
+        config is restored, which is what makes the round trip
+        bit-identical.
+        """
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise ValueError(f"empty history file {path}")
+        header = json.loads(lines[0])
+        if header.get("kind") != "metrics-history":
+            raise ValueError(f"{path} is not a metrics-history file")
+        if config is None:
+            config = HistoryConfig(**header["config"])
+        history = cls(config)
+        history.n_samples = int(header.get("n_samples", 0))
+        history._last_sample_t = header.get("last_sample_t")
+        history._dropped = set(header.get("dropped", []))
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            data = json.loads(line)
+            if data.get("kind") == "histogram":
+                series = _HistogramSeries.from_dict(data, config)
+            else:
+                series = _ScalarSeries.from_dict(data, config)
+            history._series[data["series"]] = series
+        return history
+
+
+def _resample(points: list[dict], step_s: float) -> list[dict]:
+    """Fold stitched points onto a fixed grid, one point per occupied
+    step: min of mins, max of maxes, count-weighted mean, last last."""
+    bins: dict[float, dict] = {}
+    for p in points:
+        start = math.floor(p["t"] / step_s) * step_s
+        b = bins.get(start)
+        if b is None:
+            bins[start] = {
+                "t": start, "min": p["min"], "max": p["max"],
+                "mean": p["mean"] * p["count"], "last": p["last"],
+                "count": p["count"],
+            }
+        else:
+            b["min"] = min(b["min"], p["min"])
+            b["max"] = max(b["max"], p["max"])
+            b["mean"] += p["mean"] * p["count"]
+            b["last"] = p["last"]
+            b["count"] += p["count"]
+    out = []
+    for start in sorted(bins):
+        b = bins[start]
+        b["mean"] /= b["count"]
+        out.append(b)
+    return out
+
+
+def _json_line(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

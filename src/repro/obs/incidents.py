@@ -1,0 +1,306 @@
+"""Alert-triggered forensic capture: correlated incident bundles.
+
+When an alert fires, the state that explains it — the metric values
+that breached, the minutes of history leading up to the breach, the
+event-log tail, the per-worker flight recorders, the traces in flight
+— is exactly the state the next supervision cycle overwrites.  An
+:class:`IncidentRecorder` sits on the alert engine's fired/resolved
+transitions and freezes that state to disk *at the moment of firing*,
+so a 3am page comes with its own evidence attached.
+
+One bundle per rule per firing episode: the first ``fired``
+transition captures, every cycle the rule stays breached is
+deduplicated, and the dedup latch clears on ``resolved`` so a relapse
+captures again (subject to a per-rule ``min_interval_s`` rate limit
+and a global ``max_incidents`` cap — a flapping rule must not fill
+the disk).
+
+A bundle is a directory ``incidents/<utc-ts>-<rule>/``::
+
+    manifest.json        rule, level, breached value/threshold,
+                         capture time, trace ids, file inventory
+    history.jsonl        last N minutes of related series (one
+                         range() result per line)
+    events.jsonl         the event-log ring tail (same record shape
+                         as the service event log)
+    flight/worker-N.json per-worker flight-recorder snapshots
+    profile.collapsed    optional short CPU profile (profile_s > 0)
+
+Publication is atomic: everything is staged in a dot-prefixed temp
+directory (manifest written last) and renamed into place, so an
+observer never sees a half-written bundle — the same contract as
+every other artifact this repo writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "IncidentConfig",
+    "IncidentRecorder",
+]
+
+# Series captured in every bundle alongside the firing rule's own
+# metric — the service-level signals any incident needs for context.
+CORE_SERIES = (
+    "service_requests_total",
+    "service_request_p99_seconds",
+    "service_error_ratio",
+    "service_shards_unhealthy",
+    "service_shard_respawns_total",
+    "service_replicas_syncing",
+    "service_hints_held",
+    "stream_shed_ratio",
+    "stream_queue_depth",
+    "ingest_rejections_total",
+)
+
+
+@dataclass(frozen=True)
+class IncidentConfig:
+    """Where and how eagerly to capture.
+
+    Attributes:
+        dir: bundle root; ``incidents/<ts>-<rule>/`` appears inside.
+        history_window_s: how many seconds of history each related
+            series contributes to ``history.jsonl``.
+        min_interval_s: per-rule floor between captures — a rule that
+            flaps faster than this is recorded once per interval.
+        max_incidents: global cap on bundles per recorder lifetime.
+        max_series: cap on related series per bundle.
+        max_trace_ids: cap on trace ids listed in the manifest.
+        profile_s: seconds of CPU profile to capture into the bundle
+            (0 disables — profiling blocks the supervision thread for
+            the duration, so it is opt-in).
+    """
+
+    dir: str | Path = "incidents"
+    history_window_s: float = 600.0
+    min_interval_s: float = 30.0
+    max_incidents: int = 32
+    max_series: int = 32
+    max_trace_ids: int = 64
+    profile_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.history_window_s <= 0:
+            raise ValueError("history_window_s must be positive")
+        if self.min_interval_s < 0:
+            raise ValueError("min_interval_s must be >= 0")
+        for name in ("max_incidents", "max_series", "max_trace_ids"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+        if self.profile_s < 0:
+            raise ValueError("profile_s must be >= 0")
+
+
+class IncidentRecorder:
+    """Captures one correlated bundle per alert-firing episode.
+
+    Driven by the supervision loop: ``observe(transitions, ...)``
+    once per cycle with whatever the alert engine returned.  All
+    inputs are optional — a recorder with no history, no ring, and no
+    flights still writes a useful manifest.
+
+    Single-threaded by design (only the supervision loop calls it),
+    so it carries no lock.
+    """
+
+    def __init__(self, config: IncidentConfig, history=None,
+                 ring=None, events=None, clock=time.time) -> None:
+        self.config = config
+        self.history = history
+        self.ring = ring
+        self.events = events
+        self.clock = clock
+        self.n_captured = 0
+        self.n_suppressed = 0
+        self._firing: set[str] = set()
+        self._last_capture: dict[str, float] = {}
+
+    def observe(self, transitions, flights=None, registry=None,
+                now: float | None = None) -> list[Path]:
+        """Process one cycle's alert transitions; returns new bundles.
+
+        ``transitions`` is the alert engine's list of
+        ``(rule, fired, value)``-shaped objects (anything with
+        ``.rule``/``.fired``/``.value``/``.level``/``.threshold``/
+        ``.description`` attributes, or the engine's own transition
+        tuples).  ``flights`` maps worker id → FlightRecorder.
+        """
+        captured: list[Path] = []
+        for tr in transitions:
+            if not tr.fired:
+                # Resolved: clear the dedup latch so a relapse can
+                # capture again.
+                self._firing.discard(tr.rule)
+                continue
+            if tr.rule in self._firing:
+                continue
+            self._firing.add(tr.rule)
+            t = self.clock() if now is None else now
+            last = self._last_capture.get(tr.rule)
+            if last is not None and t - last < self.config.min_interval_s:
+                self.n_suppressed += 1
+                continue
+            if self.n_captured >= self.config.max_incidents:
+                self.n_suppressed += 1
+                continue
+            self._last_capture[tr.rule] = t
+            path = self._capture(tr, flights or {}, registry, t)
+            if path is not None:
+                captured.append(path)
+        return captured
+
+    # -- capture -----------------------------------------------------------
+
+    def _capture(self, transition, flights, registry,
+                 t: float) -> Path | None:
+        base = Path(self.config.dir)
+        base.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime(t))
+        name = f"{stamp}-{transition.rule}"
+        final = base / name
+        n = 2
+        while final.exists():
+            final = base / f"{name}-{n}"
+            n += 1
+        tmp = base / f".tmp-{final.name}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        try:
+            files = []
+            tail = self._event_tail()
+            files.append(self._write_events(tmp, tail))
+            files.extend(self._write_history(tmp, transition))
+            files.extend(self._write_flights(tmp, flights))
+            files.extend(self._write_metrics(tmp, registry))
+            files.extend(self._write_profile(tmp))
+            manifest = {
+                "kind": "incident",
+                "version": 1,
+                "rule": transition.rule,
+                "level": getattr(transition, "level", None),
+                "value": getattr(transition, "value", None),
+                "threshold": getattr(transition, "threshold", None),
+                "description": getattr(transition, "description", None),
+                "captured_unix": t,
+                "captured_utc": stamp,
+                "trace_ids": self._trace_ids(tail),
+                "n_events": len(tail),
+                "files": sorted(f for f in files if f),
+            }
+            _write_json(tmp / "manifest.json", manifest)
+            os.replace(tmp, final)
+        except Exception:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        self.n_captured += 1
+        if self.events is not None:
+            self.events.warning(
+                "incident.captured",
+                rule=transition.rule,
+                path=str(final),
+                value=getattr(transition, "value", None),
+            )
+        return final
+
+    def _event_tail(self) -> list[dict]:
+        if self.ring is None:
+            return []
+        return self.ring.snapshot()["events"]
+
+    def _trace_ids(self, tail: list[dict]) -> list[str]:
+        seen: dict[str, None] = {}
+        for record in tail:
+            trace_id = record.get("trace_id")
+            if trace_id:
+                seen[trace_id] = None
+        return list(seen)[-self.config.max_trace_ids:]
+
+    def _write_events(self, tmp: Path, tail: list[dict]) -> str:
+        lines = [json.dumps(r, sort_keys=True, default=str)
+                 for r in tail]
+        (tmp / "events.jsonl").write_text(
+            "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8"
+        )
+        return "events.jsonl"
+
+    def _related_series(self, transition) -> list[str]:
+        """The firing rule's own series first, core signals after."""
+        if self.history is None:
+            return []
+        rule_metric = getattr(transition, "metric", None)
+        catalog = self.history.series()
+        keys = []
+        for entry in catalog:
+            if rule_metric and entry["name"] == rule_metric:
+                keys.append(entry["series"])
+        for entry in catalog:
+            if entry["name"] in CORE_SERIES and entry["series"] not in keys:
+                keys.append(entry["series"])
+        return keys[: self.config.max_series]
+
+    def _write_history(self, tmp: Path, transition) -> list[str]:
+        keys = self._related_series(transition)
+        if not keys:
+            return []
+        lines = []
+        for key in keys:
+            window = self.history.range(
+                key, self.config.history_window_s
+            )
+            lines.append(json.dumps(window, sort_keys=True))
+        (tmp / "history.jsonl").write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"
+        )
+        return ["history.jsonl"]
+
+    def _write_flights(self, tmp: Path, flights) -> list[str]:
+        if not flights:
+            return []
+        out = []
+        flight_dir = tmp / "flight"
+        flight_dir.mkdir()
+        for worker_id in sorted(flights):
+            snapshot = flights[worker_id].snapshot()
+            rel = f"flight/worker-{worker_id}.json"
+            _write_json(tmp / rel, snapshot)
+            out.append(rel)
+        return out
+
+    def _write_metrics(self, tmp: Path, registry) -> list[str]:
+        if registry is None:
+            return []
+        _write_json(tmp / "metrics.json", registry.snapshot())
+        return ["metrics.json"]
+
+    def _write_profile(self, tmp: Path) -> list[str]:
+        if self.config.profile_s <= 0:
+            return []
+        from repro.obs.profiler import profile_for
+
+        try:
+            collapsed = profile_for(self.config.profile_s)
+        except Exception:
+            # A profiler failure must never kill the capture that
+            # needed it; the bundle just ships without a profile.
+            return []
+        (tmp / "profile.collapsed").write_text(
+            collapsed, encoding="utf-8"
+        )
+        return ["profile.collapsed"]
+
+
+def _write_json(path: Path, payload) -> None:
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2, default=str) + "\n",
+        encoding="utf-8",
+    )

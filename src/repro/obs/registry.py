@@ -39,6 +39,7 @@ __all__ = [
     "diff_states",
     "escape_label_value",
     "histogram_quantile",
+    "quantile_from_counts",
     "render_labels",
 ]
 
@@ -501,14 +502,17 @@ def histogram_quantile(histograms, q: float) -> float:
     the target rank lands in, and interpolate linearly inside it.
     Observations in the ``+Inf`` bucket clamp to the highest finite
     bound (the standard, deliberately pessimistic-but-finite answer).
-    Returns 0.0 for empty histograms — "no traffic" must read as "no
-    latency", not fire a latency alert.
+    Returns ``nan`` for empty merges — no histograms, or histograms
+    with zero observations.  "No traffic" must read as *unknown*
+    latency, not as a perfect 0.0 an SLO could mistake for health;
+    callers that want a number substitute their own (the runner's SLO
+    gauge maps ``nan`` to 0.0 for JSON export, alert predicates skip).
     """
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {q}")
     histograms = list(histograms)
     if not histograms:
-        return 0.0
+        return float("nan")
     bounds = histograms[0].bounds
     for hist in histograms[1:]:
         if hist.bounds != bounds:
@@ -521,9 +525,20 @@ def histogram_quantile(histograms, q: float) -> float:
         with hist._lock:
             for i, n in enumerate(hist._counts):
                 counts[i] += n
+    return quantile_from_counts(bounds, counts, q)
+
+
+def quantile_from_counts(bounds, counts, q: float) -> float:
+    """The interpolation core of :func:`histogram_quantile`, exposed
+    for callers that already hold merged (or differenced) bucket
+    counts — e.g. windowed quantiles over history samples.  ``nan``
+    when the counts sum to zero.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
     total = sum(counts)
     if total == 0:
-        return 0.0
+        return float("nan")
     rank = q * total
     cumulative = 0
     for i, n in enumerate(counts):

@@ -10,12 +10,16 @@ final manifest written) before exit.
 forever: bind an ephemeral port, ingest a synthetic diurnal burst over
 HTTP (asserting the traced request comes back with ``X-Request-Id`` /
 ``traceparent``), verify block-state and phase-map queries answer,
-pull a collapsed-stack profile when ``--profile`` is armed, drain, and
-exit 0 — the CI service job's entry point.
+assert ``/dashboard`` serves sparklines and ``/metrics/history`` a
+well-formed window, pull a collapsed-stack profile when ``--profile``
+is armed, drain, and exit 0 — the CI service job's entry point.
 
 ``--event-log PATH`` appends the structured JSONL event stream
 (including per-request ``http.access`` records) to a file instead of
-stderr; ``--profile`` arms ``GET /debug/profile``.
+stderr; ``--profile`` arms ``GET /debug/profile``.  Telemetry history
+is on by default (``--history-raw-capacity`` / ``--history-max-series``
+size it, ``--no-history`` disables); ``--incident-dir DIR`` arms
+alert-triggered incident capture into ``DIR``.
 """
 
 from __future__ import annotations
@@ -31,6 +35,8 @@ from pathlib import Path
 
 from repro.obs.alerts import default_service_rules
 from repro.obs.events import EventLogger
+from repro.obs.history import HistoryConfig
+from repro.obs.incidents import IncidentConfig
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.serve.api import ServiceAPI
@@ -88,6 +94,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="heartbeat staleness before a wedged shard is respawned",
     )
     parser.add_argument(
+        "--history-raw-capacity", type=int, default=512,
+        help="full-resolution telemetry samples retained per series",
+    )
+    parser.add_argument(
+        "--history-max-series", type=int, default=512,
+        help="telemetry series the history store will track",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="disable the telemetry time-series store "
+             "(/metrics/history and /dashboard answer 404)",
+    )
+    parser.add_argument(
+        "--incident-dir", default=None, metavar="DIR",
+        help="enable alert-triggered incident capture: correlated "
+             "bundles (history windows, event tail, flight recorders, "
+             "trace ids) land in DIR/<ts>-<rule>/",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="run the end-to-end smoke check and exit",
     )
@@ -111,6 +136,15 @@ def _service_config(args) -> ServiceConfig:
     stream = StreamConfig.for_days(
         args.window_days, hop_days=args.hop_days, round_s=args.round_s
     )
+    history = None
+    if not args.no_history:
+        history = HistoryConfig(
+            raw_capacity=args.history_raw_capacity,
+            max_series=args.history_max_series,
+        )
+    incidents = None
+    if args.incident_dir:
+        incidents = IncidentConfig(dir=args.incident_dir)
     return ServiceConfig(
         stream=stream,
         journal_dir=args.journal_dir,
@@ -119,6 +153,8 @@ def _service_config(args) -> ServiceConfig:
         overload=OverloadConfig(capacity=args.capacity, seed=args.seed),
         seed=args.seed,
         shard_deadline_s=args.shard_deadline_s,
+        history=history,
+        incidents=incidents,
     )
 
 
@@ -252,11 +288,57 @@ def _smoke(args) -> int:
             failures.append(f"metrics: status={status}")
         if b"service_request_seconds_bucket" not in raw:
             failures.append("metrics: no service_request_seconds histogram")
-        status, _raw, _ = await loop.run_in_executor(
+        status, raw, headers = await loop.run_in_executor(
             None, request, "GET", "/healthz"
         )
+        health = json.loads(raw)
         if status != 200:
             failures.append(f"healthz: status={status}")
+        if health.get("replication") != args.replication or \
+                "stale" not in health:
+            failures.append(f"healthz: replication fields missing {health}")
+        if not args.no_history:
+            # Sparklines need >= 2 samples; the store throttles to one
+            # per 0.25s, so give the supervision loop a moment.
+            for _ in range(40):
+                if runner.history is not None and \
+                        runner.history.n_samples >= 2:
+                    break
+                await asyncio.sleep(0.1)
+            status, raw, headers = await loop.run_in_executor(
+                None, request, "GET", "/dashboard"
+            )
+            body = raw.decode()
+            if (
+                status != 200
+                or "text/html" not in headers.get("content-type", "")
+                or "<svg" not in body
+                or "<polyline" not in body
+            ):
+                failures.append(
+                    f"dashboard: status={status} "
+                    f"html={len(raw)}B sparklines="
+                    f"{body.count('<polyline')}"
+                )
+            status, raw, _ = await loop.run_in_executor(
+                None, request, "GET",
+                "/metrics/history"
+                "?series=service_ingest_observations_total&window=600",
+            )
+            window = json.loads(raw)
+            points = (
+                window["series"][0]["points"]
+                if window.get("series") else []
+            )
+            if (
+                status != 200
+                or window.get("window") != 600.0
+                or not points
+                or not all("t" in p and "mean" in p for p in points)
+            ):
+                failures.append(
+                    f"metrics history: status={status} window={window}"
+                )
         if args.profile:
             status, raw, _ = await loop.run_in_executor(
                 None, request, "GET", "/debug/profile?seconds=1"

@@ -31,7 +31,22 @@ Endpoints:
 * ``GET /fleet`` — ring, per-shard health/stats, respawn counts.
 * ``GET /metrics`` — fleet-aggregate metrics as Prometheus text
   (``?format=json`` for the JSON snapshot).
-* ``GET /healthz`` — 200 when every shard is in the ring, else 503.
+* ``GET /metrics/history?series=…&window=…&step=…`` — windowed
+  points (``{t, min, max, mean, last, count}``) from the supervision
+  loop's :class:`~repro.obs.history.MetricsHistory`; ``series`` may
+  repeat, ``window`` is seconds (default 600), ``step`` optionally
+  re-buckets.  Without ``series`` the catalog of tracked series is
+  returned.  404 when history is disabled.
+* ``GET /dashboard`` — the zero-dependency ops page: server-rendered
+  HTML with inline-SVG sparklines over history (ingest rate, queue
+  depth, shed ratio, p99, error burn rate, per-shard health and
+  replication lag), refreshed by meta-refresh — no scripts, no
+  frameworks, safe to leave open in a browser tab forever.
+* ``GET /healthz`` — 200 when every shard is in the ring, else 503;
+  both answers carry ``replication`` (configured R),
+  ``replicas_syncing`` (shards mid hint-sync), and ``stale`` (sticky
+  count of shards with known-dropped hints), so probes can tell
+  healthy from degraded-but-serving.
 * ``GET /debug/profile?seconds=N`` — opt-in (``enable_profiler``):
   sample this process for N seconds and return flamegraph-ready
   collapsed stacks as ``text/plain``.  404 when not enabled.
@@ -130,6 +145,10 @@ def _route_label(segments: list[str]) -> str:
         return "/fleet"
     if segments == ["metrics"]:
         return "/metrics"
+    if segments == ["metrics", "history"]:
+        return "/metrics/history"
+    if segments == ["dashboard"]:
+        return "/dashboard"
     if segments == ["healthz"]:
         return "/healthz"
     if segments == ["debug", "profile"]:
@@ -403,6 +422,10 @@ class ServiceAPI:
             return await self._get_json(self.runner.fleet_snapshot)
         if segments == ["metrics"]:
             return await self._get_metrics(query)
+        if segments == ["metrics", "history"]:
+            return await self._get_history(query)
+        if segments == ["dashboard"]:
+            return await self._get_dashboard()
         if segments == ["healthz"]:
             return self._get_healthz()
         if segments == ["debug", "profile"] and self.enable_profiler:
@@ -515,14 +538,74 @@ class ServiceAPI:
             {},
         )
 
-    def _get_healthz(self):
-        if self.runner.healthy:
-            return 200, _json_bytes({"status": "ok"}), "application/json", {}
-        fleet = {
-            str(s.shard_id): s.healthy for s in self.runner._slots
+    async def _get_history(self, query: str):
+        history = self.runner.history
+        if history is None:
+            raise _HTTPError(404, "history is disabled on this service")
+        params = urllib.parse.parse_qs(query)
+        window = _float_param(params, "window", 600.0)
+        if window <= 0:
+            raise _HTTPError(400, "window must be positive seconds")
+        step = _float_param(params, "step", 0.0)
+        if step < 0:
+            raise _HTTPError(400, "step must be positive seconds")
+        keys = params.get("series")
+        if not keys:
+            catalog = await self._offload(history.series)
+            payload = {"window": window, "series": catalog}
+            return 200, _json_bytes(payload), "application/json", {}
+        results = []
+        for key in keys:
+            results.append(await self._offload(
+                lambda k=key: history.range(
+                    k, window, step_s=step or None
+                )
+            ))
+        payload = {
+            "window": window,
+            "step": step or None,
+            "series": results,
         }
-        payload = _json_bytes({"status": "degraded", "shards": fleet})
+        return 200, _json_bytes(payload), "application/json", {}
+
+    async def _get_dashboard(self):
+        if self.runner.history is None:
+            raise _HTTPError(404, "history is disabled on this service")
+        html = await self._offload(_render_dashboard, self.runner)
+        return (
+            200,
+            html.encode(),
+            "text/html; charset=utf-8",
+            {},
+        )
+
+    def _get_healthz(self):
+        runner = self.runner
+        replication = {
+            "replication": runner.config.replication,
+            "replicas_syncing": int(runner._m.syncing.value),
+            "stale": sum(1 for s in runner._slots if s.stale),
+        }
+        if runner.healthy:
+            payload = {"status": "ok", **replication}
+            return 200, _json_bytes(payload), "application/json", {}
+        fleet = {
+            str(s.shard_id): s.healthy for s in runner._slots
+        }
+        payload = _json_bytes(
+            {"status": "degraded", "shards": fleet, **replication}
+        )
         return 503, payload, "application/json", {}
+
+
+def _float_param(params: dict, name: str, default: float) -> float:
+    raw = params.get(name, [None])[-1]
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise _HTTPError(400, f"{name}={raw!r} is not a number")
 
 
 def _json_bytes(payload) -> bytes:
@@ -531,3 +614,176 @@ def _json_bytes(payload) -> bytes:
 
 def _retry_after(seconds: float) -> str:
     return str(max(1, int(round(seconds))))
+
+
+# -- dashboard rendering ---------------------------------------------------
+
+_DASHBOARD_WINDOW_S = 600.0
+
+_DASHBOARD_CSS = """\
+:root { color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --muted: #898781; --grid: #e1e0d9;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --status-good: #0ca30c; --status-critical: #d03b3b;
+  --status-warning: #fab219;
+}
+@media (prefers-color-scheme: dark) {
+  :root { color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #2c2c2a; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+  }
+}
+* { box-sizing: border-box; }
+body { margin: 0; padding: 24px; background: var(--page);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 18px; font-weight: 600; margin: 0 0 4px; }
+.sub { color: var(--text-secondary); margin: 0 0 20px; }
+.grid { display: grid; gap: 12px;
+  grid-template-columns: repeat(auto-fill, minmax(264px, 1fr)); }
+.card { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 14px 16px 10px; }
+.card h2 { font-size: 12px; font-weight: 500; margin: 0;
+  color: var(--text-secondary); }
+.value { font-size: 26px; font-weight: 600; margin: 2px 0 6px; }
+.unit { font-size: 13px; font-weight: 400;
+  color: var(--text-secondary); }
+.spark { display: block; width: 100%; height: 48px; }
+.shards { margin-top: 20px; }
+.chip { display: inline-flex; align-items: center; gap: 6px;
+  border: 1px solid var(--border); border-radius: 999px;
+  padding: 2px 10px; margin-right: 8px; font-size: 13px; }
+.chip .dot { font-size: 11px; }
+.chip.good .dot { color: var(--status-good); }
+.chip.bad .dot { color: var(--status-critical); }
+.chip.warn .dot { color: var(--status-warning); }
+.foot { color: var(--muted); font-size: 12px; margin-top: 20px; }
+table.lag { border-collapse: collapse; width: 100%; margin-top: 8px; }
+table.lag td { padding: 2px 8px 2px 0; font-size: 13px;
+  color: var(--text-secondary);
+  font-variant-numeric: tabular-nums; }
+"""
+
+
+def _fmt_number(value) -> str:
+    """A dashboard-friendly number: short, no scientific noise."""
+    if value is None or value != value:
+        return "—"
+    value = float(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return f"{value:.4f}".rstrip("0").rstrip(".")
+
+
+def _rate_points(points: list[dict]) -> list[dict]:
+    """Successive-delta rate series derived from counter points."""
+    out = []
+    for prev, cur in zip(points, points[1:]):
+        dt = cur["t"] - prev["t"]
+        if dt <= 0:
+            continue
+        rate = max(0.0, (cur["last"] - prev["last"]) / dt)
+        out.append({
+            "t": cur["t"], "min": rate, "max": rate,
+            "mean": rate, "last": rate, "count": 1,
+        })
+    return out
+
+
+def _render_dashboard(runner) -> str:
+    """Server-side HTML for ``GET /dashboard`` — no scripts, no deps.
+
+    Everything is computed from the runner's ``MetricsHistory`` at
+    render time; the page re-renders itself via meta-refresh.  Colors
+    live in CSS custom properties (light and dark from the same
+    palette); status is never color alone — each shard chip pairs its
+    dot with an explicit label.
+    """
+    from repro.obs.export import sparkline_svg
+
+    history = runner.history
+    window = _DASHBOARD_WINDOW_S
+
+    def pts(series: str) -> list[dict]:
+        return history.range(series, window)["points"]
+
+    ingest = _rate_points(pts("service_ingest_observations_total"))
+    panels = [
+        ("Ingest rate", "obs/s",
+         ingest[-1]["last"] if ingest else None, ingest),
+    ]
+    for title, unit, series in (
+        ("Queue depth", "obs", "stream_ingest_queue_depth"),
+        ("Shed ratio", "", "stream_shed_ratio"),
+        ("Request p99", "s", "service_request_p99_seconds"),
+        ("Error burn rate", "", "service_error_ratio"),
+    ):
+        points = pts(series)
+        panels.append(
+            (title, unit, points[-1]["last"] if points else None, points)
+        )
+
+    cards = []
+    for title, unit, value, points in panels:
+        unit_html = f' <span class="unit">{unit}</span>' if unit else ""
+        cards.append(
+            f'<div class="card"><h2>{title}</h2>'
+            f'<div class="value">{_fmt_number(value)}{unit_html}</div>'
+            f"{sparkline_svg(points)}</div>"
+        )
+
+    chips = []
+    lag_rows = []
+    for slot in runner._slots:
+        shard = str(slot.shard_id)
+        if slot.stale:
+            cls, dot, label = "warn", "&#9650;", "stale"
+        elif slot.healthy:
+            cls, dot, label = "good", "&#9679;", "healthy"
+        else:
+            cls, dot, label = "bad", "&#10005;", "down"
+        chips.append(
+            f'<span class="chip {cls}"><span class="dot">{dot}</span>'
+            f"shard {shard} · {label}</span>"
+        )
+        lag = pts(f'service_shard_hint_lag{{shard="{shard}"}}')
+        lag_now = lag[-1]["last"] if lag else None
+        lag_rows.append(
+            f"<tr><td>shard {shard}</td>"
+            f"<td>lag {_fmt_number(lag_now)} obs</td>"
+            f"<td>{sparkline_svg(lag, width=160, height=24)}</td></tr>"
+        )
+
+    sub = (
+        f"run {runner.run_id or '—'} · "
+        f"{runner.config.n_shards} shards · "
+        f"replication {runner.config.replication} · "
+        f"window {window:g}s"
+    )
+    return (
+        "<!doctype html><html><head>"
+        '<meta charset="utf-8">'
+        '<meta http-equiv="refresh" content="5">'
+        "<title>diurnal service · ops</title>"
+        f"<style>{_DASHBOARD_CSS}</style></head><body>"
+        "<h1>diurnal service</h1>"
+        f'<p class="sub">{sub}</p>'
+        f'<div class="grid">{"".join(cards)}</div>'
+        '<div class="shards"><h2 class="sub">shards</h2>'
+        f'{"".join(chips)}'
+        f'<table class="lag">{"".join(lag_rows)}</table></div>'
+        '<p class="foot">server-rendered from the in-memory telemetry '
+        "history; auto-refreshes every 5s · "
+        '<a href="/metrics/history">/metrics/history</a> · '
+        '<a href="/metrics">/metrics</a></p>'
+        "</body></html>"
+    )

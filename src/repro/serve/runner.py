@@ -33,6 +33,14 @@ processes:
   them into a :class:`~repro.obs.distributed.FleetView`, so ``GET
   /metrics`` serves one aggregate registry (shards + the runner's own
   service metrics) through the existing Prometheus/JSON exporters.
+  Each supervision cycle additionally samples that aggregate into a
+  bounded :class:`~repro.obs.history.MetricsHistory` (served by ``GET
+  /metrics/history`` and the ``/dashboard`` sparklines, persisted
+  across drain/restart), and, when incident capture is configured,
+  routes alert fired/resolved transitions into an
+  :class:`~repro.obs.incidents.IncidentRecorder` that freezes the
+  correlated evidence — history windows, event-ring tail, per-worker
+  flight recorders, trace ids — into an atomic bundle directory.
 * **graceful drain** — :meth:`stop` (the SIGTERM path) first stops the
   supervision thread (so the shutdown is not "healed"), then drains
   every shard in the documented order — admission queue pumped dry,
@@ -44,6 +52,7 @@ processes:
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import threading
 import time
@@ -58,7 +67,9 @@ from repro.core.retry import RetryPolicy
 from repro.core.supervisor import SlotSupervisor
 from repro.obs.alerts import AlertEngine
 from repro.obs.distributed import FleetView
-from repro.obs.events import NULL_EVENT_LOG
+from repro.obs.events import FlightRecorder, NULL_EVENT_LOG
+from repro.obs.history import HistoryConfig, MetricsHistory
+from repro.obs.incidents import IncidentConfig, IncidentRecorder
 from repro.obs.export import RunManifest, json_snapshot, prometheus_text
 from repro.obs.registry import NULL_REGISTRY, histogram_quantile
 from repro.obs.tracing import NULL_TRACER
@@ -118,6 +129,19 @@ class ServiceConfig:
         journal_sync_every: see :class:`~repro.serve.shard.ShardConfig`.
         retry_after_s: the Retry-After hint served with 429/503.
         telemetry: instrument shards and ship deltas.
+        history: time-series retention for the fleet telemetry
+            (``None`` disables).  The supervision loop samples the
+            fleet aggregate into a
+            :class:`~repro.obs.history.MetricsHistory` (throttled by
+            the config's ``sample_min_interval_s``), the API serves it
+            via ``/metrics/history`` and ``/dashboard``, and drain
+            persists it to ``history_path`` for the next start to
+            reload.
+        incidents: alert-triggered forensic capture (``None``
+            disables).  Wires an
+            :class:`~repro.obs.incidents.IncidentRecorder` into the
+            alert engine's transitions and keeps an event-ring tail
+            plus per-worker flight recorders for its bundles.
         mp_context: multiprocessing start method.
     """
 
@@ -139,6 +163,8 @@ class ServiceConfig:
     journal_sync_every: int | None = 256
     retry_after_s: float = 1.0
     telemetry: bool = True
+    history: HistoryConfig | None = field(default_factory=HistoryConfig)
+    incidents: IncidentConfig | None = None
     mp_context: str = "fork"
 
     def __post_init__(self) -> None:
@@ -181,6 +207,11 @@ class ServiceConfig:
 
     def journal_path(self, shard_id: int) -> Path:
         return Path(self.journal_dir) / f"shard-{shard_id:02d}.journal"
+
+    @property
+    def history_path(self) -> Path:
+        """Where drained telemetry history persists, next to the journals."""
+        return Path(self.journal_dir) / "metrics-history.jsonl"
 
 
 class _Slot:
@@ -301,6 +332,13 @@ class ServiceRunner:
         self._last_requests = (0.0, 0.0)
         self._alert_rules = tuple(alert_rules) if alert_rules else ()
         self.alerts: AlertEngine | None = None
+        self.history: MetricsHistory | None = None
+        self.incidents: IncidentRecorder | None = None
+        # Incident-capture state: the service event ring (bound into
+        # the logger so every record tees through it) and one flight
+        # recorder per worker, fed from telemetry deltas.
+        self._event_ring: FlightRecorder | None = None
+        self._flights: dict[int, FlightRecorder] = {}
         self.fleet = FleetView()
         self.ring = HashRing(
             range(config.n_shards),
@@ -352,13 +390,27 @@ class ServiceRunner:
         if self._running:
             raise RuntimeError("service is already running")
         self.run_id = uuid.uuid4().hex[:12]
-        self.events = self.events.bind(run_id=self.run_id)
+        if self.config.incidents is not None:
+            self._event_ring = FlightRecorder()
+            self.events = self.events.bind(
+                run_id=self.run_id, ring=self._event_ring
+            )
+        else:
+            self.events = self.events.bind(run_id=self.run_id)
         self.alerts = (
             AlertEngine(self._alert_rules, events=self.events,
                         metrics=self.metrics)
             if self._alert_rules
             else None
         )
+        self._init_history()
+        if self.config.incidents is not None:
+            self.incidents = IncidentRecorder(
+                self.config.incidents,
+                history=self.history,
+                ring=self._event_ring,
+                events=self.events,
+            )
         Path(self.config.journal_dir).mkdir(parents=True, exist_ok=True)
         ready: dict[int, dict] = {}
         for slot in self._slots:
@@ -479,6 +531,16 @@ class ServiceRunner:
             "hints_flushed": hints_flushed,
             "manifest_path": str(manifest_path),
         }
+        if self.history is not None:
+            # Final state capture (throttle bypassed — the drained
+            # figures must be the file's newest points), then persist
+            # through the atomic-write idiom so the next start reloads
+            # exactly this window.
+            self._record_history(
+                self.fleet_registry(), time.time(), force=True
+            )
+            history_path = self.history.save(self.config.history_path)
+            self.drain_report["history_path"] = str(history_path)
         return self.drain_report
 
     def manifest(self, **extra) -> RunManifest:
@@ -1131,6 +1193,79 @@ class ServiceRunner:
                 self.tracer.graft(span_data)
             for record in delta.events:
                 self.events.emit(record)
+            if self.config.incidents is not None:
+                flight = self._flights.get(delta.worker_id)
+                if flight is None:
+                    flight = FlightRecorder()
+                    self._flights[delta.worker_id] = flight
+                for record in delta.events:
+                    flight.append(record)
+                flight.sample(delta.metrics)
+
+    def _init_history(self) -> None:
+        """Build (or reload) the telemetry time-series store.
+
+        A previous drain's persisted history seeds the new store, so a
+        restart keeps the trend lines it was paged about; a corrupt or
+        incompatible file is reported and replaced, never fatal.
+        """
+        if self.config.history is None:
+            self.history = None
+            return
+        path = self.config.history_path
+        if path.exists():
+            try:
+                self.history = MetricsHistory.load(
+                    path, config=self.config.history
+                )
+                self.events.info(
+                    "service.history_loaded",
+                    path=str(path),
+                    n_samples=self.history.n_samples,
+                )
+                return
+            except (OSError, ValueError, KeyError, TypeError) as error:
+                self.events.warning(
+                    "service.history_load_failed",
+                    path=str(path),
+                    error=str(error),
+                )
+        self.history = MetricsHistory(self.config.history)
+
+    def _record_history(self, registry, now: float,
+                        force: bool = False) -> None:
+        """One observation instant: fleet sample + derived series.
+
+        The derived series exist nowhere in the aggregate — worker
+        metrics are unlabeled sums — so the runner appends its own
+        per-shard health flags and replication lag, gated on the same
+        throttle decision as the registry sample (one instant, one
+        timestamp, everything or nothing).
+        """
+        if self.history is None:
+            return
+        if not self.history.sample(registry, now, force=force):
+            return
+        try:
+            counts = dict(self._hint_counts)
+        except RuntimeError:
+            # Lost the race with a concurrent resize; skip the lag
+            # series this instant rather than stall the loop.
+            counts = {}
+        owed: dict[int, int] = {}
+        for (_holder, target), n in counts.items():
+            owed[target] = owed.get(target, 0) + n
+        for slot in self._slots:
+            shard = str(slot.shard_id)
+            self.history.append(
+                "service_shard_healthy", now,
+                1.0 if slot.healthy else 0.0, labels={"shard": shard},
+            )
+            self.history.append(
+                "service_shard_hint_lag", now,
+                float(owed.get(slot.shard_id, 0)),
+                labels={"shard": shard},
+            )
 
     # -- supervision -------------------------------------------------------
 
@@ -1409,12 +1544,34 @@ class ServiceRunner:
             self._evaluate_alerts()
 
     def _evaluate_alerts(self) -> None:
+        """The per-cycle observe step: SLOs, history, alerts, incidents.
+
+        One fleet aggregate is computed and shared by every consumer —
+        the history sample, the alert evaluation, and any incident
+        capture all describe the *same* instant, which is what lets an
+        incident manifest's values be cross-checked against the
+        history window it ships with.
+        """
         self._update_slos()
-        if self.alerts is None:
-            return
         n_unhealthy = sum(1 for s in self._slots if not s.healthy)
         self._m.unhealthy.set(n_unhealthy)
-        self.alerts.evaluate(self.fleet_registry())
+        if (self.alerts is None and self.history is None
+                and self.incidents is None):
+            return
+        now = time.time()
+        registry = self.fleet_registry()
+        self._record_history(registry, now)
+        transitions = (
+            self.alerts.evaluate(registry, self.history)
+            if self.alerts is not None else ()
+        )
+        if self.incidents is not None and transitions:
+            self.incidents.observe(
+                transitions,
+                flights=self._flights,
+                registry=registry,
+                now=now,
+            )
 
     def _update_slos(self) -> None:
         """Fold request metrics into the SLO instruments, once per cycle.
@@ -1439,7 +1596,10 @@ class ServiceRunner:
                 total += metric.value
                 if str(metric.labels.get("status", "")).startswith("5"):
                     errors += metric.value
-        self._m.request_p99.set(histogram_quantile(hists, 0.99))
+        p99 = histogram_quantile(hists, 0.99)
+        # nan = "no traffic yet"; the gauge reads 0.0 so JSON exports
+        # stay strict-JSON-safe and the p99 alert cannot fire on idle.
+        self._m.request_p99.set(0.0 if math.isnan(p99) else p99)
         d_errors = errors - self._last_requests[0]
         d_total = total - self._last_requests[1]
         self._last_requests = (errors, total)

@@ -253,3 +253,81 @@ class TestDefaultServiceRules:
         assert any(
             e.rule == "service-error-ratio" and e.fired for e in events
         )
+
+
+class TestHistoryRules:
+    """window_s / trend predicates: rules that look backwards."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_s": -1.0},
+            {"window_agg": "median"},
+            {"trend": "sideways", "window_s": 60.0},
+            {"trend": "rising"},  # trend requires window_s > 0
+            {"window_s": 60.0, "kind": "ewma_drift"},
+        ],
+    )
+    def test_rejects_bad_history_rules(self, kwargs):
+        with pytest.raises(ValueError):
+            AlertRule(name="r", metric="m", **kwargs)
+
+    def fed_history(self, values):
+        from repro.obs.history import MetricsHistory
+        history = MetricsHistory()
+        for i, v in enumerate(values):
+            history.append("shed_ratio", float(i), v)
+        return history
+
+    def test_windowed_rule_skips_without_history(self):
+        rule = AlertRule(name="w", metric="shed_ratio", op=">",
+                         threshold=0.5, window_s=60.0, window_agg="max")
+        engine = engine_for(rule)
+        reg = MetricsRegistry()
+        reg.gauge("shed_ratio").set(9.0)  # instantaneous value ignored
+        assert engine.evaluate(reg) == []
+        assert engine.firing() == []
+
+    def test_window_agg_fires_on_history_not_instant(self):
+        rule = AlertRule(name="w", metric="shed_ratio", op=">",
+                         threshold=0.5, window_s=60.0, window_agg="max")
+        engine = engine_for(rule)
+        reg = MetricsRegistry()
+        reg.gauge("shed_ratio").set(0.0)  # instantaneously healthy
+        history = self.fed_history([0.1, 0.9, 0.1])  # spiked recently
+        [fired] = engine.evaluate(reg, history)
+        assert fired.fired and fired.value == 0.9
+
+    def test_rising_trend_fires_and_resolves(self):
+        rule = AlertRule(name="t", metric="shed_ratio", op=">",
+                         threshold=0.05, window_s=60.0, trend="rising")
+        engine = engine_for(rule)
+        reg = MetricsRegistry()
+        flat = self.fed_history([0.2, 0.2, 0.2])
+        assert engine.evaluate(reg, flat) == []
+        climbing = self.fed_history([0.0, 0.1, 0.3])
+        [fired] = engine.evaluate(reg, climbing)
+        assert fired.fired and fired.value == pytest.approx(0.3)
+        [resolved] = engine.evaluate(reg, flat)
+        assert resolved.kind == "resolved"
+
+    def test_falling_trend_negates_delta(self):
+        rule = AlertRule(name="t", metric="queue_depth", op=">",
+                         threshold=5.0, window_s=60.0, trend="falling")
+        engine = engine_for(rule)
+        reg = MetricsRegistry()
+        from repro.obs.history import MetricsHistory
+        history = MetricsHistory()
+        for i, v in enumerate([100.0, 50.0, 10.0]):
+            history.append("queue_depth", float(i), v)
+        [fired] = engine.evaluate(reg, history)
+        assert fired.fired and fired.value == pytest.approx(90.0)
+
+    def test_default_service_rules_include_trend_rule(self):
+        from repro.obs.alerts import default_service_rules
+        rules = {r.name: r for r in default_service_rules()}
+        rule = rules["service-shed-ratio-rising"]
+        assert rule.window_s == 600.0 and rule.trend == "rising"
+        # The trend rule must not break engines without history.
+        engine = AlertEngine(default_service_rules())
+        assert engine.evaluate(MetricsRegistry()) == []

@@ -1,0 +1,208 @@
+"""Alert-triggered incident capture (repro.obs.incidents).
+
+The contract under test: exactly one bundle per rule per firing
+episode (deduplicated while breached, re-armed on resolve), rate
+limiting and the global cap count suppressions instead of writing,
+and publication is atomic — a bundle either exists complete with its
+manifest or not at all, never half-written.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.alerts import AlertEvent
+from repro.obs.events import FlightRecorder
+from repro.obs.history import HistoryConfig, MetricsHistory
+from repro.obs.incidents import IncidentConfig, IncidentRecorder
+from repro.obs.registry import MetricsRegistry
+
+
+def fired(rule="shed-high", value=0.5, metric="stream_shed_ratio"):
+    return AlertEvent(rule=rule, metric=metric, level="critical",
+                      kind="fired", value=value, threshold=0.05,
+                      description="test rule")
+
+
+def resolved(rule="shed-high", metric="stream_shed_ratio"):
+    return AlertEvent(rule=rule, metric=metric, level="critical",
+                      kind="resolved", value=0.0, threshold=0.05)
+
+
+def recorder(tmp_path, **overrides):
+    defaults = dict(dir=tmp_path / "incidents", min_interval_s=0.0)
+    defaults.update(overrides)
+    config = IncidentConfig(**defaults)
+    history = MetricsHistory(HistoryConfig(sample_min_interval_s=0.0))
+    reg = MetricsRegistry()
+    reg.gauge("stream_shed_ratio").set(0.5)
+    reg.counter("service_requests_total").inc(10)
+    history.sample(reg, 100.0)
+    ring = FlightRecorder()
+    clock = Clock()
+    rec = IncidentRecorder(config, history=history, ring=ring,
+                           clock=clock)
+    return rec, ring, reg, clock
+
+
+class Clock:
+    def __init__(self):
+        self.t = 1000.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"history_window_s": 0},
+            {"min_interval_s": -1},
+            {"max_incidents": 0},
+            {"max_series": 0},
+            {"max_trace_ids": 0},
+            {"profile_s": -1.0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            IncidentConfig(**kwargs)
+
+
+class TestDeduplication:
+    def test_one_bundle_per_firing_episode(self, tmp_path):
+        rec, _, reg, clock = recorder(tmp_path)
+        [path] = rec.observe([fired()], registry=reg)
+        assert path.is_dir()
+        # Still firing on later cycles: no new bundle.
+        assert rec.observe([fired()]) == []
+        assert rec.observe([fired()]) == []
+        assert rec.n_captured == 1
+
+    def test_relapse_recaptures_after_resolve(self, tmp_path):
+        rec, _, reg, clock = recorder(tmp_path)
+        rec.observe([fired()], registry=reg)
+        rec.observe([resolved()])
+        clock.t += 60.0
+        [path] = rec.observe([fired()], registry=reg)
+        assert rec.n_captured == 2
+        bundles = sorted((tmp_path / "incidents").iterdir())
+        assert len(bundles) == 2
+
+    def test_distinct_rules_capture_independently(self, tmp_path):
+        rec, _, reg, _ = recorder(tmp_path)
+        paths = rec.observe(
+            [fired("rule-a"), fired("rule-b")], registry=reg
+        )
+        assert len(paths) == 2
+
+
+class TestRateLimiting:
+    def test_min_interval_suppresses_flapping(self, tmp_path):
+        rec, _, reg, clock = recorder(tmp_path, min_interval_s=30.0)
+        rec.observe([fired()], registry=reg)
+        rec.observe([resolved()])
+        clock.t += 5.0  # relapse inside the rate-limit window
+        assert rec.observe([fired()], registry=reg) == []
+        assert rec.n_suppressed == 1
+        rec.observe([resolved()])
+        clock.t += 60.0
+        assert len(rec.observe([fired()], registry=reg)) == 1
+
+    def test_global_cap(self, tmp_path):
+        rec, _, reg, _ = recorder(tmp_path, max_incidents=2)
+        rec.observe([fired("a"), fired("b"), fired("c")], registry=reg)
+        assert rec.n_captured == 2
+        assert rec.n_suppressed == 1
+
+
+class TestBundleContents:
+    def test_manifest_history_events_flights_metrics(self, tmp_path):
+        rec, ring, reg, _ = recorder(tmp_path)
+        ring.append({"event": "x", "trace_id": "t1"})
+        ring.append({"event": "y", "trace_id": "t2"})
+        ring.append({"event": "z", "trace_id": "t1"})
+        flight = FlightRecorder()
+        flight.append({"event": "worker"})
+        [path] = rec.observe(
+            [fired()], flights={0: flight}, registry=reg
+        )
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["kind"] == "incident"
+        assert manifest["rule"] == "shed-high"
+        assert manifest["value"] == 0.5
+        assert manifest["trace_ids"] == ["t1", "t2"]
+        assert manifest["n_events"] == 3
+        assert set(manifest["files"]) == {
+            "events.jsonl", "history.jsonl", "flight/worker-0.json",
+            "metrics.json",
+        }
+        events = [json.loads(line) for line in
+                  (path / "events.jsonl").read_text().splitlines()]
+        assert [e["event"] for e in events] == ["x", "y", "z"]
+        windows = [json.loads(line) for line in
+                   (path / "history.jsonl").read_text().splitlines()]
+        names = [w["series"] for w in windows]
+        # The firing rule's own metric leads the related series.
+        assert names[0] == "stream_shed_ratio"
+        assert "service_requests_total" in names
+        assert all(w["points"] for w in windows)
+        worker = json.loads((path / "flight" / "worker-0.json").read_text())
+        assert worker["events"] == [{"event": "worker"}]
+        metrics = json.loads((path / "metrics.json").read_text())
+        assert metrics["gauges"]["stream_shed_ratio"] == 0.5
+
+    def test_bare_recorder_still_writes_a_manifest(self, tmp_path):
+        rec = IncidentRecorder(
+            IncidentConfig(dir=tmp_path / "incidents"), clock=Clock()
+        )
+        [path] = rec.observe([fired()])
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["rule"] == "shed-high"
+        assert manifest["trace_ids"] == []
+        assert manifest["files"] == ["events.jsonl"]
+
+    def test_capture_event_emitted(self, tmp_path):
+        records = []
+
+        class Events:
+            def warning(self, event, **fields):
+                records.append((event, fields))
+
+        rec, _, reg, _ = recorder(tmp_path)
+        rec.events = Events()
+        [path] = rec.observe([fired()], registry=reg)
+        [(event, fields)] = records
+        assert event == "incident.captured"
+        assert fields["rule"] == "shed-high"
+        assert fields["path"] == str(path)
+
+
+class TestAtomicity:
+    def test_no_temp_leftovers_on_success(self, tmp_path):
+        rec, _, reg, _ = recorder(tmp_path)
+        rec.observe([fired()], registry=reg)
+        leftovers = [p for p in (tmp_path / "incidents").iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_failed_capture_leaves_no_bundle(self, tmp_path):
+        rec, _, reg, _ = recorder(tmp_path)
+
+        class Broken:
+            def snapshot(self):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            rec.observe([fired()], flights={0: Broken()}, registry=reg)
+        base = tmp_path / "incidents"
+        assert [p for p in base.iterdir()] == []
+
+    def test_name_collision_gets_suffix(self, tmp_path):
+        rec, _, reg, clock = recorder(tmp_path)
+        rec.observe([fired()], registry=reg)
+        rec.observe([resolved()])
+        # Same second -> same timestamp stamp -> suffixed directory.
+        [second] = rec.observe([fired()], registry=reg)
+        assert second.name.endswith("-2")

@@ -268,3 +268,64 @@ def test_metric_kinds_are_declared():
     assert Gauge.kind == "gauge"
     assert Histogram.kind == "histogram"
     assert EwmaMeter.kind == "meter"
+
+
+class TestHistogramQuantile:
+    """Empty merges answer nan — "no traffic" is unknown latency, not
+    a healthy-looking 0.0 (the regression behind the NaN satellite)."""
+
+    def test_empty_iterable_is_nan(self):
+        import math
+
+        from repro.obs.registry import histogram_quantile
+        assert math.isnan(histogram_quantile([], 0.99))
+
+    def test_zero_observation_histograms_are_nan(self):
+        import math
+
+        from repro.obs.registry import histogram_quantile
+        reg = MetricsRegistry()
+        hists = [reg.histogram("lat", buckets=(1.0,), route=r)
+                 for r in ("a", "b")]
+        assert math.isnan(histogram_quantile(hists, 0.5))
+        hists[0].observe(0.5)
+        assert histogram_quantile(hists, 0.5) == pytest.approx(0.5)
+
+    def test_mismatched_bounds_still_rejected(self):
+        from repro.obs.registry import histogram_quantile
+        reg = MetricsRegistry()
+        a = reg.histogram("a", buckets=(1.0,))
+        b = reg.histogram("b", buckets=(2.0,))
+        a.observe(0.5)
+        b.observe(0.5)
+        with pytest.raises(ValueError, match="identical bucket bounds"):
+            histogram_quantile([a, b], 0.5)
+
+    def test_bad_quantile_rejected(self):
+        from repro.obs.registry import histogram_quantile
+        with pytest.raises(ValueError, match="quantile"):
+            histogram_quantile([], 1.5)
+
+
+class TestQuantileFromCounts:
+    def test_interpolates_within_bucket(self):
+        from repro.obs.registry import quantile_from_counts
+        # 10 observations in (0, 1], 10 in (1, 2].
+        assert quantile_from_counts(
+            (1.0, 2.0), [10, 10, 0], 0.25
+        ) == pytest.approx(0.5)
+        assert quantile_from_counts(
+            (1.0, 2.0), [10, 10, 0], 0.75
+        ) == pytest.approx(1.5)
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        from repro.obs.registry import quantile_from_counts
+        assert quantile_from_counts((1.0, 2.0), [0, 0, 5], 0.99) == 2.0
+
+    def test_zero_total_is_nan_and_bad_q_raises(self):
+        import math
+
+        from repro.obs.registry import quantile_from_counts
+        assert math.isnan(quantile_from_counts((1.0,), [0, 0], 0.5))
+        with pytest.raises(ValueError, match="quantile"):
+            quantile_from_counts((1.0,), [1, 0], -0.1)

@@ -278,3 +278,75 @@ class TestExplicitIds:
         assert NULL_TRACER.trace_spans("x") == []
         assert NULL_TRACER.drain_roots() == []
         assert NULL_TRACER.begin("s", trace_id="a", span_id="b") is None
+
+
+class TestTraceparentProperties:
+    """Property-based (hypothesis): the wire format is total.
+
+    ``format_traceparent`` must never raise and must always emit a
+    grammar-conformant header, whatever garbage lives in the context;
+    for well-formed ids the format/parse pair is an exact identity.
+    """
+
+    def test_parse_format_identity_on_valid_ids(self):
+        import re
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.obs.tracing import (
+            TraceContext,
+            format_traceparent,
+            parse_traceparent,
+        )
+
+        hex_id = st.from_regex(re.compile(r"[0-9a-f]+"), fullmatch=True)
+        valid_trace = hex_id.map(lambda s: s[-32:].rjust(32, "0")).filter(
+            lambda s: s != "0" * 32
+        )
+        valid_span = hex_id.map(lambda s: s[-16:].rjust(16, "0")).filter(
+            lambda s: s != "0" * 16
+        )
+
+        @given(trace_id=valid_trace, span_id=valid_span,
+               sampled=st.booleans())
+        @settings(max_examples=200, deadline=None)
+        def check(trace_id, span_id, sampled):
+            ctx = TraceContext(trace_id=trace_id, span_id=span_id)
+            header = format_traceparent(ctx, sampled=sampled)
+            assert parse_traceparent(header) == ctx
+
+        check()
+
+    def test_format_is_total_and_grammar_conformant(self):
+        import re
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.obs.tracing import (
+            TraceContext,
+            format_traceparent,
+            parse_traceparent,
+        )
+
+        wire = re.compile(r"^00-[0-9a-f]{32}-[0-9a-f]{16}-0[01]$")
+
+        @given(trace_id=st.text(max_size=64), span_id=st.text(max_size=64))
+        @settings(max_examples=300, deadline=None)
+        def check(trace_id, span_id):
+            ctx = TraceContext(trace_id=trace_id, span_id=span_id)
+            header = format_traceparent(ctx)  # must never raise
+            assert wire.match(header)
+            parsed = parse_traceparent(header)
+            # The only legal rejection of a normalized header is an
+            # all-zero id (the spec forbids it); anything else parses.
+            _, norm_trace, norm_span, _ = header.split("-")
+            if norm_trace != "0" * 32 and norm_span != "0" * 16:
+                assert parsed == TraceContext(
+                    trace_id=norm_trace, span_id=norm_span
+                )
+            else:
+                assert parsed is None
+
+        check()
